@@ -1,0 +1,851 @@
+(* Experiment harness: regenerates every table and figure of the
+   paper's evaluation.  Each table/figure is one [run_*] function,
+   registered in [sections]; `dune exec bench/main.exe` runs them all,
+   `-- --only fig11` runs one.  EXPERIMENTS.md records paper-vs-
+   measured values from a full run. *)
+
+module Bit = Bespoke_logic.Bit
+module Bvec = Bespoke_logic.Bvec
+module Netlist = Bespoke_netlist.Netlist
+module Gate = Bespoke_netlist.Gate
+module Isa = Bespoke_isa.Isa
+module B = Bespoke_programs.Benchmark
+module Rtos = Bespoke_programs.Rtos
+module Subneg = Bespoke_programs.Subneg
+module Activity = Bespoke_analysis.Activity
+module Runner = Bespoke_core.Runner
+module Cut = Bespoke_core.Cut
+module Usage = Bespoke_core.Usage
+module Multi = Bespoke_core.Multi
+module Profiling = Bespoke_core.Profiling
+module Module_prune = Bespoke_core.Module_prune
+module Power_gating = Bespoke_core.Power_gating
+module Report = Bespoke_power.Report
+module Sta = Bespoke_power.Sta
+module Voltage = Bespoke_power.Voltage
+module Mutation = Bespoke_mutation.Mutation
+module Coverage = Bespoke_coverage.Coverage
+module System = Bespoke_cpu.System
+
+let freq_hz = 1e8
+let profile_seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let printf = Printf.printf
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Shared, lazily computed per-benchmark context                        *)
+
+type ctx = {
+  bench : B.t;
+  report : Activity.report;
+  analysis_seconds : float;
+  bespoke : Netlist.t;
+  stats : Cut.stats;
+  baseline_profile : Profiling.t Lazy.t;
+  bespoke_profile : Profiling.t Lazy.t;
+}
+
+let stock () = Runner.shared_netlist ()
+
+let ctx_cache : (string, ctx) Hashtbl.t = Hashtbl.create 32
+
+let ctx_of (b : B.t) : ctx =
+  match Hashtbl.find_opt ctx_cache b.B.name with
+  | Some c -> c
+  | None ->
+    let (report, net), analysis_seconds = time (fun () -> Runner.analyze b) in
+    let bespoke, stats =
+      Cut.tailor net ~possibly_toggled:report.Activity.possibly_toggled
+        ~constants:report.Activity.constant_values
+    in
+    let c =
+      {
+        bench = b;
+        report;
+        analysis_seconds;
+        bespoke;
+        stats;
+        baseline_profile =
+          lazy (Profiling.profile ~netlist:net ~seeds:profile_seeds b);
+        bespoke_profile =
+          lazy (Profiling.profile ~netlist:bespoke ~seeds:profile_seeds b);
+      }
+    in
+    Hashtbl.replace ctx_cache b.B.name c;
+    c
+
+let baseline_power (c : ctx) =
+  let p = Lazy.force c.baseline_profile in
+  Report.power ~freq_hz ~toggles:p.Profiling.total_toggles
+    ~cycles:p.Profiling.total_cycles (stock ())
+
+let bespoke_power ?(vdd = 1.0) (c : ctx) =
+  let p = Lazy.force c.bespoke_profile in
+  Report.power ~vdd ~freq_hz ~toggles:p.Profiling.total_toggles
+    ~cycles:p.Profiling.total_cycles c.bespoke
+
+let pct x = 100.0 *. x
+let saving now base = pct (1.0 -. (now /. base))
+
+let baseline_sta = lazy (Sta.analyze (stock ()))
+let clock_period_ps () = (Lazy.force baseline_sta).Sta.critical_path_ps
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                              *)
+
+let run_table1 () =
+  printf "=== Table 1: benchmark suite and max execution length ===\n";
+  printf "%-18s %-52s %10s\n" "Benchmark" "Description" "Max cycles";
+  List.iter
+    (fun (b : B.t) ->
+      let worst =
+        List.fold_left
+          (fun acc seed ->
+            let o = Runner.run_iss b ~seed in
+            max acc o.Runner.cycles)
+          0 [ 1; 2; 3; 4; 5 ]
+      in
+      printf "%-18s %-52s %10d\n" b.B.name b.B.description worst)
+    B.table1;
+  printf
+    "(gate-level executions take one additional reset cycle; inputs are \
+     scaled down vs. the paper — see DESIGN.md)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: profiling underestimates and varies with inputs           *)
+
+let run_fig2 () =
+  printf "=== Figure 2: unused gates (%%) under input profiling ===\n";
+  printf "%-18s %8s %8s %12s\n" "Benchmark" "min" "max" "all-inputs";
+  List.iter
+    (fun (b : B.t) ->
+      let p = Profiling.profile ~netlist:(stock ()) ~seeds:profile_seeds b in
+      let mn, mx, inter = Profiling.untoggled_fraction_range (stock ()) p in
+      printf "%-18s %8.1f %8.1f %12.1f\n" b.B.name (pct mn) (pct mx) (pct inter))
+    B.table1
+
+(* ------------------------------------------------------------------ *)
+(* Figures 3/4: unique vs common untoggled gates                        *)
+
+let diff_table name_a name_b (a : B.t) (b : B.t) ~same_inputs =
+  let seeds_a = profile_seeds in
+  let seeds_b = if same_inputs then profile_seeds else profile_seeds in
+  let pa = Profiling.profile ~netlist:(stock ()) ~seeds:seeds_a a in
+  let pb = Profiling.profile ~netlist:(stock ()) ~seeds:seeds_b b in
+  let d =
+    Usage.compare_unused (stock ()) pa.Profiling.union_toggled
+      pb.Profiling.union_toggled
+  in
+  printf "common untoggled: %d gates\n" d.Usage.common_untoggled;
+  printf "untoggled only by %s: %d gates\n" name_a d.Usage.unique_a;
+  printf "untoggled only by %s: %d gates\n" name_b d.Usage.unique_b;
+  printf "%-16s %14s %14s\n" "module" ("uniq " ^ name_a) ("uniq " ^ name_b);
+  let all_mods =
+    List.sort_uniq String.compare
+      (List.map fst d.Usage.per_module_unique_a
+      @ List.map fst d.Usage.per_module_unique_b)
+  in
+  List.iter
+    (fun m ->
+      let get l = Option.value ~default:0 (List.assoc_opt m l) in
+      printf "%-16s %14d %14d\n" m
+        (get d.Usage.per_module_unique_a)
+        (get d.Usage.per_module_unique_b))
+    all_mods
+
+let run_fig3 () =
+  printf "=== Figure 3: FFT vs binSearch untoggled-gate comparison ===\n";
+  diff_table "FFT" "binSearch" (B.find "FFT") (B.find "binSearch")
+    ~same_inputs:false
+
+let run_fig4 () =
+  printf "=== Figure 4: intFilt vs scrambled-intFilt (same inputs) ===\n";
+  diff_table "intFilt" "scrambled" (B.find "intFilt")
+    (B.find "scrambled-intFilt") ~same_inputs:true
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: toggleable fraction with per-module breakdown             *)
+
+let run_fig10 () =
+  printf "=== Figure 10: fraction of gates toggleable (symbolic analysis) ===\n";
+  let mods = Netlist.modules (stock ()) in
+  printf "%-18s %8s" "Benchmark" "usable%%";
+  List.iter (fun m -> printf " %10s" (if m = "" then "(glue)" else m)) mods;
+  printf "\n";
+  (* the paper's first bar: each module's share of the baseline *)
+  let all_toggled = Array.make (Netlist.gate_count (stock ())) true in
+  let base_rows = Usage.per_module (stock ()) all_toggled in
+  printf "%-18s %8s" "(baseline)" "-";
+  List.iter
+    (fun m ->
+      match List.find_opt (fun r -> r.Usage.module_name = m) base_rows with
+      | Some r -> printf " %10d" r.Usage.total
+      | None -> printf " %10s" "-")
+    mods;
+  printf "\n";
+  List.iter
+    (fun (b : B.t) ->
+      let c = ctx_of b in
+      let rows =
+        Usage.per_module (stock ()) c.report.Activity.possibly_toggled
+      in
+      printf "%-18s %8.1f" b.B.name
+        (pct (Usage.usable_fraction (stock ()) c.report.Activity.possibly_toggled));
+      List.iter
+        (fun m ->
+          match List.find_opt (fun r -> r.Usage.module_name = m) rows with
+          | Some r ->
+            printf " %6d/%-4d" r.Usage.active r.Usage.total
+          | None -> printf " %10s" "-")
+        mods;
+      printf "\n")
+    B.table1
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: savings vs the baseline processor                         *)
+
+let run_fig11 () =
+  printf "=== Figure 11: gate / area / power savings vs baseline ===\n";
+  printf "%-18s %8s %8s %8s\n" "Benchmark" "gates%%" "area%%" "power%%";
+  let g_acc = ref [] and a_acc = ref [] and p_acc = ref [] in
+  List.iter
+    (fun (b : B.t) ->
+      let c = ctx_of b in
+      let g =
+        saving
+          (float_of_int c.stats.Cut.bespoke_gates)
+          (float_of_int c.stats.Cut.original_gates)
+      in
+      let a = saving c.stats.Cut.bespoke_area c.stats.Cut.original_area in
+      let p =
+        saving (bespoke_power c).Report.total_nw (baseline_power c).Report.total_nw
+      in
+      g_acc := g :: !g_acc;
+      a_acc := a :: !a_acc;
+      p_acc := p :: !p_acc;
+      printf "%-18s %8.1f %8.1f %8.1f\n" b.B.name g a p)
+    B.table1;
+  let avg l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+  printf "%-18s %8.1f %8.1f %8.1f   (paper averages: 62%% area, 50%% power)\n"
+    "(average)" (avg !g_acc) (avg !a_acc) (avg !p_acc)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12: vs coarse-grained module-level bespoke                    *)
+
+let run_fig12 () =
+  printf "=== Figure 12: savings vs module-level (Xtensa-like) pruning ===\n";
+  printf "%-18s %18s %8s %8s %8s\n" "Benchmark" "removed modules" "gates%%"
+    "area%%" "power%%";
+  List.iter
+    (fun (b : B.t) ->
+      let c = ctx_of b in
+      let coarse, removed =
+        Module_prune.prune (stock ())
+          ~possibly_toggled:c.report.Activity.possibly_toggled
+          ~constants:c.report.Activity.constant_values
+      in
+      let coarse_profile = Profiling.profile ~netlist:coarse ~seeds:profile_seeds b in
+      let p_coarse =
+        Report.power ~freq_hz ~toggles:coarse_profile.Profiling.total_toggles
+          ~cycles:coarse_profile.Profiling.total_cycles coarse
+      in
+      let p_fine = bespoke_power c in
+      printf "%-18s %18s %8.1f %8.1f %8.1f\n" b.B.name
+        (String.concat "," removed)
+        (saving
+           (float_of_int (Netlist.num_gates c.bespoke))
+           (float_of_int (Netlist.num_gates coarse)))
+        (saving (Report.area_um2 c.bespoke) (Report.area_um2 coarse))
+        (saving p_fine.Report.total_nw p_coarse.Report.total_nw))
+    B.table1
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: exploiting exposed timing slack                             *)
+
+let run_table2 () =
+  printf "=== Table 2: timing slack, Vmin, power savings from slack ===\n";
+  printf "%-18s %8s %6s %10s %10s %8s\n" "Benchmark" "slack%%" "Vmin"
+    "addl-sav%%" "total-sav%%" "fmax+%%";
+  let period = clock_period_ps () in
+  let fsum = ref 0.0 in
+  List.iter
+    (fun (b : B.t) ->
+      let c = ctx_of b in
+      let sta = Sta.analyze c.bespoke in
+      let slack = Sta.slack_fraction ~baseline_ps:period sta in
+      let vmin =
+        Voltage.vmin ~critical_path_ps:sta.Sta.critical_path_ps
+          ~period_ps:period
+      in
+      let base = (baseline_power c).Report.total_nw in
+      let p_nom = (bespoke_power c).Report.total_nw in
+      let p_min = (bespoke_power ~vdd:vmin c).Report.total_nw in
+      (* the alternative use of slack: clock the design faster at
+         nominal voltage (paper footnote 6: 13% on average) *)
+      let fscale =
+        Voltage.max_frequency_scale
+          ~critical_path_ps:sta.Sta.critical_path_ps ~period_ps:period
+      in
+      fsum := !fsum +. (fscale -. 1.0);
+      printf "%-18s %8.1f %6.2f %10.1f %10.1f %8.1f\n" b.B.name (pct slack)
+        vmin
+        (pct ((p_nom -. p_min) /. base))
+        (saving p_min base)
+        (pct (fscale -. 1.0)))
+    B.table1;
+  printf
+    "(average frequency headroom at nominal voltage: %.1f%%; paper: 13%%)\n"
+    (pct (!fsum /. float_of_int (List.length B.table1)))
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: verification runtime and coverage                           *)
+
+let run_table3 () =
+  printf "=== Table 3: verification effort and coverage ===\n";
+  printf "%-18s %8s %8s %6s %6s %7s %7s %7s %6s\n" "Benchmark" "X-sim(s)"
+    "inp-sim(s)" "paths" "inputs" "line%%" "br%%" "brdir%%" "gate%%";
+  List.iter
+    (fun (b : B.t) ->
+      let c = ctx_of b in
+      let cov = Coverage.explore b in
+      let _, input_time =
+        time (fun () -> ignore (Runner.run_gate ~netlist:c.bespoke b ~seed:1))
+      in
+      (* gate coverage of the bespoke design under the kept inputs *)
+      let p =
+        Profiling.profile ~netlist:c.bespoke ~seeds:cov.Coverage.kept_seeds b
+      in
+      let covered = Usage.usable_fraction c.bespoke p.Profiling.union_toggled in
+      printf "%-18s %8.2f %8.2f %6d %6d %7.0f %7.0f %7.0f %6.0f\n" b.B.name
+        c.analysis_seconds
+        (input_time *. float_of_int (List.length cov.Coverage.kept_seeds))
+        c.report.Activity.paths
+        (List.length cov.Coverage.kept_seeds)
+        cov.Coverage.line_pct cov.Coverage.branch_pct cov.Coverage.branch_dir_pct
+        (pct covered))
+    B.table1
+
+(* ------------------------------------------------------------------ *)
+(* Figure 13: multi-program bespoke designs                             *)
+
+let bitset_of (toggled : bool array) =
+  let words = Array.make ((Array.length toggled + 62) / 63) 0 in
+  Array.iteri
+    (fun i b -> if b then words.(i / 63) <- words.(i / 63) lor (1 lsl (i mod 63)))
+    toggled;
+  words
+
+let run_fig13 () =
+  printf "=== Figure 13: N-program bespoke designs (ranges over all C(15,N)) ===\n";
+  let benches = Array.of_list B.table1 in
+  let n = Array.length benches in
+  let ctxs = Array.map ctx_of benches in
+  (* only real gates count *)
+  let real =
+    Array.mapi
+      (fun id (g : Gate.t) ->
+        ignore id;
+        match g.Gate.op with Gate.Input | Gate.Const _ -> false | _ -> true)
+      (stock ()).Netlist.gates
+  in
+  let real_set = bitset_of real in
+  let sets =
+    Array.map
+      (fun c ->
+        let s = bitset_of c.report.Activity.possibly_toggled in
+        Array.mapi (fun i w -> w land real_set.(i)) s)
+      ctxs
+  in
+  let popcount words =
+    Array.fold_left
+      (fun acc w ->
+        let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+        go w acc)
+      0 words
+  in
+  let total_real = popcount real_set in
+  let best = Array.make (n + 1) (max_int, 0) in
+  let worst = Array.make (n + 1) (min_int, 0) in
+  for subset = 1 to (1 lsl n) - 1 do
+    let members = ref [] in
+    for i = 0 to n - 1 do
+      if subset land (1 lsl i) <> 0 then members := i :: !members
+    done;
+    let u = Array.make (Array.length real_set) 0 in
+    List.iter
+      (fun i -> Array.iteri (fun k w -> u.(k) <- u.(k) lor w) sets.(i))
+      !members;
+    let count = popcount u in
+    let k = List.length !members in
+    if count < fst best.(k) then best.(k) <- (count, subset);
+    if count > fst worst.(k) then worst.(k) <- (count, subset)
+  done;
+  printf
+    "%3s %14s %14s %14s %14s %14s %14s\n" "N" "min-gates" "max-gates"
+    "min-area" "max-area" "min-power" "max-power";
+  let evaluate subset =
+    let members =
+      List.filter_map
+        (fun i -> if subset land (1 lsl i) <> 0 then Some i else None)
+        (List.init n (fun i -> i))
+    in
+    let reports =
+      List.map
+        (fun i ->
+          ( ctxs.(i).report.Activity.possibly_toggled,
+            ctxs.(i).report.Activity.constant_values ))
+        members
+    in
+    let design, _ = Multi.tailor_multi (stock ()) ~reports in
+    (* representative activity: one run of each member on the design *)
+    let toggles = Array.make (Netlist.gate_count design) 0 in
+    let cycles = ref 0 in
+    List.iter
+      (fun i ->
+        let o = Runner.run_gate ~netlist:design benches.(i) ~seed:1 in
+        Array.iteri (fun k t -> toggles.(k) <- toggles.(k) + t) o.Runner.toggles;
+        cycles := !cycles + o.Runner.sim_cycles)
+      members;
+    let p = Report.power ~freq_hz ~toggles ~cycles:!cycles design in
+    (Report.area_um2 design, p.Report.total_nw)
+  in
+  let base_area = Report.area_um2 (stock ()) in
+  (* baseline power normalization: average of the 15 single-app
+     baseline powers *)
+  let base_power =
+    let sum =
+      Array.fold_left
+        (fun acc c -> acc +. (baseline_power c).Report.total_nw)
+        0.0 ctxs
+    in
+    sum /. float_of_int n
+  in
+  for k = 1 to n do
+    let bc, bs = best.(k) and wc, ws = worst.(k) in
+    let min_area, min_pow = evaluate bs in
+    let max_area, max_pow = evaluate ws in
+    printf "%3d %14.3f %14.3f %14.3f %14.3f %14.3f %14.3f\n" k
+      (float_of_int bc /. float_of_int total_real)
+      (float_of_int wc /. float_of_int total_real)
+      (min_area /. base_area) (max_area /. base_area) (min_pow /. base_power)
+      (max_pow /. base_power)
+  done;
+  printf "(values normalized to the baseline design)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Tables 4/5 and Figure 14: in-field updates via mutants               *)
+
+let mutation_benchmarks =
+  [ "binSearch"; "inSort"; "rle"; "tea8"; "Viterbi"; "autocorr" ]
+
+let mutant_reports_cache :
+    (string, (Mutation.mutant * bool array option) list) Hashtbl.t =
+  Hashtbl.create 8
+
+let mutant_reports name =
+  match Hashtbl.find_opt mutant_reports_cache name with
+  | Some r -> r
+  | None ->
+    let b = B.find name in
+    let ms = Mutation.mutants b in
+    let r =
+      List.map
+        (fun m ->
+          let mb = Mutation.to_benchmark b m in
+          match Runner.analyze mb with
+          | rep, _ -> (m, Some rep.Activity.possibly_toggled)
+          | exception Activity.Analysis_error _ -> (m, None))
+        ms
+    in
+    Hashtbl.replace mutant_reports_cache name r;
+    r
+
+let run_table4 () =
+  printf "=== Table 4: mutants generated per type ===\n";
+  printf "%-18s %8s %8s %8s %8s\n" "Benchmark" "TypeI" "TypeII" "TypeIII" "Total";
+  List.iter
+    (fun name ->
+      let ms = Mutation.mutants (B.find name) in
+      let by = Mutation.count_by_type ms in
+      let get t = List.assoc t by in
+      printf "%-18s %8d %8d %8d %8d\n" name (get Mutation.Conditional)
+        (get Mutation.Computation)
+        (get Mutation.Loop_conditional)
+        (List.length ms))
+    mutation_benchmarks
+
+let run_table5 () =
+  printf "=== Table 5: %% of mutants supported by the base bespoke design ===\n";
+  printf "%-18s %8s %8s %8s %8s %10s\n" "Benchmark" "TypeI%%" "TypeII%%"
+    "TypeIII%%" "Total%%" "analyzed";
+  List.iter
+    (fun name ->
+      let c = ctx_of (B.find name) in
+      let reports = mutant_reports name in
+      let supported_of ty =
+        let of_ty =
+          List.filter
+            (fun ((m : Mutation.mutant), r) -> m.Mutation.mtype = ty && r <> None)
+            reports
+        in
+        if of_ty = [] then None
+        else
+          let sup =
+            List.length
+              (List.filter
+                 (fun (_, r) ->
+                   Multi.supported
+                     ~design_toggled:c.report.Activity.possibly_toggled
+                     ~app_toggled:(Option.get r))
+                 of_ty)
+          in
+          Some (100.0 *. float_of_int sup /. float_of_int (List.length of_ty))
+      in
+      let str = function None -> "-" | Some v -> Printf.sprintf "%.0f" v in
+      let analyzed = List.length (List.filter (fun (_, r) -> r <> None) reports) in
+      let all_ty =
+        let ok =
+          List.filter
+            (fun (_, r) ->
+              match r with
+              | Some t ->
+                Multi.supported
+                  ~design_toggled:c.report.Activity.possibly_toggled
+                  ~app_toggled:t
+              | None -> false)
+            reports
+        in
+        if analyzed = 0 then 0.0
+        else 100.0 *. float_of_int (List.length ok) /. float_of_int analyzed
+      in
+      printf "%-18s %8s %8s %8s %8.0f %10d\n" name
+        (str (supported_of Mutation.Conditional))
+        (str (supported_of Mutation.Computation))
+        (str (supported_of Mutation.Loop_conditional))
+        all_ty analyzed)
+    mutation_benchmarks
+
+let run_fig14 () =
+  printf "=== Figure 14: designs supporting all mutants (normalized) ===\n";
+  printf "%-18s %10s %10s %10s\n" "Benchmark" "gates" "area" "power";
+  List.iter
+    (fun name ->
+      let b = B.find name in
+      let c = ctx_of b in
+      let reports =
+        (c.report.Activity.possibly_toggled, c.report.Activity.constant_values)
+        :: List.filter_map
+             (fun (_, r) ->
+               Option.map
+                 (fun t -> (t, c.report.Activity.constant_values))
+                 r)
+             (mutant_reports name)
+      in
+      let design, stats = Multi.tailor_multi (stock ()) ~reports in
+      let p = Profiling.profile ~netlist:design ~seeds:[ 1; 2; 3 ] b in
+      let pw =
+        Report.power ~freq_hz ~toggles:p.Profiling.total_toggles
+          ~cycles:p.Profiling.total_cycles design
+      in
+      let base = baseline_power c in
+      printf "%-18s %10.3f %10.3f %10.3f\n" name
+        (float_of_int stats.Cut.bespoke_gates
+        /. float_of_int stats.Cut.original_gates)
+        (stats.Cut.bespoke_area /. stats.Cut.original_area)
+        (pw.Report.total_nw /. base.Report.total_nw))
+    mutation_benchmarks
+
+(* ------------------------------------------------------------------ *)
+(* subneg: Turing-complete update support                               *)
+
+let run_subneg () =
+  printf "=== Section 5.3: subneg-enhanced bespoke processors ===\n";
+  let sub_report, _ = Runner.analyze Subneg.characterization in
+  printf "subneg interpreter alone: %.1f%% of gates usable\n"
+    (pct (Usage.usable_fraction (stock ()) sub_report.Activity.possibly_toggled));
+  printf "%-18s %12s %12s %12s %12s\n" "Benchmark" "area-ovh%%" "power-ovh%%"
+    "area-sav%%" "power-sav%%";
+  let aovh = ref [] and povh = ref [] and asav = ref [] and psav = ref [] in
+  List.iter
+    (fun (b : B.t) ->
+      let c = ctx_of b in
+      let design, stats =
+        Multi.tailor_multi (stock ())
+          ~reports:
+            [
+              (c.report.Activity.possibly_toggled, c.report.Activity.constant_values);
+              (sub_report.Activity.possibly_toggled, sub_report.Activity.constant_values);
+            ]
+      in
+      let p = Profiling.profile ~netlist:design ~seeds:[ 1; 2; 3 ] b in
+      let pw =
+        Report.power ~freq_hz ~toggles:p.Profiling.total_toggles
+          ~cycles:p.Profiling.total_cycles design
+      in
+      let base = (baseline_power c).Report.total_nw in
+      let plain_area = c.stats.Cut.bespoke_area in
+      let plain_pow = (bespoke_power c).Report.total_nw in
+      let a_o = pct ((stats.Cut.bespoke_area /. plain_area) -. 1.0) in
+      let p_o = pct ((pw.Report.total_nw /. plain_pow) -. 1.0) in
+      let a_s = saving stats.Cut.bespoke_area c.stats.Cut.original_area in
+      let p_s = saving pw.Report.total_nw base in
+      aovh := a_o :: !aovh;
+      povh := p_o :: !povh;
+      asav := a_s :: !asav;
+      psav := p_s :: !psav;
+      printf "%-18s %12.1f %12.1f %12.1f %12.1f\n" b.B.name a_o p_o a_s p_s)
+    B.table1;
+  let avg l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+  printf
+    "(average overhead: %.1f%% area, %.1f%% power; average savings: %.1f%% \
+     area, %.1f%% power; paper: 8%%/10%% overhead, 56%%/43%% savings)\n"
+    (avg !aovh) (avg !povh) (avg !asav) (avg !psav)
+
+(* ------------------------------------------------------------------ *)
+(* Section 5.4: system code (RTOS)                                      *)
+
+let run_rtos () =
+  printf "=== Section 5.4: system code (RTOS kernel) ===\n";
+  let r, net = Runner.analyze Rtos.kernel in
+  let kernel_set = r.Activity.possibly_toggled in
+  printf "RTOS kernel alone: %.1f%% of gates unused (paper FreeRTOS: 57%%)\n"
+    (pct (1.0 -. Usage.usable_fraction net kernel_set));
+  printf "%-18s %16s\n" "Benchmark+RTOS" "unused gates %%";
+  let union_all = ref kernel_set in
+  let worst = ref 1.0 in
+  List.iter
+    (fun (b : B.t) ->
+      let c = ctx_of b in
+      let u = Multi.union_toggled [ kernel_set; c.report.Activity.possibly_toggled ] in
+      union_all := Multi.union_toggled [ !union_all; u ];
+      let unused = 1.0 -. Usage.usable_fraction net u in
+      if unused < !worst then worst := unused;
+      printf "%-18s %16.1f\n" b.B.name (pct unused))
+    B.table1;
+  printf "worst case: %.1f%% unused (paper: 37%%)\n" (pct !worst);
+  printf "RTOS + all 15 benchmarks: %.1f%% unused (paper: 27%%)\n"
+    (pct (1.0 -. Usage.usable_fraction net !union_all))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 15: oracular module-level power gating                        *)
+
+let run_fig15 () =
+  printf "=== Figure 15: oracular zero-overhead module power gating ===\n";
+  printf "%-18s %14s %24s\n" "Benchmark" "PG savings%%" "bespoke savings%% (cf)";
+  List.iter
+    (fun (b : B.t) ->
+      let c = ctx_of b in
+      let pg = Power_gating.evaluate ~netlist:(stock ()) b in
+      let bespoke_sav =
+        saving (bespoke_power c).Report.total_nw (baseline_power c).Report.total_nw
+      in
+      printf "%-18s %14.1f %24.1f\n" b.B.name
+        (pct pg.Power_gating.power_saving_fraction)
+        bespoke_sav)
+    B.table1
+
+(* ------------------------------------------------------------------ *)
+(* Table 6: static survey table                                         *)
+
+let run_table6 () =
+  printf "=== Table 6: microarchitectural features in embedded processors ===\n";
+  printf "%-28s %16s %6s\n" "Processor" "Branch predictor" "Cache";
+  List.iter
+    (fun (p, bp, c) -> printf "%-28s %16s %6s\n" p bp c)
+    [
+      ("ARM Cortex-M0", "no", "no");
+      ("ARM Cortex-M3", "yes", "no");
+      ("Atmel ATxmega128A4", "no", "no");
+      ("Freescale/NXP MC13224v", "no", "no");
+      ("Intel Quark-D1000", "yes", "yes");
+      ("Jennic/NXP JN5169", "no", "no");
+      ("SiLab Si2012", "no", "no");
+      ("TI MSP430", "no", "no");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of this reproduction's own design choices (DESIGN.md)     *)
+
+let run_ablation () =
+  printf "=== Ablation 1: conservative-table key refinement ===\n";
+  printf "%-12s %22s %22s %22s\n" "Benchmark" "pc-only" "pc+gie" "full (default)";
+  let try_key b key =
+    let config =
+      {
+        Activity.default_config with
+        Activity.ram_x_ranges = b.B.input_ranges;
+        irq_x = b.B.uses_irq;
+        key_refinement = key;
+        max_paths = 100_000;
+      }
+    in
+    match time (fun () -> Runner.analyze ~config b) with
+    | (r, net), dt ->
+      Printf.sprintf "%4.0f%% %5dp %5.1fs"
+        (pct (Usage.usable_fraction net r.Activity.possibly_toggled))
+        r.Activity.paths dt
+    | exception Activity.Analysis_error m ->
+      "fail: " ^ String.sub m 0 (min 14 (String.length m))
+  in
+  List.iter
+    (fun name ->
+      let b = if name = "rtos" then Rtos.kernel else B.find name in
+      printf "%-12s %22s %22s %22s\n" name (try_key b `Pc_only)
+        (try_key b `Pc_gie) (try_key b `Full))
+    [ "binSearch"; "tea8"; "irq"; "rtos" ];
+  printf
+    "\n=== Ablation 2: re-synthesis depth (gates remaining after the cut) ===\n";
+  printf "%-12s %10s %12s %12s %12s\n" "Benchmark" "stitched" "no-seqconst"
+    "one-pass" "full";
+  List.iter
+    (fun name ->
+      let b = B.find name in
+      let c = ctx_of b in
+      let stitched =
+        Cut.cut_and_stitch (stock ())
+          ~possibly_toggled:c.report.Activity.possibly_toggled
+          ~constants:c.report.Activity.constant_values
+      in
+      let no_seq =
+        Bespoke_core.Resynth.optimize ~seq_const:false stitched
+      in
+      let one_pass = Bespoke_core.Resynth.pass stitched in
+      let full = Bespoke_core.Resynth.optimize stitched in
+      printf "%-12s %10d %12d %12d %12d\n" name
+        (Netlist.num_gates stitched)
+        (Netlist.num_gates no_seq)
+        (Netlist.num_gates one_pass)
+        (Netlist.num_gates full))
+    [ "binSearch"; "intFilt"; "FFT"; "dbg" ];
+  printf
+    "\n=== Ablation 3: computed-branch fallback (escape vs enumerate) ===\n";
+  printf "%-12s %26s %26s\n" "Benchmark" "escape (default)" "enumerate";
+  let try_fb b fb =
+    let config =
+      {
+        Activity.default_config with
+        Activity.ram_x_ranges = b.B.input_ranges;
+        irq_x = b.B.uses_irq;
+        computed_branch_fallback = fb;
+        max_paths = 100_000;
+        max_total_cycles = 30_000_000;
+      }
+    in
+    match time (fun () -> Runner.analyze ~config b) with
+    | (r, net), dt ->
+      Printf.sprintf "%4.0f%% %5dp %2de %5.1fs"
+        (pct (Usage.usable_fraction net r.Activity.possibly_toggled))
+        r.Activity.paths r.Activity.escaped_paths dt
+    | exception Activity.Analysis_error m ->
+      "fail: " ^ String.sub m 0 (min 16 (String.length m))
+  in
+  List.iter
+    (fun name ->
+      let b = if name = "rtos" then Rtos.kernel else B.find name in
+      printf "%-12s %26s %26s\n" name (try_fb b `Escape) (try_fb b `Enumerate))
+    [ "irq"; "rtos" ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the hot primitives                       *)
+
+let run_bechamel () =
+  printf "=== microbenchmarks (Bechamel) ===\n";
+  let open Bechamel in
+  let open Toolkit in
+  let img =
+    Bespoke_isa.Asm.assemble
+      "start: mov #0x0280, sp\nloop: dec r4\n jnz loop\n halt\n"
+  in
+  let sys = System.create ~netlist:(stock ()) img in
+  System.reset sys;
+  System.set_irq sys Bit.Zero;
+  let t_cycle =
+    Test.make ~name:"gate-level cpu cycle"
+      (Staged.stage (fun () -> System.step_cycle sys))
+  in
+  let t_tern =
+    Test.make ~name:"ternary and (table)"
+      (Staged.stage (fun () -> Bit.tbl_and.(4)))
+  in
+  let t_asm =
+    Test.make ~name:"assemble small program"
+      (Staged.stage (fun () ->
+           ignore
+             (Bespoke_isa.Asm.assemble
+                "start: mov #1, r4\n add r4, r5\n halt\n")))
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      List.map (fun i -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) i raw)
+        instances
+    in
+    let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) instances results in
+    Hashtbl.iter
+      (fun _clock tbl ->
+        Hashtbl.iter
+          (fun name result ->
+            match Analyze.OLS.estimates result with
+            | Some [ est ] -> printf "%-28s %12.1f ns/run\n" name est
+            | _ -> printf "%-28s (no estimate)\n" name)
+          tbl)
+      results
+  in
+  List.iter benchmark [ t_tern; t_asm; t_cycle ]
+
+(* ------------------------------------------------------------------ *)
+
+let sections : (string * (unit -> unit)) list =
+  [
+    ("table1", run_table1);
+    ("fig2", run_fig2);
+    ("fig3", run_fig3);
+    ("fig4", run_fig4);
+    ("fig10", run_fig10);
+    ("fig11", run_fig11);
+    ("fig12", run_fig12);
+    ("table2", run_table2);
+    ("table3", run_table3);
+    ("fig13", run_fig13);
+    ("table4", run_table4);
+    ("table5", run_table5);
+    ("fig14", run_fig14);
+    ("subneg", run_subneg);
+    ("rtos", run_rtos);
+    ("fig15", run_fig15);
+    ("table6", run_table6);
+    ("ablation", run_ablation);
+    ("bechamel", run_bechamel);
+  ]
+
+let () =
+  let only =
+    let rec find = function
+      | "--only" :: v :: _ -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find (Array.to_list Sys.argv)
+  in
+  let chosen =
+    match only with
+    | None -> sections
+    | Some id -> (
+      match List.assoc_opt id sections with
+      | Some f -> [ (id, f) ]
+      | None ->
+        Printf.eprintf "unknown section %S; available: %s\n" id
+          (String.concat ", " (List.map fst sections));
+        exit 1)
+  in
+  List.iter
+    (fun (id, f) ->
+      let (), dt = time f in
+      printf "--- %s completed in %.1fs ---\n\n%!" id dt)
+    chosen

@@ -1,0 +1,411 @@
+(* Command-line driver for the bespoke-processor flow.
+
+   bespoke_cli asm prog.s            assemble and list
+   bespoke_cli run prog.s            run on the ISS and the gate-level core
+   bespoke_cli analyze prog.s        input-independent gate activity analysis
+   bespoke_cli tailor prog.s         full flow: analyze, cut, report, verify
+   bespoke_cli bench-list            list the built-in benchmark programs
+
+   Programs are MSP430-class assembly (see lib/isa/asm.mli for the
+   dialect); `--bench NAME` uses a built-in benchmark instead of a
+   file. *)
+
+open Cmdliner
+
+module Asm = Bespoke_isa.Asm
+module Isa = Bespoke_isa.Isa
+module Iss = Bespoke_isa.Iss
+module Memmap = Bespoke_isa.Memmap
+module Netlist = Bespoke_netlist.Netlist
+module System = Bespoke_cpu.System
+module Lockstep = Bespoke_cpu.Lockstep
+module Activity = Bespoke_analysis.Activity
+module B = Bespoke_programs.Benchmark
+module Runner = Bespoke_core.Runner
+module Cut = Bespoke_core.Cut
+module Usage = Bespoke_core.Usage
+module Report = Bespoke_power.Report
+module Sta = Bespoke_power.Sta
+module Voltage = Bespoke_power.Voltage
+
+let ( let* ) r f = Result.bind r f
+
+(* ---- common arguments ---- *)
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"PROG.S" ~doc:"Assembly source file.")
+
+let bench_arg =
+  Arg.(value & opt (some string) None
+       & info [ "bench" ] ~docv:"NAME" ~doc:"Use a built-in benchmark instead of a file.")
+
+let gpio_arg =
+  Arg.(value & opt int 0 & info [ "gpio" ] ~docv:"N" ~doc:"GPIO input value for concrete runs.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Input-generation seed for benchmarks.")
+
+let load_program file bench : (B.t, string) result =
+  match bench, file with
+  | Some name, _ -> (
+    match B.find name with
+    | b -> Ok b
+    | exception Not_found ->
+      Error
+        (Printf.sprintf "unknown benchmark %S; try: %s" name
+           (String.concat ", " (List.map (fun b -> b.B.name) B.all))))
+  | None, Some path -> (
+    try
+      let ic = open_in path in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Ok
+        {
+          B.name = Filename.basename path;
+          description = path;
+          group = B.Sensor;
+          source = src;
+          input_ranges = [];
+          gen_inputs = (fun _ -> ([], 0));
+          uses_irq = false;
+          irq_pulses = (fun _ -> []);
+          result_addrs = [ B.output_base ];
+        }
+    with Sys_error m -> Error m)
+  | None, None -> Error "provide a source file or --bench NAME"
+
+let handle = function
+  | Ok () -> `Ok ()
+  | Error m -> `Error (false, m)
+
+let catching f =
+  try f () with
+  | Asm.Error { line; message } ->
+    Error (Printf.sprintf "assembly error, line %d: %s" line message)
+  | Activity.Analysis_error m -> Error ("analysis error: " ^ m)
+  | Runner.Mismatch m -> Error ("verification mismatch: " ^ m)
+  | Failure m -> Error m
+
+(* ---- asm ---- *)
+
+let cmd_asm =
+  let run file bench =
+    handle
+      (catching (fun () ->
+           let* b = load_program file bench in
+           let img = Asm.assemble b.B.source in
+           print_string (Bespoke_isa.Disasm.listing img);
+           Ok ()))
+  in
+  Cmd.v (Cmd.info "asm" ~doc:"Assemble a program and print its listing")
+    Term.(ret (const run $ file_arg $ bench_arg))
+
+(* ---- run ---- *)
+
+let cmd_run =
+  let netlist_arg =
+    Arg.(value & opt (some file) None
+         & info [ "netlist" ] ~docv:"FILE"
+             ~doc:"Run on a saved (bespoke) netlist instead of the stock core.")
+  in
+  let run file bench gpio seed netlist_file =
+    handle
+      (catching (fun () ->
+           let* b = load_program file bench in
+           let netlist = Option.map Bespoke_netlist.Serial.load netlist_file in
+           let o =
+             if b.B.gen_inputs seed = ([], 0) && gpio <> 0 then begin
+               (* raw program: run via lockstep with the given gpio *)
+               let img = Asm.assemble b.B.source in
+               let r = Lockstep.run ?netlist ~gpio_in:gpio img in
+               Printf.printf "ran %d instructions, %d cycles, gpio_out=0x%04x\n"
+                 r.Lockstep.instructions r.Lockstep.cycles r.Lockstep.gpio_final;
+               None
+             end
+             else Some (Runner.check_equivalence ?netlist b ~seed)
+           in
+           (match o with
+           | Some o ->
+             Printf.printf
+               "ran %d instructions, %d cycles (gate level verified against the ISS)\n"
+               o.Runner.instructions o.Runner.cycles;
+             List.iter
+               (fun (a, v) -> Printf.printf "result[0x%04x] = 0x%04x\n" a v)
+               o.Runner.results;
+             Printf.printf "gpio_out = 0x%04x\n" o.Runner.gpio_out
+           | None -> ());
+           Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a program on the ISS and the gate-level core")
+    Term.(
+      ret (const run $ file_arg $ bench_arg $ gpio_arg $ seed_arg $ netlist_arg))
+
+(* ---- analyze ---- *)
+
+let cmd_analyze =
+  let run file bench =
+    handle
+      (catching (fun () ->
+           let* b = load_program file bench in
+           let report, net = Runner.analyze b in
+           Printf.printf
+             "explored %d paths (%d merges, %d prunes, %d escapes), %d cycles\n"
+             report.Activity.paths report.Activity.merges report.Activity.prunes
+             report.Activity.escaped_paths report.Activity.total_cycles;
+           Printf.printf "exercisable gates per module:\n";
+           Format.printf "%a@?" Usage.pp_per_module
+             (Usage.per_module net report.Activity.possibly_toggled);
+           Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Input-independent gate activity analysis of a program")
+    Term.(ret (const run $ file_arg $ bench_arg))
+
+(* ---- tailor ---- *)
+
+let cmd_tailor =
+  let verify_arg =
+    Arg.(value & flag
+         & info [ "verify" ] ~doc:"Verify the bespoke design (input-based + symbolic shadow).")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"FILE"
+             ~doc:"Save the bespoke netlist in reloadable text form (see the \
+                   run command's --netlist).")
+  in
+  let run file bench verify save =
+    handle
+      (catching (fun () ->
+           let* b = load_program file bench in
+           let report, net = Runner.analyze b in
+           let bespoke, stats =
+             Cut.tailor net
+               ~possibly_toggled:report.Activity.possibly_toggled
+               ~constants:report.Activity.constant_values
+           in
+           Format.printf "%a@." Cut.pp_stats stats;
+           let sta0 = Sta.analyze net and sta1 = Sta.analyze bespoke in
+           let vmin =
+             Voltage.vmin ~critical_path_ps:sta1.Sta.critical_path_ps
+               ~period_ps:sta0.Sta.critical_path_ps
+           in
+           Printf.printf
+             "critical path %.0f ps -> %.0f ps (%.1f%% slack); Vmin %.2f V\n"
+             sta0.Sta.critical_path_ps sta1.Sta.critical_path_ps
+             (100.0
+             *. Sta.slack_fraction ~baseline_ps:sta0.Sta.critical_path_ps sta1)
+             vmin;
+           Printf.printf "area %.0f -> %.0f um2\n" (Report.area_um2 net)
+             (Report.area_um2 bespoke);
+           if verify then begin
+             List.iter
+               (fun seed ->
+                 ignore (Runner.check_equivalence ~netlist:bespoke b ~seed))
+               [ 1; 2; 3 ];
+             let sys = System.create (B.image b) in
+             let sh = System.create ~netlist:bespoke (B.image b) in
+             let config =
+               {
+                 Activity.default_config with
+                 Activity.ram_x_ranges = b.B.input_ranges;
+                 irq_x = b.B.uses_irq;
+               }
+             in
+             ignore (Activity.analyze ~config ~shadow:sh sys);
+             Printf.printf
+               "verified: input-based equivalence (3 seeds) and symbolic shadow analysis\n"
+           end;
+           (match save with
+           | None -> ()
+           | Some path ->
+             Bespoke_netlist.Serial.save path bespoke;
+             (* the usable-gate set over the original design enables
+                later in-field update checks *)
+             Bespoke_netlist.Serial.save_gate_set (path ^ ".gates")
+               report.Activity.possibly_toggled;
+             Printf.printf "saved bespoke netlist to %s (+ %s.gates)\n" path
+               path);
+           Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "tailor" ~doc:"Produce and report the bespoke design for a program")
+    Term.(ret (const run $ file_arg $ bench_arg $ verify_arg $ save_arg))
+
+(* ---- update-check (paper Section 3.5) ---- *)
+
+let cmd_update_check =
+  let set_arg =
+    Arg.(required & opt (some file) None
+         & info [ "design-set" ] ~docv:"FILE.gates"
+             ~doc:"Usable-gate set saved by 'tailor --save'.")
+  in
+  let run file bench set_file =
+    handle
+      (catching (fun () ->
+           let* b = load_program file bench in
+           let design_set = Bespoke_netlist.Serial.load_gate_set set_file in
+           let report, _ = Runner.analyze b in
+           let needed = report.Activity.possibly_toggled in
+           if Array.length needed <> Array.length design_set then
+             Error "gate set does not match this core (size mismatch)"
+           else begin
+             let missing = ref 0 in
+             Array.iteri
+               (fun i n -> if n && not design_set.(i) then incr missing)
+               needed;
+             if !missing = 0 then begin
+               Printf.printf
+                 "SUPPORTED: the update runs on the existing bespoke design\n";
+               Ok ()
+             end
+             else begin
+               Printf.printf
+                 "NOT SUPPORTED: the update needs %d gates the design does not \
+                  have\n"
+                 !missing;
+               Ok ()
+             end
+           end))
+  in
+  Cmd.v
+    (Cmd.info "update-check"
+       ~doc:"Check whether a new binary runs on an existing bespoke design")
+    Term.(ret (const run $ file_arg $ bench_arg $ set_arg))
+
+(* ---- export ---- *)
+
+let cmd_export =
+  let fmt_arg =
+    Arg.(value
+         & opt (enum [ ("verilog", `Verilog); ("dot-modules", `Dot_modules);
+                       ("dot-gates", `Dot_gates); ("netlist", `Netlist) ])
+             `Verilog
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: verilog, dot-modules, dot-gates or netlist \
+                   (reloadable text form).")
+  in
+  let bespoke_arg =
+    Arg.(value & flag
+         & info [ "bespoke" ]
+             ~doc:"Export the tailored (bespoke) design instead of the stock core.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  let run file bench fmt bespoke out =
+    handle
+      (catching (fun () ->
+           let* b = load_program file bench in
+           let net =
+             if bespoke then begin
+               let report, net = Runner.analyze b in
+               let design, _ =
+                 Cut.tailor net
+                   ~possibly_toggled:report.Activity.possibly_toggled
+                   ~constants:report.Activity.constant_values
+               in
+               design
+             end
+             else Runner.shared_netlist ()
+           in
+           let text =
+             match fmt with
+             | `Verilog ->
+               Bespoke_netlist.Export.to_verilog
+                 ~module_name:
+                   (if bespoke then "bespoke_" ^ b.B.name else "openmcu")
+                 net
+             | `Dot_modules -> Bespoke_netlist.Export.module_graph_dot net
+             | `Dot_gates ->
+               Bespoke_netlist.Export.gate_graph_dot ~max_gates:10_000 net
+             | `Netlist -> Bespoke_netlist.Serial.to_string net
+           in
+           (match out with
+           | None -> print_string text
+           | Some path ->
+             let oc = open_out path in
+             output_string oc text;
+             close_out oc;
+             Printf.printf "wrote %s (%d bytes)\n" path (String.length text));
+           Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export a design as structural Verilog or a Graphviz graph")
+    Term.(ret (const run $ file_arg $ bench_arg $ fmt_arg $ bespoke_arg $ out_arg))
+
+(* ---- trace (VCD) ---- *)
+
+let cmd_trace =
+  let out_arg =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"VCD output file.")
+  in
+  let run file bench seed out =
+    handle
+      (catching (fun () ->
+           let* b = load_program file bench in
+           let sys = System.create ~netlist:(Runner.shared_netlist ()) (B.image b) in
+           System.reset sys;
+           let ram_writes, gpio = b.B.gen_inputs seed in
+           List.iter
+             (fun (a, v) ->
+               Bespoke_sim.Memory.load_int (System.ram sys)
+                 ((a lsr 1) land 0x7ff) v)
+             ram_writes;
+           System.set_gpio_in_int sys gpio;
+           System.set_irq sys Bespoke_logic.Bit.Zero;
+           let buf = Buffer.create (1 lsl 16) in
+           let vcd =
+             Bespoke_sim.Vcd.create buf (System.engine sys)
+               ~signals:
+                 [ "pc"; "state"; "ir"; "sp"; "sr"; "pmem_addr"; "dmem_addr";
+                   "dmem_wdata"; "dmem_wen"; "gpio_out"; "halted" ]
+           in
+           let cycles = ref 0 in
+           while (not (System.halted sys)) && !cycles < 100_000 do
+             Bespoke_sim.Vcd.sample vcd ~time:!cycles;
+             System.step_cycle sys;
+             incr cycles
+           done;
+           Bespoke_sim.Vcd.sample vcd ~time:!cycles;
+           Bespoke_sim.Vcd.finish vcd ~time:(!cycles + 1);
+           let oc = open_out out in
+           Buffer.output_buffer oc buf;
+           close_out oc;
+           Printf.printf "wrote %s (%d cycles)\n" out !cycles;
+           Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run a program and dump a VCD waveform")
+    Term.(ret (const run $ file_arg $ bench_arg $ seed_arg $ out_arg))
+
+(* ---- bench-list ---- *)
+
+let cmd_bench_list =
+  let run () =
+    List.iter
+      (fun (b : B.t) -> Printf.printf "%-18s %s\n" b.B.name b.B.description)
+      (B.all
+      @ [ Bespoke_programs.Rtos.kernel; Bespoke_programs.Subneg.characterization ]);
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "bench-list" ~doc:"List the built-in benchmark programs")
+    Term.(ret (const run $ const ()))
+
+let () =
+  let info =
+    Cmd.info "bespoke_cli" ~version:"1.0"
+      ~doc:"Bespoke processor tailoring (ISCA 2017 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            cmd_asm; cmd_run; cmd_analyze; cmd_tailor; cmd_update_check;
+            cmd_export; cmd_trace; cmd_bench_list;
+          ]))

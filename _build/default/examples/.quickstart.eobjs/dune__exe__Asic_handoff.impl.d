@@ -1,0 +1,1 @@
+examples/asic_handoff.ml: Bespoke_analysis Bespoke_core Bespoke_cpu Bespoke_logic Bespoke_netlist Bespoke_programs Bespoke_sim Buffer Filename Format List String Sys

@@ -1,0 +1,1 @@
+examples/infield_update.mli:

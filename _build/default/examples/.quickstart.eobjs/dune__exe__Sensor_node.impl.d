@@ -1,0 +1,1 @@
+examples/sensor_node.ml: Bespoke_analysis Bespoke_core Bespoke_power Bespoke_programs Format List

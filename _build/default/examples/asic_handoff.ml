@@ -1,0 +1,75 @@
+(* The hand-off story: tailor a design once, save it, and produce the
+   artifacts a downstream ASIC/FPGA flow or a debug session would
+   want — a reloadable netlist, structural Verilog, a module-level
+   connectivity graph, and a VCD waveform of the firmware booting on
+   the tailored core.
+
+   Run with: dune exec examples/asic_handoff.exe
+   (writes its artifacts into ./_handoff/) *)
+
+module B = Bespoke_programs.Benchmark
+module Netlist = Bespoke_netlist.Netlist
+module Serial = Bespoke_netlist.Serial
+module Export = Bespoke_netlist.Export
+module System = Bespoke_cpu.System
+module Vcd = Bespoke_sim.Vcd
+module Runner = Bespoke_core.Runner
+module Cut = Bespoke_core.Cut
+module Activity = Bespoke_analysis.Activity
+
+let dir = "_handoff"
+let path name = Filename.concat dir name
+
+let write name text =
+  let oc = open_out (path name) in
+  output_string oc text;
+  close_out oc;
+  Format.printf "wrote %-22s %7d bytes@." (path name) (String.length text)
+
+let () =
+  (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+  let bench = B.find "tea8" in
+  Format.printf "tailoring %s...@." bench.B.name;
+  let report, net = Runner.analyze bench in
+  let bespoke, stats =
+    Cut.tailor net ~possibly_toggled:report.Activity.possibly_toggled
+      ~constants:report.Activity.constant_values
+  in
+  Format.printf "%a@." Cut.pp_stats stats;
+
+  (* 1. reloadable netlist *)
+  write "tea8.netlist" (Serial.to_string bespoke);
+  (* 2. structural Verilog for downstream tools *)
+  write "tea8.v" (Export.to_verilog ~module_name:"bespoke_tea8" bespoke);
+  (* 3. module connectivity graph (render with: dot -Tsvg) *)
+  write "tea8_modules.dot" (Export.module_graph_dot bespoke);
+
+  (* 4. prove the reloaded artifact is the design we tailored *)
+  let reloaded = Serial.load (path "tea8.netlist") in
+  ignore (Runner.check_equivalence ~netlist:reloaded bench ~seed:7);
+  Format.printf "reloaded netlist verified against the golden ISS@.";
+
+  (* 5. a waveform of the firmware booting on the bespoke core *)
+  let sys = System.create ~netlist:reloaded (B.image bench) in
+  System.reset sys;
+  let inputs, gpio = bench.B.gen_inputs 7 in
+  List.iter
+    (fun (a, v) ->
+      Bespoke_sim.Memory.load_int (System.ram sys) ((a lsr 1) land 0x7ff) v)
+    inputs;
+  System.set_gpio_in_int sys gpio;
+  System.set_irq sys Bespoke_logic.Bit.Zero;
+  let buf = Buffer.create (1 lsl 16) in
+  let vcd =
+    Vcd.create buf (System.engine sys)
+      ~signals:[ "pc"; "state"; "sp"; "gpio_out"; "halted" ]
+  in
+  let t = ref 0 in
+  while (not (System.halted sys)) && !t < 10_000 do
+    Vcd.sample vcd ~time:!t;
+    System.step_cycle sys;
+    incr t
+  done;
+  Vcd.finish vcd ~time:!t;
+  write "tea8.vcd" (Buffer.contents buf);
+  Format.printf "firmware ran to completion in %d cycles on the handoff design@." !t

@@ -1,0 +1,86 @@
+(* In-field updates on a bespoke part (paper Section 5.3):
+
+   1. check whether a bug-fix "update" (a mutant of the shipped binary)
+      happens to run on the already-tailored part;
+   2. harden a design against a class of bug fixes by co-analyzing the
+      mutants at tailoring time;
+   3. keep full updateability with a Turing-complete subneg fallback.
+
+   Run with: dune exec examples/infield_update.exe *)
+
+module B = Bespoke_programs.Benchmark
+module Subneg = Bespoke_programs.Subneg
+module Runner = Bespoke_core.Runner
+module Activity = Bespoke_analysis.Activity
+module Cut = Bespoke_core.Cut
+module Multi = Bespoke_core.Multi
+module Mutation = Bespoke_mutation.Mutation
+
+let () =
+  let base = B.find "rle" in
+  let r_base, net = Runner.analyze base in
+  let _, stats_base =
+    Cut.tailor net ~possibly_toggled:r_base.Activity.possibly_toggled
+      ~constants:r_base.Activity.constant_values
+  in
+  Format.printf "shipped design for %s: %d gates@." base.B.name
+    stats_base.Cut.bespoke_gates;
+
+  (* 1. which candidate bug fixes does the shipped part already run? *)
+  let mutants = Mutation.mutants base in
+  Format.printf "generated %d single-instruction updates (mutants)@."
+    (List.length mutants);
+  let supported, unsupported =
+    List.partition
+      (fun m ->
+        match Runner.analyze (Mutation.to_benchmark base m) with
+        | r, _ ->
+          Multi.supported ~design_toggled:r_base.Activity.possibly_toggled
+            ~app_toggled:r.Activity.possibly_toggled
+        | exception Activity.Analysis_error _ -> false)
+      mutants
+  in
+  Format.printf "supported by the shipped part as-is: %d / %d@."
+    (List.length supported) (List.length mutants);
+  List.iteri
+    (fun i (m : Mutation.mutant) ->
+      if i < 3 then
+        Format.printf "  e.g. NOT supported: line %d, %s -> %s (%s)@."
+          m.Mutation.line m.Mutation.original m.Mutation.replacement
+          (Mutation.type_name m.Mutation.mtype))
+    unsupported;
+
+  (* 2. harden: tailor to base + all mutants *)
+  let reports =
+    (r_base.Activity.possibly_toggled, r_base.Activity.constant_values)
+    :: List.filter_map
+         (fun m ->
+           match Runner.analyze (Mutation.to_benchmark base m) with
+           | r, _ ->
+             Some
+               (r.Activity.possibly_toggled, r_base.Activity.constant_values)
+           | exception Activity.Analysis_error _ -> None)
+         mutants
+  in
+  let _, stats_hard = Multi.tailor_multi net ~reports in
+  Format.printf
+    "hardened design (supports every mutant): %d gates (%+d vs shipped)@."
+    stats_hard.Cut.bespoke_gates
+    (stats_hard.Cut.bespoke_gates - stats_base.Cut.bespoke_gates);
+
+  (* 3. Turing-complete fallback: co-analyze the subneg interpreter *)
+  let r_sub, _ = Runner.analyze Subneg.characterization in
+  let _, stats_tc =
+    Multi.tailor_multi net
+      ~reports:
+        [
+          (r_base.Activity.possibly_toggled, r_base.Activity.constant_values);
+          (r_sub.Activity.possibly_toggled, r_sub.Activity.constant_values);
+        ]
+  in
+  Format.printf
+    "subneg-enhanced design (arbitrary updates, slower): %d gates (%+d)@."
+    stats_tc.Cut.bespoke_gates
+    (stats_tc.Cut.bespoke_gates - stats_base.Cut.bespoke_gates);
+  Format.printf "general-purpose part, for scale: %d gates@."
+    stats_base.Cut.original_gates

@@ -1,0 +1,72 @@
+(* A product that ships several firmware images on one chip (paper
+   Section 3.5 / 5.2): tailor one bespoke processor to the union of a
+   filter, an encoder and an encryption kernel, and compare it against
+   both the general-purpose part and the single-application parts.
+
+   Run with: dune exec examples/multi_app_product.exe *)
+
+module B = Bespoke_programs.Benchmark
+module Runner = Bespoke_core.Runner
+module Activity = Bespoke_analysis.Activity
+module Cut = Bespoke_core.Cut
+module Multi = Bespoke_core.Multi
+module Report = Bespoke_power.Report
+module Netlist = Bespoke_netlist.Netlist
+
+let apps = [ "intFilt"; "convEn"; "tea8" ]
+
+let () =
+  let net = Runner.shared_netlist () in
+  let reports =
+    List.map
+      (fun name ->
+        let b = B.find name in
+        let r, _ = Runner.analyze b in
+        Format.printf "%-10s needs %5d gates on its own@." name
+          (Multi.usable_gate_count net r.Activity.possibly_toggled);
+        (b, r))
+      apps
+  in
+  (* single-app bespoke sizes for reference *)
+  List.iter
+    (fun (b, r) ->
+      let _, stats =
+        Cut.tailor net ~possibly_toggled:r.Activity.possibly_toggled
+          ~constants:r.Activity.constant_values
+      in
+      Format.printf "%-10s single-app bespoke: %d gates, %.0f um2@."
+        b.B.name stats.Cut.bespoke_gates stats.Cut.bespoke_area)
+    reports;
+  (* the three-application design *)
+  let design, stats =
+    Multi.tailor_multi net
+      ~reports:
+        (List.map
+           (fun (_, r) ->
+             (r.Activity.possibly_toggled, r.Activity.constant_values))
+           reports)
+  in
+  Format.printf "@.three-app bespoke: %a@." Cut.pp_stats stats;
+  Format.printf "area saving vs general-purpose part: %.1f%%@."
+    (100.0 *. (1.0 -. (Report.area_um2 design /. Report.area_um2 net)));
+  (* every application must still run on the shared design *)
+  List.iter
+    (fun (b, _) ->
+      List.iter
+        (fun seed ->
+          ignore (Runner.check_equivalence ~netlist:design b ~seed))
+        [ 1; 2 ];
+      Format.printf "%-10s verified on the shared bespoke design@." b.B.name)
+    reports;
+  (* and the subset check says so statically, too *)
+  let design_set =
+    Multi.union_toggled
+      (List.map (fun (_, r) -> r.Activity.possibly_toggled) reports)
+  in
+  List.iter
+    (fun (b, r) ->
+      assert
+        (Multi.supported ~design_toggled:design_set
+           ~app_toggled:r.Activity.possibly_toggled);
+      Format.printf "%-10s statically supported (gate subset)@." b.B.name)
+    reports

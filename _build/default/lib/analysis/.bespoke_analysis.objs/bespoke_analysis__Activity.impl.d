@@ -1,0 +1,1 @@
+lib/analysis/activity.ml: Array Bespoke_cpu Bespoke_isa Bespoke_logic Bespoke_netlist Bespoke_sim Hashtbl Lazy List Option Printf Stack

@@ -1,0 +1,1 @@
+lib/analysis/activity.mli: Bespoke_cpu Bespoke_logic Bespoke_netlist

@@ -1,0 +1,532 @@
+module Bit = Bespoke_logic.Bit
+module Bvec = Bespoke_logic.Bvec
+module Gate = Bespoke_netlist.Gate
+module Netlist = Bespoke_netlist.Netlist
+module Engine = Bespoke_sim.Engine
+module Memory = Bespoke_sim.Memory
+module Isa = Bespoke_isa.Isa
+module Asm = Bespoke_isa.Asm
+module Memmap = Bespoke_isa.Memmap
+module System = Bespoke_cpu.System
+
+type config = {
+  gpio_x : bool;
+  irq_x : bool;
+  ram_x_ranges : (int * int) list;
+  max_total_cycles : int;
+  max_paths : int;
+  max_pc_candidates : int;
+  computed_branch_fallback : [ `Escape | `Enumerate ];
+  key_refinement : [ `Pc_only | `Pc_gie | `Full ];
+  verbose : bool;
+  probe : (System.t -> unit) option;
+}
+
+let default_config =
+  {
+    gpio_x = true;
+    irq_x = true;
+    ram_x_ranges = [];
+    max_total_cycles = 3_000_000;
+    max_paths = 20_000;
+    max_pc_candidates = 1024;
+    computed_branch_fallback = `Escape;
+    key_refinement = `Full;
+    verbose = false;
+    probe = None;
+  }
+
+type report = {
+  possibly_toggled : bool array;
+  constant_values : Bit.t array;
+  paths : int;
+  merges : int;
+  prunes : int;
+  total_cycles : int;
+  halted_paths : int;
+  escaped_paths : int;
+}
+
+exception Analysis_error of string
+exception Shadow_mismatch of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Analysis_error s)) fmt
+let mismatch fmt = Printf.ksprintf (fun s -> raise (Shadow_mismatch s)) fmt
+
+(* Positions of specific architectural bits inside the DFF-state
+   vector, for forcing forked values.  In a bespoke (pruned) netlist
+   some hook bits are constants rather than DFFs; those get position
+   -1 and forcing skips them (a reachable forced value always agrees
+   with the constant the cut recorded). *)
+let dff_positions sys net hook =
+  let ids = Netlist.find_name net hook in
+  let dff_ids = Engine.dff_ids (System.engine sys) in
+  let pos_of id =
+    let rec go i =
+      if i >= Array.length dff_ids then -1
+      else if dff_ids.(i) = id then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  Array.map pos_of ids
+
+type entry = {
+  snap : System.snapshot;
+  snap_sh : System.snapshot option;
+  candidates : int list;  (* recorded jump targets if PC is unknown *)
+  skip_table : bool;  (* fork children continue the merged state *)
+}
+
+let is_control_insn (i : Isa.t) =
+  match i with
+  | Isa.Jump _ -> true
+  | Isa.One { op = Isa.CALL | Isa.RETI; _ } -> true
+  | Isa.One { op = Isa.RRC | Isa.RRA | Isa.SWPB | Isa.SXT; dst = Isa.Sreg 0; _ }
+    -> true
+  | Isa.One _ -> false
+  | Isa.Two { dst = Isa.Dreg 0; _ } -> true
+  | Isa.Two _ -> false
+
+let arch_regs = [ 0; 1; 2; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ]
+
+let analyze ?(config = default_config) ?shadow sys =
+  let net = System.netlist sys in
+  let eng = System.engine sys in
+  let image = System.image sys in
+  let rom = Asm.image_rom image in
+  let rom_word a =
+    if Memmap.in_rom a then rom.((a - Memmap.rom_base) / 2) else 0
+  in
+  let pc_pos = dff_positions sys net "pc" in
+  let ifg0_pos = lazy (dff_positions sys net "irq_flag").(0) in
+  let gie_pos = lazy (dff_positions sys net "sr").(Isa.flag_gie) in
+  let pc_pos_sh =
+    lazy
+      (match shadow with
+      | Some sh -> dff_positions sh (System.netlist sh) "pc"
+      | None -> [||])
+  in
+  let ifg0_pos_sh =
+    lazy
+      (match shadow with
+      | Some sh -> (dff_positions sh (System.netlist sh) "irq_flag").(0)
+      | None -> -1)
+  in
+  let gie_pos_sh =
+    lazy
+      (match shadow with
+      | Some sh -> (dff_positions sh (System.netlist sh) "sr").(Isa.flag_gie)
+      | None -> -1)
+  in
+  let ie0_pos = lazy (dff_positions sys net "irq_enable").(0) in
+  let ie0_pos_sh =
+    lazy
+      (match shadow with
+      | Some sh -> (dff_positions sh (System.netlist sh) "irq_enable").(0)
+      | None -> -1)
+  in
+  (* Valid fork targets for X-bit PC enumeration: actual instruction
+     start addresses of the binary (mid-instruction words are not
+     reachable boundaries of any concrete execution). *)
+  let insn_starts =
+    let tbl = Hashtbl.create 256 in
+    List.iter (fun a -> Hashtbl.replace tbl a ()) (Asm.instruction_addrs image);
+    tbl
+  in
+  (* -- initialization -- *)
+  let init_system s =
+    System.reset s;
+    if config.gpio_x then System.set_gpio_in s (Bvec.all_x 16)
+    else System.set_gpio_in_int s 0;
+    System.set_irq s (if config.irq_x then Bit.X else Bit.Zero);
+    List.iter
+      (fun (lo, hi) -> System.set_ram_x s ~lo_addr:lo ~hi_addr:hi)
+      config.ram_x_ranges
+  in
+  init_system sys;
+  Option.iter init_system shadow;
+  let constant_values = Engine.snapshot_values eng in
+  let merges = ref 0 in
+  let prunes = ref 0 in
+  let paths = ref 0 in
+  let halted_paths = ref 0 in
+  let escaped_paths = ref 0 in
+  let total_cycles = ref 0 in
+  (* Conservative-state table keyed by (pc, GIE, stack context).
+     Keeping interrupt-enabled/-disabled contexts and different stack
+     contexts (SP bits 15:4) apart stops the merge from smearing one
+     task's state into another's through shared code (handlers,
+     context switches), which would otherwise drive SP to full X and
+     make every X-address store conservatively touch the whole
+     peripheral file.  Finer keys mean strictly less merging, so this
+     only refines (never weakens) the paper's conservative scheme. *)
+  let table :
+      ( int * int * int * (int * int),
+        System.snapshot * System.snapshot option )
+      Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let sp_bucket () =
+    match Bvec.to_int (Array.sub (System.reg sys 1) 4 12) with
+    | Some v -> v
+    | None -> -1
+  in
+  (* For instructions that load PC from the stack (RETI, RET), the
+     return context — the stack-top words — is part of the key:
+     states returning to different places are never merged, so each
+     continues to its concrete target instead of producing an X
+     program counter. *)
+  let ret_context (insn : Isa.t) =
+    let stack_word off =
+      match Bvec.to_int (System.reg sys 1) with
+      | None -> -1
+      | Some sp -> (
+        if not (Memmap.in_ram sp) then -1
+        else
+          match Bvec.to_int (System.read_ram_word sys (sp + off)) with
+          | Some v -> v
+          | None -> -1)
+    in
+    match insn with
+    | Isa.One { op = Isa.RETI; _ } -> (stack_word 0, stack_word 2)
+    | Isa.Two { dst = Isa.Dreg 0; src = Isa.Sinc 1 | Isa.Sind 1; _ } ->
+      (stack_word 0, 0)
+    | _ -> (0, 0)
+  in
+  let table_key pcv insn =
+    match config.key_refinement with
+    | `Pc_only -> (pcv, 0, 0, (0, 0))
+    | `Pc_gie -> (pcv, Bit.to_int (System.reg sys 2).(Isa.flag_gie), 0, (0, 0))
+    | `Full ->
+      ( pcv,
+        Bit.to_int (System.reg sys 2).(Isa.flag_gie),
+        sp_bucket (),
+        ret_context insn )
+  in
+  let stack : entry Stack.t = Stack.create () in
+  let log fmt =
+    if config.verbose then Printf.eprintf (fmt ^^ "\n%!")
+    else Printf.ifprintf stderr fmt
+  in
+
+  (* Re-synthesized logic is functionally equivalent but not ternary-
+     precision-identical (X can propagate differently through an
+     equivalent gate structure), so the check is consistency: no bit
+     may be definite in both designs with different values. *)
+  let consistent a b =
+    Array.for_all2
+      (fun x y -> Bit.equal x y || not (Bit.is_known x && Bit.is_known y))
+      a b
+  in
+  let compare_shadow context =
+    match shadow with
+    | None -> ()
+    | Some sh ->
+      List.iter
+        (fun r ->
+          let a = System.reg sys r and b = System.reg sh r in
+          if not (consistent a b) then
+            mismatch "%s: r%d differs: original %s, bespoke %s" context r
+              (Bvec.to_string a) (Bvec.to_string b))
+        arch_regs;
+      if System.halted sys <> System.halted sh then
+        mismatch "%s: halt state differs" context
+  in
+  let compare_shadow_ram context =
+    match shadow with
+    | None -> ()
+    | Some sh ->
+      let ra = System.snapshot_ram (System.snapshot sys) in
+      let rb = System.snapshot_ram (System.snapshot sh) in
+      if not (Memory.consistent_snapshots ra rb) then
+        mismatch "%s: data memory differs at path end" context
+  in
+
+  let snapshot_both () =
+    (System.snapshot sys, Option.map System.snapshot shadow)
+  in
+  let restore_both (s, s_sh) =
+    System.restore sys s;
+    (match shadow, s_sh with
+    | Some sh, Some ss -> System.restore sh ss
+    | None, _ -> ()
+    | Some _, None -> fail "internal: missing shadow snapshot")
+  in
+
+  let force_bits snap positions (value : Bvec.t) =
+    let dffs = Bvec.copy (System.snapshot_dffs snap) in
+    Array.iteri (fun i pos -> if pos >= 0 then dffs.(pos) <- value.(i)) positions;
+    System.with_dffs snap dffs
+  in
+  let force_both (s, s_sh) ~pos ~pos_sh value =
+    ( force_bits s pos value,
+      match s_sh with
+      | None -> None
+      | Some ss -> Some (force_bits ss pos_sh value) )
+  in
+
+  (* Simulate from the current (settled, boundary) state to the next
+     instruction boundary.  Returns the recorded conditional-jump
+     candidates if the branch decision was unknown. *)
+  let simulate_segment () =
+    let candidates = ref [] in
+    let rec go budget =
+      if budget = 0 then fail "instruction did not complete in 20 cycles";
+      System.step_cycle sys;
+      Option.iter System.step_cycle shadow;
+      Option.iter (fun f -> f sys) config.probe;
+      incr total_cycles;
+      if !total_cycles > config.max_total_cycles then
+        fail "exceeded max_total_cycles (%d)" config.max_total_cycles;
+      (* record candidate targets at an unknown branch decision *)
+      (match (System.read_hook sys "exec_jump").(0) with
+      | Bit.One | Bit.X -> (
+        log "exec_jump: taken=%c"
+          (Bit.to_char (System.read_hook sys "branch_taken").(0));
+        match (System.read_hook sys "branch_taken").(0) with
+        | Bit.X -> (
+          match
+            ( System.read_hook_int sys "branch_target",
+              System.read_hook_int sys "branch_fallthrough" )
+          with
+          | Some t, Some f -> candidates := [ t; f ]
+          | _ -> ())
+        | Bit.Zero | Bit.One -> ())
+      | Bit.Zero -> ());
+      if System.halted sys then `Halted
+      else
+        match (System.read_hook sys "insn_boundary").(0) with
+        | Bit.One -> `Boundary
+        | Bit.X ->
+          fail "FSM state became unknown (pc %s)" (Bvec.to_string (System.pc sys))
+        | Bit.Zero -> go (budget - 1)
+    in
+    let r = go 20 in
+    (r, !candidates)
+  in
+
+  (* Process one stack entry: run its path until pruned / halted /
+     forked. *)
+  let run_path (e : entry) =
+    incr paths;
+    if !paths > config.max_paths then fail "exceeded max_paths";
+    restore_both (e.snap, e.snap_sh);
+    let skip_table = ref e.skip_table in
+    let candidates = ref e.candidates in
+    let finished = ref false in
+    while not !finished do
+      if System.halted sys then begin
+        incr halted_paths;
+        compare_shadow "halted path";
+        compare_shadow_ram "halted path";
+        finished := true
+      end
+      else begin
+        compare_shadow "boundary";
+        match Bvec.to_int (System.pc sys) with
+        | None when !candidates = [] && config.computed_branch_fallback = `Escape
+          ->
+          (* a computed branch whose target merged to X: see the
+             [computed_branch_fallback] documentation *)
+          incr escaped_paths;
+          log "computed-branch escape (pc %s)" (Bvec.to_string (System.pc sys));
+          finished := true
+        | None ->
+          (* conditional jump with unknown decision: fork on the
+             recorded candidates; or, under [`Enumerate], bounded
+             X-bit enumeration of a computed target *)
+          let cands =
+            match !candidates with
+            | _ :: _ as c -> c
+            | [] ->
+              let pcv = System.pc sys in
+              let valid =
+                if Bvec.count_x pcv <= 10 then
+                  List.filter_map
+                    (fun v ->
+                      let a = Bvec.to_int_exn v in
+                      if
+                        a land 1 = 0 && Memmap.in_rom a
+                        && Hashtbl.mem insn_starts a
+                      then Some a
+                      else None)
+                    (Bvec.concretizations pcv)
+                else
+                  Hashtbl.fold
+                    (fun a () acc ->
+                      if
+                        Bvec.subsumes ~general:pcv
+                          ~specific:(Bvec.of_int ~width:16 a)
+                      then a :: acc
+                      else acc)
+                    insn_starts []
+              in
+              if valid = [] then fail "no valid PC candidate";
+              if List.length valid > config.max_pc_candidates then
+                fail "too many PC candidates (%d)" (List.length valid);
+              valid
+          in
+          let snap = snapshot_both () in
+          List.iter
+            (fun t ->
+              let s, s_sh =
+                force_both snap ~pos:pc_pos ~pos_sh:(Lazy.force pc_pos_sh)
+                  (Bvec.of_int ~width:16 t)
+              in
+              (* prune eagerly if the table already covers this child *)
+              let covered =
+                Hashtbl.fold
+                  (fun (p, _, _, _) (c, _) acc ->
+                    acc
+                    || p = t
+                       && System.snapshot_subsumes ~general:c ~specific:s)
+                  table false
+              in
+              if covered then incr prunes
+              else
+                Stack.push
+                  { snap = s; snap_sh = s_sh; candidates = []; skip_table = false }
+                  stack)
+            cands;
+          log "fork: pc unknown -> %d candidates" (List.length cands);
+          finished := true
+        | Some pcv when
+            (not (Memmap.in_rom pcv)) || not (Hashtbl.mem insn_starts pcv) ->
+          (* Only an over-approximate merged superstate can compute a
+             PC outside the program (e.g. a spurious enumeration child
+             that unwinds an empty stack).  No concrete execution of
+             the binary reaches here, so ending the path loses no real
+             activity; the count is reported for auditability. *)
+          incr escaped_paths;
+          log "path escaped at %04x" pcv;
+          finished := true
+        | Some pcv ->
+          let insn =
+            try
+              fst
+                (Isa.decode (rom_word pcv)
+                   [ rom_word (pcv + 2); rom_word (pcv + 4) ])
+            with Isa.Decode_error m -> fail "decode at %04x: %s" pcv m
+          in
+          let pending = (System.read_hook sys "irq_pending").(0) in
+          let is_ctl =
+            is_control_insn insn || not (Bit.equal pending Bit.Zero)
+          in
+          if is_ctl && not !skip_table then begin
+            let key = table_key pcv insn in
+            let s = snapshot_both () in
+            match Hashtbl.find_opt table key with
+            | Some (c, _)
+              when System.snapshot_subsumes ~general:c ~specific:(fst s) ->
+              incr prunes;
+              log "prune at %04x" pcv;
+              finished := true
+            | Some (c, c_sh) ->
+              let m = System.snapshot_merge c (fst s) in
+              let m_sh =
+                match c_sh, snd s with
+                | Some a, Some b -> Some (System.snapshot_merge a b)
+                | _ -> None
+              in
+              Hashtbl.replace table key (m, m_sh);
+              incr merges;
+              restore_both (m, m_sh);
+              log "merge at %04x" pcv
+            | None -> Hashtbl.replace table key s
+          end;
+          skip_table := false;
+          if not !finished then begin
+            (* Fork on an unknown pending-interrupt condition.  The
+               fork must leave [pending] definite in every child, so
+               every X bit among {IFG0, GIE, IE0} is enumerated (at
+               most 8 children). *)
+            let pending = (System.read_hook sys "irq_pending").(0) in
+            (match pending with
+            | Bit.X ->
+              let s = snapshot_both () in
+              let sources =
+                [
+                  ((System.read_hook sys "irq_flag").(0),
+                   Lazy.force ifg0_pos, Lazy.force ifg0_pos_sh);
+                  ((System.reg sys 2).(Isa.flag_gie),
+                   Lazy.force gie_pos, Lazy.force gie_pos_sh);
+                  ((System.read_hook sys "irq_enable").(0),
+                   Lazy.force ie0_pos, Lazy.force ie0_pos_sh);
+                ]
+              in
+              let unknown =
+                List.filter (fun (v, _, _) -> not (Bit.is_known v)) sources
+              in
+              if unknown = [] then
+                fail "irq_pending X but its sources are known at %04x" pcv;
+              let children =
+                List.fold_left
+                  (fun acc (_, pos, pos_sh) ->
+                    List.concat_map
+                      (fun snap ->
+                        [
+                          force_both snap ~pos:[| pos |] ~pos_sh:[| pos_sh |]
+                            [| Bit.Zero |];
+                          force_both snap ~pos:[| pos |] ~pos_sh:[| pos_sh |]
+                            [| Bit.One |];
+                        ])
+                      acc)
+                  [ s ] unknown
+              in
+              (match children with
+              | first :: rest ->
+                List.iter
+                  (fun (c, c_sh) ->
+                    Stack.push
+                      { snap = c; snap_sh = c_sh; candidates = [];
+                        skip_table = true }
+                      stack)
+                  rest;
+                restore_both first
+              | [] -> assert false);
+              log "fork on pending irq at %04x (%d children)" pcv
+                (List.length children)
+            | Bit.Zero | Bit.One -> ());
+            match simulate_segment () with
+            | `Halted, _ ->
+              incr halted_paths;
+              compare_shadow "halted path";
+              compare_shadow_ram "halted path";
+              finished := true
+            | `Boundary, cands -> candidates := cands
+          end
+      end
+    done
+  in
+
+  (* reach the first instruction boundary (reset vector fetch) *)
+  (match simulate_segment () with
+  | `Boundary, _ -> ()
+  | `Halted, _ -> incr halted_paths);
+  let s0, s0_sh = snapshot_both () in
+  Stack.push { snap = s0; snap_sh = s0_sh; candidates = []; skip_table = false }
+    stack;
+  while not (Stack.is_empty stack) do
+    run_path (Stack.pop stack)
+  done;
+  {
+    possibly_toggled = Engine.possibly_toggled eng;
+    constant_values;
+    paths = !paths;
+    merges = !merges;
+    prunes = !prunes;
+    total_cycles = !total_cycles;
+    halted_paths = !halted_paths;
+    escaped_paths = !escaped_paths;
+  }
+
+let exercisable_count r =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 r.possibly_toggled
+
+let gate_is_cuttable r net id =
+  (not r.possibly_toggled.(id))
+  &&
+  match net.Netlist.gates.(id).Gate.op with
+  | Gate.Input | Gate.Const _ -> false
+  | _ -> true

@@ -1,0 +1,96 @@
+(** Input-independent gate activity analysis (paper Algorithm 1).
+
+    Symbolically simulates a program on the gate-level system with all
+    application inputs unknown (X), exploring the execution tree:
+
+    - at an input-dependent conditional jump the explorer forks on the
+      two recorded candidate targets;
+    - at an input-dependent computed branch (PC with X bits and no
+      recorded candidates) it falls back to bounded enumeration of the
+      X bits, keeping only even ROM addresses;
+    - when the pending-interrupt condition is unknown it forks on the
+      interrupt flag;
+    - at every PC-modifying instruction boundary the state is checked
+      against the most conservative state previously observed at that
+      PC: substates are pruned, otherwise the table entry is merged
+      and simulation continues from the merged (more conservative)
+      state, which guarantees the continuation covers every state
+      merged into it.
+
+    The result is the set of gates that can possibly toggle in {e any}
+    execution with {e any} inputs, and the constant values of all the
+    others. *)
+
+module Bit := Bespoke_logic.Bit
+module System := Bespoke_cpu.System
+
+type config = {
+  gpio_x : bool;  (** drive the GPIO input port with X (default true) *)
+  irq_x : bool;  (** drive the IRQ line with X (default true) *)
+  ram_x_ranges : (int * int) list;
+      (** byte-address ranges of RAM holding application inputs *)
+  max_total_cycles : int;
+  max_paths : int;
+  max_pc_candidates : int;
+  computed_branch_fallback : [ `Escape | `Enumerate ];
+      (** What to do when the PC is unknown at a boundary {e without}
+          recorded conditional-jump candidates (a computed branch —
+          RET/RETI/BR — whose target merged to X).  Every concrete
+          predecessor path pushed a concrete target and was explored
+          before the merge, and X data reaching post-return code is
+          propagated by the conservative table at the surrounding
+          control points, so [`Escape] ends such merge-artifact paths
+          (counted in [escaped_paths]).  [`Enumerate] instead forks
+          over every instruction-start the X pattern allows — fully
+          conservative, but the spurious children execute from
+          mid-sequence states and can smear X over shared memory,
+          grossly over-approximating interrupt-driven programs. *)
+  key_refinement : [ `Pc_only | `Pc_gie | `Full ];
+      (** Granularity of the conservative-state table key: PC only
+          (the paper's scheme), PC+GIE, or PC+GIE+stack context
+          (default).  Finer keys merge strictly less, trading paths
+          explored for precision; see the ablation bench. *)
+  verbose : bool;
+  probe : (System.t -> unit) option;
+      (** debugging hook, called after every simulated cycle *)
+}
+
+val default_config : config
+
+type report = {
+  possibly_toggled : bool array;
+  constant_values : Bit.t array;
+      (** reset-time value per gate; meaningful where not possibly
+          toggled *)
+  paths : int;  (** execution-tree paths explored *)
+  merges : int;  (** conservative-superstate merges *)
+  prunes : int;  (** paths pruned as substates *)
+  total_cycles : int;
+  halted_paths : int;
+  escaped_paths : int;
+      (** paths ended because an over-approximate merged superstate
+          computed a PC outside the program — impossible for any
+          concrete execution, reported for auditability *)
+}
+
+exception Analysis_error of string
+
+exception Shadow_mismatch of string
+(** Raised by a shadow run (below) on the first architectural-state
+    divergence. *)
+
+val analyze : ?config:config -> ?shadow:System.t -> System.t -> report
+(** Resets the system first.  @raise Analysis_error when the
+    exploration exceeds its bounds or control state becomes
+    unrecoverably unknown.
+
+    [shadow] is the paper's symbolic verification procedure (Section
+    5.1): a second system — typically the bespoke design — is stepped
+    in lockstep through the {e same} execution tree (same forks, same
+    merges), and the architectural state (PC, SP, SR, R4..R15) is
+    compared at every instruction boundary, the data RAM at every
+    halted path end.  @raise Shadow_mismatch on divergence. *)
+
+val exercisable_count : report -> int
+val gate_is_cuttable : report -> Bespoke_netlist.Netlist.t -> int -> bool
+(** True for a real gate (not port/const) that can never toggle. *)

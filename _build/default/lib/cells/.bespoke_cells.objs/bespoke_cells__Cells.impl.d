@@ -1,0 +1,1 @@
+lib/cells/cells.ml: Bespoke_netlist

@@ -1,0 +1,1 @@
+lib/cells/cells.mli: Bespoke_netlist

@@ -1,0 +1,1 @@
+lib/core/cut.ml: Array Bespoke_logic Bespoke_netlist Bespoke_power Format Resynth

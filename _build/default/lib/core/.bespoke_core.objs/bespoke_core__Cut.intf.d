@@ -1,0 +1,1 @@
+lib/core/cut.mli: Bespoke_logic Bespoke_netlist Format

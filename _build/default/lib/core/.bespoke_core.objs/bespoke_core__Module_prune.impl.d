@@ -1,0 +1,1 @@
+lib/core/module_prune.ml: Array Bespoke_netlist Bespoke_power Cut Hashtbl List Option Resynth String

@@ -1,0 +1,1 @@
+lib/core/module_prune.mli: Bespoke_logic Bespoke_netlist

@@ -1,0 +1,1 @@
+lib/core/multi.ml: Array Bespoke_netlist Cut List

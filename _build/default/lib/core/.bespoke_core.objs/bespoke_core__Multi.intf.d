@@ -1,0 +1,1 @@
+lib/core/multi.mli: Bespoke_logic Bespoke_netlist Cut

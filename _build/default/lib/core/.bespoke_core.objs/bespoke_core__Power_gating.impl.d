@@ -1,0 +1,1 @@
+lib/core/power_gating.ml: Array Bespoke_cells Bespoke_cpu Bespoke_logic Bespoke_netlist Bespoke_power Bespoke_programs Bespoke_sim Float Hashtbl List Runner

@@ -1,0 +1,1 @@
+lib/core/power_gating.mli: Bespoke_netlist Bespoke_programs

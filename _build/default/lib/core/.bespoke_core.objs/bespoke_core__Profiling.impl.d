@@ -1,0 +1,1 @@
+lib/core/profiling.ml: Array Bespoke_netlist Bespoke_programs Float List Runner

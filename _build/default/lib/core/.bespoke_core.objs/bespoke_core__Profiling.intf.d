@@ -1,0 +1,1 @@
+lib/core/profiling.mli: Bespoke_netlist Bespoke_programs

@@ -1,0 +1,1 @@
+lib/core/resynth.ml: Array Bespoke_logic Bespoke_netlist Bespoke_sim Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/runner.ml: Array Bespoke_analysis Bespoke_cpu Bespoke_isa Bespoke_logic Bespoke_netlist Bespoke_programs Bespoke_sim Lazy List Printf

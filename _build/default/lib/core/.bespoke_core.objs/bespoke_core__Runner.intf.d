@@ -1,0 +1,1 @@
+lib/core/runner.mli: Bespoke_analysis Bespoke_netlist Bespoke_programs

@@ -1,0 +1,1 @@
+lib/core/usage.ml: Array Bespoke_netlist Format Hashtbl List Option String

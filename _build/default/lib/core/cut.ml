@@ -1,0 +1,62 @@
+module Bit = Bespoke_logic.Bit
+module Gate = Bespoke_netlist.Gate
+module Netlist = Bespoke_netlist.Netlist
+module Report = Bespoke_power.Report
+module Sta = Bespoke_power.Sta
+
+type stats = {
+  original_gates : int;
+  cut_gates : int;
+  bespoke_gates : int;
+  original_area : float;
+  bespoke_area : float;
+}
+
+let cut_and_stitch net ~possibly_toggled ~constants =
+  if
+    Array.length possibly_toggled <> Netlist.gate_count net
+    || Array.length constants <> Netlist.gate_count net
+  then invalid_arg "Cut.cut_and_stitch: report size mismatch";
+  Netlist.map_gates net (fun id (g : Gate.t) ->
+      match g.Gate.op with
+      | Gate.Input | Gate.Const _ -> g
+      | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor
+      | Gate.Xor | Gate.Xnor | Gate.Mux | Gate.Dff _ ->
+        if possibly_toggled.(id) then g
+        else
+          {
+            g with
+            Gate.op = Gate.Const constants.(id);
+            fanin = [||];
+          })
+
+let count_cut net ~possibly_toggled =
+  let n = ref 0 in
+  Array.iteri
+    (fun id (g : Gate.t) ->
+      match g.Gate.op with
+      | Gate.Input | Gate.Const _ -> ()
+      | _ -> if not possibly_toggled.(id) then incr n)
+    net.Netlist.gates;
+  !n
+
+let tailor net ~possibly_toggled ~constants =
+  let stitched = cut_and_stitch net ~possibly_toggled ~constants in
+  let optimized = Resynth.optimize stitched in
+  let bespoke = Sta.downsize optimized in
+  let stats =
+    {
+      original_gates = Netlist.num_gates net;
+      cut_gates = count_cut net ~possibly_toggled;
+      bespoke_gates = Netlist.num_gates bespoke;
+      original_area = Report.area_um2 net;
+      bespoke_area = Report.area_um2 bespoke;
+    }
+  in
+  (bespoke, stats)
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "%d gates -> %d cut -> %d remain; area %.0f -> %.0f um2 (%.1f%% saved)"
+    s.original_gates s.cut_gates s.bespoke_gates s.original_area s.bespoke_area
+    (100.0 *. (1.0 -. (s.bespoke_area /. s.original_area)))

@@ -1,0 +1,34 @@
+(** Cutting and stitching (paper, Section 3.2): produce the bespoke
+    netlist from the original design and a gate activity report.
+
+    Every gate the application can never toggle is cut and its fanout
+    stitched to the constant value it held; re-synthesis then folds
+    the constants, removes floating logic, and re-selects drive
+    strengths for the smaller design. *)
+
+module Netlist := Bespoke_netlist.Netlist
+
+type stats = {
+  original_gates : int;
+  cut_gates : int;  (** never-toggled gates removed *)
+  bespoke_gates : int;  (** gates remaining after re-synthesis *)
+  original_area : float;
+  bespoke_area : float;
+}
+
+val cut_and_stitch :
+  Netlist.t ->
+  possibly_toggled:bool array ->
+  constants:Bespoke_logic.Bit.t array ->
+  Netlist.t
+(** The raw stitched netlist: cut gates replaced by their constants,
+    no optimization yet. *)
+
+val tailor :
+  Netlist.t ->
+  possibly_toggled:bool array ->
+  constants:Bespoke_logic.Bit.t array ->
+  Netlist.t * stats
+(** Full flow: cut & stitch, re-synthesize, downsize drives. *)
+
+val pp_stats : Format.formatter -> stats -> unit

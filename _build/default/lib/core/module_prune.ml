@@ -1,0 +1,35 @@
+module Gate = Bespoke_netlist.Gate
+module Netlist = Bespoke_netlist.Netlist
+module Sta = Bespoke_power.Sta
+
+let removable_modules net (toggled : bool array) =
+  let active : (string, bool) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun id (g : Gate.t) ->
+      match g.Gate.op with
+      | Gate.Input | Gate.Const _ -> ()
+      | _ ->
+        let m = Netlist.module_of net id in
+        let was = Option.value ~default:false (Hashtbl.find_opt active m) in
+        Hashtbl.replace active m (was || toggled.(id)))
+    net.Netlist.gates;
+  Hashtbl.fold (fun m act acc -> if act then acc else m :: acc) active []
+  |> List.sort String.compare
+
+let prune net ~possibly_toggled ~constants =
+  let dead = removable_modules net possibly_toggled in
+  let dead_set = Hashtbl.create 8 in
+  List.iter (fun m -> Hashtbl.replace dead_set m ()) dead;
+  let mask =
+    Array.mapi
+      (fun id (g : Gate.t) ->
+        match g.Gate.op with
+        | Gate.Input | Gate.Const _ -> true
+        | _ ->
+          (* keep unless the whole module is unusable *)
+          not (Hashtbl.mem dead_set (Netlist.module_of net id)))
+      net.Netlist.gates
+  in
+  let stitched = Cut.cut_and_stitch net ~possibly_toggled:mask ~constants in
+  let pruned = Sta.downsize (Resynth.optimize stitched) in
+  (pruned, dead)

@@ -1,0 +1,40 @@
+module Gate = Bespoke_netlist.Gate
+module Netlist = Bespoke_netlist.Netlist
+
+let union_toggled = function
+  | [] -> invalid_arg "Multi.union_toggled: empty"
+  | first :: rest ->
+    let acc = Array.copy first in
+    List.iter
+      (fun t ->
+        if Array.length t <> Array.length acc then
+          invalid_arg "Multi.union_toggled: size mismatch";
+        Array.iteri (fun i b -> if b then acc.(i) <- true) t)
+      rest;
+    acc
+
+let intersect_untoggled = union_toggled
+
+let supported ~design_toggled ~app_toggled =
+  let ok = ref true in
+  Array.iteri
+    (fun i b -> if b && not design_toggled.(i) then ok := false)
+    app_toggled;
+  !ok
+
+let tailor_multi net ~reports =
+  match reports with
+  | [] -> invalid_arg "Multi.tailor_multi: no applications"
+  | (_, constants) :: _ ->
+    let toggled = union_toggled (List.map fst reports) in
+    Cut.tailor net ~possibly_toggled:toggled ~constants
+
+let usable_gate_count net toggled =
+  let n = ref 0 in
+  Array.iteri
+    (fun id (g : Gate.t) ->
+      match g.Gate.op with
+      | Gate.Input | Gate.Const _ -> ()
+      | _ -> if toggled.(id) then incr n)
+    net.Netlist.gates;
+  !n

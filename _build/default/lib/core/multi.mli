@@ -1,0 +1,28 @@
+(** Multi-application bespoke designs (paper Section 3.5 / 5.2):
+    the union of the per-application usable-gate sets is kept; gates in
+    no application's set are cut.
+
+    Also the in-field-update checks of Section 5.3: a new binary is
+    supported by an existing bespoke design iff its usable gates are a
+    subset of the design's gates. *)
+
+module Netlist := Bespoke_netlist.Netlist
+
+val union_toggled : bool array list -> bool array
+val intersect_untoggled : bool array list -> bool array
+(** Same as [union_toggled]; named for the paper's phrasing. *)
+
+val supported : design_toggled:bool array -> app_toggled:bool array -> bool
+(** Does a design tailored to [design_toggled] run an application
+    needing [app_toggled]?  (Subset check.) *)
+
+val tailor_multi :
+  Netlist.t ->
+  reports:(bool array * Bespoke_logic.Bit.t array) list ->
+  Netlist.t * Cut.stats
+(** Cut using the union of usable gates over all the applications.
+    The constant values agree across reports wherever a gate is
+    commonly untoggled (they all equal the reset value), so the first
+    report's constants are used. *)
+
+val usable_gate_count : Netlist.t -> bool array -> int

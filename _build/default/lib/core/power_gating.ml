@@ -1,0 +1,109 @@
+module Bit = Bespoke_logic.Bit
+module Gate = Bespoke_netlist.Gate
+module Netlist = Bespoke_netlist.Netlist
+module Engine = Bespoke_sim.Engine
+module Memory = Bespoke_sim.Memory
+module System = Bespoke_cpu.System
+module Cells = Bespoke_cells.Cells
+module Report = Bespoke_power.Report
+module Benchmark = Bespoke_programs.Benchmark
+
+type t = {
+  module_idle_fraction : (string * float) list;
+  power_saving_fraction : float;
+}
+
+let evaluate ?netlist ?(seed = 1) (b : Benchmark.t) =
+  let net =
+    match netlist with Some n -> n | None -> Runner.shared_netlist ()
+  in
+  let ng = Netlist.gate_count net in
+  let module_of = Array.init ng (fun id -> Netlist.module_of net id) in
+  let modules = Netlist.modules net in
+  let midx = Hashtbl.create 16 in
+  List.iteri (fun i m -> Hashtbl.replace midx m i) modules;
+  let nmod = List.length modules in
+  let idle = Array.make nmod 0 in
+  let sys = System.create ~netlist:net (Benchmark.image b) in
+  System.reset sys;
+  let ram_writes, gpio = b.Benchmark.gen_inputs seed in
+  List.iter
+    (fun (a, v) ->
+      Memory.load_int (System.ram sys) ((a lsr 1) land 0x7ff) v)
+    ram_writes;
+  System.set_gpio_in_int sys gpio;
+  System.set_irq sys Bit.Zero;
+  let eng = System.engine sys in
+  let prev = ref (Engine.snapshot_values eng) in
+  let cycles = ref 0 in
+  let active = Array.make nmod false in
+  (* IRQ pulse schedule, aligned like Runner.run_gate *)
+  let pulses = if b.Benchmark.uses_irq then b.Benchmark.irq_pulses seed else [] in
+  let completed = ref 0 in
+  let first = ref true in
+  let after_irq_entry = ref false in
+  while (not (System.halted sys)) && !cycles < 2_000_000 do
+    (match (System.read_hook sys "insn_boundary").(0) with
+    | Bit.One ->
+      if !first then first := false
+      else if !after_irq_entry then after_irq_entry := false
+      else incr completed;
+      (match System.fetching sys with
+      | Bit.Zero -> after_irq_entry := true
+      | Bit.One | Bit.X -> ());
+      System.set_irq sys (Bit.of_bool (List.mem !completed pulses))
+    | Bit.Zero | Bit.X -> ());
+    System.step_cycle sys;
+    incr cycles;
+    let cur = Engine.snapshot_values eng in
+    Array.fill active 0 nmod false;
+    for id = 0 to ng - 1 do
+      if not (Bit.equal cur.(id) !prev.(id)) then
+        match net.Netlist.gates.(id).Gate.op with
+        | Gate.Input | Gate.Const _ -> ()
+        | _ -> active.(Hashtbl.find midx module_of.(id)) <- true
+    done;
+    Array.iteri (fun i a -> if not a then idle.(i) <- idle.(i) + 1) active;
+    prev := cur
+  done;
+  if not (System.halted sys) then failwith "Power_gating: did not halt";
+  let toggles = Engine.toggle_counts eng in
+  let total_cycles = max 1 !cycles in
+  (* per-module leakage + clock power (the components the oracle can
+     gate off in idle cycles) *)
+  let leak_clk = Array.make nmod 0.0 in
+  for id = 0 to ng - 1 do
+    let g = net.Netlist.gates.(id) in
+    match g.Gate.op with
+    | Gate.Input | Gate.Const _ -> ()
+    | _ ->
+      let cell = Cells.of_gate g.Gate.op ~drive:g.Gate.drive in
+      let i = Hashtbl.find midx module_of.(id) in
+      let clk =
+        match g.Gate.op with
+        | Gate.Dff _ ->
+          2.0 *. Cells.dff_clk_pin_cap_ff *. 1e8 *. 1e-6 (* nW at 100 MHz *)
+        | _ -> 0.0
+      in
+      leak_clk.(i) <- leak_clk.(i) +. cell.Cells.leakage_nw +. clk
+  done;
+  let report =
+    Report.power ~freq_hz:1e8 ~toggles ~cycles:total_cycles net
+  in
+  let saved =
+    List.fold_left
+      (fun acc m ->
+        let i = Hashtbl.find midx m in
+        let idle_frac = float_of_int idle.(i) /. float_of_int total_cycles in
+        acc +. (idle_frac *. leak_clk.(i)))
+      0.0 modules
+  in
+  {
+    module_idle_fraction =
+      List.map
+        (fun m ->
+          let i = Hashtbl.find midx m in
+          (m, float_of_int idle.(i) /. float_of_int total_cycles))
+        modules;
+    power_saving_fraction = saved /. Float.max 1e-9 report.Report.total_nw;
+  }

@@ -1,0 +1,20 @@
+(** Oracular module-level power gating (paper Fig 15): the upper bound
+    on what power gating could save.
+
+    A module dissipates no dynamic power in a cycle in which none of
+    its gates toggles, and no leakage either — zero-overhead, perfect
+    oracle, zero wake-up latency.  Even this bound falls far short of
+    bespoke pruning. *)
+
+module Benchmark := Bespoke_programs.Benchmark
+module Netlist := Bespoke_netlist.Netlist
+
+type t = {
+  module_idle_fraction : (string * float) list;
+      (** fraction of cycles each module is completely quiet *)
+  power_saving_fraction : float;
+      (** total power saved by the oracle, as a fraction of the
+          baseline design's power *)
+}
+
+val evaluate : ?netlist:Netlist.t -> ?seed:int -> Benchmark.t -> t

@@ -1,0 +1,240 @@
+module Bit = Bespoke_logic.Bit
+module Gate = Bespoke_netlist.Gate
+module Netlist = Bespoke_netlist.Netlist
+module Engine = Bespoke_sim.Engine
+module B = Netlist.Builder
+
+(* Sequential constant propagation: find DFFs that provably hold their
+   reset value forever.  Greatest fixpoint: start by assuming every
+   DFF stuck at its init; evaluate the combinational logic ternarily
+   with all primary inputs X, stuck DFFs at their inits and the rest
+   X; a DFF whose D pin is not definitely its init value is demoted.
+   Ternary evaluation is monotone, so any real reachable state refines
+   the evaluated one and the surviving DFFs truly never change. *)
+let stuck_dffs net =
+  let eng = Engine.create net in
+  let dffs = Engine.dff_ids eng in
+  let init_of id =
+    match net.Netlist.gates.(id).Gate.op with
+    | Gate.Dff v -> v
+    | _ -> assert false
+  in
+  let stuck = Array.map (fun _ -> true) dffs in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Engine.reset eng;
+    Engine.set_all_inputs_x eng;
+    let state =
+      Array.mapi
+        (fun i id -> if stuck.(i) then init_of id else Bit.X)
+        dffs
+    in
+    Engine.restore_dff_state eng state;
+    Array.iteri
+      (fun i id ->
+        if stuck.(i) then begin
+          let d = net.Netlist.gates.(id).Gate.fanin.(0) in
+          if not (Bit.equal (Engine.value eng d) (init_of id)) then begin
+            stuck.(i) <- false;
+            changed := true
+          end
+        end)
+      dffs
+  done;
+  let by_gate = Hashtbl.create 64 in
+  Array.iteri (fun i id -> if stuck.(i) then Hashtbl.replace by_gate id ()) dffs;
+  by_gate
+
+(* Rebuild the netlist gate by gate in topological order, folding
+   constants, simplifying, and structurally hashing.  DFFs stuck at
+   their reset value (constant or self-looped D) become tie cells. *)
+let rewrite ?(seq_const = true) net =
+  let sequentially_stuck =
+    if seq_const then stuck_dffs net else Hashtbl.create 1
+  in
+  let ng = Netlist.gate_count net in
+  let b = B.create () in
+  let map = Array.make ng (-1) in
+  let consts : (Bit.t, int) Hashtbl.t = Hashtbl.create 3 in
+  let cse : (int * int * int * int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let tie v =
+    match Hashtbl.find_opt consts v with
+    | Some id -> id
+    | None ->
+      let id = B.add_op b (Gate.Const v) [||] in
+      Hashtbl.replace consts v id;
+      id
+  in
+  let const_of_new id =
+    match (B.gate b id).Gate.op with Gate.Const v -> Some v | _ -> None
+  in
+  let opcode = function
+    | Gate.Buf -> 2
+    | Gate.Not -> 3
+    | Gate.And -> 4
+    | Gate.Or -> 5
+    | Gate.Nand -> 6
+    | Gate.Nor -> 7
+    | Gate.Xor -> 8
+    | Gate.Xnor -> 9
+    | Gate.Mux -> 10
+    | Gate.Const _ | Gate.Input | Gate.Dff _ -> invalid_arg "opcode"
+  in
+  (* emit with peephole simplification + CSE over NEW gate ids *)
+  let rec emit scope drive op (fanin : int array) : int =
+    let c i = const_of_new fanin.(i) in
+    let simplified =
+      match op with
+      | Gate.Buf -> Some fanin.(0)
+      | Gate.Not -> (
+        match c 0 with
+        | Some v -> Some (tie (Bit.lnot v))
+        | None -> (
+          match (B.gate b fanin.(0)).Gate.op with
+          | Gate.Not -> Some (B.gate b fanin.(0)).Gate.fanin.(0)
+          | _ -> None))
+      | Gate.And -> (
+        match c 0, c 1 with
+        | Some Bit.Zero, _ | _, Some Bit.Zero -> Some (tie Bit.Zero)
+        | Some Bit.One, _ -> Some fanin.(1)
+        | _, Some Bit.One -> Some fanin.(0)
+        | Some Bit.X, Some Bit.X -> Some (tie Bit.X)
+        | _ -> if fanin.(0) = fanin.(1) then Some fanin.(0) else None)
+      | Gate.Or -> (
+        match c 0, c 1 with
+        | Some Bit.One, _ | _, Some Bit.One -> Some (tie Bit.One)
+        | Some Bit.Zero, _ -> Some fanin.(1)
+        | _, Some Bit.Zero -> Some fanin.(0)
+        | Some Bit.X, Some Bit.X -> Some (tie Bit.X)
+        | _ -> if fanin.(0) = fanin.(1) then Some fanin.(0) else None)
+      | Gate.Xor -> (
+        match c 0, c 1 with
+        | Some Bit.Zero, _ -> Some fanin.(1)
+        | _, Some Bit.Zero -> Some fanin.(0)
+        | Some Bit.One, _ -> Some (emit scope drive Gate.Not [| fanin.(1) |])
+        | _, Some Bit.One -> Some (emit scope drive Gate.Not [| fanin.(0) |])
+        | Some Bit.X, _ | _, Some Bit.X -> Some (tie Bit.X)
+        | _ -> if fanin.(0) = fanin.(1) then Some (tie Bit.Zero) else None)
+      | Gate.Xnor -> (
+        match c 0, c 1 with
+        | Some Bit.One, _ -> Some fanin.(1)
+        | _, Some Bit.One -> Some fanin.(0)
+        | Some Bit.Zero, _ -> Some (emit scope drive Gate.Not [| fanin.(1) |])
+        | _, Some Bit.Zero -> Some (emit scope drive Gate.Not [| fanin.(0) |])
+        | Some Bit.X, _ | _, Some Bit.X -> Some (tie Bit.X)
+        | _ -> if fanin.(0) = fanin.(1) then Some (tie Bit.One) else None)
+      | Gate.Nand -> (
+        match c 0, c 1 with
+        | Some Bit.Zero, _ | _, Some Bit.Zero -> Some (tie Bit.One)
+        | Some Bit.One, _ -> Some (emit scope drive Gate.Not [| fanin.(1) |])
+        | _, Some Bit.One -> Some (emit scope drive Gate.Not [| fanin.(0) |])
+        | _ -> None)
+      | Gate.Nor -> (
+        match c 0, c 1 with
+        | Some Bit.One, _ | _, Some Bit.One -> Some (tie Bit.Zero)
+        | Some Bit.Zero, _ -> Some (emit scope drive Gate.Not [| fanin.(1) |])
+        | _, Some Bit.Zero -> Some (emit scope drive Gate.Not [| fanin.(0) |])
+        | _ -> None)
+      | Gate.Mux -> (
+        match c 0 with
+        | Some Bit.Zero -> Some fanin.(1)
+        | Some Bit.One -> Some fanin.(2)
+        | _ -> (
+          if fanin.(1) = fanin.(2) then Some fanin.(1)
+          else
+            match c 1, c 2 with
+            | Some Bit.Zero, Some Bit.One -> Some fanin.(0)
+            | Some Bit.One, Some Bit.Zero ->
+              Some (emit scope drive Gate.Not [| fanin.(0) |])
+            | _ -> None))
+      | Gate.Const _ | Gate.Input | Gate.Dff _ -> invalid_arg "emit"
+    in
+    match simplified with
+    | Some id -> id
+    | None ->
+      if Array.for_all (fun f -> const_of_new f <> None) fanin then
+        tie (Gate.eval op (Array.map (fun f -> Option.get (const_of_new f)) fanin))
+      else
+        let key =
+          ( opcode op,
+            fanin.(0),
+            (if Array.length fanin > 1 then fanin.(1) else -1),
+            if Array.length fanin > 2 then fanin.(2) else -1 )
+        in
+        (match Hashtbl.find_opt cse key with
+        | Some id -> id
+        | None ->
+          let id = B.add b { Gate.op; fanin; module_path = scope; drive } in
+          Hashtbl.replace cse key id;
+          id)
+  in
+  (* 1. sources: inputs, consts, and surviving DFFs (fanin patched in
+     step 3) *)
+  let pending_dffs = ref [] in
+  Array.iteri
+    (fun id (g : Gate.t) ->
+      match g.Gate.op with
+      | Gate.Input -> map.(id) <- B.add b g
+      | Gate.Const v -> map.(id) <- tie v
+      | Gate.Dff init ->
+        let d = g.Gate.fanin.(0) in
+        let stuck =
+          d = id
+          || Hashtbl.mem sequentially_stuck id
+          ||
+          match net.Netlist.gates.(d).Gate.op with
+          | Gate.Const v -> Bit.equal v init
+          | _ -> false
+        in
+        if stuck then map.(id) <- tie init
+        else begin
+          map.(id) <- B.add b g;
+          pending_dffs := (id, map.(id)) :: !pending_dffs
+        end
+      | _ -> ())
+    net.Netlist.gates;
+  (* 2. combinational gates in topological order *)
+  Array.iter
+    (fun id ->
+      let g = net.Netlist.gates.(id) in
+      let fanin = Array.map (fun f -> map.(f)) g.Gate.fanin in
+      map.(id) <- emit g.Gate.module_path g.Gate.drive g.Gate.op fanin)
+    (Netlist.levelize net);
+  (* 3. patch DFF D pins *)
+  List.iter
+    (fun (old_id, new_id) ->
+      let g = net.Netlist.gates.(old_id) in
+      let g' = B.gate b new_id in
+      B.set b new_id { g' with Gate.fanin = [| map.(g.Gate.fanin.(0)) |] })
+    !pending_dffs;
+  (* 4. ports and names *)
+  List.iter
+    (fun (n, ids) -> B.set_input_port b n (Array.map (fun i -> map.(i)) ids))
+    net.Netlist.input_ports;
+  List.iter
+    (fun (n, ids) -> B.set_output_port b n (Array.map (fun i -> map.(i)) ids))
+    net.Netlist.output_ports;
+  List.iter
+    (fun (n, ids) -> B.set_name b n (Array.map (fun i -> map.(i)) ids))
+    net.Netlist.names;
+  B.finish b
+
+let dead_sweep net =
+  let keep = Netlist.live_gates net in
+  (* keep tie cells referenced by names so analysis hooks stay
+     resolvable; compact re-materializes dropped const references *)
+  fst (Netlist.compact net ~keep)
+
+let pass ?seq_const net = dead_sweep (rewrite ?seq_const net)
+
+let optimize ?(max_rounds = 8) ?seq_const net =
+  let rec go round net =
+    if round >= max_rounds then net
+    else
+      let net' = pass ?seq_const net in
+      if Netlist.gate_count net' < Netlist.gate_count net then
+        go (round + 1) net'
+      else net'
+  in
+  go 0 net

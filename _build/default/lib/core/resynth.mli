@@ -1,0 +1,24 @@
+(** Gate-level re-synthesis: the optimization pass run after cutting
+    and stitching (paper, Section 3.2).
+
+    Performs, to a fixed point: constant propagation, gate
+    simplification against constant/duplicate inputs, buffer and
+    double-inverter collapsing, structural hashing, elimination of
+    DFFs stuck at their reset value, and removal of gates whose
+    outputs cannot reach a state element or output port (floating
+    outputs). *)
+
+val rewrite :
+  ?seq_const:bool -> Bespoke_netlist.Netlist.t -> Bespoke_netlist.Netlist.t
+(** The rewrite step alone (no dead sweep), exposed for tests.
+    [seq_const] (default true) enables sequential constant
+    propagation (DFFs provably stuck at their reset value). *)
+
+val pass :
+  ?seq_const:bool -> Bespoke_netlist.Netlist.t -> Bespoke_netlist.Netlist.t
+(** One rewrite + dead-sweep round. *)
+
+val optimize :
+  ?max_rounds:int -> ?seq_const:bool -> Bespoke_netlist.Netlist.t ->
+  Bespoke_netlist.Netlist.t
+(** Iterate {!pass} until the gate count stops improving. *)

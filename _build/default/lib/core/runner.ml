@@ -1,0 +1,153 @@
+module Bit = Bespoke_logic.Bit
+module Bvec = Bespoke_logic.Bvec
+module Netlist = Bespoke_netlist.Netlist
+module Engine = Bespoke_sim.Engine
+module Memory = Bespoke_sim.Memory
+module Iss = Bespoke_isa.Iss
+module System = Bespoke_cpu.System
+module Cpu = Bespoke_cpu.Cpu
+module Activity = Bespoke_analysis.Activity
+module Benchmark = Bespoke_programs.Benchmark
+
+type iss_outcome = {
+  results : (int * int) list;
+  cycles : int;
+  instructions : int;
+  gpio_out : int;
+}
+
+type gate_outcome = {
+  g_results : (int * int option) list;
+  g_cycles : int;
+  g_gpio_out : int option;
+  toggles : int array;
+  sim_cycles : int;
+}
+
+exception Mismatch of string
+
+let the_netlist = lazy (Cpu.build ())
+let shared_netlist () = Lazy.force the_netlist
+
+let run_iss (b : Benchmark.t) ~seed =
+  let img = Benchmark.image b in
+  let t = Iss.create img in
+  Iss.reset t;
+  let ram_writes, gpio = b.Benchmark.gen_inputs seed in
+  List.iter (fun (a, v) -> Iss.write_ram_word t a v) ram_writes;
+  Iss.set_gpio_in t gpio;
+  let pulses = if b.Benchmark.uses_irq then b.Benchmark.irq_pulses seed else [] in
+  let limit = 2_000_000 in
+  let n = ref 0 in
+  while (not (Iss.halted t)) && !n < limit do
+    Iss.set_irq_line t (List.mem (Iss.instructions_retired t) pulses);
+    Iss.step t;
+    incr n
+  done;
+  if not (Iss.halted t) then
+    failwith (Printf.sprintf "Runner.run_iss %s: did not halt" b.Benchmark.name);
+  {
+    results =
+      List.map (fun a -> (a, Iss.read_ram_word t a)) b.Benchmark.result_addrs;
+    cycles = Iss.cycles t;
+    instructions = Iss.instructions_retired t;
+    gpio_out = Iss.gpio_out t;
+  }
+
+let load_ram_word sys addr v =
+  let ram = System.ram sys in
+  Memory.load_int ram ((addr lsr 1) land 0x7ff) v
+
+let run_gate ?netlist ?(max_cycles = 3_000_000) (b : Benchmark.t) ~seed =
+  let img = Benchmark.image b in
+  let sys =
+    match netlist with
+    | Some n -> System.create ~netlist:n img
+    | None -> System.create ~netlist:(shared_netlist ()) img
+  in
+  System.reset sys;
+  let ram_writes, gpio = b.Benchmark.gen_inputs seed in
+  List.iter (fun (a, v) -> load_ram_word sys a v) ram_writes;
+  System.set_gpio_in_int sys gpio;
+  System.set_irq sys Bit.Zero;
+  let pulses = if b.Benchmark.uses_irq then b.Benchmark.irq_pulses seed else [] in
+  (* Schedule IRQ pulses by retired-instruction count, exactly like
+     the ISS: the count advances at every boundary that follows a
+     completed instruction — not at the first fetch, and not at the
+     boundary after an IRQ-entry sequence (which retires nothing). *)
+  let completed = ref 0 in
+  let first = ref true in
+  let after_irq_entry = ref false in
+  let deadline = max_cycles in
+  while (not (System.halted sys)) && System.cycles sys < deadline do
+    (match (System.read_hook sys "insn_boundary").(0) with
+    | Bit.One ->
+      if !first then first := false
+      else if !after_irq_entry then after_irq_entry := false
+      else incr completed;
+      (match System.fetching sys with
+      | Bit.Zero -> after_irq_entry := true  (* pre-empted: IRQ entry next *)
+      | Bit.One | Bit.X -> ());
+      System.set_irq sys (Bit.of_bool (List.mem !completed pulses))
+    | Bit.Zero | Bit.X -> ());
+    System.step_cycle sys
+  done;
+  if not (System.halted sys) then
+    failwith (Printf.sprintf "Runner.run_gate %s: did not halt" b.Benchmark.name);
+  {
+    g_results =
+      List.map
+        (fun a -> (a, Bvec.to_int (System.read_ram_word sys a)))
+        b.Benchmark.result_addrs;
+    g_cycles = System.cycles sys;
+    g_gpio_out = Bvec.to_int (System.gpio_out sys);
+    toggles = Engine.toggle_counts (System.engine sys);
+    sim_cycles = System.cycles sys;
+  }
+
+let check_equivalence ?netlist (b : Benchmark.t) ~seed =
+  let iss = run_iss b ~seed in
+  let gate = run_gate ?netlist b ~seed in
+  List.iter2
+    (fun (a, expect) (a', got) ->
+      assert (a = a');
+      match got with
+      | Some v when v = expect -> ()
+      | Some v ->
+        raise
+          (Mismatch
+             (Printf.sprintf "%s seed %d: result[%04x] ISS %04x gate %04x"
+                b.Benchmark.name seed a expect v))
+      | None ->
+        raise
+          (Mismatch
+             (Printf.sprintf "%s seed %d: result[%04x] unknown at gate level"
+                b.Benchmark.name seed a)))
+    iss.results gate.g_results;
+  (match gate.g_gpio_out with
+  | Some v when v = iss.gpio_out -> ()
+  | _ ->
+    raise
+      (Mismatch (Printf.sprintf "%s seed %d: gpio mismatch" b.Benchmark.name seed)));
+  (* gate-level includes the reset cycle *)
+  if gate.g_cycles <> iss.cycles + 1 then
+    raise
+      (Mismatch
+         (Printf.sprintf "%s seed %d: cycles ISS %d+1 vs gate %d"
+            b.Benchmark.name seed iss.cycles gate.g_cycles));
+  iss
+
+let analyze ?config ?netlist (b : Benchmark.t) =
+  let net = match netlist with Some n -> n | None -> shared_netlist () in
+  let sys = System.create ~netlist:net (Benchmark.image b) in
+  let config =
+    match config with
+    | Some c -> { c with Activity.ram_x_ranges = b.Benchmark.input_ranges }
+    | None ->
+      {
+        Activity.default_config with
+        Activity.ram_x_ranges = b.Benchmark.input_ranges;
+        irq_x = b.Benchmark.uses_irq;
+      }
+  in
+  (Activity.analyze ~config sys, net)

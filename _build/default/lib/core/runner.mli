@@ -1,0 +1,51 @@
+(** Drives a benchmark through the ISS and/or the gate-level system:
+    loads generated inputs into RAM, applies the GPIO value and IRQ
+    pulse schedule, runs to the halt port, and harvests results and
+    switching activity. *)
+
+module Benchmark := Bespoke_programs.Benchmark
+module Netlist := Bespoke_netlist.Netlist
+module Activity := Bespoke_analysis.Activity
+
+type iss_outcome = {
+  results : (int * int) list;  (** benchmark result words (addr, value) *)
+  cycles : int;
+  instructions : int;
+  gpio_out : int;
+}
+
+val run_iss : Benchmark.t -> seed:int -> iss_outcome
+
+type gate_outcome = {
+  g_results : (int * int option) list;
+      (** [None] when the gate-level value contains X *)
+  g_cycles : int;
+  g_gpio_out : int option;
+  toggles : int array;
+  sim_cycles : int;  (** denominator for toggle rates *)
+}
+
+val run_gate :
+  ?netlist:Netlist.t -> ?max_cycles:int -> Benchmark.t -> seed:int ->
+  gate_outcome
+(** Runs on a fresh system unless [netlist] is given (e.g. a bespoke
+    design).  IRQ pulses are applied at the benchmark's instruction
+    indices. *)
+
+exception Mismatch of string
+
+val check_equivalence :
+  ?netlist:Netlist.t -> Benchmark.t -> seed:int -> iss_outcome
+(** Run both models and require identical results, GPIO and cycle
+    counts.  Returns the ISS outcome.  @raise Mismatch. *)
+
+val analyze :
+  ?config:Activity.config -> ?netlist:Netlist.t -> Benchmark.t ->
+  Activity.report * Netlist.t
+(** Input-independent analysis of the benchmark (inputs per its
+    [input_ranges]; GPIO X; IRQ X only if the benchmark uses it).
+    Returns the report and the netlist analyzed. *)
+
+val shared_netlist : unit -> Netlist.t
+(** One lazily built copy of the stock CPU, shared by callers that do
+    not mutate netlists. *)

@@ -1,0 +1,1 @@
+lib/coverage/coverage.ml: Array Bespoke_isa Bespoke_programs Hashtbl List

@@ -1,0 +1,116 @@
+module Isa = Bespoke_isa.Isa
+module Asm = Bespoke_isa.Asm
+module Iss = Bespoke_isa.Iss
+module Benchmark = Bespoke_programs.Benchmark
+
+type stats = {
+  kept_seeds : int list;
+  line_pct : float;
+  branch_pct : float;
+  branch_dir_pct : float;
+  lines_total : int;
+  branches_total : int;
+}
+
+(* Static program structure: instruction starts and conditional
+   branches. *)
+let program_shape (img : Asm.image) =
+  let rom = Asm.image_rom img in
+  let starts = Asm.instruction_addrs img in
+  let branches =
+    List.filter
+      (fun a ->
+        let w = rom.((a - Bespoke_isa.Memmap.rom_base) / 2) in
+        match Isa.decode w [ 0; 0 ] with
+        | Isa.Jump { cond; _ }, _ -> cond <> Isa.JMP
+        | _ -> false
+        | exception Isa.Decode_error _ -> false)
+      starts
+  in
+  (starts, branches)
+
+(* One concrete ISS run recording executed addresses and branch
+   directions. *)
+let trace_run (b : Benchmark.t) ~seed ~executed ~taken ~not_taken =
+  let img = Benchmark.image b in
+  let t = Iss.create img in
+  Iss.reset t;
+  let ram_writes, gpio = b.Benchmark.gen_inputs seed in
+  List.iter (fun (a, v) -> Iss.write_ram_word t a v) ram_writes;
+  Iss.set_gpio_in t gpio;
+  let pulses = if b.Benchmark.uses_irq then b.Benchmark.irq_pulses seed else [] in
+  let steps = ref 0 in
+  while (not (Iss.halted t)) && !steps < 500_000 do
+    Iss.set_irq_line t (List.mem (Iss.instructions_retired t) pulses);
+    let pc0 = Iss.pc t in
+    let insn = try Some (Iss.current_insn t) with Isa.Decode_error _ -> None in
+    Iss.step t;
+    incr steps;
+    Hashtbl.replace executed pc0 ();
+    (match insn with
+    | Some (Isa.Jump { cond; _ }) when cond <> Isa.JMP ->
+      (* took the branch iff PC is not sequential *)
+      if Iss.pc t = (pc0 + 2) land 0xffff then Hashtbl.replace not_taken pc0 ()
+      else if Iss.pc t <> Iss.read_word t Bespoke_isa.Memmap.irq_vector then
+        Hashtbl.replace taken pc0 ()
+    | _ -> ())
+  done;
+  Iss.halted t
+
+let coverage_of (b : Benchmark.t) seeds =
+  let img = Benchmark.image b in
+  let starts, branches = program_shape img in
+  let executed = Hashtbl.create 128 in
+  let taken = Hashtbl.create 32 in
+  let not_taken = Hashtbl.create 32 in
+  List.iter
+    (fun seed -> ignore (trace_run b ~seed ~executed ~taken ~not_taken))
+    seeds;
+  let lines_total = List.length starts in
+  let branches_total = List.length branches in
+  let lines_hit =
+    List.length (List.filter (Hashtbl.mem executed) starts)
+  in
+  let branches_hit =
+    List.length (List.filter (Hashtbl.mem executed) branches)
+  in
+  let dirs_hit =
+    List.fold_left
+      (fun acc a ->
+        acc
+        + (if Hashtbl.mem taken a then 1 else 0)
+        + if Hashtbl.mem not_taken a then 1 else 0)
+      0 branches
+  in
+  let pct a b = if b = 0 then 100.0 else 100.0 *. float_of_int a /. float_of_int b in
+  {
+    kept_seeds = seeds;
+    line_pct = pct lines_hit lines_total;
+    branch_pct = pct branches_hit branches_total;
+    branch_dir_pct = pct dirs_hit (2 * branches_total);
+    lines_total;
+    branches_total;
+  }
+
+let measure b ~seeds = coverage_of b seeds
+
+let score s = s.line_pct +. s.branch_dir_pct
+
+let explore ?(initial = 2) ?(budget = 40) b =
+  let seeds = ref (List.init initial (fun i -> i + 1)) in
+  let best = ref (coverage_of b !seeds) in
+  let candidate = ref (initial + 1) in
+  let stale = ref 0 in
+  while !stale < 10 && !candidate <= initial + budget
+        && score !best < 200.0 -. 1e-9 do
+    let trial = !seeds @ [ !candidate ] in
+    let s = coverage_of b trial in
+    if score s > score !best +. 1e-9 then begin
+      seeds := trial;
+      best := s;
+      stale := 0
+    end
+    else incr stale;
+    incr candidate
+  done;
+  !best

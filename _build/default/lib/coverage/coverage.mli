@@ -1,0 +1,32 @@
+(** Coverage-directed input generation and coverage accounting — the
+    KLEE stand-in for the verification study (paper Table 3).
+
+    Inputs are drawn from each benchmark's generator under different
+    seeds; a greedy search keeps a seed only if it increases line or
+    branch-direction coverage, and stops when a run of candidates adds
+    nothing.  Coverage is measured on the ISS:
+
+    - {e line} coverage: fraction of instruction start addresses
+      executed;
+    - {e branch} coverage: fraction of conditional branches executed;
+    - {e branch direction} coverage: fraction of (branch, taken /
+      not-taken) pairs observed. *)
+
+module Benchmark := Bespoke_programs.Benchmark
+
+type stats = {
+  kept_seeds : int list;  (** minimized input set, oldest first *)
+  line_pct : float;
+  branch_pct : float;
+  branch_dir_pct : float;
+  lines_total : int;
+  branches_total : int;
+}
+
+val measure : Benchmark.t -> seeds:int list -> stats
+(** Coverage of a fixed input set (all seeds kept). *)
+
+val explore : ?initial:int -> ?budget:int -> Benchmark.t -> stats
+(** Greedy search: start with [initial] seeds (default 2), then try up
+    to [budget] further candidates (default 40), keeping those that
+    improve coverage. *)

@@ -1,0 +1,1 @@
+lib/cpu/cpu.ml: Array Bespoke_isa Bespoke_rtl List Printf

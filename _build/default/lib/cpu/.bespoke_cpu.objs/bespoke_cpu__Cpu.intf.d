@@ -1,0 +1,1 @@
+lib/cpu/cpu.mli: Bespoke_netlist

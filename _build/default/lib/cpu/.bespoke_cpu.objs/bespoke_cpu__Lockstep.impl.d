@@ -1,0 +1,1 @@
+lib/cpu/lockstep.ml: Bespoke_isa Bespoke_logic List Printf System

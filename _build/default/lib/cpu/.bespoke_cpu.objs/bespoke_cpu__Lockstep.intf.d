@@ -1,0 +1,1 @@
+lib/cpu/lockstep.mli: Bespoke_isa Bespoke_netlist

@@ -1,0 +1,1 @@
+lib/cpu/system.ml: Array Bespoke_isa Bespoke_logic Bespoke_netlist Bespoke_sim Cpu List Printf

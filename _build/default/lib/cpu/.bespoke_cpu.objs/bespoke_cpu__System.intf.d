@@ -1,0 +1,1 @@
+lib/cpu/system.mli: Bespoke_isa Bespoke_logic Bespoke_netlist Bespoke_sim

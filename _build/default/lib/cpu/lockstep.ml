@@ -1,0 +1,100 @@
+module Bit = Bespoke_logic.Bit
+module Bvec = Bespoke_logic.Bvec
+module Iss = Bespoke_isa.Iss
+module Asm = Bespoke_isa.Asm
+module Memmap = Bespoke_isa.Memmap
+
+type result = {
+  instructions : int;
+  cycles : int;
+  gpio_final : int;
+  outputs : int list;
+}
+
+exception Divergence of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Divergence s)) fmt
+
+let compare_boundary ~insn_idx sys iss =
+  let check name expected (got : Bvec.t) =
+    match Bvec.to_int got with
+    | Some v when v = expected -> ()
+    | Some v ->
+      fail "insn %d: %s mismatch: ISS %04x, CPU %04x (iss pc %04x)" insn_idx
+        name expected v (Iss.pc iss)
+    | None ->
+      fail "insn %d: %s is unknown in CPU: %s (ISS %04x)" insn_idx name
+        (Bvec.to_string got) expected
+  in
+  for r = 0 to 15 do
+    if r <> 3 then
+      check (Printf.sprintf "r%d" r) (Iss.reg iss r) (System.reg sys r)
+  done;
+  (* Cycle agreement: the CPU spends one extra cycle in RESET. *)
+  let cpu_cycles = System.cycles sys in
+  let iss_cycles = Iss.cycles iss in
+  if cpu_cycles <> iss_cycles + 1 then
+    fail "insn %d (pc %04x): cycle mismatch: ISS %d (+1 reset), CPU %d"
+      insn_idx (Iss.pc iss) iss_cycles cpu_cycles
+
+let compare_final sys iss =
+  (* data RAM *)
+  for w = 0 to Memmap.ram_words - 1 do
+    let addr = Memmap.ram_base + (2 * w) in
+    let cpu_v = System.read_ram_word sys addr in
+    let iss_v = Iss.read_ram_word iss addr in
+    match Bvec.to_int cpu_v with
+    | Some v when v = iss_v -> ()
+    | Some v -> fail "ram[%04x]: ISS %04x, CPU %04x" addr iss_v v
+    | None -> fail "ram[%04x]: unknown in CPU (%s)" addr (Bvec.to_string cpu_v)
+  done;
+  match Bvec.to_int (System.gpio_out sys) with
+  | Some v when v = Iss.gpio_out iss -> ()
+  | Some v -> fail "gpio_out: ISS %04x, CPU %04x" (Iss.gpio_out iss) v
+  | None -> fail "gpio_out unknown in CPU"
+
+let run ?netlist ?(gpio_in = 0) ?(irq_pulse_at = []) ?(max_insns = 200_000)
+    image =
+  let iss = Iss.create image in
+  Iss.reset iss;
+  Iss.set_gpio_in iss gpio_in;
+  let sys = System.create ?netlist image in
+  System.reset sys;
+  System.set_gpio_in_int sys gpio_in;
+  (* consume the reset-vector cycle so both models sit at the first
+     instruction boundary *)
+  (match System.run_to_boundary ~max_cycles:4 sys with
+  | `Fetch -> ()
+  | `Halted | `Unknown -> fail "did not reach the first fetch");
+  let insn_idx = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    if !insn_idx > max_insns then fail "instruction limit exceeded";
+    let line = List.mem !insn_idx irq_pulse_at in
+    Iss.set_irq_line iss line;
+    System.set_irq sys (Bit.of_bool line);
+    (* Advance the CPU to its next instruction boundary (or halt). *)
+    (match System.run_to_boundary ~max_cycles:100 sys with
+    | `Fetch | `Halted -> ()
+    | `Unknown -> fail "CPU control state became unknown");
+    (* Advance the ISS to match: one instruction, or one interrupt
+       entry (which the CPU's IRQ sequence mirrors cycle for cycle). *)
+    if System.halted sys then begin
+      Iss.step iss;  (* the halting instruction *)
+      if not (Iss.halted iss) then fail "CPU halted but ISS did not";
+      compare_final sys iss;
+      finished := true
+    end
+    else begin
+      Iss.step iss;
+      incr insn_idx;
+      if Iss.halted iss then fail "ISS halted but CPU did not"
+      else compare_boundary ~insn_idx:!insn_idx sys iss
+    end
+  done;
+  {
+    instructions = Iss.instructions_retired iss;
+    cycles = System.cycles sys;
+    gpio_final = Iss.gpio_out iss;
+    outputs = List.map snd (Iss.output_trace iss);
+  }

@@ -1,0 +1,28 @@
+(** Lockstep execution of the gate-level CPU against the ISS golden
+    model, comparing architectural state at every instruction boundary
+    and cycle counts against the {!Bespoke_isa.Timing} contract.
+
+    This is the primary correctness oracle for the CPU netlist and,
+    with [~netlist], the input-based verification procedure for
+    bespoke designs (paper, Section 5.1). *)
+
+type result = {
+  instructions : int;
+  cycles : int;  (** gate-level cycles, including the reset cycle *)
+  gpio_final : int;
+  outputs : int list;  (** values written to the GPIO output port *)
+}
+
+exception Divergence of string
+
+val run :
+  ?netlist:Bespoke_netlist.Netlist.t ->
+  ?gpio_in:int ->
+  ?irq_pulse_at:int list ->
+  ?max_insns:int ->
+  Bespoke_isa.Asm.image ->
+  result
+(** Runs both models to completion (the halt port).  [irq_pulse_at]
+    lists instruction indices before which the external IRQ line is
+    pulsed high for one instruction.  @raise Divergence on the first
+    architectural mismatch, with a diagnostic. *)

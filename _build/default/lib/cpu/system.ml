@@ -1,0 +1,197 @@
+module Bit = Bespoke_logic.Bit
+module Bvec = Bespoke_logic.Bvec
+module Netlist = Bespoke_netlist.Netlist
+module Engine = Bespoke_sim.Engine
+module Memory = Bespoke_sim.Memory
+module Asm = Bespoke_isa.Asm
+module Memmap = Bespoke_isa.Memmap
+
+type t = {
+  eng : Engine.t;
+  image : Asm.image;
+  rom : Memory.t;  (* 2048 words, indexed by addr[11:1] *)
+  ram : Memory.t;  (* 2048 words, indexed by addr[11:1] *)
+  mem_cone : Engine.cone;
+  mutable gpio_in : Bvec.t;
+  mutable irq : Bit.t;
+  mutable cycle : int;
+  mutable trace : (int * Bvec.t) list;  (* newest first *)
+}
+
+let word_index (addr : Bvec.t) = Array.sub addr 1 11
+
+let create ?netlist image =
+  let net = match netlist with Some n -> n | None -> Cpu.build () in
+  let eng = Engine.create net in
+  let rom = Memory.create ~words:2048 ~width:16 ~init:Bit.Zero in
+  Array.iteri (fun i w -> Memory.load_int rom i w) (Asm.image_rom image);
+  let ram = Memory.create ~words:2048 ~width:16 ~init:Bit.Zero in
+  let mem_inputs =
+    Array.append
+      (Netlist.find_input net "pmem_rdata")
+      (Netlist.find_input net "dmem_rdata")
+  in
+  let mem_cone = Engine.make_cone eng mem_inputs in
+  {
+    eng;
+    image;
+    rom;
+    ram;
+    mem_cone;
+    gpio_in = Bvec.of_int ~width:16 0;
+    irq = Bit.Zero;
+    cycle = 0;
+    trace = [];
+  }
+
+let netlist t = Engine.netlist t.eng
+let engine t = t.eng
+let image t = t.image
+
+(* Feed combinational memory read data for the currently settled cycle. *)
+let feed_memories t =
+  let pmem_addr = Engine.read t.eng "pmem_addr" in
+  Engine.set_input t.eng "pmem_rdata" (Memory.read t.rom (word_index pmem_addr));
+  let dmem_addr = Engine.read t.eng "dmem_addr" in
+  Engine.set_input t.eng "dmem_rdata" (Memory.read t.ram (word_index dmem_addr));
+  Engine.eval_cone t.eng t.mem_cone
+
+let apply_inputs t =
+  Engine.set_input t.eng "gpio_in" t.gpio_in;
+  Engine.set_input t.eng "irq" [| t.irq |]
+
+let reset t =
+  Memory.clear t.ram Bit.Zero;
+  Array.iteri (fun i w -> Memory.load_int t.rom i w) (Asm.image_rom t.image);
+  Engine.reset t.eng;
+  apply_inputs t;
+  Engine.eval t.eng;
+  feed_memories t;
+  t.cycle <- 0;
+  t.trace <- []
+
+let set_gpio_in t v =
+  t.gpio_in <- v;
+  apply_inputs t;
+  Engine.eval t.eng;
+  feed_memories t
+
+let set_gpio_in_int t n = set_gpio_in t (Bvec.of_int ~width:16 n)
+let set_gpio_in_x t = set_gpio_in t (Bvec.all_x 16)
+
+let set_irq t v =
+  t.irq <- v;
+  apply_inputs t;
+  Engine.eval t.eng;
+  feed_memories t
+
+let read_hook t name = Engine.read t.eng name
+let read_hook_int t name = Engine.read_int t.eng name
+let pc t = read_hook t "pc"
+
+let reg t i =
+  match i with
+  | 0 -> read_hook t "pc"
+  | 1 -> read_hook t "sp"
+  | 2 -> read_hook t "sr"
+  | 3 -> Bvec.of_int ~width:16 0
+  | _ -> read_hook t (Printf.sprintf "r%d" i)
+
+let halted t = Bit.equal (read_hook t "halted").(0) Bit.One
+let fetching t = (read_hook t "fetching").(0)
+let cycles t = t.cycle
+let ram t = t.ram
+let read_ram_word t addr = Memory.read_word t.ram ((addr lsr 1) land 0x7ff)
+
+let set_ram_x t ~lo_addr ~hi_addr =
+  Memory.set_x_range t.ram ~lo:((lo_addr lsr 1) land 0x7ff)
+    ~hi:((hi_addr lsr 1) land 0x7ff)
+
+let gpio_out t = read_hook t "gpio_out"
+
+let output_trace t = List.rev t.trace
+
+(* Sample this cycle's RAM write (if any) and the GPIO trace. *)
+let sample_writes t =
+  let wen = (read_hook t "dmem_wen").(0) in
+  (match wen with
+  | Bit.Zero -> ()
+  | Bit.One | Bit.X ->
+    let addr = read_hook t "dmem_addr" in
+    let ben = read_hook t "dmem_ben" in
+    let data = read_hook t "dmem_wdata" in
+    let mask =
+      Array.init 16 (fun i -> if i < 8 then ben.(0) else ben.(1))
+    in
+    Memory.write t.ram ~addr:(word_index addr) ~data ~mask ~en:wen);
+  match (read_hook t "gpio_wr").(0) with
+  | Bit.One -> t.trace <- (t.cycle, gpio_out t) :: t.trace
+  | Bit.Zero | Bit.X -> ()
+
+let step_cycle t =
+  sample_writes t;
+  Engine.step t.eng;
+  (* inputs persist; recompute memory data for the new cycle *)
+  feed_memories t;
+  (* commit the newly settled cycle immediately, so a path that ends
+     here (halt, prune, fork) has its final transition recorded *)
+  Engine.commit_cycle t.eng;
+  t.cycle <- t.cycle + 1
+
+let run_to_boundary ?(max_cycles = 1_000_000) t =
+  let deadline = t.cycle + max_cycles in
+  let rec go () =
+    if halted t then `Halted
+    else begin
+      step_cycle t;
+      if t.cycle > deadline then
+        failwith "System.run_to_boundary: cycle limit exceeded";
+      if halted t then `Halted
+      else
+        (* Stop at every FETCH-state cycle, including one whose fetch
+           is pre-empted by a pending interrupt: that is still an
+           instruction boundary (it aligns with the ISS, whose
+           interrupt entry is its own step). *)
+        match (read_hook t "insn_boundary").(0) with
+        | Bit.One -> `Fetch
+        | Bit.X -> `Unknown
+        | Bit.Zero -> go ()
+    end
+  in
+  go ()
+
+let run ?(max_cycles = 5_000_000) t =
+  let deadline = t.cycle + max_cycles in
+  while (not (halted t)) && t.cycle <= deadline do
+    step_cycle t
+  done;
+  if not (halted t) then failwith "System.run: cycle limit exceeded";
+  t.cycle
+
+type snapshot = { dffs : Bvec.t; ram_snap : Memory.snapshot }
+
+let snapshot t = { dffs = Engine.dff_state t.eng; ram_snap = Memory.snapshot t.ram }
+
+let restore t s =
+  Memory.restore t.ram s.ram_snap;
+  Engine.restore_dff_state t.eng s.dffs;
+  apply_inputs t;
+  Engine.eval t.eng;
+  feed_memories t;
+  (* the jump between exploration states is not switching activity *)
+  Engine.sync_prev t.eng
+
+let snapshot_dffs s = s.dffs
+let snapshot_ram s = s.ram_snap
+
+let snapshot_subsumes ~general ~specific =
+  Bvec.subsumes ~general:general.dffs ~specific:specific.dffs
+  && Memory.subsumes ~general:general.ram_snap ~specific:specific.ram_snap
+
+let snapshot_merge a b =
+  {
+    dffs = Bvec.merge a.dffs b.dffs;
+    ram_snap = Memory.merge_snapshot a.ram_snap b.ram_snap;
+  }
+
+let with_dffs s dffs = { s with dffs }

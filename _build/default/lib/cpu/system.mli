@@ -1,0 +1,90 @@
+(** Full-chip simulation harness: the CPU netlist coupled to external
+    program-ROM and data-RAM macros.
+
+    Runs both concretely (known inputs) and symbolically (X inputs /
+    X-marked RAM regions); all memory-model semantics are the
+    conservative ternary ones of {!Bespoke_sim.Memory}. *)
+
+module Bit := Bespoke_logic.Bit
+module Bvec := Bespoke_logic.Bvec
+module Netlist := Bespoke_netlist.Netlist
+module Engine := Bespoke_sim.Engine
+module Memory := Bespoke_sim.Memory
+
+type t
+
+val create : ?netlist:Netlist.t -> Bespoke_isa.Asm.image -> t
+(** [netlist] defaults to a freshly built {!Cpu.build}; pass a bespoke
+    (pruned) netlist to simulate the tailored design. *)
+
+val netlist : t -> Netlist.t
+val engine : t -> Engine.t
+val image : t -> Bespoke_isa.Asm.image
+
+val reset : t -> unit
+(** Reset the core, reload ROM, clear RAM, and settle cycle 0 (the
+    hardware reset-vector fetch). *)
+
+(** {1 Inputs (persist across cycles)} *)
+
+val set_gpio_in : t -> Bvec.t -> unit
+val set_gpio_in_int : t -> int -> unit
+val set_gpio_in_x : t -> unit
+val set_irq : t -> Bit.t -> unit
+
+(** {1 Observation} *)
+
+val pc : t -> Bvec.t
+val read_hook : t -> string -> Bvec.t
+val read_hook_int : t -> string -> int option
+val reg : t -> int -> Bvec.t
+(** Architectural register 0..15 (r3 reads as 0). *)
+
+val halted : t -> bool
+(** True iff the halt flag is definitely 1. *)
+
+val fetching : t -> Bit.t
+(** Value of the "fetching" hook this cycle. *)
+
+val cycles : t -> int
+val ram : t -> Memory.t
+val read_ram_word : t -> int -> Bvec.t
+(** By byte address. *)
+
+val set_ram_x : t -> lo_addr:int -> hi_addr:int -> unit
+(** Mark a byte-address range of RAM unknown (inclusive). *)
+
+val gpio_out : t -> Bvec.t
+
+val output_trace : t -> (int * Bvec.t) list
+(** [(cycle, value)] for each cycle in which the GPIO output register
+    was written (strobe definitely high), oldest first. *)
+
+(** {1 Execution} *)
+
+val step_cycle : t -> unit
+(** Advance one clock: sample writes, commit activity, clock edge,
+    feed memories. *)
+
+val run_to_boundary : ?max_cycles:int -> t -> [ `Fetch | `Halted | `Unknown ]
+(** Step until the next cycle whose "fetching" hook is definitely 1
+    (an instruction boundary), the design is halted, or the hook is X
+    (control state has become unknown — callers must fork or give
+    up).  @raise Failure when [max_cycles] elapse first. *)
+
+val run : ?max_cycles:int -> t -> int
+(** Run until halted; returns total cycles.
+    @raise Failure on timeout or unknown control state. *)
+
+(** {1 State capture (execution-tree exploration)} *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+val snapshot_dffs : snapshot -> Bvec.t
+val snapshot_ram : snapshot -> Memory.snapshot
+
+val snapshot_subsumes : general:snapshot -> specific:snapshot -> bool
+val snapshot_merge : snapshot -> snapshot -> snapshot
+val with_dffs : snapshot -> Bvec.t -> snapshot

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Hashtbl Int Isa List Memmap Option Printf String

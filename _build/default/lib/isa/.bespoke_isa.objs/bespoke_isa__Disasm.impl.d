@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Array Asm Buffer Isa List Memmap Printf String

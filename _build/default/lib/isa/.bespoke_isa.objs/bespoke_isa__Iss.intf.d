@@ -1,0 +1,1 @@
+lib/isa/iss.mli: Asm Isa

@@ -1,0 +1,35 @@
+let instruction_at (img : Asm.image) addr =
+  if not (Memmap.in_rom addr) || addr land 1 = 1 then None
+  else begin
+    let rom = Asm.image_rom img in
+    let word a = rom.(((a - Memmap.rom_base) / 2) land (Memmap.rom_words - 1)) in
+    match Isa.decode (word addr) [ word (addr + 2); word (addr + 4) ] with
+    | insn, used -> Some (insn, used)
+    | exception Isa.Decode_error _ -> None
+  end
+
+let listing (img : Asm.image) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "; entry 0x%04x, %d words emitted\n" img.Asm.entry
+       (List.length img.Asm.words));
+  let rom = Asm.image_rom img in
+  List.iter
+    (fun a ->
+      match instruction_at img a with
+      | Some (insn, used) ->
+        let words =
+          String.concat " "
+            (List.init used (fun i ->
+                 Printf.sprintf "%04x"
+                   rom.(((a + (2 * i) - Memmap.rom_base) / 2)
+                        land (Memmap.rom_words - 1))))
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%04x: %-16s %s\n" a words (Isa.to_string insn))
+      | None ->
+        Buffer.add_string buf
+          (Printf.sprintf "%04x: %04x            ; (not decodable)\n" a
+             rom.((a - Memmap.rom_base) / 2)))
+    (Asm.instruction_addrs img);
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+let ram_base = 0x0200
+let ram_words = 1024
+let ram_bytes = ram_words * 2
+let rom_base = 0xF000
+let rom_words = 2048
+let rom_bytes = rom_words * 2
+let in_ram a = a >= ram_base && a < ram_base + ram_bytes
+let in_rom a = a >= rom_base && a <= 0xffff
+let in_periph a = a >= 0 && a < ram_base
+let reset_vector = 0xFFFE
+let irq_vector = 0xFFF0
+let sfr_ie = 0x0000
+let sfr_ifg = 0x0002
+let gpio_in = 0x0010
+let gpio_out = 0x0012
+let sim_halt = 0x0014
+let clk_ctl = 0x0020
+let clk_cnt = 0x0022
+let wdt_ctl = 0x0030
+let wdt_cnt = 0x0032
+let dbg_ctl = 0x0040
+let dbg_pc = 0x0042
+let dbg_brk = 0x0044
+let dbg_cyc_lo = 0x0046
+let dbg_cyc_hi = 0x0048
+let mpy_op1 = 0x0130
+let mpy_mac = 0x0134
+let mpy_op2 = 0x0138
+let mpy_reslo = 0x013A
+let mpy_reshi = 0x013C

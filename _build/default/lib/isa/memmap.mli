@@ -1,0 +1,57 @@
+(** Memory map shared by the ISS, the gate-level CPU and the harness.
+
+    A 16-bit byte-addressed space, MSP430-style:
+    - [0x0000, 0x01FF]: peripheral file (in-core registers);
+    - [0x0200, 0x09FF]: data RAM (external macro, 1K words);
+    - [0xF000, 0xFFFF]: program ROM (external macro, 2K words);
+      interrupt/reset vectors live in the top words. *)
+
+val ram_base : int
+val ram_bytes : int
+val ram_words : int
+val rom_base : int
+val rom_bytes : int
+val rom_words : int
+
+val in_ram : int -> bool
+val in_rom : int -> bool
+val in_periph : int -> bool
+
+(** Reset vector address (0xFFFE). *)
+val reset_vector : int
+
+(** Vector of the single peripheral IRQ (0xFFF0). *)
+val irq_vector : int
+
+(** {1 Peripheral registers (byte addresses, word-aligned)}
+
+    [sfr_ie]/[sfr_ifg]: interrupt enable / flags, bit 0 = external IRQ.
+    [gpio_in]: read-only external input pins; [gpio_out]: output
+    register.  [sim_halt]: any write ends the program (simulation-only
+    port).  [clk_ctl]/[clk_cnt]: clock-module divider control and
+    read-only divided counter.  [wdt_ctl]: watchdog control (bit 7 =
+    hold; any control write clears the counter); [wdt_cnt]: counter
+    readback.  [dbg_*]: debug block (control, PC sample, breakpoint
+    compare, free-running cycle counter).  [mpy_*]: hardware
+    multiplier (op1 / multiply-accumulate op1 / op2-trigger / 32-bit
+    result). *)
+
+val sfr_ie : int
+val sfr_ifg : int
+val gpio_in : int
+val gpio_out : int
+val sim_halt : int
+val clk_ctl : int
+val clk_cnt : int
+val wdt_ctl : int
+val wdt_cnt : int
+val dbg_ctl : int
+val dbg_pc : int
+val dbg_brk : int
+val dbg_cyc_lo : int
+val dbg_cyc_hi : int
+val mpy_op1 : int
+val mpy_mac : int
+val mpy_op2 : int
+val mpy_reslo : int
+val mpy_reshi : int

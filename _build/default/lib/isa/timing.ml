@@ -1,0 +1,40 @@
+let src_ext_cycles = function
+  | Isa.Sidx _ -> 1
+  | Isa.Imm n ->
+    if List.mem (n land 0xffff) [ 0; 1; 2; 4; 8; 0xffff ] then 0 else 1
+  | Isa.Sreg _ | Isa.Sind _ | Isa.Sinc _ -> 0
+
+let src_read_cycles = function
+  | Isa.Sidx _ | Isa.Sind _ | Isa.Sinc _ -> 1
+  | Isa.Sreg _ | Isa.Imm _ -> 0
+
+let dst_ext_cycles = function Isa.Dreg _ -> 0 | Isa.Didx _ -> 1
+let dst_read_cycles = function Isa.Dreg _ -> 0 | Isa.Didx _ -> 1
+
+let writes_dst (op : Isa.two_op) =
+  match op with Isa.CMP | Isa.BIT -> false | _ -> true
+
+let dst_write_cycles op = function
+  | Isa.Dreg _ -> 0
+  | Isa.Didx _ -> if writes_dst op then 1 else 0
+
+let cycles (i : Isa.t) =
+  match i with
+  | Isa.Jump _ -> 2  (* FETCH, EXEC *)
+  | Isa.Two { op; src; dst; _ } ->
+    1 (* FETCH *) + src_ext_cycles src + src_read_cycles src
+    + dst_ext_cycles dst + dst_read_cycles dst + 1 (* EXEC *)
+    + dst_write_cycles op dst
+  | Isa.One { op = Isa.RETI; _ } -> 3  (* FETCH, POP SR, POP PC *)
+  | Isa.One { op = Isa.PUSH; dst; _ } ->
+    1 + src_ext_cycles dst + src_read_cycles dst + 1 (* EXEC *) + 1 (* WR *)
+  | Isa.One { op = Isa.CALL; dst; _ } ->
+    1 + src_ext_cycles dst + src_read_cycles dst + 1 (* EXEC *) + 1 (* WR *)
+  | Isa.One { dst; _ } ->
+    (* RRC/RRA/SWPB/SXT: read-modify-write on the operand *)
+    1 + src_ext_cycles dst + src_read_cycles dst + 1 (* EXEC *)
+    + (match dst with Isa.Sreg _ | Isa.Imm _ -> 0 | _ -> 1 (* WB *))
+
+(* A pending interrupt pre-empts a fetch cycle, then pushes PC, pushes
+   SR and loads the vector. *)
+let irq_entry_cycles = 4

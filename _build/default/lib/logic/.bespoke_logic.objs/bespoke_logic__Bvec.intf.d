@@ -1,0 +1,1 @@
+lib/logic/bvec.mli: Bit Format

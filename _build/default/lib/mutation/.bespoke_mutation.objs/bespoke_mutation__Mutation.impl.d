@@ -1,0 +1,1 @@
+lib/mutation/mutation.ml: Bespoke_isa Bespoke_programs Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/mutation/mutation.mli: Bespoke_programs

@@ -1,0 +1,200 @@
+module Benchmark = Bespoke_programs.Benchmark
+
+type mutant_type = Conditional | Computation | Loop_conditional
+
+type mutant = {
+  id : int;
+  mtype : mutant_type;
+  line : int;
+  original : string;
+  replacement : string;
+  source : string;
+}
+
+let type_name = function
+  | Conditional -> "I (conditional)"
+  | Computation -> "II (computation)"
+  | Loop_conditional -> "III (loop conditional)"
+
+(* Condition swaps (apply to both forward and backward branches). *)
+let cond_swaps =
+  [
+    ("jeq", [ "jne" ]);
+    ("jz", [ "jnz" ]);
+    ("jne", [ "jeq" ]);
+    ("jnz", [ "jz" ]);
+    ("jlo", [ "jhs"; "jne" ]);
+    ("jhs", [ "jlo" ]);
+    ("jnc", [ "jc" ]);
+    ("jc", [ "jnc" ]);
+    ("jl", [ "jge" ]);
+    ("jge", [ "jl" ]);
+    ("jn", [ "jge" ]);
+  ]
+
+(* Computation-operator swaps; both mnemonics must keep the encoding
+   length identical, which all of these do. *)
+let comp_swaps =
+  [
+    ("add", [ "sub"; "xor" ]);
+    ("sub", [ "add" ]);
+    ("addc", [ "subc" ]);
+    ("subc", [ "addc" ]);
+    ("and", [ "bis" ]);
+    ("bis", [ "xor" ]);
+    ("xor", [ "bis" ]);
+    ("inc", [ "dec" ]);
+    ("dec", [ "inc" ]);
+    ("incd", [ "decd" ]);
+    ("decd", [ "incd" ]);
+    ("rla", [ "rra" ]);
+    ("rra", [ "rla" ]);
+  ]
+
+(* Very small-footprint line scanner: label / mnemonic / operands. *)
+let split_line raw =
+  let no_comment =
+    match String.index_opt raw ';' with
+    | Some i -> String.sub raw 0 i
+    | None -> raw
+  in
+  let text = no_comment in
+  let label_end =
+    match String.index_opt text ':' with
+    | Some i
+      when String.for_all
+             (fun c ->
+               (c >= 'a' && c <= 'z')
+               || (c >= 'A' && c <= 'Z')
+               || (c >= '0' && c <= '9')
+               || c = '_' || c = '.')
+             (String.trim (String.sub text 0 i))
+           && String.trim (String.sub text 0 i) <> "" ->
+      Some i
+    | _ -> None
+  in
+  let body =
+    match label_end with
+    | Some i -> String.sub text (i + 1) (String.length text - i - 1)
+    | None -> text
+  in
+  let body = String.trim body in
+  if body = "" then None
+  else
+    match String.index_opt body ' ' with
+    | None -> Some (body, "")
+    | Some i ->
+      Some
+        ( String.sub body 0 i,
+          String.trim (String.sub body (i + 1) (String.length body - i - 1)) )
+
+let label_def_lines source =
+  let tbl = Hashtbl.create 32 in
+  List.iteri
+    (fun i raw ->
+      let text =
+        match String.index_opt raw ';' with
+        | Some j -> String.sub raw 0 j
+        | None -> raw
+      in
+      match String.index_opt text ':' with
+      | Some j ->
+        let l = String.trim (String.sub text 0 j) in
+        if l <> "" then Hashtbl.replace tbl l (i + 1)
+      | None -> ())
+    (String.split_on_char '\n' source);
+  tbl
+
+let replace_mnemonic raw old_m new_m =
+  (* replace the first standalone occurrence of old_m *)
+  let n = String.length raw and k = String.length old_m in
+  let is_sep c = c = ' ' || c = '\t' || c = ':' in
+  let rec find i =
+    if i + k > n then None
+    else if
+      String.sub raw i k = old_m
+      && (i = 0 || is_sep raw.[i - 1])
+      && (i + k = n || is_sep raw.[i + k] || raw.[i + k] = '.')
+    then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+    Some (String.sub raw 0 i ^ new_m ^ String.sub raw (i + k) (n - i - k))
+
+let mutants (b : Benchmark.t) =
+  let lines = String.split_on_char '\n' b.Benchmark.source in
+  let labels = label_def_lines b.Benchmark.source in
+  let out = ref [] in
+  let next_id = ref 0 in
+  let add mtype line_no raw old_m new_m =
+    match replace_mnemonic raw old_m new_m with
+    | None -> ()
+    | Some mutated_line ->
+      let source =
+        String.concat "\n"
+          (List.mapi
+             (fun i l -> if i + 1 = line_no then mutated_line else l)
+             lines)
+      in
+      (* the mutant must still assemble *)
+      (match Bespoke_isa.Asm.assemble source with
+      | exception Bespoke_isa.Asm.Error _ -> ()
+      | _ ->
+        incr next_id;
+        out :=
+          {
+            id = !next_id;
+            mtype;
+            line = line_no;
+            original = old_m;
+            replacement = new_m;
+            source;
+          }
+          :: !out)
+  in
+  List.iteri
+    (fun i raw ->
+      let line_no = i + 1 in
+      match split_line raw with
+      | None -> ()
+      | Some (mn, args) -> (
+        let base =
+          match String.index_opt mn '.' with
+          | Some d when d > 0 -> String.sub mn 0 d
+          | _ -> mn
+        in
+        match List.assoc_opt base cond_swaps with
+        | Some repls ->
+          (* backward target = loop conditional *)
+          let target = String.trim args in
+          let is_loop =
+            match Hashtbl.find_opt labels target with
+            | Some def_line -> def_line <= line_no
+            | None -> false
+          in
+          let mtype = if is_loop then Loop_conditional else Conditional in
+          List.iter (fun r -> add mtype line_no raw base r) repls
+        | None -> (
+          match List.assoc_opt base comp_swaps with
+          | Some repls ->
+            List.iter (fun r -> add Computation line_no raw base r) repls
+          | None -> ())))
+    lines;
+  List.rev !out
+
+let to_benchmark (b : Benchmark.t) m =
+  {
+    b with
+    Benchmark.name = Printf.sprintf "%s-mut%d" b.Benchmark.name m.id;
+    source = m.source;
+  }
+
+let count_by_type ms =
+  let count t = List.length (List.filter (fun m -> m.mtype = t) ms) in
+  [
+    (Conditional, count Conditional);
+    (Computation, count Computation);
+    (Loop_conditional, count Loop_conditional);
+  ]

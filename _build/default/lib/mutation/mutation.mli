@@ -1,0 +1,38 @@
+(** Mutant generation for the in-field-update study (paper Section
+    5.3, Tables 4/5, Fig 14) — the Milu stand-in.
+
+    Mutants emulate minor bug-fix updates by changing exactly one
+    instruction, in the paper's three classes:
+
+    - {b Type I} (conditional-operator): a forward conditional branch
+      gets its condition inverted or weakened (jeq<->jne, jlo<->jhs,
+      jl<->jge, jlo<->jeq, ...);
+    - {b Type II} (computation-operator): an arithmetic/logical
+      operator is replaced (add<->sub, addc<->subc, and<->bis,
+      bis<->xor, inc<->dec, rla<->rra, ...);
+    - {b Type III} (loop-conditional-operator): the same condition
+      swaps applied to backward (loop-closing) branches. *)
+
+type mutant_type = Conditional | Computation | Loop_conditional
+
+type mutant = {
+  id : int;
+  mtype : mutant_type;
+  line : int;  (** 1-based source line mutated *)
+  original : string;  (** original mnemonic *)
+  replacement : string;
+  source : string;  (** full mutated assembly *)
+}
+
+val type_name : mutant_type -> string
+
+val mutants : Bespoke_programs.Benchmark.t -> mutant list
+(** All single-instruction mutants of the benchmark that still
+    assemble to the same layout. *)
+
+val to_benchmark :
+  Bespoke_programs.Benchmark.t -> mutant -> Bespoke_programs.Benchmark.t
+(** The mutant as a runnable/analyzable benchmark (same inputs and
+    result addresses as the base program). *)
+
+val count_by_type : mutant list -> (mutant_type * int) list

@@ -1,0 +1,1 @@
+lib/netlist/export.ml: Array Bespoke_logic Buffer Gate Hashtbl List Netlist Option Printf String

@@ -1,0 +1,1 @@
+lib/netlist/gate.ml: Array Bespoke_logic Format Printf

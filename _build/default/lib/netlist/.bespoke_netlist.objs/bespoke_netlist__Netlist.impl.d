@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Bespoke_logic Format Gate Hashtbl List Printf Queue Stack String

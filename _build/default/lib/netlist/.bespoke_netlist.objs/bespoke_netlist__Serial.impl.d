@@ -1,0 +1,1 @@
+lib/netlist/serial.ml: Array Bespoke_logic Buffer Char Gate List Netlist Printf String

@@ -1,0 +1,19 @@
+(** Netlist interchange: structural Verilog and Graphviz exports.
+
+    The Verilog writer emits a flat gate-level module (one [assign]
+    per combinational gate, one flop process per DFF, asynchronous
+    active-high reset) so a bespoke design can be taken to standard
+    simulators or synthesis tools.  The DOT writers target inspection:
+    the module graph summarizes inter-module connectivity; the full
+    gate graph is practical only for small netlists. *)
+
+val to_verilog : ?module_name:string -> Netlist.t -> string
+
+val module_graph_dot : Netlist.t -> string
+(** One node per top-level module, edge labels = number of nets
+    crossing the boundary. *)
+
+val gate_graph_dot : ?max_gates:int -> Netlist.t -> string
+(** Full gate-level graph, clustered by module.
+    @raise Invalid_argument when the netlist exceeds [max_gates]
+    (default 2000). *)

@@ -1,0 +1,354 @@
+module Bit = Bespoke_logic.Bit
+
+type t = {
+  gates : Gate.t array;
+  input_ports : (string * int array) list;
+  output_ports : (string * int array) list;
+  names : (string * int array) list;
+}
+
+let gate_count n = Array.length n.gates
+
+let num_gates n =
+  let count = ref 0 in
+  Array.iter
+    (fun (g : Gate.t) ->
+      match g.op with Gate.Input | Gate.Const _ -> () | _ -> incr count)
+    n.gates;
+  !count
+
+let num_dffs n =
+  let count = ref 0 in
+  Array.iter (fun g -> if Gate.is_sequential g then incr count) n.gates;
+  !count
+
+let assoc_exn what name l =
+  match List.assoc_opt name l with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Netlist: no %s named %S" what name)
+
+let find_input n name = assoc_exn "input port" name n.input_ports
+let find_output n name = assoc_exn "output port" name n.output_ports
+
+let find_name n name =
+  match List.assoc_opt name n.names with
+  | Some v -> v
+  | None -> (
+    match List.assoc_opt name n.output_ports with
+    | Some v -> v
+    | None -> (
+      match List.assoc_opt name n.input_ports with
+      | Some v -> v
+      | None -> raise Not_found))
+
+let mem_name n name =
+  List.mem_assoc name n.names
+  || List.mem_assoc name n.output_ports
+  || List.mem_assoc name n.input_ports
+
+let validate n =
+  let ng = Array.length n.gates in
+  Array.iteri
+    (fun id (g : Gate.t) ->
+      let want = Gate.arity g.op in
+      if Array.length g.fanin <> want then
+        failwith
+          (Printf.sprintf "Netlist.validate: gate %d (%s) has %d fanins, wants %d"
+             id (Gate.op_name g.op) (Array.length g.fanin) want);
+      Array.iter
+        (fun f ->
+          if f < 0 || f >= ng then
+            failwith
+              (Printf.sprintf
+                 "Netlist.validate: gate %d (%s) references out-of-range id %d"
+                 id (Gate.op_name g.op) f))
+        g.fanin)
+    n.gates;
+  let check_port kind (name, ids) =
+    Array.iter
+      (fun id ->
+        if id < 0 || id >= ng then
+          failwith
+            (Printf.sprintf "Netlist.validate: %s port %S references id %d" kind
+               name id))
+      ids
+  in
+  List.iter
+    (fun (name, ids) ->
+      check_port "input" (name, ids);
+      Array.iter
+        (fun id ->
+          match n.gates.(id).op with
+          | Gate.Input -> ()
+          | op ->
+            failwith
+              (Printf.sprintf
+                 "Netlist.validate: input port %S bit is a %s, not an Input"
+                 name (Gate.op_name op)))
+        ids)
+    n.input_ports;
+  List.iter (check_port "output") n.output_ports;
+  List.iter (check_port "named") n.names
+
+let levelize n =
+  let ng = Array.length n.gates in
+  let indegree = Array.make ng 0 in
+  let readers = Array.make ng [] in
+  Array.iteri
+    (fun id (g : Gate.t) ->
+      if not (Gate.is_source g) then
+        Array.iter
+          (fun f ->
+            if not (Gate.is_source n.gates.(f)) then begin
+              indegree.(id) <- indegree.(id) + 1;
+              readers.(f) <- id :: readers.(f)
+            end)
+          g.fanin)
+    n.gates;
+  let order = Array.make ng 0 in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  Array.iteri
+    (fun id (g : Gate.t) ->
+      if (not (Gate.is_source g)) && indegree.(id) = 0 then Queue.add id queue)
+    n.gates;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    order.(!count) <- id;
+    incr count;
+    List.iter
+      (fun r ->
+        indegree.(r) <- indegree.(r) - 1;
+        if indegree.(r) = 0 then Queue.add r queue)
+      readers.(id)
+  done;
+  let total_comb =
+    Array.fold_left
+      (fun acc g -> if Gate.is_source g then acc else acc + 1)
+      0 n.gates
+  in
+  if !count <> total_comb then begin
+    (* find a gate on a cycle for the diagnostic *)
+    let culprit = ref (-1) in
+    Array.iteri
+      (fun id (g : Gate.t) ->
+        if !culprit < 0 && (not (Gate.is_source g)) && indegree.(id) > 0 then
+          culprit := id)
+      n.gates;
+    failwith
+      (Printf.sprintf
+         "Netlist.levelize: combinational cycle (gate %d, %s, module %s)"
+         !culprit
+         (Gate.op_name n.gates.(!culprit).op)
+         n.gates.(!culprit).module_path)
+  end;
+  Array.sub order 0 !count
+
+let levels n =
+  let order = levelize n in
+  let lvl = Array.make (Array.length n.gates) 0 in
+  Array.iter
+    (fun id ->
+      let g = n.gates.(id) in
+      let m = ref 0 in
+      Array.iter
+        (fun f ->
+          let fl = lvl.(f) in
+          if fl >= !m then m := fl)
+        g.fanin;
+      lvl.(id) <- !m + 1)
+    order;
+  lvl
+
+let fanout n =
+  let ng = Array.length n.gates in
+  let counts = Array.make ng 0 in
+  Array.iter
+    (fun (g : Gate.t) ->
+      Array.iter (fun f -> counts.(f) <- counts.(f) + 1) g.fanin)
+    n.gates;
+  let out = Array.init ng (fun i -> Array.make counts.(i) 0) in
+  let fill = Array.make ng 0 in
+  Array.iteri
+    (fun id (g : Gate.t) ->
+      Array.iter
+        (fun f ->
+          out.(f).(fill.(f)) <- id;
+          fill.(f) <- fill.(f) + 1)
+        g.fanin)
+    n.gates;
+  out
+
+let output_ids n =
+  List.concat_map (fun (_, ids) -> Array.to_list ids) n.output_ports
+
+let live_gates n =
+  let ng = Array.length n.gates in
+  let live = Array.make ng false in
+  let stack = Stack.create () in
+  let mark id =
+    if not live.(id) then begin
+      live.(id) <- true;
+      Stack.push id stack
+    end
+  in
+  List.iter mark (output_ids n);
+  while not (Stack.is_empty stack) do
+    let id = Stack.pop stack in
+    Array.iter mark n.gates.(id).fanin
+  done;
+  live
+
+let module_of n id =
+  let p = n.gates.(id).module_path in
+  match String.index_opt p '/' with
+  | None -> p
+  | Some i -> String.sub p 0 i
+
+let modules n =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri (fun id _ -> Hashtbl.replace tbl (module_of n id) ()) n.gates;
+  List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+
+module Builder = struct
+  type t = {
+    mutable arr : Gate.t array;
+    mutable len : int;
+    mutable inputs : (string * int array) list;
+    mutable outputs : (string * int array) list;
+    mutable named : (string * int array) list;
+  }
+
+  let dummy : Gate.t =
+    { op = Gate.Const Bit.Zero; fanin = [||]; module_path = ""; drive = 0 }
+
+  let create () =
+    { arr = Array.make 1024 dummy; len = 0; inputs = []; outputs = []; named = [] }
+
+  let add b g =
+    if b.len = Array.length b.arr then begin
+      let bigger = Array.make (2 * b.len) dummy in
+      Array.blit b.arr 0 bigger 0 b.len;
+      b.arr <- bigger
+    end;
+    b.arr.(b.len) <- g;
+    b.len <- b.len + 1;
+    b.len - 1
+
+  let add_op b ?(module_path = "") ?(drive = 0) op fanin =
+    add b { op; fanin; module_path; drive }
+
+  let gate b id =
+    if id < 0 || id >= b.len then invalid_arg "Builder.gate: bad id";
+    b.arr.(id)
+
+  let set b id g =
+    if id < 0 || id >= b.len then invalid_arg "Builder.set: bad id";
+    b.arr.(id) <- g
+
+  let size b = b.len
+  let set_input_port b name ids = b.inputs <- b.inputs @ [ (name, ids) ]
+  let set_output_port b name ids = b.outputs <- b.outputs @ [ (name, ids) ]
+  let set_name b name ids = b.named <- b.named @ [ (name, ids) ]
+
+  let finish b =
+    let n =
+      {
+        gates = Array.sub b.arr 0 b.len;
+        input_ports = b.inputs;
+        output_ports = b.outputs;
+        names = b.named;
+      }
+    in
+    validate n;
+    n
+end
+
+let map_gates n f =
+  let n' = { n with gates = Array.mapi f n.gates } in
+  validate n';
+  n'
+
+let compact n ~keep =
+  let ng = Array.length n.gates in
+  let keep = Array.copy keep in
+  (* Input-port gates always survive so port shapes are stable. *)
+  List.iter
+    (fun (_, ids) -> Array.iter (fun id -> keep.(id) <- true) ids)
+    n.input_ports;
+  let remap = Array.make ng (-1) in
+  let b = Builder.create () in
+  (* Shared tie cells, created on demand. *)
+  let ties = Hashtbl.create 3 in
+  let tie v =
+    match Hashtbl.find_opt ties v with
+    | Some id -> id
+    | None ->
+      let id = Builder.add_op b ~module_path:"" (Gate.Const v) [||] in
+      Hashtbl.replace ties v id;
+      id
+  in
+  Array.iteri
+    (fun id (g : Gate.t) -> if keep.(id) then remap.(id) <- Builder.add b g)
+    n.gates;
+  (* Rewrite fanins of kept gates. *)
+  let resolve ~context old =
+    if remap.(old) >= 0 then remap.(old)
+    else
+      match n.gates.(old).op with
+      | Gate.Const v -> tie v
+      | op ->
+        failwith
+          (Printf.sprintf
+             "Netlist.compact: %s references dropped non-const gate %d (%s)"
+             context old (Gate.op_name op))
+  in
+  Array.iteri
+    (fun id (g : Gate.t) ->
+      if keep.(id) then begin
+        let g' =
+          {
+            g with
+            Gate.fanin =
+              Array.map
+                (resolve ~context:(Printf.sprintf "gate %d" id))
+                g.fanin;
+          }
+        in
+        Builder.set b remap.(id) g'
+      end)
+    n.gates;
+  let remap_port kind (name, ids) =
+    ( name,
+      Array.map (resolve ~context:(Printf.sprintf "%s port %S" kind name)) ids )
+  in
+  List.iter
+    (fun p -> Builder.set_input_port b (fst p) (snd (remap_port "input" p)))
+    n.input_ports;
+  List.iter
+    (fun p -> Builder.set_output_port b (fst p) (snd (remap_port "output" p)))
+    n.output_ports;
+  (* Names are observation metadata, not design structure: a hook bit
+     whose driver was swept away is remapped to an X tie cell rather
+     than failing the compaction. *)
+  List.iter
+    (fun (name, ids) ->
+      let ids' =
+        Array.map
+          (fun old ->
+            if remap.(old) >= 0 then remap.(old)
+            else
+              match n.gates.(old).Gate.op with
+              | Gate.Const v -> tie v
+              | _ -> tie Bit.X)
+          ids
+      in
+      Builder.set_name b name ids')
+    n.names;
+  (Builder.finish b, remap)
+
+let pp_summary fmt n =
+  Format.fprintf fmt "netlist: %d gates (%d real, %d DFFs), %d in-ports, %d out-ports"
+    (gate_count n) (num_gates n) (num_dffs n)
+    (List.length n.input_ports)
+    (List.length n.output_ports)

@@ -1,0 +1,106 @@
+(** Structural gate-level netlist.
+
+    A netlist is an array of gates (each gate drives the net with its
+    own id), plus named input/output ports and named internal nets
+    ("hooks") that analysis tools may observe without the nets being
+    design outputs. *)
+
+type t = {
+  gates : Gate.t array;
+  input_ports : (string * int array) list;
+      (** port name -> gate id per bit (each an [Input] gate), LSB first *)
+  output_ports : (string * int array) list;
+      (** port name -> driving gate id per bit, LSB first *)
+  names : (string * int array) list;
+      (** named internal nets (analysis hooks), LSB first *)
+}
+
+val gate_count : t -> int
+val num_gates : t -> int
+(** Gates that would exist in silicon: everything except [Input] and
+    [Const] drivers (ports and tie-cells are free in our model). *)
+
+val num_dffs : t -> int
+val find_input : t -> string -> int array
+val find_output : t -> string -> int array
+val find_name : t -> string -> int array
+(** Looks up [names], then output ports, then input ports.
+    @raise Not_found if absent. *)
+
+val mem_name : t -> string -> bool
+
+val validate : t -> unit
+(** Checks fanin arities, id ranges, and port references.
+    @raise Failure with a diagnostic on the first violation. *)
+
+val levelize : t -> int array
+(** Topological order of all combinational (non-source) gates.  Source
+    gates ([Input], [Const], [Dff]) are excluded.
+    @raise Failure on a combinational cycle, listing a gate on it. *)
+
+val levels : t -> int array
+(** [levels.(id)] = longest combinational path from a source to that
+    gate's output (sources have level 0). *)
+
+val fanout : t -> int array array
+(** [fanout.(id)] = ids of gates reading gate [id]'s output. *)
+
+val output_ids : t -> int list
+(** All gate ids referenced by output ports. *)
+
+val live_gates : t -> bool array
+(** Gates whose output can reach (transitively, through combinational
+    and sequential elements) an output port or a DFF data input.  Used
+    by the dead-gate sweep: a gate that is not live can be removed even
+    if it toggles (paper, Section 3.2/3.3: gates with floating outputs
+    are removed at re-synthesis). *)
+
+val module_of : t -> int -> string
+(** Top-level component of the gate's module path ("" for top). *)
+
+val modules : t -> string list
+(** Sorted list of distinct top-level module names. *)
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type netlist := t
+  type t
+
+  val create : unit -> t
+  val add : t -> Gate.t -> int
+  (** Returns the new gate's id. *)
+
+  val add_op :
+    t -> ?module_path:string -> ?drive:int -> Gate.op -> int array -> int
+
+  val gate : t -> int -> Gate.t
+  val set : t -> int -> Gate.t -> unit
+  (** Replace an already-added gate (used to patch DFF feedback). *)
+
+  val size : t -> int
+  val set_input_port : t -> string -> int array -> unit
+  val set_output_port : t -> string -> int array -> unit
+  val set_name : t -> string -> int array -> unit
+  val finish : t -> netlist
+  (** Validates before returning. *)
+end
+
+(** {1 Rewriting} *)
+
+val map_gates : t -> (int -> Gate.t -> Gate.t) -> t
+(** Pointwise gate replacement; ports and names are preserved.  The
+    result is validated. *)
+
+val compact : t -> keep:bool array -> t * int array
+(** Renumber the netlist keeping only gates with [keep.(id)] true
+    (input-port gates are always kept).  Fanin references to dropped
+    gates are an error unless the dropped gate is a [Const]; dropped
+    const references are re-materialized as shared tie cells.  Output
+    ports and names are remapped; name bits whose driver vanished are
+    remapped to tie cells (of the dropped constant's value, or X for a
+    swept non-constant hook).
+    Returns the new netlist and the old-id -> new-id map (-1 for
+    dropped gates). *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/power/report.ml: Array Bespoke_cells Bespoke_netlist Format Hashtbl List Option String

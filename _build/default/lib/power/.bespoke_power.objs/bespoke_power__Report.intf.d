@@ -1,0 +1,1 @@
+lib/power/report.mli: Bespoke_netlist Format

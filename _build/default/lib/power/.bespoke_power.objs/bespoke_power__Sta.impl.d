@@ -1,0 +1,1 @@
+lib/power/sta.ml: Array Bespoke_cells Bespoke_netlist Float List

@@ -1,0 +1,1 @@
+lib/power/sta.mli: Bespoke_netlist

@@ -1,0 +1,1 @@
+lib/power/voltage.ml: Bespoke_cells Float

@@ -1,0 +1,31 @@
+(** Area and power reporting (the PrimeTime stand-in).
+
+    Dynamic power comes from per-gate toggle counts recorded by a
+    concrete simulation with representative inputs; leakage and area
+    from the cell library.  All figures are at the given supply. *)
+
+type t = {
+  num_gates : int;
+  num_dffs : int;
+  area_um2 : float;
+  leakage_nw : float;
+  dynamic_nw : float;
+  clock_nw : float;  (** clock-tree load of the DFFs *)
+  total_nw : float;
+  vdd : float;
+}
+
+val area_um2 : Bespoke_netlist.Netlist.t -> float
+
+val power :
+  ?vdd:float ->
+  freq_hz:float ->
+  toggles:int array ->
+  cycles:int ->
+  Bespoke_netlist.Netlist.t ->
+  t
+
+val per_module_area : Bespoke_netlist.Netlist.t -> (string * float) list
+(** Sorted by module name. *)
+
+val pp : Format.formatter -> t -> unit

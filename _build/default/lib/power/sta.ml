@@ -1,0 +1,87 @@
+module Gate = Bespoke_netlist.Gate
+module Netlist = Bespoke_netlist.Netlist
+module Cells = Bespoke_cells.Cells
+
+type t = {
+  arrival_ps : float array;
+  critical_path_ps : float;
+  critical_gate : int;
+}
+
+let load_ff net fanout id =
+  let readers = fanout.(id) in
+  let pin_caps =
+    Array.fold_left
+      (fun acc r ->
+        let g = net.Netlist.gates.(r) in
+        acc +. (Cells.of_gate g.Gate.op ~drive:g.Gate.drive).Cells.input_cap_ff)
+      0.0 readers
+  in
+  pin_caps +. Cells.wire_cap_ff ~fanout:(Array.length readers)
+
+let gate_delay net fanout id =
+  let g = net.Netlist.gates.(id) in
+  let cell = Cells.of_gate g.Gate.op ~drive:g.Gate.drive in
+  cell.Cells.intrinsic_ps
+  +. (cell.Cells.drive_res_ps_per_ff *. load_ff net fanout id)
+
+let analyze net =
+  let ng = Netlist.gate_count net in
+  let fanout = Netlist.fanout net in
+  let arrival = Array.make ng 0.0 in
+  (* sources: inputs/consts at 0, DFFs launch after clk->q *)
+  Array.iteri
+    (fun id (g : Gate.t) ->
+      match g.Gate.op with
+      | Gate.Dff _ -> arrival.(id) <- gate_delay net fanout id
+      | Gate.Input | Gate.Const _ -> arrival.(id) <- 0.0
+      | _ -> ())
+    net.Netlist.gates;
+  let order = Netlist.levelize net in
+  Array.iter
+    (fun id ->
+      let g = net.Netlist.gates.(id) in
+      let worst = ref 0.0 in
+      Array.iter
+        (fun f -> if arrival.(f) > !worst then worst := arrival.(f))
+        g.Gate.fanin;
+      arrival.(id) <- !worst +. gate_delay net fanout id)
+    order;
+  (* endpoints: DFF D pins (+ setup) and primary outputs *)
+  let crit = ref 0.0 in
+  let crit_gate = ref 0 in
+  Array.iteri
+    (fun id (g : Gate.t) ->
+      match g.Gate.op with
+      | Gate.Dff _ ->
+        let t = arrival.(g.Gate.fanin.(0)) +. Cells.dff_setup_ps in
+        if t > !crit then begin
+          crit := t;
+          crit_gate := id
+        end
+      | _ -> ())
+    net.Netlist.gates;
+  List.iter
+    (fun (_, ids) ->
+      Array.iter
+        (fun id ->
+          if arrival.(id) > !crit then begin
+            crit := arrival.(id);
+            crit_gate := id
+          end)
+        ids)
+    net.Netlist.output_ports;
+  { arrival_ps = arrival; critical_path_ps = !crit; critical_gate = !crit_gate }
+
+let slack_fraction ~baseline_ps t =
+  if baseline_ps <= 0.0 then 0.0
+  else Float.max 0.0 ((baseline_ps -. t.critical_path_ps) /. baseline_ps)
+
+let downsize net =
+  let fanout = Netlist.fanout net in
+  Netlist.map_gates net (fun id g ->
+      match g.Gate.op with
+      | Gate.Input | Gate.Const _ | Gate.Dff _ -> g
+      | _ ->
+        let drive = if Array.length fanout.(id) >= 5 then 1 else 0 in
+        { g with Gate.drive })

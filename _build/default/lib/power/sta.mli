@@ -1,0 +1,23 @@
+(** Static timing analysis over the gate netlist.
+
+    Linear delay model from {!Bespoke_cells.Cells}: gate delay =
+    intrinsic + drive resistance x (wire capacitance + fanin pin
+    capacitance of the readers).  Paths start at primary inputs,
+    constants and DFF clk->q arcs, and end at DFF D pins (plus setup)
+    and primary outputs. *)
+
+type t = {
+  arrival_ps : float array;  (** per gate output *)
+  critical_path_ps : float;
+  critical_gate : int;  (** endpoint gate id of the critical path *)
+}
+
+val analyze : Bespoke_netlist.Netlist.t -> t
+
+val slack_fraction : baseline_ps:float -> t -> float
+(** [(baseline - critical) / baseline], the paper's "timing slack %". *)
+
+val downsize : Bespoke_netlist.Netlist.t -> Bespoke_netlist.Netlist.t
+(** Re-select drive strengths for the (pruned) netlist: high drive
+    only where fanout still warrants it — the slack-driven cell
+    downsizing step of the paper's re-synthesis. *)

@@ -1,0 +1,20 @@
+module Cells = Bespoke_cells.Cells
+
+let vmin ~critical_path_ps ~period_ps =
+  if critical_path_ps <= 0.0 then Cells.vdd_floor
+  else begin
+    let fits v =
+      Cells.delay_scale ~vdd:v *. critical_path_ps *. Cells.guard_band
+      <= period_ps
+    in
+    let rec search v best =
+      if v < Cells.vdd_floor -. 1e-9 then best
+      else if fits v then search (v -. 0.01) v
+      else best
+    in
+    search Cells.vdd_nominal Cells.vdd_nominal
+  end
+
+let max_frequency_scale ~critical_path_ps ~period_ps =
+  if critical_path_ps <= 0.0 then 1.0
+  else Float.max 1.0 (period_ps /. (critical_path_ps *. Cells.guard_band))

@@ -1,0 +1,13 @@
+(** Voltage scaling: turning exposed timing slack into power savings
+    (paper Table 2).
+
+    The minimum safe supply is the lowest voltage (searched in 10 mV
+    steps, worst-case PVT guard band applied) at which the design's
+    critical path still fits in the clock period. *)
+
+val vmin :
+  critical_path_ps:float -> period_ps:float -> float
+(** Clamped to [Cells.vdd_floor .. Cells.vdd_nominal]. *)
+
+val max_frequency_scale : critical_path_ps:float -> period_ps:float -> float
+(** How much faster the design could be clocked at nominal voltage. *)

@@ -1,0 +1,1 @@
+lib/programs/benchmark.ml: Bespoke_isa Int List Printf String

@@ -1,0 +1,1 @@
+lib/programs/benchmark.mli: Bespoke_isa

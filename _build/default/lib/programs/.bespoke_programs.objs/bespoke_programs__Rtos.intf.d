@@ -1,0 +1,1 @@
+lib/programs/rtos.mli: Benchmark

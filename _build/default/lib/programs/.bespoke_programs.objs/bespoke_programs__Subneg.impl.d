@@ -1,0 +1,1 @@
+lib/programs/subneg.ml: Benchmark List

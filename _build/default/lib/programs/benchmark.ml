@@ -1,0 +1,1098 @@
+module Asm = Bespoke_isa.Asm
+module Memmap = Bespoke_isa.Memmap
+
+type group = Sensor | Eembc | Unit_test | Synthetic
+
+type t = {
+  name : string;
+  description : string;
+  group : group;
+  source : string;
+  input_ranges : (int * int) list;
+  gen_inputs : int -> (int * int) list * int;
+  uses_irq : bool;
+  irq_pulses : int -> int list;
+  result_addrs : int list;
+}
+
+let image b = Asm.assemble b.source
+let input_base = 0x0300
+let output_base = 0x0380
+
+let rand16 ~state =
+  state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+  (!state lsr 7) land 0xFFFF
+
+let words ~state ~base ~count ?(mask = 0xFFFF) () =
+  List.init count (fun i -> (base + (2 * i), rand16 ~state land mask))
+
+let no_irq _ = []
+let no_inputs _ = ([], 0)
+
+let mk ?(group = Sensor) ?(input_ranges = []) ?(gen_inputs = no_inputs)
+    ?(uses_irq = false) ?(irq_pulses = no_irq) ?(result_addrs = [ output_base ])
+    name description source =
+  {
+    name;
+    description;
+    group;
+    source;
+    input_ranges;
+    gen_inputs;
+    uses_irq;
+    irq_pulses;
+    result_addrs;
+  }
+
+(* Common source prologue: symbolic names for the memory map. *)
+let prologue =
+  Printf.sprintf
+    {|
+        .equ IN, 0x%04x
+        .equ OUT, 0x%04x
+        .equ GPIO_IN, 0x%04x
+        .equ GPIO_OUT, 0x%04x
+        .equ MPY, 0x%04x
+        .equ MAC, 0x%04x
+        .equ OP2, 0x%04x
+        .equ RESLO, 0x%04x
+        .equ RESHI, 0x%04x
+        .equ IE, 0x%04x
+        .equ IFG, 0x%04x
+        .equ WDTCTL, 0x%04x
+        .equ WDTCNT, 0x%04x
+        .equ DBGCTL, 0x%04x
+        .equ DBGPC, 0x%04x
+        .equ DBGBRK, 0x%04x
+        .equ DBGCYCLO, 0x%04x
+        .equ DBGCYCHI, 0x%04x
+        .equ CLKCTL, 0x%04x
+        .equ CLKCNT, 0x%04x
+|}
+    input_base output_base Memmap.gpio_in Memmap.gpio_out Memmap.mpy_op1
+    Memmap.mpy_mac Memmap.mpy_op2 Memmap.mpy_reslo Memmap.mpy_reshi
+    Memmap.sfr_ie Memmap.sfr_ifg Memmap.wdt_ctl Memmap.wdt_cnt Memmap.dbg_ctl
+    Memmap.dbg_pc Memmap.dbg_brk Memmap.dbg_cyc_lo Memmap.dbg_cyc_hi
+    Memmap.clk_ctl Memmap.clk_cnt
+
+let src body = prologue ^ body
+
+(* ------------------------------------------------------------------ *)
+(* Sensor benchmarks                                                    *)
+
+let bin_search =
+  mk "binSearch" "Binary search over a 16-word sorted input table"
+    ~input_ranges:[ (input_base, input_base + 33) ]
+    ~gen_inputs:(fun seed ->
+      let state = ref (seed + 17) in
+      (* sorted table *)
+      let tbl =
+        List.init 16 (fun _ -> rand16 ~state land 0x0FFF)
+        |> List.sort Int.compare
+      in
+      let key =
+        if seed land 1 = 0 then List.nth tbl (seed mod 16)
+        else rand16 ~state land 0x0FFF
+      in
+      ( List.mapi (fun i v -> (input_base + (2 * i), v)) tbl
+        @ [ (input_base + 32, key) ],
+        0 ))
+    ~result_addrs:[ output_base ]
+    (src
+       {|
+        .equ KEY, 0x0320
+start:  mov #0x0400, sp
+        clr r4               ; lo (word index)
+        mov #16, r5          ; hi (exclusive)
+        mov &KEY, r8
+        mov #0xffff, r9      ; result: not found
+loop:   cmp r5, r4           ; lo - hi
+        jhs done
+        mov r4, r6
+        add r5, r6
+        rra r6               ; mid = (lo+hi)/2
+        mov r6, r7
+        rla r7               ; byte offset
+        and #0x001e, r7      ; bound the table index
+        mov IN(r7), r10
+        cmp r8, r10          ; table[mid] - key
+        jeq found
+        jlo less
+        mov r6, r5           ; hi = mid
+        jmp loop
+less:   mov r6, r4           ; lo = mid + 1
+        inc r4
+        jmp loop
+found:  mov r6, r9
+done:   mov r9, &OUT
+        mov r9, &GPIO_OUT
+        halt
+|})
+
+let div =
+  mk "div" "Unsigned 16/16 restoring division"
+    ~input_ranges:[ (input_base, input_base + 3) ]
+    ~gen_inputs:(fun seed ->
+      let state = ref (seed + 99) in
+      let n = rand16 ~state in
+      let d = max 1 (rand16 ~state land 0x0FFF) in
+      ([ (input_base, n); (input_base + 2, d) ], 0))
+    ~result_addrs:[ output_base; output_base + 2 ]
+    (src
+       {|
+start:  mov #0x0400, sp
+        mov &IN, r4          ; dividend
+        mov &IN+2, r5        ; divisor
+        clr r6               ; quotient
+        clr r7               ; remainder
+        mov #16, r8
+dloop:  rla r6
+        rla r4               ; msb -> C
+        rlc r7
+        jc dsub              ; remainder overflowed 16 bits
+        cmp r5, r7
+        jlo dnext
+dsub:   sub r5, r7
+        bis #1, r6
+dnext:  dec r8
+        jnz dloop
+        mov r6, &OUT         ; quotient
+        mov r7, &OUT+2       ; remainder
+        mov r6, &GPIO_OUT
+        halt
+|})
+
+let in_sort =
+  mk "inSort" "In-place insertion sort of 8 input words"
+    ~input_ranges:[ (input_base, input_base + 15) ]
+    ~gen_inputs:(fun seed ->
+      let state = ref (seed + 3) in
+      (words ~state ~base:input_base ~count:8 (), 0))
+    ~result_addrs:[ output_base ]
+    (src
+       {|
+start:  mov #0x0400, sp
+        mov #2, r4           ; i (byte offset)
+outer:  cmp #16, r4
+        jhs sorted
+        mov r4, r15
+        and #0x000e, r15
+        mov IN(r15), r5      ; key
+        mov r4, r6           ; j
+inner:  tst r6
+        jz insert
+        mov r6, r7
+        sub #2, r7
+        and #0x000e, r7      ; bound the load index
+        mov IN(r7), r8       ; a[j-1]
+        cmp r5, r8           ; a[j-1] - key
+        jlo insert
+        jeq insert
+        mov r6, r15
+        and #0x000e, r15     ; bound the store index
+        mov r8, IN(r15)      ; a[j] = a[j-1]
+        sub #2, r6
+        jmp inner
+insert: mov r6, r15
+        and #0x000e, r15
+        mov r5, IN(r15)
+        incd r4
+        jmp outer
+sorted: ; checksum the sorted array
+        clr r9
+        clr r10
+cksum:  mov IN(r10), r11
+        add r11, r9
+        incd r10
+        cmp #16, r10
+        jlo cksum
+        mov r9, &OUT
+        mov r9, &GPIO_OUT
+        halt
+|})
+
+let int_avg =
+  mk "intAVG" "Signed average of 16 input samples"
+    ~input_ranges:[ (input_base, input_base + 31) ]
+    ~gen_inputs:(fun seed ->
+      let state = ref (seed + 7) in
+      (words ~state ~base:input_base ~count:16 ~mask:0x0FFF (), 0))
+    ~result_addrs:[ output_base ]
+    (src
+       {|
+start:  mov #0x0400, sp
+        clr r4               ; sum
+        clr r5               ; index (bytes)
+aloop:  mov IN(r5), r6
+        add r6, r4
+        incd r5
+        cmp #32, r5
+        jlo aloop
+        rra r4               ; /16 (arithmetic)
+        rra r4
+        rra r4
+        rra r4
+        mov r4, &OUT
+        mov r4, &GPIO_OUT
+        halt
+|})
+
+(* 4-tap FIR with constant coefficients {3,5,3,1}: the immediate
+   operand constraints keep most multiplier op1 bits at constant 0
+   (the paper's intFilt observation). *)
+let int_filt =
+  mk "intFilt" "4-tap FIR filter over 16 samples (hardware MAC)"
+    ~input_ranges:[ (input_base, input_base + 31) ]
+    ~gen_inputs:(fun seed ->
+      let state = ref (seed + 11) in
+      (words ~state ~base:input_base ~count:16 ~mask:0x03FF (), 0))
+    ~result_addrs:[ output_base; output_base + 2; output_base + 24 ]
+    (src
+       {|
+start:  mov #0x0400, sp
+        mov #6, r4           ; n (byte offset), first full window
+floop:  mov r4, r5
+        and #0x001e, r5
+        mov #3, &MPY         ; c0, clears accumulator via plain MPY
+        mov IN(r5), &OP2
+        sub #2, r5
+        and #0x001e, r5
+        mov #5, &MAC         ; c1
+        mov IN(r5), &OP2
+        sub #2, r5
+        and #0x001e, r5
+        mov #3, &MAC         ; c2
+        mov IN(r5), &OP2
+        sub #2, r5
+        and #0x001e, r5
+        mov #1, &MAC         ; c3
+        mov IN(r5), &OP2
+        mov &RESLO, r6
+        mov r4, r7
+        sub #6, r7
+        and #0x001e, r7
+        mov r6, OUT(r7)
+        incd r4
+        cmp #32, r4
+        jlo floop
+        mov r6, &GPIO_OUT
+        halt
+|})
+
+(* Same instruction multiset as intFilt, different schedule: the
+   coefficient writes happen in a different order (so different MAC /
+   MPY interleaving), loop bookkeeping is hoisted differently, and the
+   roles of registers are permuted.  Still a valid halting program. *)
+let scrambled_int_filt =
+  mk "scrambled-intFilt" "intFilt with the instruction schedule scrambled"
+    ~group:Synthetic
+    ~input_ranges:[ (input_base, input_base + 31) ]
+    ~gen_inputs:(fun seed ->
+      let state = ref (seed + 11) in
+      (words ~state ~base:input_base ~count:16 ~mask:0x03FF (), 0))
+    ~result_addrs:[ output_base; output_base + 2; output_base + 24 ]
+    (src
+       {|
+start:  mov #0x0400, sp
+        mov #6, r7           ; n (byte offset)
+floop:  mov r7, r6
+        sub #6, r6
+        and #0x001e, r6      ; output index, computed up front
+        mov r7, r4
+        and #0x001e, r4
+        mov #1, &MPY         ; c3 first (different coefficient order)
+        sub #6, r4
+        and #0x001e, r4
+        mov IN(r4), &OP2
+        add #2, r4
+        and #0x001e, r4
+        mov #3, &MAC         ; c2
+        mov IN(r4), &OP2
+        add #2, r4
+        and #0x001e, r4
+        mov #5, &MAC         ; c1
+        mov IN(r4), &OP2
+        add #2, r4
+        and #0x001e, r4
+        mov #3, &MAC         ; c0
+        mov IN(r4), &OP2
+        mov &RESLO, r5
+        mov r5, OUT(r6)
+        incd r7
+        cmp #32, r7
+        jlo floop
+        mov r5, &GPIO_OUT
+        halt
+|})
+
+let mult =
+  mk "mult" "Unsigned 16x16 multiply of two inputs (hardware multiplier)"
+    ~input_ranges:[ (input_base, input_base + 3) ]
+    ~gen_inputs:(fun seed ->
+      let state = ref (seed + 23) in
+      ([ (input_base, rand16 ~state); (input_base + 2, rand16 ~state) ], 0))
+    ~result_addrs:[ output_base; output_base + 2 ]
+    (src
+       {|
+start:  mov #0x0400, sp
+        ; three products, exercising the full datapath
+        mov &IN, &MPY
+        mov &IN+2, &OP2
+        mov &RESLO, r4
+        mov &RESHI, r5
+        mov &IN+2, &MAC      ; accumulate square of second input
+        mov &IN+2, &OP2
+        mov &RESLO, r6
+        mov &RESHI, r7
+        mov r4, &OUT
+        mov r5, &OUT+2
+        mov r6, &OUT+4
+        mov r7, &OUT+6
+        mov r6, &GPIO_OUT
+        halt
+|})
+
+let rle =
+  mk "rle" "Run-length encoder over 16 input bytes"
+    ~input_ranges:[ (input_base, input_base + 15) ]
+    ~gen_inputs:(fun seed ->
+      let state = ref (seed + 5) in
+      (* runs are likely: draw from a 4-symbol alphabet *)
+      ( List.init 8 (fun i ->
+            let lo = rand16 ~state land 0x0303 in
+            (input_base + (2 * i), lo)),
+        0 ))
+    ~result_addrs:[ output_base; output_base + 2 ]
+    (src
+       {|
+start:  mov #0x0400, sp
+        clr r4               ; input byte index
+        clr r5               ; output byte offset
+        mov.b IN(r4), r6     ; current symbol
+        inc r4
+        mov #1, r7           ; run length
+rloop:  cmp #16, r4
+        jhs rdone
+        mov r4, r15
+        and #0x000f, r15
+        mov.b IN(r15), r9
+        inc r4
+        cmp r9, r6
+        jne rflush
+        inc r7
+        jmp rloop
+rflush: mov r5, r15
+        and #0x001e, r15     ; bound the output pointer
+        mov.b r6, OUT(r15)
+        inc r15
+        and #0x001f, r15
+        mov.b r7, OUT(r15)
+        incd r5
+        mov r9, r6
+        mov #1, r7
+        jmp rloop
+rdone:  mov r5, r15
+        and #0x001e, r15
+        mov.b r6, OUT(r15)
+        inc r15
+        and #0x001f, r15
+        mov.b r7, OUT(r15)
+        incd r5
+        mov r5, &GPIO_OUT    ; encoded length (bytes)
+        halt
+|})
+
+let t_hold =
+  mk "tHold" "Digital threshold detector over 16 samples"
+    ~input_ranges:[ (input_base, input_base + 31) ]
+    ~gen_inputs:(fun seed ->
+      let state = ref (seed + 31) in
+      (words ~state ~base:input_base ~count:16 ~mask:0x0FFF (), 0))
+    ~result_addrs:[ output_base; output_base + 2 ]
+    (src
+       {|
+        .equ THRESH, 0x0800
+start:  mov #0x0400, sp
+        clr r4               ; count above threshold
+        clr r5               ; index
+        clr r8               ; longest run above
+        clr r9               ; current run
+tloop:  mov IN(r5), r6
+        cmp #THRESH, r6
+        jlo below
+        inc r4
+        inc r9
+        cmp r8, r9
+        jlo tnext
+        mov r9, r8
+        jmp tnext
+below:  clr r9
+tnext:  incd r5
+        cmp #32, r5
+        jlo tloop
+        mov r4, &OUT
+        mov r8, &OUT+2
+        mov r4, &GPIO_OUT
+        halt
+|})
+
+let tea8 =
+  mk "tea8" "TEA block cipher, 8 rounds, 64-bit block (32-bit software arithmetic)"
+    ~input_ranges:[ (input_base, input_base + 7) ]
+    ~gen_inputs:(fun seed ->
+      let state = ref (seed + 41) in
+      (words ~state ~base:input_base ~count:4 (), 0))
+    ~result_addrs:[ output_base; output_base + 2; output_base + 4; output_base + 6 ]
+    (src
+       {|
+        .equ ROUNDS, 0x03c0
+        ; key schedule constants (immutable key)
+        .equ K0LO, 0x316c
+        .equ K0HI, 0xa341
+        .equ K1LO, 0x2d90
+        .equ K1HI, 0xc801
+        .equ K2LO, 0xe3e1
+        .equ K2HI, 0xd23c
+        .equ K3LO, 0x9a8d
+        .equ K3HI, 0x1b55
+start:  mov #0x0400, sp
+        mov &IN, r4          ; v0 lo
+        mov &IN+2, r5        ; v0 hi
+        mov &IN+4, r6        ; v1 lo
+        mov &IN+6, r7        ; v1 hi
+        clr r8               ; sum lo
+        clr r9               ; sum hi
+        mov #8, &ROUNDS
+round:  add #0x79b9, r8      ; sum += delta (0x9e3779b9)
+        addc #0x9e37, r9
+        ; --- v0 += ((v1<<4)+k0) ^ (v1+sum) ^ ((v1>>5)+k1) ---
+        mov r6, r10          ; t = v1
+        mov r7, r11
+        rla r10
+        rlc r11
+        rla r10
+        rlc r11
+        rla r10
+        rlc r11
+        rla r10
+        rlc r11              ; t = v1 << 4
+        add #K0LO, r10
+        addc #K0HI, r11
+        mov r6, r12          ; u = v1 + sum
+        mov r7, r13
+        add r8, r12
+        addc r9, r13
+        xor r12, r10
+        xor r13, r11
+        mov r6, r14          ; w = v1 >> 5 (logical)
+        mov r7, r15
+        clrc
+        rrc r15
+        rrc r14
+        clrc
+        rrc r15
+        rrc r14
+        clrc
+        rrc r15
+        rrc r14
+        clrc
+        rrc r15
+        rrc r14
+        clrc
+        rrc r15
+        rrc r14
+        add #K1LO, r14
+        addc #0xc801, r15
+        xor r14, r10
+        xor r15, r11
+        add r10, r4
+        addc r11, r5
+        ; --- v1 += ((v0<<4)+k2) ^ (v0+sum) ^ ((v0>>5)+k3) ---
+        mov r4, r10
+        mov r5, r11
+        rla r10
+        rlc r11
+        rla r10
+        rlc r11
+        rla r10
+        rlc r11
+        rla r10
+        rlc r11
+        add #K2LO, r10
+        addc #K2HI, r11
+        mov r4, r12
+        mov r5, r13
+        add r8, r12
+        addc r9, r13
+        xor r12, r10
+        xor r13, r11
+        mov r4, r14
+        mov r5, r15
+        clrc
+        rrc r15
+        rrc r14
+        clrc
+        rrc r15
+        rrc r14
+        clrc
+        rrc r15
+        rrc r14
+        clrc
+        rrc r15
+        rrc r14
+        clrc
+        rrc r15
+        rrc r14
+        add #K3LO, r14
+        addc #K3HI, r15
+        xor r14, r10
+        xor r15, r11
+        add r10, r6
+        addc r11, r7
+        dec &ROUNDS
+        jnz round
+        mov r4, &OUT
+        mov r5, &OUT+2
+        mov r6, &OUT+4
+        mov r7, &OUT+6
+        mov r4, &GPIO_OUT
+        halt
+|})
+
+(* ------------------------------------------------------------------ *)
+(* EEMBC-class benchmarks                                               *)
+
+(* Branch-free signed Q7 multiply macro: r12 = (r12 * r13) >> 7,
+   clobbers r14/r15.  Inlined at each use so the execution-tree
+   explorer never merges unrelated call sites. *)
+let smul_q7 =
+  {|
+        mov r12, &MPY
+        mov r13, &OP2
+        mov r12, r14
+        rla r14
+        subc r14, r14        ; 0xffff when r12 >= 0
+        inv r14              ; mask: r12 < 0
+        and r13, r14         ; correction b
+        mov r13, r15
+        rla r15
+        subc r15, r15
+        inv r15
+        and r12, r15         ; correction a
+        mov &RESHI, r13
+        sub r14, r13
+        sub r15, r13
+        mov &RESLO, r12
+        rra r13
+        rrc r12
+        rra r13
+        rrc r12
+        rra r13
+        rrc r12
+        rra r13
+        rrc r12
+        rra r13
+        rrc r12
+        rra r13
+        rrc r12
+        rra r13
+        rrc r12
+|}
+
+let fft =
+  mk "FFT" "8-point radix-2 fixed-point FFT (Q7 twiddles)" ~group:Eembc
+    ~input_ranges:[ (input_base, input_base + 15) ]
+    ~gen_inputs:(fun seed ->
+      let state = ref (seed + 77) in
+      ( List.init 8 (fun i ->
+            (input_base + (2 * i), rand16 ~state land 0x03FF)),
+        0 ))
+    ~result_addrs:
+      (List.init 8 (fun i -> output_base + (2 * i)))
+    (src
+       (Printf.sprintf
+          {|
+        .equ RE, 0x0340      ; working arrays
+        .equ IM, 0x0360
+        .equ HALFB, 0x03c0   ; loop state spilled to RAM
+        .equ TWMUL, 0x03c2
+        .equ GBASE, 0x03c4
+        .equ MOFF, 0x03c6
+        .equ WR, 0x03c8
+        .equ WI, 0x03ca
+        .equ TR, 0x03cc
+        .equ TI, 0x03ce
+start:  mov #0x0400, sp
+        ; bit-reversed load: re[i] = in[rev(i)], im[i] = 0
+        clr r4
+brl:    mov r4, r5
+        rla r5               ; table byte offset
+        mov revtab(r5), r6   ; rev(i) byte offset
+        and #0x000e, r6
+        mov IN(r6), r7
+        mov r4, r5
+        rla r5
+        and #0x000e, r5
+        mov r7, RE(r5)
+        clr r8
+        mov r8, IM(r5)
+        inc r4
+        cmp #8, r4
+        jlo brl
+        ; three stages: half bytes = 2, 4, 8
+        ; twiddle byte stride per butterfly word = 16 / half_words
+        mov #2, &HALFB
+        mov #16, &TWMUL
+stage:  clr &GBASE
+group:  clr &MOFF
+bfly:   ; i = g + m ; j = i + half
+        mov &GBASE, r8
+        add &MOFF, r8
+        and #0x000e, r8      ; i byte offset
+        mov r8, r9
+        add &HALFB, r9
+        and #0x000e, r9      ; j byte offset
+        ; twiddle: index = m * twmul (bytes into 4-byte entries)
+        mov &MOFF, r10
+        mov &TWMUL, r11
+        ; multiply small ints by shift-add: twmul in {8,4,2}
+        ; offset = m * twmul / ... both are bytes: tw_byte = m*twmul
+        ; m in {0,2,4,6}, twmul in {8,4,2}: products <= 48
+        clr r12
+twmloop: tst r10
+        jz twmdone
+        add r11, r12
+        decd r10
+        ; r12 += twmul per 2 bytes of m; so use twmul*1 per word step
+        jmp twmloop
+twmdone: ; r12 = (m/2)*twmul ; entries are 4 bytes: tw offset = r12*...
+        ; twmul was chosen so r12 is already the byte offset into twtab
+        and #0x000c, r12
+        mov twtab(r12), r13
+        mov r13, &WR
+        mov r12, r13
+        add #2, r13
+        and #0x000e, r13
+        mov twtab(r13), r13
+        mov r13, &WI
+        ; tr = (wr*re[j] - wi*im[j]) >> 7
+        mov RE(r9), r13
+        mov &WR, r12
+        %s
+        mov r12, &TR
+        mov IM(r9), r13
+        mov &WI, r12
+        %s
+        sub r12, &TR
+        ; ti = (wr*im[j] + wi*re[j]) >> 7
+        mov IM(r9), r13
+        mov &WR, r12
+        %s
+        mov r12, &TI
+        mov RE(r9), r13
+        mov &WI, r12
+        %s
+        add r12, &TI
+        ; butterfly update
+        mov RE(r8), r4
+        mov r4, r5
+        sub &TR, r5
+        mov r5, RE(r9)
+        add &TR, r4
+        mov r4, RE(r8)
+        mov IM(r8), r4
+        mov r4, r5
+        sub &TI, r5
+        mov r5, IM(r9)
+        add &TI, r4
+        mov r4, IM(r8)
+        ; next m
+        incd &MOFF
+        mov &MOFF, r4
+        cmp &HALFB, r4
+        jlo bfly
+        ; next group
+        mov &GBASE, r4
+        add &HALFB, r4
+        add &HALFB, r4
+        mov r4, &GBASE
+        cmp #16, r4
+        jlo group
+        ; next stage
+        rla &HALFB
+        clrc
+        rrc &TWMUL
+        mov &HALFB, r4
+        cmp #16, r4
+        jlo stage
+        ; emit magnitude proxies: |re| + |im| per bin
+        clr r4
+emit:   mov r4, r5
+        rla r5
+        and #0x000e, r5
+        mov RE(r5), r6
+        tst r6
+        jge epos
+        inv r6
+        inc r6
+epos:   mov IM(r5), r7
+        tst r7
+        jge eps2
+        inv r7
+        inc r7
+eps2:   add r7, r6
+        mov r6, OUT(r5)
+        inc r4
+        cmp #8, r4
+        jlo emit
+        mov r6, &GPIO_OUT
+        halt
+revtab: .word 0, 8, 4, 12, 2, 10, 6, 14
+twtab:  .word 127, 0, 90, 0xffa6, 0, 0xff81, 0xffa6, 0xffa6
+|}
+          smul_q7 smul_q7 smul_q7 smul_q7))
+
+let conv_en =
+  mk "convEn" "Convolutional encoder K=3 rate 1/2 over 16 input bits"
+    ~group:Eembc
+    ~input_ranges:[ (input_base, input_base + 1) ]
+    ~gen_inputs:(fun seed ->
+      let state = ref (seed + 53) in
+      ([ (input_base, rand16 ~state) ], 0))
+    ~result_addrs:[ output_base; output_base + 2 ]
+    (src
+       {|
+start:  mov #0x0400, sp
+        mov &IN, r4          ; input bits
+        clr r5               ; shift register (2 bits of history)
+        clr r6               ; output stream lo (g0 bits)
+        clr r7               ; output stream (g1 bits)
+        mov #16, r8
+cloop:  rla r6               ; make room
+        rla r7
+        ; current input bit -> r9
+        clr r9
+        rla r4               ; msb out
+        adc r9               ; r9 = bit
+        ; g0 = b ^ s0 ^ s1 ; g1 = b ^ s1
+        mov r9, r10
+        mov r5, r11
+        and #1, r11          ; s0
+        xor r11, r10
+        mov r5, r11
+        rra r11
+        and #1, r11          ; s1
+        xor r11, r10         ; g0
+        mov r9, r12
+        mov r5, r11
+        rra r11
+        and #1, r11
+        xor r11, r12         ; g1
+        bis r10, r6
+        bis r12, r7
+        ; shift history
+        rla r5
+        bis r9, r5
+        and #3, r5
+        dec r8
+        jnz cloop
+        mov r6, &OUT
+        mov r7, &OUT+2
+        mov r6, &GPIO_OUT
+        halt
+|})
+
+let viterbi =
+  mk "Viterbi" "Hard-decision Viterbi decoder (K=3, 4 states, 8 symbols)"
+    ~group:Eembc
+    ~input_ranges:[ (input_base, input_base + 15) ]
+    ~gen_inputs:(fun seed ->
+      let state = ref (seed + 61) in
+      (* 8 received symbol pairs, 2 bits each, possibly noisy *)
+      ( List.init 8 (fun i -> (input_base + (2 * i), rand16 ~state land 3)),
+        0 ))
+    ~result_addrs:[ output_base ]
+    (src
+       {|
+        ; path metrics (old/new) and decision bits in RAM
+        .equ PM, 0x0340        ; 4 words
+        .equ PMN, 0x0348       ; 4 words
+        .equ DEC, 0x0350       ; 8 words of decision nibbles
+        .equ SYM, 0x03c0
+        .equ TIDX, 0x03c2
+        ; branch output table: out[state][bit] 2-bit symbols, K=3 g0=7 g1=5
+        ; prev-state transition: next = ((state<<1)|bit) & 3
+start:  mov #0x0400, sp
+        ; init metrics: state 0 = 0, others = 64
+        clr &PM
+        mov #64, &PM+2
+        mov #64, &PM+4
+        mov #64, &PM+6
+        clr r11              ; time index (words)
+tloop:  mov r11, r15
+        rla r15
+        and #0x000e, r15
+        mov IN(r15), r4
+        and #3, r4
+        mov r4, &SYM
+        ; for each next-state ns in 0..3 compute best predecessor
+        clr r5               ; ns
+nsloop: ; predecessors of ns: p0 = (ns>>1), p1 = (ns>>1)+2
+        mov r5, r6
+        rra r6
+        and #1, r6           ; p0
+        mov r6, r7
+        add #2, r7           ; p1
+        ; input bit that causes transition = ns & 1
+        mov r5, r8
+        and #1, r8
+        ; expected symbol for (p, bit): table lookup
+        ; otab index = p*2 + bit (words)
+        mov r6, r9
+        rla r9
+        add r8, r9
+        rla r9
+        and #0x000e, r9
+        mov otab(r9), r10    ; expected symbol (2 bits)
+        xor &SYM, r10
+        ; hamming weight of 2-bit value
+        mov r10, r12
+        and #1, r12
+        rra r10
+        and #1, r10
+        add r12, r10         ; branch metric 0..2
+        ; candidate metric from p0
+        mov r6, r12
+        rla r12
+        and #0x0006, r12
+        mov PM(r12), r13
+        add r10, r13         ; metric via p0
+        ; expected symbol for (p1, bit)
+        mov r7, r9
+        rla r9
+        add r8, r9
+        rla r9
+        and #0x000e, r9
+        mov otab(r9), r10
+        xor &SYM, r10
+        mov r10, r12
+        and #1, r12
+        rra r10
+        and #1, r10
+        add r12, r10
+        mov r7, r12
+        rla r12
+        and #0x0006, r12
+        mov PM(r12), r14
+        add r10, r14         ; metric via p1
+        ; select smaller; decision bit = 1 if p1 chosen
+        clr r10
+        cmp r13, r14         ; m1 - m0
+        jhs keep0
+        mov r14, r13
+        mov #1, r10
+keep0:  ; store new metric and decision
+        mov r5, r12
+        rla r12
+        and #0x0006, r12
+        mov r13, PMN(r12)
+        ; decision bits packed per time step: dec |= r10 << ns
+        mov r11, r15
+        rla r15
+        and #0x000e, r15
+        tst r10
+        jz nodec
+        ; set bit ns of DEC(t)
+        mov #1, r9
+        tst r5
+        jz put
+        mov r5, r14
+shl:    rla r9
+        dec r14
+        jnz shl
+put:    bis r9, DEC(r15)
+nodec:  inc r5
+        cmp #4, r5
+        jlo nsloop
+        ; copy PMN -> PM
+        mov &PMN, &PM
+        mov &PMN+2, &PM+2
+        mov &PMN+4, &PM+4
+        mov &PMN+6, &PM+6
+        inc r11
+        cmp #8, r11
+        jlo tloop
+        ; pick best final state
+        clr r4               ; best state
+        mov &PM, r5
+        mov #1, r6
+best:   mov r6, r7
+        rla r7
+        and #0x0006, r7
+        mov PM(r7), r8
+        cmp r5, r8
+        jhs nb
+        mov r8, r5
+        mov r6, r4
+nb:     inc r6
+        cmp #4, r6
+        jlo best
+        ; traceback 8 steps, collecting decoded bits msb-first
+        clr r9               ; decoded word
+        mov #7, r11
+tb:     mov r11, r15
+        rla r15
+        and #0x000e, r15
+        mov DEC(r15), r10
+        ; decision bit for current state r4
+        mov r4, r14
+        tst r14
+        jz tb0
+tbs:    rra r10
+        dec r14
+        jnz tbs
+tb0:    and #1, r10          ; chosen predecessor flag
+        ; decoded bit = r4 & 1 ; prev = (r4 >> 1) + 2*flag
+        mov r4, r13
+        and #1, r13
+        ; place bit at position t
+        mov r11, r14
+        tst r14
+        jz place
+pl:     rla r13
+        dec r14
+        jnz pl
+place:  bis r13, r9
+        mov r4, r13
+        rra r13
+        and #1, r13
+        tst r10
+        jz nof
+        add #2, r13
+nof:    mov r13, r4
+        dec r11
+        jge tb
+        mov r9, &OUT
+        mov r9, &GPIO_OUT
+        halt
+otab:   .word 0, 3, 1, 2, 3, 0, 2, 1
+|})
+
+let autocorr =
+  mk "autocorr" "Autocorrelation of 16 samples for lags 0..3 (hardware MAC)"
+    ~group:Eembc
+    ~input_ranges:[ (input_base, input_base + 31) ]
+    ~gen_inputs:(fun seed ->
+      let state = ref (seed + 67) in
+      (words ~state ~base:input_base ~count:16 ~mask:0x00FF (), 0))
+    ~result_addrs:[ output_base; output_base + 2; output_base + 4; output_base + 6 ]
+    (src
+       {|
+start:  mov #0x0400, sp
+        clr r4               ; lag (words)
+lagloop: ; acc over i = 0 .. 15-lag of x[i]*x[i+lag]
+        mov r4, r10
+        rla r10              ; lag bytes
+        clr r5               ; i bytes
+        ; first product via MPY (clears accumulator)
+        mov IN(r5), &MPY
+        mov r5, r6
+        add r10, r6
+        and #0x001e, r6
+        mov IN(r6), &OP2
+        incd r5
+acloop: mov r5, r6
+        add r10, r6
+        cmp #32, r6
+        jhs lagdone
+        mov r5, r7
+        and #0x001e, r7
+        mov IN(r7), &MAC
+        and #0x001e, r6
+        mov IN(r6), &OP2
+        incd r5
+        jmp acloop
+lagdone: mov &RESLO, r8
+        mov r4, r9
+        rla r9
+        and #0x0006, r9
+        mov r8, OUT(r9)
+        inc r4
+        cmp #4, r4
+        jlo lagloop
+        mov r8, &GPIO_OUT
+        halt
+|})
+
+(* ------------------------------------------------------------------ *)
+(* Unit-test benchmarks                                                 *)
+
+let irq =
+  mk "irq" "Interrupt controller test: three external interrupts"
+    ~group:Unit_test ~uses_irq:true
+    ~irq_pulses:(fun seed -> [ 8 + (seed mod 3); 20; 33 ])
+    ~gen_inputs:(fun _ -> ([], 0))
+    ~result_addrs:[ output_base; output_base + 2 ]
+    (src
+       {|
+        .irq handler
+        .equ COUNT, 0x03c0
+start:  mov #0x0400, sp
+        clr &COUNT
+        mov #1, &IE
+        eint
+wait:   cmp #3, &COUNT
+        jlo wait
+        dint
+        mov &COUNT, &OUT
+        mov &IFG, &OUT+2
+        mov &COUNT, &GPIO_OUT
+        halt
+handler: inc &COUNT
+        reti
+|})
+
+let dbg =
+  mk "dbg" "Debug interface test: PC trace, breakpoint, cycle counters"
+    ~group:Unit_test
+    ~gen_inputs:(fun _ -> ([], 0))
+    ~result_addrs:[ output_base; output_base + 2; output_base + 4; output_base + 6 ]
+    (src
+       {|
+start:  mov #0x0400, sp
+        mov #target, &DBGBRK
+        mov #3, &DBGCTL      ; trace + breakpoint
+        nop
+        nop
+target: nop
+        mov &DBGCTL, r4      ; bit 15: breakpoint hit
+        mov &DBGPC, r5       ; last traced pc
+        mov &DBGCYCLO, r6
+        mov &DBGCYCHI, r7
+        mov #6, &CLKCTL      ; enable the clock counter, divide by 4
+        mov &CLKCNT, r8
+        nop
+        mov &CLKCNT, r9
+        mov #0, &WDTCTL      ; start watchdog
+        nop
+        nop
+        nop
+        mov &WDTCNT, r10
+        mov #0x80, &WDTCTL   ; stop watchdog
+        mov r4, &OUT
+        mov r5, &OUT+2
+        mov r6, &OUT+4
+        mov r10, &OUT+6
+        mov r10, &GPIO_OUT
+        halt
+|})
+
+let table1 =
+  [
+    bin_search; div; in_sort; int_avg; int_filt; mult; rle; t_hold; tea8;
+    fft; viterbi; conv_en; autocorr; irq; dbg;
+  ]
+
+let all = table1 @ [ scrambled_int_filt ]
+
+let find name = List.find (fun b -> String.equal b.name name) all

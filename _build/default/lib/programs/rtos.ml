@@ -1,0 +1,99 @@
+let kernel_source =
+  {|
+        .equ IE, 0x0000
+        .equ OUT, 0x0380
+        .equ GPIO_OUT, 0x0012
+        .equ TCB0, 0x03a0    ; saved SP, task 0
+        .equ TCB1, 0x03a2    ; saved SP, task 1
+        .equ CURRENT, 0x03a4
+        .equ T0CNT, 0x03a6
+        .equ T1CNT, 0x03a8
+        .irq tick
+
+start:  mov #0x0500, sp      ; task-0 stack
+        ; fabricate task 1's initial context at the top of its stack:
+        ; [PC][SR][r4..r15], exactly what a tick switch-out leaves
+        mov #task1, &0x057e
+        mov #8, &0x057c      ; SR with GIE set
+        mov #0x0564, &TCB1   ; 0x057c minus 12 register slots
+        clr &CURRENT
+        clr &T0CNT
+        clr &T1CNT
+        mov #1, &IE
+        eint
+        jmp task0
+
+        ; ---- tick handler: full context switch ----
+tick:   push r4
+        push r5
+        push r6
+        push r7
+        push r8
+        push r9
+        push r10
+        push r11
+        push r12
+        push r13
+        push r14
+        push r15
+        mov &CURRENT, r4
+        rla r4
+        and #2, r4           ; bound the TCB index
+        mov sp, TCB0(r4)     ; save outgoing SP
+        mov &CURRENT, r5
+        xor #1, r5
+        and #1, r5
+        mov r5, &CURRENT
+        rla r5
+        and #2, r5
+        mov TCB0(r5), sp     ; load incoming SP
+        pop r15
+        pop r14
+        pop r13
+        pop r12
+        pop r11
+        pop r10
+        pop r9
+        pop r8
+        pop r7
+        pop r6
+        pop r5
+        pop r4
+        reti
+
+        ; ---- task 0: counter ----
+task0:  inc &T0CNT
+        cmp #60, &T0CNT
+        jlo task0
+        dint
+        mov &T0CNT, &OUT
+        mov &T1CNT, &OUT+2
+        mov &T0CNT, &GPIO_OUT
+        halt
+
+        ; ---- task 1: accumulator ----
+task1:  clr r6
+t1loop: inc r6
+        add r6, &T1CNT
+        cmp #40, r6
+        jlo t1loop
+        dint
+        mov &T0CNT, &OUT
+        mov &T1CNT, &OUT+2
+        mov &T1CNT, &GPIO_OUT
+        halt
+|}
+
+let kernel =
+  {
+    Benchmark.name = "rtos";
+    description = "Preemptive round-robin RTOS kernel with two tasks";
+    group = Benchmark.Unit_test;
+    source = kernel_source;
+    input_ranges = [];
+    gen_inputs = (fun _ -> ([], 0));
+    uses_irq = true;
+    irq_pulses =
+      (fun seed -> [ 15 + (seed mod 5); 60; 105; 150; 195; 240 ]);
+    result_addrs = [ 0x0380; 0x0382 ];
+  }

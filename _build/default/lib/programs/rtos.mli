@@ -1,0 +1,14 @@
+(** A small preemptive round-robin RTOS — the FreeRTOS stand-in for
+    the system-code study (paper Section 5.4).
+
+    The kernel provides: tick-interrupt-driven preemption (the
+    external IRQ is the tick source), full r4-r15 context save/restore
+    on per-task stacks, task control blocks holding saved stack
+    pointers, and round-robin scheduling between two tasks plus the
+    initial thread.  Each task runs a bounded workload and the system
+    halts when either finishes, so every concrete run terminates
+    regardless of the tick schedule. *)
+
+val kernel : Benchmark.t
+(** The kernel with its two built-in demo tasks (a counter task and an
+    accumulator task). *)

@@ -1,0 +1,55 @@
+let source =
+  {|
+        .equ OUT, 0x0380
+        .equ GPIO_OUT, 0x0012
+        .equ PROG, 0x0300    ; subneg triples (a, b, next), unknown
+        .equ DATA, 0x0340    ; 32-word operand window, unknown
+start:  mov #0x0400, sp
+        mov #PROG, r10       ; subneg program counter
+        mov #6, r9           ; bounded interpreter steps
+sn:     mov @r10+, r4        ; operand-a address (X), masked into DATA
+        and #0x003e, r4
+        add #DATA, r4
+        mov @r10+, r5        ; operand-b address (X)
+        and #0x003e, r5
+        add #DATA, r5
+        mov @r4, r6
+        sub r6, 0(r5)        ; mem[b] -= mem[a]
+        jge nojmp
+        mov @r10, r10        ; taken: next-triple pointer (X)
+        and #0x001e, r10
+        add #PROG, r10
+        jmp next
+nojmp:  incd r10             ; skip the branch-target word
+        sub #PROG, r10       ; keep the walker inside the window
+        and #0x001e, r10
+        add #PROG, r10
+next:   dec r9
+        jnz sn
+        mov &DATA, &OUT
+        mov &DATA, &GPIO_OUT
+        halt
+|}
+
+let characterization =
+  {
+    Benchmark.name = "subneg";
+    description = "Turing-complete subneg interpreter characterization";
+    group = Benchmark.Synthetic;
+    source;
+    input_ranges = [ (0x0300, 0x031F); (0x0340, 0x037F) ];
+    gen_inputs =
+      (fun seed ->
+        let state = ref (seed + 501) in
+        let prog =
+          List.init 16 (fun i -> (0x0300 + (2 * i), Benchmark.rand16 ~state))
+        in
+        let data =
+          List.init 32 (fun i ->
+              (0x0340 + (2 * i), Benchmark.rand16 ~state land 0x7FFF))
+        in
+        (prog @ data, 0));
+    uses_irq = false;
+    irq_pulses = (fun _ -> []);
+    result_addrs = [ 0x0380 ];
+  }

@@ -1,0 +1,13 @@
+(** Characterization binary for Turing-complete in-field updates
+    (paper Section 3.5 / 5.3, Fig 9).
+
+    A [subneg a, b, c] pseudo-instruction (mem[b] -= mem[a]; branch to
+    c if the result is negative) is Turing complete, and any program
+    written with it consists solely of repeated instances of the same
+    instruction — so co-analyzing one subneg interpreter step whose
+    operand addresses, operand data and branch decision are all
+    unknown (X) covers every possible subneg program.  Operand
+    addresses are masked into a RAM window; the "next instruction"
+    pointer is likewise masked into the subneg program window. *)
+
+val characterization : Benchmark.t

@@ -1,0 +1,1 @@
+lib/rtl/rtl.ml: Array Bespoke_logic Bespoke_netlist Hashtbl List Option Printf String

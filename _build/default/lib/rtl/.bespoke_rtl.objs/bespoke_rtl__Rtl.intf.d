@@ -1,0 +1,1 @@
+lib/rtl/rtl.mli: Bespoke_logic Bespoke_netlist

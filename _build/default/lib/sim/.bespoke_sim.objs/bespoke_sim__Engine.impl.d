@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Bespoke_logic Bespoke_netlist Bytes Char Int List Printf Stack

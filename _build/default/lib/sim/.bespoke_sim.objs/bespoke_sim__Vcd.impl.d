@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Array Bespoke_logic Bespoke_netlist Buffer Char Engine List Option Printf String

@@ -1,0 +1,282 @@
+module Bit = Bespoke_logic.Bit
+module Bvec = Bespoke_logic.Bvec
+module Gate = Bespoke_netlist.Gate
+module Netlist = Bespoke_netlist.Netlist
+
+(* Compiled opcodes for the inner evaluation loop. *)
+let op_buf = 0
+
+and op_not = 1
+
+and op_and = 2
+
+and op_or = 3
+
+and op_nand = 4
+
+and op_nor = 5
+
+and op_xor = 6
+
+and op_xnor = 7
+
+and op_mux = 8
+
+type t = {
+  net : Netlist.t;
+  order : int array;  (* levelized combinational order *)
+  opcode : int array;
+  fi0 : int array;
+  fi1 : int array;
+  fi2 : int array;
+  values : Bytes.t;  (* current settled value per gate, codes 0/1/2 *)
+  prev : Bytes.t;  (* settled value at the last committed cycle *)
+  dffs : int array;
+  dff_next : Bytes.t;  (* scratch for the clock edge *)
+  toggles : int array;
+  possibly : Bytes.t;  (* 0/1 flags *)
+  mutable committed : int;
+  topo_index : int array;  (* position of each gate in [order], -1 for sources *)
+}
+
+type cone = int array  (* gate ids in topological order, excluding sources *)
+
+let code_of_bit = Bit.to_int
+let bit_of_code = Bit.of_int_exn
+
+let create net =
+  let ng = Netlist.gate_count net in
+  let order = Netlist.levelize net in
+  let opcode = Array.make ng (-1) in
+  let fi0 = Array.make ng 0 in
+  let fi1 = Array.make ng 0 in
+  let fi2 = Array.make ng 0 in
+  let dffs = ref [] in
+  Array.iteri
+    (fun id (g : Gate.t) ->
+      (match g.op with
+      | Gate.Dff _ ->
+        dffs := id :: !dffs;
+        (* [step] reads the D pin through fi0 even though DFFs are
+           sources for levelization purposes. *)
+        fi0.(id) <- g.fanin.(0)
+      | _ -> ());
+      let set c =
+        opcode.(id) <- c;
+        (match Array.length g.fanin with
+        | 0 -> ()
+        | 1 -> fi0.(id) <- g.fanin.(0)
+        | 2 ->
+          fi0.(id) <- g.fanin.(0);
+          fi1.(id) <- g.fanin.(1)
+        | _ ->
+          fi0.(id) <- g.fanin.(0);
+          fi1.(id) <- g.fanin.(1);
+          fi2.(id) <- g.fanin.(2))
+      in
+      match g.op with
+      | Gate.Const _ | Gate.Input | Gate.Dff _ -> ()
+      | Gate.Buf -> set op_buf
+      | Gate.Not -> set op_not
+      | Gate.And -> set op_and
+      | Gate.Or -> set op_or
+      | Gate.Nand -> set op_nand
+      | Gate.Nor -> set op_nor
+      | Gate.Xor -> set op_xor
+      | Gate.Xnor -> set op_xnor
+      | Gate.Mux -> set op_mux)
+    net.Netlist.gates;
+  let topo_index = Array.make ng (-1) in
+  Array.iteri (fun pos id -> topo_index.(id) <- pos) order;
+  let dffs = Array.of_list (List.rev !dffs) in
+  {
+    net;
+    order;
+    opcode;
+    fi0;
+    fi1;
+    fi2;
+    values = Bytes.make ng (Char.chr Bit.code_x);
+    prev = Bytes.make ng (Char.chr Bit.code_x);
+    dffs;
+    dff_next = Bytes.make (Array.length dffs) '\000';
+    toggles = Array.make ng 0;
+    possibly = Bytes.make ng '\000';
+    committed = 0;
+    topo_index;
+  }
+
+let netlist t = t.net
+let get t id = Char.code (Bytes.unsafe_get t.values id)
+let put t id c = Bytes.unsafe_set t.values id (Char.unsafe_chr c)
+let value t id = bit_of_code (get t id)
+
+let eval_one t id =
+  let c = t.opcode.(id) in
+  let a = get t t.fi0.(id) in
+  let r =
+    if c = op_buf then a
+    else if c = op_not then Bit.tbl_not.(a)
+    else
+      let b = get t t.fi1.(id) in
+      if c = op_and then Bit.tbl_and.((a * 3) + b)
+      else if c = op_or then Bit.tbl_or.((a * 3) + b)
+      else if c = op_nand then Bit.tbl_nand.((a * 3) + b)
+      else if c = op_nor then Bit.tbl_nor.((a * 3) + b)
+      else if c = op_xor then Bit.tbl_xor.((a * 3) + b)
+      else if c = op_xnor then Bit.tbl_xnor.((a * 3) + b)
+      else
+        let s = get t t.fi2.(id) in
+        Bit.tbl_mux.((a * 9) + (b * 3) + s)
+  in
+  put t id r
+
+(* Mux fanin layout is [sel; a; b]: fi0 = sel, fi1 = a, fi2 = b, so the
+   table index must be sel*9 + a*3 + b. *)
+
+let eval t =
+  let order = t.order in
+  for k = 0 to Array.length order - 1 do
+    eval_one t order.(k)
+  done
+
+let make_cone t (sources : int array) =
+  let ng = Netlist.gate_count t.net in
+  let fanout = Netlist.fanout t.net in
+  let in_cone = Array.make ng false in
+  let stack = Stack.create () in
+  Array.iter
+    (fun id ->
+      Array.iter
+        (fun r ->
+          if (not in_cone.(r)) && not (Gate.is_source t.net.Netlist.gates.(r))
+          then begin
+            in_cone.(r) <- true;
+            Stack.push r stack
+          end)
+        fanout.(id))
+    sources;
+  while not (Stack.is_empty stack) do
+    let id = Stack.pop stack in
+    Array.iter
+      (fun r ->
+        if (not in_cone.(r)) && not (Gate.is_source t.net.Netlist.gates.(r))
+        then begin
+          in_cone.(r) <- true;
+          Stack.push r stack
+        end)
+      fanout.(id)
+  done;
+  let members = ref [] in
+  Array.iteri (fun id b -> if b then members := id :: !members) in_cone;
+  let cone = Array.of_list !members in
+  Array.sort (fun a b -> Int.compare t.topo_index.(a) t.topo_index.(b)) cone;
+  cone
+
+let eval_cone t (cone : cone) =
+  for k = 0 to Array.length cone - 1 do
+    eval_one t cone.(k)
+  done
+
+let set_gate t id b =
+  (match t.net.Netlist.gates.(id).op with
+  | Gate.Input -> ()
+  | op ->
+    invalid_arg
+      (Printf.sprintf "Engine.set_gate: gate %d is %s, not an input" id
+         (Gate.op_name op)));
+  put t id (code_of_bit b)
+
+let find_port t name = Netlist.find_input t.net name
+
+let set_input t name (v : Bvec.t) =
+  let ids = find_port t name in
+  if Array.length ids <> Bvec.width v then
+    invalid_arg (Printf.sprintf "Engine.set_input %s: width mismatch" name);
+  Array.iteri (fun i id -> set_gate t id v.(i)) ids
+
+let set_input_int t name n =
+  let ids = find_port t name in
+  set_input t name (Bvec.of_int ~width:(Array.length ids) n)
+
+let set_input_x t name =
+  let ids = find_port t name in
+  Array.iter (fun id -> set_gate t id Bit.X) ids
+
+let set_all_inputs_x t =
+  List.iter (fun (name, _) -> set_input_x t name) t.net.Netlist.input_ports
+
+let read t name =
+  let ids = Netlist.find_name t.net name in
+  Array.map (fun id -> value t id) ids
+
+let read_int t name = Bvec.to_int (read t name)
+
+let reset t =
+  Array.iteri
+    (fun id (g : Gate.t) ->
+      match g.op with
+      | Gate.Const b -> put t id (code_of_bit b)
+      | Gate.Input -> put t id Bit.code_x
+      | Gate.Dff init -> put t id (code_of_bit init)
+      | _ -> ())
+    t.net.Netlist.gates;
+  eval t;
+  Bytes.blit t.values 0 t.prev 0 (Bytes.length t.values);
+  t.committed <- 0
+
+let step t =
+  let dffs = t.dffs in
+  for i = 0 to Array.length dffs - 1 do
+    let id = dffs.(i) in
+    Bytes.unsafe_set t.dff_next i
+      (Char.unsafe_chr (get t t.fi0.(id)))
+  done;
+  for i = 0 to Array.length dffs - 1 do
+    put t dffs.(i) (Char.code (Bytes.unsafe_get t.dff_next i))
+  done;
+  eval t
+
+let commit_cycle t =
+  let ng = Bytes.length t.values in
+  for id = 0 to ng - 1 do
+    let cur = Char.code (Bytes.unsafe_get t.values id) in
+    let old = Char.code (Bytes.unsafe_get t.prev id) in
+    if cur <> old then t.toggles.(id) <- t.toggles.(id) + 1;
+    if cur <> old || cur = Bit.code_x then
+      Bytes.unsafe_set t.possibly id '\001'
+  done;
+  Bytes.blit t.values 0 t.prev 0 ng;
+  t.committed <- t.committed + 1
+
+let cycles_committed t = t.committed
+let toggle_counts t = Array.copy t.toggles
+
+let possibly_toggled t =
+  Array.init (Bytes.length t.possibly) (fun i ->
+      Bytes.get t.possibly i <> '\000')
+
+let merge_possibly_toggled_into t (acc : bool array) =
+  for i = 0 to Bytes.length t.possibly - 1 do
+    if Bytes.unsafe_get t.possibly i <> '\000' then acc.(i) <- true
+  done
+
+let clear_activity t =
+  Array.fill t.toggles 0 (Array.length t.toggles) 0;
+  Bytes.fill t.possibly 0 (Bytes.length t.possibly) '\000';
+  Bytes.blit t.values 0 t.prev 0 (Bytes.length t.values);
+  t.committed <- 0
+
+let sync_prev t = Bytes.blit t.values 0 t.prev 0 (Bytes.length t.values)
+
+let snapshot_values t =
+  Array.init (Bytes.length t.values) (fun i -> bit_of_code (get t i))
+
+let dff_ids t = Array.copy t.dffs
+let dff_state t = Array.map (fun id -> value t id) t.dffs
+
+let restore_dff_state t (s : Bvec.t) =
+  if Bvec.width s <> Array.length t.dffs then
+    invalid_arg "Engine.restore_dff_state: width mismatch";
+  Array.iteri (fun i id -> put t id (code_of_bit s.(i))) t.dffs;
+  eval t

@@ -1,0 +1,98 @@
+(** Levelized three-valued gate-level simulator.
+
+    One engine instance simulates one netlist.  Values are ternary
+    ({0,1,X}); running it with fully known inputs makes it an exact
+    two-valued simulator, running it with X inputs makes it the
+    symbolic simulator of the paper's Section 3.1.
+
+    Protocol per clock cycle:
+    {ol {- [step] latches every DFF's sampled next-state and
+           re-evaluates combinational logic;}
+        {- the harness sets input ports (memory read data, interrupt
+           pins, ...) and calls [eval] or [eval_cone] to settle;}
+        {- the harness samples outputs (memory write ports, ...);}
+        {- [commit_cycle] records per-gate activity for this cycle.}} *)
+
+module Bit := Bespoke_logic.Bit
+module Bvec := Bespoke_logic.Bvec
+module Netlist := Bespoke_netlist.Netlist
+
+type t
+
+val create : Netlist.t -> t
+val netlist : t -> Netlist.t
+
+val reset : t -> unit
+(** DFFs to their reset values, inputs to X, combinational settle, and
+    activity baseline re-initialized. *)
+
+(** {1 Values} *)
+
+val value : t -> int -> Bit.t
+val set_gate : t -> int -> Bit.t -> unit
+(** Only valid on [Input] gates. *)
+
+val read : t -> string -> Bvec.t
+(** Read a named net, output port or input port. *)
+
+val read_int : t -> string -> int option
+val set_input : t -> string -> Bvec.t -> unit
+val set_input_int : t -> string -> int -> unit
+val set_input_x : t -> string -> unit
+val set_all_inputs_x : t -> unit
+
+(** {1 Evaluation} *)
+
+val eval : t -> unit
+(** Settle all combinational logic. *)
+
+type cone
+
+val make_cone : t -> int array -> cone
+(** Precompute the forward combinational cone of the given source
+    gates (typically an input port's bits), for cheap incremental
+    re-evaluation. *)
+
+val eval_cone : t -> cone -> unit
+
+val step : t -> unit
+(** Clock edge: latch DFFs, then full [eval]. *)
+
+(** {1 Per-cycle activity} *)
+
+val commit_cycle : t -> unit
+(** Compare every gate's settled value against the previous committed
+    cycle; a gate is charged one toggle when the value changed, and is
+    marked possibly-toggled when it changed {e or} is X (paper: an X
+    propagating through a gate counts as a possible toggle). *)
+
+val cycles_committed : t -> int
+val toggle_counts : t -> int array
+(** Concrete toggle counter per gate (X-involved changes also count). *)
+
+val possibly_toggled : t -> bool array
+(** The symbolic "exercisable" marking used by gate activity analysis. *)
+
+val merge_possibly_toggled_into : t -> bool array -> unit
+val clear_activity : t -> unit
+
+val sync_prev : t -> unit
+(** Make the current settled values the activity baseline without
+    charging toggles.  Called after restoring an execution-tree
+    snapshot, so the jump between unrelated simulation states is not
+    itself counted as switching activity. *)
+
+val snapshot_values : t -> Bespoke_logic.Bvec.t
+(** Every gate's current settled value (for recording the constant
+    values of never-toggled gates). *)
+
+(** {1 Sequential state (for the execution-tree explorer)} *)
+
+val dff_ids : t -> int array
+
+val dff_state : t -> Bvec.t
+(** Current DFF outputs, in [dff_ids] order. *)
+
+val restore_dff_state : t -> Bvec.t -> unit
+(** Overwrite DFF outputs and re-settle combinational logic.  Does not
+    touch activity. *)

@@ -1,0 +1,61 @@
+(** Ternary word-addressed memory model (program ROM / data RAM).
+
+    Memories are external to the pruned netlist (the paper tailors the
+    core's gates, not the SRAM macros), so the simulator models them
+    behaviorally with conservative ternary semantics:
+
+    - read at a known index: the stored word (bits may be X);
+    - read at an index with X bits: the merge of every word the index
+      pattern could select;
+    - write with X write-enable or X mask bits: old and new values are
+      merged (the write may or may not happen);
+    - write at an index with X bits: every word the pattern could
+      select merges in the (masked) data.
+
+    All of which over-approximates the set of reachable memory states,
+    keeping Algorithm 1 sound. *)
+
+module Bit := Bespoke_logic.Bit
+module Bvec := Bespoke_logic.Bvec
+
+type t
+
+val create : words:int -> width:int -> init:Bit.t -> t
+(** [words] must be a power of two; indices wrap modulo [words]. *)
+
+val words : t -> int
+val width : t -> int
+val clear : t -> Bit.t -> unit
+
+(** {1 Direct (known-index) access, for program loading and harnesses} *)
+
+val load : t -> int -> Bvec.t -> unit
+val load_int : t -> int -> int -> unit
+val read_word : t -> int -> Bvec.t
+val set_x_range : t -> lo:int -> hi:int -> unit
+(** Mark an inclusive word-index range unknown (application-input
+    regions during symbolic analysis). *)
+
+(** {1 Ternary port access} *)
+
+val read : t -> Bvec.t -> Bvec.t
+
+val write : t -> addr:Bvec.t -> data:Bvec.t -> mask:Bvec.t -> en:Bit.t -> unit
+(** [mask] is a per-bit write mask of the memory width (byte lanes
+    expanded by the caller); a mask bit of [Zero] leaves the stored bit
+    unchanged, [One] writes it, [X] merges. *)
+
+(** {1 State capture (execution-tree exploration)} *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+val merge_snapshot : snapshot -> snapshot -> snapshot
+val subsumes : general:snapshot -> specific:snapshot -> bool
+val equal_snapshot : snapshot -> snapshot -> bool
+
+(** [consistent_snapshots a b]: no bit is definite in both snapshots
+    with different values (X is compatible with anything). *)
+val consistent_snapshots : snapshot -> snapshot -> bool
+val snapshot_words : snapshot -> int

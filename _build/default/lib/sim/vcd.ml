@@ -1,0 +1,70 @@
+module Bit = Bespoke_logic.Bit
+module Netlist = Bespoke_netlist.Netlist
+
+type signal = {
+  name : string;
+  code : string;  (* VCD identifier *)
+  ids : int array;  (* gate ids, LSB first *)
+  mutable last : string option;
+}
+
+type t = { buf : Buffer.t; eng : Engine.t; signals : signal list }
+
+let code_of_index i =
+  (* printable VCD identifier characters: '!' .. '~' *)
+  let base = 94 in
+  let rec go i acc =
+    let c = Char.chr (33 + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let create buf eng ~signals =
+  let net = Engine.netlist eng in
+  let signals =
+    List.mapi
+      (fun i name ->
+        { name; code = code_of_index i; ids = Netlist.find_name net name; last = None })
+      signals
+  in
+  Buffer.add_string buf "$timescale 10ns $end\n";
+  Buffer.add_string buf "$scope module bespoke $end\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire %d %s %s $end\n" (Array.length s.ids) s.code
+           s.name))
+    signals;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  { buf; eng; signals }
+
+let value_string t (s : signal) =
+  let n = Array.length s.ids in
+  String.init n (fun i ->
+      Bit.to_char (Engine.value t.eng s.ids.(n - 1 - i)))
+
+let sample t ~time =
+  let changed =
+    List.filter
+      (fun s ->
+        let v = value_string t s in
+        match s.last with
+        | Some old when String.equal old v -> false
+        | _ ->
+          s.last <- Some v;
+          true)
+      t.signals
+  in
+  if changed <> [] then begin
+    Buffer.add_string t.buf (Printf.sprintf "#%d\n" time);
+    List.iter
+      (fun s ->
+        let v = Option.get s.last in
+        if Array.length s.ids = 1 then
+          Buffer.add_string t.buf (Printf.sprintf "%s%s\n" v s.code)
+        else Buffer.add_string t.buf (Printf.sprintf "b%s %s\n" v s.code))
+      changed
+  end
+
+let finish t ~time = Buffer.add_string t.buf (Printf.sprintf "#%d\n" time)

@@ -1,0 +1,21 @@
+(** VCD (value-change-dump) waveform writer for gate-level runs.
+
+    Records a chosen set of named vectors (ports and analysis hooks)
+    once per clock cycle; the output loads in any standard waveform
+    viewer.  Ternary X values map to VCD 'x'. *)
+
+type t
+
+val create :
+  Buffer.t -> Engine.t -> signals:string list -> t
+(** [signals] are names resolvable by
+    {!Bespoke_netlist.Netlist.find_name} (hooks, output ports, input
+    ports).  Writes the VCD header immediately.
+    @raise Not_found for an unknown signal name. *)
+
+val sample : t -> time:int -> unit
+(** Record the current engine values at the given timestamp (only
+    changed signals are emitted, per the VCD format). *)
+
+val finish : t -> time:int -> unit
+(** Emit the final timestamp. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Bespoke_analysis Bespoke_core Bespoke_cpu Bespoke_isa Bespoke_logic Bespoke_netlist Bespoke_sim Lazy List QCheck QCheck_alcotest

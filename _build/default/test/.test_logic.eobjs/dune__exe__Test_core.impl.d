@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bespoke_analysis Bespoke_core Bespoke_cpu Bespoke_isa Bespoke_logic Bespoke_netlist Bespoke_programs Bespoke_rtl Bespoke_sim List Printf QCheck QCheck_alcotest Seq

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Bespoke_coverage Bespoke_programs List

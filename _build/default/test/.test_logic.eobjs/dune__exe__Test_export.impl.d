@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Array Bespoke_cpu Bespoke_logic Bespoke_netlist Bespoke_rtl Bespoke_sim Buffer List Seq String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bespoke_analysis Bespoke_core Bespoke_cpu Bespoke_isa Bespoke_programs Buffer Lazy List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Bespoke_isa List Printf QCheck QCheck_alcotest String

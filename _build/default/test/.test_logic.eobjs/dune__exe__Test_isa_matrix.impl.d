@@ -1,0 +1,1 @@
+test/test_isa_matrix.ml: Alcotest Bespoke_core Bespoke_cpu Bespoke_isa List Printf

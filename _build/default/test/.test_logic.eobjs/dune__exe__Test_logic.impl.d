@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Bespoke_logic List QCheck QCheck_alcotest

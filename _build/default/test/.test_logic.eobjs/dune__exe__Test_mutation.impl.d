@@ -1,0 +1,1 @@
+test/test_mutation.ml: Alcotest Bespoke_core Bespoke_isa Bespoke_mutation Bespoke_programs List Printf String

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Bespoke_cpu Bespoke_isa Bespoke_logic Bespoke_netlist Int List Option Printf

@@ -1,0 +1,1 @@
+test/test_paper_example.ml: Alcotest Array Bespoke_core Bespoke_logic Bespoke_netlist Bespoke_sim List

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array Bespoke_cells Bespoke_cpu Bespoke_logic Bespoke_netlist Bespoke_power Bespoke_rtl List QCheck QCheck_alcotest

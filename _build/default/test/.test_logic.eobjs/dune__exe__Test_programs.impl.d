@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Array Bespoke_core Bespoke_isa Bespoke_programs List Printf

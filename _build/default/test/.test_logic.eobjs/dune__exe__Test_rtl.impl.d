@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Array Bespoke_logic Bespoke_netlist Bespoke_rtl Bespoke_sim List Printf QCheck QCheck_alcotest String

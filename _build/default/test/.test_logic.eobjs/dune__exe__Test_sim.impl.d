@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Bespoke_logic Bespoke_netlist Bespoke_rtl Bespoke_sim List QCheck QCheck_alcotest String

@@ -1,0 +1,58 @@
+module B = Bespoke_programs.Benchmark
+module Coverage = Bespoke_coverage.Coverage
+
+let test_straightline_full_coverage () =
+  let b = B.find "mult" in
+  let s = Coverage.measure b ~seeds:[ 1 ] in
+  Alcotest.(check (float 0.01)) "all lines" 100.0 s.Coverage.line_pct;
+  (* mult has no conditional branches at all *)
+  Alcotest.(check int) "no branches" 0 s.Coverage.branches_total
+
+let test_branchy_program () =
+  let b = B.find "binSearch" in
+  let s = Coverage.measure b ~seeds:[ 1; 2; 3; 4 ] in
+  Alcotest.(check bool) "has branches" true (s.Coverage.branches_total > 2);
+  Alcotest.(check bool) "some covered" true (s.Coverage.branch_pct > 0.0);
+  Alcotest.(check bool) "lines sane" true
+    (s.Coverage.line_pct > 50.0 && s.Coverage.line_pct <= 100.0)
+
+let test_explore_improves_or_matches () =
+  let b = B.find "binSearch" in
+  let one = Coverage.measure b ~seeds:[ 1 ] in
+  let explored = Coverage.explore ~initial:1 ~budget:20 b in
+  Alcotest.(check bool) "explore never worse" true
+    (explored.Coverage.line_pct +. explored.Coverage.branch_dir_pct
+    >= one.Coverage.line_pct +. one.Coverage.branch_dir_pct -. 1e-9)
+
+let test_more_seeds_monotone () =
+  let b = B.find "tHold" in
+  let s1 = Coverage.measure b ~seeds:[ 1 ] in
+  let s2 = Coverage.measure b ~seeds:[ 1; 2; 3; 4; 5; 6 ] in
+  Alcotest.(check bool) "line coverage monotone" true
+    (s2.Coverage.line_pct >= s1.Coverage.line_pct -. 1e-9);
+  Alcotest.(check bool) "direction coverage monotone" true
+    (s2.Coverage.branch_dir_pct >= s1.Coverage.branch_dir_pct -. 1e-9)
+
+let test_directions_bounded () =
+  List.iter
+    (fun name ->
+      let s = Coverage.measure (B.find name) ~seeds:[ 1; 2 ] in
+      Alcotest.(check bool) "pcts in range" true
+        (s.Coverage.line_pct <= 100.0
+        && s.Coverage.branch_pct <= 100.0
+        && s.Coverage.branch_dir_pct <= 100.0))
+    [ "div"; "rle"; "convEn"; "irq" ]
+
+let () =
+  Alcotest.run "bespoke_coverage"
+    [
+      ( "coverage",
+        [
+          Alcotest.test_case "straight line" `Quick test_straightline_full_coverage;
+          Alcotest.test_case "branchy program" `Quick test_branchy_program;
+          Alcotest.test_case "explore improves" `Quick
+            test_explore_improves_or_matches;
+          Alcotest.test_case "monotone in seeds" `Quick test_more_seeds_monotone;
+          Alcotest.test_case "bounded" `Quick test_directions_bounded;
+        ] );
+    ]

@@ -1,0 +1,133 @@
+module Bit = Bespoke_logic.Bit
+module Netlist = Bespoke_netlist.Netlist
+module Gate = Bespoke_netlist.Gate
+module Export = Bespoke_netlist.Export
+module Rtl = Bespoke_rtl.Rtl
+module Engine = Bespoke_sim.Engine
+module Vcd = Bespoke_sim.Vcd
+
+let counter_net () =
+  let b = Rtl.create_builder () in
+  let en = Rtl.input b "en" 1 in
+  let q = Rtl.wire 4 in
+  let r =
+    Rtl.in_scope b "counter" (fun () ->
+        Rtl.reg b ~enable:en ~init:0 (Rtl.add q (Rtl.constant ~width:4 1)))
+  in
+  Rtl.( <== ) q r;
+  Rtl.output b "q" r;
+  Rtl.synthesize b
+
+let count_substring hay needle =
+  let n = String.length needle in
+  let rec go i acc =
+    if i + n > String.length hay then acc
+    else if String.sub hay i n = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_verilog_structure () =
+  let net = counter_net () in
+  let v = Export.to_verilog ~module_name:"counter" net in
+  Alcotest.(check bool) "module decl" true (count_substring v "module counter" = 1);
+  Alcotest.(check bool) "endmodule" true (count_substring v "endmodule" = 1);
+  Alcotest.(check int) "one flop process per dff" (Netlist.num_dffs net)
+    (count_substring v "always @(posedge clk");
+  Alcotest.(check bool) "ports declared" true
+    (count_substring v "input [0:0] en" = 1 && count_substring v "output [3:0] q" = 1)
+
+let test_verilog_covers_gates () =
+  let net = Bespoke_cpu.Cpu.build () in
+  let v = Export.to_verilog net in
+  (* every combinational real gate appears as exactly one assign of
+     its net; count a conservative lower bound *)
+  let comb =
+    Array.to_seq net.Netlist.gates
+    |> Seq.filter (fun (g : Gate.t) ->
+           match g.Gate.op with
+           | Gate.Input | Gate.Dff _ -> false
+           | _ -> true)
+    |> Seq.length
+  in
+  Alcotest.(check bool) "assign per comb gate (plus port bindings)" true
+    (count_substring v "assign" >= comb)
+
+let test_dot_modules () =
+  let net = Bespoke_cpu.Cpu.build () in
+  let d = Export.module_graph_dot net in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) (m ^ " present") true (count_substring d m > 0))
+    [ "multiplier"; "register_file"; "frontend" ];
+  Alcotest.(check bool) "digraph" true (count_substring d "digraph" = 1)
+
+let test_dot_gates_limit () =
+  let net = Bespoke_cpu.Cpu.build () in
+  Alcotest.(check bool) "limit enforced" true
+    (try
+       ignore (Export.gate_graph_dot ~max_gates:100 net);
+       false
+     with Invalid_argument _ -> true);
+  let small = counter_net () in
+  let d = Export.gate_graph_dot small in
+  Alcotest.(check bool) "clustered" true (count_substring d "subgraph" >= 1)
+
+let test_vcd_roundtrip () =
+  let net = counter_net () in
+  let eng = Engine.create net in
+  Engine.reset eng;
+  Engine.set_input_int eng "en" 1;
+  Engine.eval eng;
+  let buf = Buffer.create 1024 in
+  let vcd = Vcd.create buf eng ~signals:[ "q"; "en" ] in
+  for t = 0 to 5 do
+    Vcd.sample vcd ~time:t;
+    Engine.step eng
+  done;
+  Vcd.finish vcd ~time:6;
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "header" true (count_substring s "$enddefinitions" = 1);
+  Alcotest.(check bool) "q declared" true (count_substring s "$var wire 4" = 1);
+  (* q changes every cycle: 6 samples emit 6 vector records *)
+  Alcotest.(check int) "vector changes" 6 (count_substring s "b0");
+  Alcotest.(check bool) "timestamps" true (count_substring s "#0" >= 1)
+
+let test_vcd_unknown_signal () =
+  let eng = Engine.create (counter_net ()) in
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Vcd.create (Buffer.create 16) eng ~signals:[ "nope" ]))
+
+let test_vcd_x_values () =
+  let net = counter_net () in
+  let eng = Engine.create net in
+  Engine.reset eng;
+  Engine.set_input_x eng "en";
+  Engine.eval eng;
+  Engine.step eng;
+  let buf = Buffer.create 256 in
+  let vcd = Vcd.create buf eng ~signals:[ "q" ] in
+  Vcd.sample vcd ~time:0;
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "x recorded" true (count_substring s "x" > 0)
+
+let () =
+  Alcotest.run "bespoke_export"
+    [
+      ( "verilog",
+        [
+          Alcotest.test_case "structure" `Quick test_verilog_structure;
+          Alcotest.test_case "covers the cpu" `Slow test_verilog_covers_gates;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "module graph" `Slow test_dot_modules;
+          Alcotest.test_case "gate graph limit" `Slow test_dot_gates_limit;
+        ] );
+      ( "vcd",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_vcd_roundtrip;
+          Alcotest.test_case "unknown signal" `Quick test_vcd_unknown_signal;
+          Alcotest.test_case "x values" `Quick test_vcd_x_values;
+        ] );
+    ]

@@ -1,0 +1,546 @@
+module Isa = Bespoke_isa.Isa
+module Asm = Bespoke_isa.Asm
+module Iss = Bespoke_isa.Iss
+module Memmap = Bespoke_isa.Memmap
+module Timing = Bespoke_isa.Timing
+
+(* ---- encode/decode ---- *)
+
+let roundtrip i =
+  match Isa.encode i with
+  | [] -> Alcotest.fail "empty encoding"
+  | w :: rest ->
+    let i', used = Isa.decode w rest in
+    Alcotest.(check int)
+      (Isa.to_string i ^ " length")
+      (List.length (w :: rest))
+      used;
+    Alcotest.(check string) "roundtrip" (Isa.to_string i) (Isa.to_string i')
+
+let test_roundtrip_two () =
+  List.iter roundtrip
+    [
+      Isa.Two { op = Isa.MOV; size = Isa.Word; src = Isa.Sreg 4; dst = Isa.Dreg 5 };
+      Isa.Two { op = Isa.ADD; size = Isa.Byte; src = Isa.Sind 6; dst = Isa.Dreg 7 };
+      Isa.Two
+        { op = Isa.SUB; size = Isa.Word; src = Isa.Sinc 8; dst = Isa.Didx (9, 12) };
+      Isa.Two
+        {
+          op = Isa.CMP;
+          size = Isa.Word;
+          src = Isa.Sidx (10, 0x20);
+          dst = Isa.Didx (Isa.sr, 0x0212);
+        };
+      Isa.Two
+        { op = Isa.XOR; size = Isa.Word; src = Isa.Imm 0x1234; dst = Isa.Dreg 12 };
+      Isa.Two { op = Isa.AND; size = Isa.Byte; src = Isa.Imm 1; dst = Isa.Dreg 13 };
+      Isa.Two { op = Isa.DADD; size = Isa.Word; src = Isa.Imm 8; dst = Isa.Dreg 4 };
+      Isa.Two
+        { op = Isa.BIS; size = Isa.Word; src = Isa.Imm 0xffff; dst = Isa.Dreg 15 };
+    ]
+
+let test_roundtrip_one () =
+  List.iter roundtrip
+    [
+      Isa.One { op = Isa.RRC; size = Isa.Word; dst = Isa.Sreg 4 };
+      Isa.One { op = Isa.RRA; size = Isa.Byte; dst = Isa.Sind 5 };
+      Isa.One { op = Isa.SWPB; size = Isa.Word; dst = Isa.Sreg 6 };
+      Isa.One { op = Isa.SXT; size = Isa.Word; dst = Isa.Sreg 7 };
+      Isa.One { op = Isa.PUSH; size = Isa.Word; dst = Isa.Imm 0x55aa };
+      Isa.One { op = Isa.CALL; size = Isa.Word; dst = Isa.Imm 0xf200 };
+    ]
+
+let test_roundtrip_jumps () =
+  List.iter roundtrip
+    [
+      Isa.Jump { cond = Isa.JNE; off = -3 };
+      Isa.Jump { cond = Isa.JEQ; off = 0 };
+      Isa.Jump { cond = Isa.JMP; off = 511 };
+      Isa.Jump { cond = Isa.JL; off = -512 };
+    ]
+
+let test_cg_encodings () =
+  (* Constant-generator immediates must be single-word. *)
+  List.iter
+    (fun n ->
+      let i =
+        Isa.Two { op = Isa.MOV; size = Isa.Word; src = Isa.Imm n; dst = Isa.Dreg 4 }
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "#%d one word" n)
+        1
+        (List.length (Isa.encode i)))
+    [ 0; 1; 2; 4; 8; 0xffff ];
+  let long =
+    Isa.Two { op = Isa.MOV; size = Isa.Word; src = Isa.Imm 3; dst = Isa.Dreg 4 }
+  in
+  Alcotest.(check int) "#3 two words" 2 (List.length (Isa.encode long))
+
+let gen_insn =
+  let open QCheck.Gen in
+  let reg = int_range 4 15 in
+  let src =
+    oneof
+      [
+        map (fun r -> Isa.Sreg r) reg;
+        map2 (fun r x -> Isa.Sidx (r, x)) reg (int_bound 0xff);
+        map (fun r -> Isa.Sind r) reg;
+        map (fun r -> Isa.Sinc r) reg;
+        map (fun n -> Isa.Imm n) (int_bound 0xffff);
+      ]
+  in
+  let dst =
+    oneof
+      [
+        map (fun r -> Isa.Dreg r) reg;
+        map2 (fun r x -> Isa.Didx (r, x)) reg (int_bound 0xff);
+      ]
+  in
+  let two_op =
+    oneofl
+      [
+        Isa.MOV; Isa.ADD; Isa.ADDC; Isa.SUBC; Isa.SUB; Isa.CMP; Isa.DADD;
+        Isa.BIT; Isa.BIC; Isa.BIS; Isa.XOR; Isa.AND;
+      ]
+  in
+  let size = oneofl [ Isa.Word; Isa.Byte ] in
+  oneof
+    [
+      (fun st ->
+        let op = two_op st and size = size st and src = src st and dst = dst st in
+        Isa.Two { op; size; src; dst });
+      (fun st ->
+        let op = oneofl [ Isa.RRC; Isa.RRA ] st
+        and size = size st
+        and d = src st in
+        Isa.One { op; size; dst = d });
+      map2
+        (fun c off -> Isa.Jump { cond = c; off })
+        (oneofl [ Isa.JNE; Isa.JEQ; Isa.JNC; Isa.JC; Isa.JN; Isa.JGE; Isa.JL; Isa.JMP ])
+        (int_range (-512) 511);
+    ]
+
+let test_roundtrip_random =
+  QCheck.Test.make ~name:"random encode/decode roundtrip" ~count:500
+    (QCheck.make ~print:Isa.to_string gen_insn)
+    (fun i ->
+      match Isa.encode i with
+      | w :: rest ->
+        let i', used = Isa.decode w rest in
+        used = 1 + List.length rest && Isa.to_string i = Isa.to_string i'
+      | [] -> false)
+
+(* ---- assembler ---- *)
+
+let test_asm_basic () =
+  let img =
+    Asm.assemble
+      {|
+        .equ N, 3
+start:  mov #0x0280, sp
+        mov #N, r4
+loop:   dec r4
+        jnz loop
+        halt
+|}
+  in
+  Alcotest.(check int) "entry" Memmap.rom_base img.Asm.entry;
+  let rom = Asm.image_rom img in
+  (* first word: mov #imm(long), sp *)
+  let i, _ = Isa.decode rom.(0) [ rom.(1) ] in
+  Alcotest.(check string) "first" "mov #640, sp" (Isa.to_string i)
+
+let test_asm_labels_and_words () =
+  let img =
+    Asm.assemble
+      {|
+start:  jmp start
+        .org 0xf100
+tbl:    .word 1, 2, tbl
+|}
+  in
+  let w = List.assoc 0xf100 img.Asm.words in
+  Alcotest.(check int) "word1" 1 w;
+  Alcotest.(check int) "label value" 0xf100 (List.assoc 0xf104 img.Asm.words)
+
+let test_asm_errors () =
+  let expect_error src =
+    match Asm.assemble src with
+    | exception Asm.Error _ -> ()
+    | _ -> Alcotest.fail "expected assembly error"
+  in
+  expect_error "start: bogus r4\n";
+  expect_error "start: mov r4\n";
+  expect_error "start: mov #1, #2\n";
+  expect_error "start: jmp missing_label\n";
+  expect_error "start: mov #1, r4\nstart: nop\n"
+
+let test_asm_reset_vector () =
+  let img = Asm.assemble "start: halt\n" in
+  Alcotest.(check int) "vector" Memmap.rom_base
+    (List.assoc Memmap.reset_vector img.Asm.words)
+
+let test_asm_expressions () =
+  let img =
+    Asm.assemble
+      {|
+        .equ BASE, 0x0300
+        .equ OFF, 6
+start:  mov #BASE+OFF, r4
+        mov #BASE-2, r5
+        mov #-1, r6
+        halt
+|}
+  in
+  let rom = Asm.image_rom img in
+  Alcotest.(check int) "plus" 0x0306 rom.(1);
+  Alcotest.(check int) "minus" 0x02fe rom.(3)
+
+let test_asm_space_directive () =
+  let img =
+    Asm.assemble
+      {|
+start:  jmp start
+        .org 0xf100
+buf:    .space 3
+after:  .word after
+|}
+  in
+  Alcotest.(check int) "space skipped" 0xf106 (List.assoc 0xf106 img.Asm.words);
+  Alcotest.(check int) "zero filled" 0 (List.assoc 0xf102 img.Asm.words)
+
+let test_asm_line_map () =
+  let img = Asm.assemble "start: nop\n nop\n halt\n" in
+  Alcotest.(check int) "three instructions" 3
+    (List.length img.Asm.line_of_addr);
+  Alcotest.(check (list int)) "consecutive addrs"
+    [ 0xf000; 0xf002; 0xf004 ]
+    (Asm.instruction_addrs img)
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let test_disasm_listing () =
+  let img =
+    Asm.assemble "start: mov #0x1234, r4\n add r4, r5\n halt\n"
+  in
+  let l = Bespoke_isa.Disasm.listing img in
+  Alcotest.(check bool) "has mov" true (contains l "mov #4660, r4");
+  Alcotest.(check bool) "has add" true (contains l "add r4, r5");
+  Alcotest.(check bool) "has addresses" true (contains l "f000:")
+
+(* ---- ISS ---- *)
+
+let run_program ?(max_insns = 100_000) src =
+  let img = Asm.assemble src in
+  let t = Iss.create img in
+  Iss.reset t;
+  Iss.run ~max_insns t;
+  t
+
+let test_iss_arith () =
+  let t =
+    run_program
+      {|
+start:  mov #0x0280, sp
+        mov #21, r4
+        add r4, r4          ; r4 = 42
+        mov #100, r5
+        sub #58, r5         ; r5 = 42
+        mov #0xffff, r6
+        inc r6              ; r6 = 0, carry set
+        adc r7              ; r7 = 1 (captures carry)
+        halt
+|}
+  in
+  Alcotest.(check int) "r4" 42 (Iss.reg t 4);
+  Alcotest.(check int) "r5" 42 (Iss.reg t 5);
+  Alcotest.(check int) "r6" 0 (Iss.reg t 6);
+  Alcotest.(check int) "r7" 1 (Iss.reg t 7)
+
+let test_iss_memory () =
+  let t =
+    run_program
+      {|
+        .equ buf, 0x0220
+start:  mov #0x0280, sp
+        mov #0xbeef, &buf
+        mov &buf, r4
+        mov #buf, r5
+        mov.b @r5, r6        ; low byte
+        mov.b 1(r5), r7      ; high byte
+        halt
+|}
+  in
+  Alcotest.(check int) "r4" 0xbeef (Iss.reg t 4);
+  Alcotest.(check int) "r6" 0xef (Iss.reg t 6);
+  Alcotest.(check int) "r7" 0xbe (Iss.reg t 7)
+
+let test_iss_loop_sum () =
+  (* sum 1..10 = 55 *)
+  let t =
+    run_program
+      {|
+start:  mov #0x0280, sp
+        clr r4               ; acc
+        mov #10, r5
+loop:   add r5, r4
+        dec r5
+        jnz loop
+        mov r4, &0x0200
+        halt
+|}
+  in
+  Alcotest.(check int) "sum" 55 (Iss.read_ram_word t 0x0200)
+
+let test_iss_call_ret () =
+  let t =
+    run_program
+      {|
+start:  mov #0x0280, sp
+        mov #5, r4
+        call #double
+        call #double
+        halt
+double: add r4, r4
+        ret
+|}
+  in
+  Alcotest.(check int) "r4" 20 (Iss.reg t 4);
+  Alcotest.(check int) "sp restored" 0x0280 (Iss.reg t 1)
+
+let test_iss_push_pop () =
+  let t =
+    run_program
+      {|
+start:  mov #0x0280, sp
+        mov #7, r4
+        push r4
+        clr r4
+        pop r5
+        halt
+|}
+  in
+  Alcotest.(check int) "r5" 7 (Iss.reg t 5);
+  Alcotest.(check int) "sp" 0x0280 (Iss.reg t 1)
+
+let test_iss_byte_ops () =
+  let t =
+    run_program
+      {|
+start:  mov #0x0280, sp
+        mov #0x1234, r4
+        swpb r4              ; 0x3412
+        mov #0x00ff, r5
+        add.b #1, r5         ; byte add: 0x00 (carry), zero-extended
+        mov #0x0080, r6
+        sxt r6               ; 0xff80
+        halt
+|}
+  in
+  Alcotest.(check int) "swpb" 0x3412 (Iss.reg t 4);
+  Alcotest.(check int) "add.b" 0x0000 (Iss.reg t 5);
+  Alcotest.(check int) "sxt" 0xff80 (Iss.reg t 6)
+
+let test_iss_shifts () =
+  let t =
+    run_program
+      {|
+start:  mov #0x0280, sp
+        mov #0x8001, r4
+        rra r4               ; arithmetic: 0xc000, C=1
+        mov #0x0001, r5
+        clrc
+        rrc r5               ; 0x0000, C=1
+        rrc r5               ; C into msb: 0x8000
+        halt
+|}
+  in
+  Alcotest.(check int) "rra" 0xc000 (Iss.reg t 4);
+  Alcotest.(check int) "rrc twice" 0x8000 (Iss.reg t 5)
+
+let test_iss_dadd () =
+  let t =
+    run_program
+      {|
+start:  mov #0x0280, sp
+        mov #0x0199, r4
+        clrc
+        dadd #0x0001, r4     ; BCD: 0199 + 1 = 0200
+        halt
+|}
+  in
+  Alcotest.(check int) "dadd" 0x0200 (Iss.reg t 4)
+
+let test_iss_conditionals () =
+  let t =
+    run_program
+      {|
+start:  mov #0x0280, sp
+        mov #5, r4
+        cmp #5, r4
+        jeq eq_ok
+        mov #0xdead, &0x0200
+        halt
+eq_ok:  mov #1, &0x0200
+        mov #0xfffe, r5      ; -2
+        cmp #1, r5           ; -2 - 1 : negative
+        jl lt_ok
+        mov #0xdead, &0x0202
+        halt
+lt_ok:  mov #1, &0x0202
+        halt
+|}
+  in
+  Alcotest.(check int) "eq" 1 (Iss.read_ram_word t 0x0200);
+  Alcotest.(check int) "signed lt" 1 (Iss.read_ram_word t 0x0202)
+
+let test_iss_gpio_and_halt () =
+  let img =
+    Asm.assemble
+      {|
+start:  mov #0x0280, sp
+        mov &0x0010, r4      ; read gpio_in
+        add #1, r4
+        mov r4, &0x0012      ; write gpio_out
+        halt
+|}
+  in
+  let t = Iss.create img in
+  Iss.reset t;
+  Iss.set_gpio_in t 41;
+  Iss.run t;
+  Alcotest.(check int) "gpio out" 42 (Iss.gpio_out t);
+  Alcotest.(check bool) "halted" true (Iss.halted t);
+  Alcotest.(check int) "trace length" 1 (List.length (Iss.output_trace t))
+
+let test_iss_multiplier () =
+  let t =
+    run_program
+      (Printf.sprintf
+         {|
+start:  mov #0x0280, sp
+        mov #1234, &0x%04x    ; MPY op1
+        mov #567, &0x%04x     ; OP2: triggers
+        mov &0x%04x, r4       ; RESLO
+        mov &0x%04x, r5       ; RESHI
+        mov #2, &0x%04x       ; MAC op1
+        mov #3, &0x%04x       ; OP2: accumulate +6
+        mov &0x%04x, r6       ; RESLO
+        halt
+|}
+         Memmap.mpy_op1 Memmap.mpy_op2 Memmap.mpy_reslo Memmap.mpy_reshi
+         Memmap.mpy_mac Memmap.mpy_op2 Memmap.mpy_reslo)
+  in
+  let prod = 1234 * 567 in
+  Alcotest.(check int) "reslo" (prod land 0xffff) (Iss.reg t 4);
+  Alcotest.(check int) "reshi" (prod lsr 16) (Iss.reg t 5);
+  Alcotest.(check int) "mac" ((prod + 6) land 0xffff) (Iss.reg t 6)
+
+let test_iss_irq () =
+  let img =
+    Asm.assemble
+      {|
+        .irq handler
+start:  mov #0x0280, sp
+        mov #1, &0x0000      ; enable IRQ in IE
+        eint
+wait:   jmp wait
+handler: mov #0x1234, &0x0200
+        mov #1, &0x0014      ; halt from handler
+        reti
+|}
+  in
+  let t = Iss.create img in
+  Iss.reset t;
+  (* run a few instructions, then raise the line *)
+  for _ = 1 to 6 do
+    Iss.step t
+  done;
+  Iss.set_irq_line t true;
+  Iss.run t;
+  Alcotest.(check int) "handler ran" 0x1234 (Iss.read_ram_word t 0x0200)
+
+let test_iss_cycle_counter () =
+  (* dbg cycle counter low must follow the Timing model accumulation;
+     the counter only runs while tracing (dbg_ctl bit 0) is enabled *)
+  let t =
+    run_program
+      {|
+start:  mov #0x0280, sp      ; 3 cycles (imm long)
+        mov #1, &0x0040      ; enable: 5 cycles (CG imm, abs dst)
+        nop                  ; 2 cycles
+        mov &0x0046, r4      ; dbg_cyc_lo read happens at SRC_RD stage
+        halt
+|}
+  in
+  (* enable written at cycle 7 (DST_WR of the second mov), so counting
+     starts at cycle 8; the read lands at cycle 10+2=12: value 4 *)
+  Alcotest.(check int) "cycle sample" 4 (Iss.reg t 4)
+
+let test_timing_model () =
+  let c src = Timing.cycles src in
+  Alcotest.(check int) "reg-reg" 2
+    (c (Isa.Two { op = Isa.MOV; size = Isa.Word; src = Isa.Sreg 4; dst = Isa.Dreg 5 }));
+  Alcotest.(check int) "imm long" 3
+    (c (Isa.Two { op = Isa.MOV; size = Isa.Word; src = Isa.Imm 77; dst = Isa.Dreg 5 }));
+  Alcotest.(check int) "cg imm" 2
+    (c (Isa.Two { op = Isa.MOV; size = Isa.Word; src = Isa.Imm 1; dst = Isa.Dreg 5 }));
+  Alcotest.(check int) "mem-mem" 7
+    (c
+       (Isa.Two
+          {
+            op = Isa.ADD;
+            size = Isa.Word;
+            src = Isa.Sidx (4, 2);
+            dst = Isa.Didx (5, 4);
+          }));
+  Alcotest.(check int) "jump" 2 (c (Isa.Jump { cond = Isa.JMP; off = 1 }));
+  Alcotest.(check int) "reti" 3
+    (c (Isa.One { op = Isa.RETI; size = Isa.Word; dst = Isa.Sreg 0 }))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "bespoke_isa"
+    [
+      ( "encoding",
+        [
+          Alcotest.test_case "two-op roundtrip" `Quick test_roundtrip_two;
+          Alcotest.test_case "one-op roundtrip" `Quick test_roundtrip_one;
+          Alcotest.test_case "jump roundtrip" `Quick test_roundtrip_jumps;
+          Alcotest.test_case "constant generators" `Quick test_cg_encodings;
+          qt test_roundtrip_random;
+        ] );
+      ( "assembler",
+        [
+          Alcotest.test_case "basic" `Quick test_asm_basic;
+          Alcotest.test_case "labels and words" `Quick test_asm_labels_and_words;
+          Alcotest.test_case "errors" `Quick test_asm_errors;
+          Alcotest.test_case "reset vector" `Quick test_asm_reset_vector;
+          Alcotest.test_case "expressions" `Quick test_asm_expressions;
+          Alcotest.test_case ".space" `Quick test_asm_space_directive;
+          Alcotest.test_case "line map" `Quick test_asm_line_map;
+          Alcotest.test_case "disasm listing" `Quick test_disasm_listing;
+        ] );
+      ( "iss",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_iss_arith;
+          Alcotest.test_case "memory" `Quick test_iss_memory;
+          Alcotest.test_case "loop sum" `Quick test_iss_loop_sum;
+          Alcotest.test_case "call/ret" `Quick test_iss_call_ret;
+          Alcotest.test_case "push/pop" `Quick test_iss_push_pop;
+          Alcotest.test_case "byte ops" `Quick test_iss_byte_ops;
+          Alcotest.test_case "shifts" `Quick test_iss_shifts;
+          Alcotest.test_case "dadd" `Quick test_iss_dadd;
+          Alcotest.test_case "conditionals" `Quick test_iss_conditionals;
+          Alcotest.test_case "gpio/halt" `Quick test_iss_gpio_and_halt;
+          Alcotest.test_case "multiplier" `Quick test_iss_multiplier;
+          Alcotest.test_case "irq" `Quick test_iss_irq;
+          Alcotest.test_case "cycle counter" `Quick test_iss_cycle_counter;
+          Alcotest.test_case "timing model" `Quick test_timing_model;
+        ] );
+    ]

@@ -1,0 +1,126 @@
+module B = Bespoke_programs.Benchmark
+module Asm = Bespoke_isa.Asm
+module Mutation = Bespoke_mutation.Mutation
+module Runner = Bespoke_core.Runner
+module Iss = Bespoke_isa.Iss
+
+let test_mutants_assemble () =
+  List.iter
+    (fun name ->
+      let b = B.find name in
+      let ms = Mutation.mutants b in
+      Alcotest.(check bool) (name ^ " has mutants") true (List.length ms > 0);
+      List.iter
+        (fun (m : Mutation.mutant) ->
+          match Asm.assemble m.Mutation.source with
+          | _ -> ()
+          | exception Asm.Error { line; message } ->
+            Alcotest.failf "%s mutant %d does not assemble: line %d %s" name
+              m.Mutation.id line message)
+        ms)
+    [ "binSearch"; "inSort"; "rle"; "tea8"; "Viterbi"; "autocorr" ]
+
+let test_mutants_change_one_line () =
+  let b = B.find "div" in
+  List.iter
+    (fun (m : Mutation.mutant) ->
+      let base_lines = String.split_on_char '\n' b.B.source in
+      let mut_lines = String.split_on_char '\n' m.Mutation.source in
+      Alcotest.(check int) "same line count" (List.length base_lines)
+        (List.length mut_lines);
+      let diffs =
+        List.combine base_lines mut_lines
+        |> List.filter (fun (a, b) -> a <> b)
+        |> List.length
+      in
+      Alcotest.(check int) "exactly one line changed" 1 diffs)
+    (Mutation.mutants b)
+
+let test_mutants_same_layout () =
+  (* swapped mnemonics must encode to the same word count, so the
+     binary layout (labels, vectors) is unchanged *)
+  let b = B.find "tea8" in
+  let base = Asm.assemble b.B.source in
+  List.iter
+    (fun (m : Mutation.mutant) ->
+      let img = Asm.assemble m.Mutation.source in
+      Alcotest.(check int)
+        (Printf.sprintf "mutant %d word count" m.Mutation.id)
+        (List.length base.Asm.words)
+        (List.length img.Asm.words))
+    (Mutation.mutants b)
+
+let test_type_classification () =
+  let src =
+    {|
+start:  mov #0x0280, sp
+        mov #4, r4
+loop:   dec r4
+        jnz loop
+        tst r4
+        jz fwd
+        nop
+fwd:    halt
+|}
+  in
+  let b =
+    { (B.find "div") with B.name = "synthetic"; source = src }
+  in
+  let ms = Mutation.mutants b in
+  let loops =
+    List.filter (fun m -> m.Mutation.mtype = Mutation.Loop_conditional) ms
+  in
+  let conds = List.filter (fun m -> m.Mutation.mtype = Mutation.Conditional) ms in
+  (* jnz loop is backward -> Type III; jz fwd is forward -> Type I *)
+  Alcotest.(check bool) "has loop mutants" true
+    (List.exists (fun m -> m.Mutation.original = "jnz") loops);
+  Alcotest.(check bool) "has conditional mutants" true
+    (List.exists (fun m -> m.Mutation.original = "jz") conds)
+
+let test_mutant_is_runnable_or_diverges () =
+  (* a mutant either halts with some result or loops forever; it must
+     never crash the ISS with a bus/decoding error *)
+  let b = B.find "inSort" in
+  List.iter
+    (fun (m : Mutation.mutant) ->
+      let mb = Mutation.to_benchmark b m in
+      let img = B.image mb in
+      let t = Iss.create img in
+      Iss.reset t;
+      let inputs, gpio = mb.B.gen_inputs 1 in
+      List.iter (fun (a, v) -> Iss.write_ram_word t a v) inputs;
+      Iss.set_gpio_in t gpio;
+      let steps = ref 0 in
+      (try
+         while (not (Iss.halted t)) && !steps < 30_000 do
+           Iss.step t;
+           incr steps
+         done
+       with
+      | Iss.Bus_error _ -> Alcotest.failf "mutant %d bus error" m.Mutation.id
+      | Bespoke_isa.Isa.Decode_error _ ->
+        Alcotest.failf "mutant %d decode error" m.Mutation.id))
+    (Mutation.mutants b)
+
+let test_counts_by_type_sum () =
+  let ms = Mutation.mutants (B.find "tea8") in
+  let by = Mutation.count_by_type ms in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 by in
+  Alcotest.(check int) "sums to total" (List.length ms) total
+
+let () =
+  Alcotest.run "bespoke_mutation"
+    [
+      ( "mutation",
+        [
+          Alcotest.test_case "mutants assemble" `Quick test_mutants_assemble;
+          Alcotest.test_case "one line changed" `Quick
+            test_mutants_change_one_line;
+          Alcotest.test_case "layout preserved" `Quick test_mutants_same_layout;
+          Alcotest.test_case "type classification" `Quick
+            test_type_classification;
+          Alcotest.test_case "mutants run safely" `Quick
+            test_mutant_is_runnable_or_diverges;
+          Alcotest.test_case "counts sum" `Quick test_counts_by_type_sum;
+        ] );
+    ]

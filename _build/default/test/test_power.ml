@@ -1,0 +1,159 @@
+module Netlist = Bespoke_netlist.Netlist
+module Gate = Bespoke_netlist.Gate
+module Rtl = Bespoke_rtl.Rtl
+module Cells = Bespoke_cells.Cells
+module Sta = Bespoke_power.Sta
+module Report = Bespoke_power.Report
+module Voltage = Bespoke_power.Voltage
+
+let adder_net width =
+  let b = Rtl.create_builder () in
+  let x = Rtl.input b "x" width and y = Rtl.input b "y" width in
+  Rtl.output b "s" (Rtl.add x y);
+  Rtl.synthesize b
+
+let test_sta_monotone_width () =
+  (* a wider ripple adder has a longer critical path *)
+  let c8 = (Sta.analyze (adder_net 8)).Sta.critical_path_ps in
+  let c16 = (Sta.analyze (adder_net 16)).Sta.critical_path_ps in
+  Alcotest.(check bool) "positive" true (c8 > 0.0);
+  Alcotest.(check bool) "wider is slower" true (c16 > c8)
+
+let test_sta_registers_bound_paths () =
+  (* inserting a register stage cuts the combinational path: compare a
+     three-adder chain against the same function with a register after
+     the second adder *)
+  let chained =
+    let b = Rtl.create_builder () in
+    let x = Rtl.input b "x" 16
+    and y = Rtl.input b "y" 16
+    and z = Rtl.input b "z" 16
+    and w = Rtl.input b "w" 16 in
+    Rtl.output b "s" (Rtl.add (Rtl.add (Rtl.add x y) z) w);
+    Rtl.synthesize b
+  in
+  let pipelined =
+    let b = Rtl.create_builder () in
+    let x = Rtl.input b "x" 16
+    and y = Rtl.input b "y" 16
+    and z = Rtl.input b "z" 16
+    and w = Rtl.input b "w" 16 in
+    let stage = Rtl.reg b ~init:0 (Rtl.add (Rtl.add x y) z) in
+    Rtl.output b "s" (Rtl.add stage w);
+    Rtl.synthesize b
+  in
+  let c1 = (Sta.analyze chained).Sta.critical_path_ps in
+  let c2 = (Sta.analyze pipelined).Sta.critical_path_ps in
+  Alcotest.(check bool) "pipelining shortens the critical path" true (c2 < c1)
+
+let test_area_additive () =
+  let a8 = Report.area_um2 (adder_net 8) in
+  let a16 = Report.area_um2 (adder_net 16) in
+  Alcotest.(check bool) "positive" true (a8 > 0.0);
+  Alcotest.(check bool) "roughly doubles" true
+    (a16 > 1.7 *. a8 && a16 < 2.3 *. a8)
+
+let test_power_components () =
+  let net = adder_net 16 in
+  let ng = Netlist.gate_count net in
+  let zero = Array.make ng 0 in
+  let idle = Report.power ~freq_hz:1e8 ~toggles:zero ~cycles:100 net in
+  Alcotest.(check bool) "no dynamic when idle" true
+    (idle.Report.dynamic_nw = 0.0);
+  Alcotest.(check bool) "leakage positive" true (idle.Report.leakage_nw > 0.0);
+  let busy = Report.power ~freq_hz:1e8 ~toggles:(Array.make ng 50) ~cycles:100 net in
+  Alcotest.(check bool) "dynamic grows with toggles" true
+    (busy.Report.dynamic_nw > 0.0);
+  Alcotest.(check bool) "total = sum" true
+    (abs_float
+       (busy.Report.total_nw
+       -. (busy.Report.leakage_nw +. busy.Report.dynamic_nw +. busy.Report.clock_nw))
+    < 1e-6)
+
+let test_cell_library_consistency () =
+  let module Gate = Bespoke_netlist.Gate in
+  List.iter
+    (fun op ->
+      let x1 = Cells.of_gate op ~drive:0 in
+      let x2 = Cells.of_gate op ~drive:1 in
+      Alcotest.(check bool) (x1.Cells.name ^ " x2 bigger") true
+        (x2.Cells.area_um2 > x1.Cells.area_um2);
+      Alcotest.(check bool) (x1.Cells.name ^ " x2 leakier") true
+        (x2.Cells.leakage_nw > x1.Cells.leakage_nw);
+      Alcotest.(check bool) (x1.Cells.name ^ " x2 drives harder") true
+        (x2.Cells.drive_res_ps_per_ff < x1.Cells.drive_res_ps_per_ff);
+      Alcotest.(check bool) (x1.Cells.name ^ " positive cap") true
+        (x1.Cells.input_cap_ff > 0.0))
+    [ Gate.Not; Gate.And; Gate.Or; Gate.Xor; Gate.Mux; Gate.Dff Bespoke_logic.Bit.Zero ];
+  (* ports and tie cells are free *)
+  let port = Cells.of_gate Gate.Input ~drive:0 in
+  Alcotest.(check (float 0.0)) "port free" 0.0 port.Cells.area_um2;
+  (* wire load grows with fanout *)
+  Alcotest.(check bool) "wire cap monotone" true
+    (Cells.wire_cap_ff ~fanout:10 > Cells.wire_cap_ff ~fanout:1)
+
+let test_voltage_scaling_model () =
+  Alcotest.(check (float 1e-9)) "nominal is 1x" 1.0
+    (Cells.delay_scale ~vdd:Cells.vdd_nominal);
+  Alcotest.(check bool) "lower V is slower" true
+    (Cells.delay_scale ~vdd:0.7 > 1.0);
+  Alcotest.(check bool) "dynamic quadratic" true
+    (abs_float (Cells.dynamic_scale ~vdd:0.5 -. 0.25) < 1e-9)
+
+let test_vmin_monotone () =
+  (* more slack (shorter critical path) allows a lower Vmin *)
+  let v1 = Voltage.vmin ~critical_path_ps:9000.0 ~period_ps:10000.0 in
+  let v2 = Voltage.vmin ~critical_path_ps:4000.0 ~period_ps:10000.0 in
+  let v3 = Voltage.vmin ~critical_path_ps:500.0 ~period_ps:10000.0 in
+  Alcotest.(check bool) "ordering" true (v3 <= v2 && v2 <= v1);
+  Alcotest.(check bool) "never below floor" true (v3 >= Cells.vdd_floor -. 1e-9);
+  Alcotest.(check bool) "no slack -> nominal" true
+    (Voltage.vmin ~critical_path_ps:10000.0 ~period_ps:10000.0
+    >= Cells.vdd_nominal -. 1e-9)
+
+let test_vmin_safe =
+  QCheck.Test.make ~name:"vmin always meets timing with guard band" ~count:200
+    QCheck.(pair (float_range 100.0 20000.0) (float_range 100.0 20000.0))
+    (fun (crit, period) ->
+      let v = Voltage.vmin ~critical_path_ps:crit ~period_ps:period in
+      (* if vmin < nominal was chosen, the scaled path must fit *)
+      v >= Cells.vdd_nominal -. 1e-9
+      || Cells.delay_scale ~vdd:v *. crit *. Cells.guard_band <= period +. 1e-6)
+
+let test_downsize_only_reduces () =
+  let net = Bespoke_cpu.Cpu.build () in
+  let down = Sta.downsize net in
+  Alcotest.(check int) "same gate count" (Netlist.gate_count net)
+    (Netlist.gate_count down);
+  Alcotest.(check bool) "area not larger" true
+    (Report.area_um2 down <= Report.area_um2 net +. 1e-6)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "bespoke_power"
+    [
+      ( "sta",
+        [
+          Alcotest.test_case "wider adder slower" `Quick test_sta_monotone_width;
+          Alcotest.test_case "registers bound paths" `Quick
+            test_sta_registers_bound_paths;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "area additive" `Quick test_area_additive;
+          Alcotest.test_case "power components" `Quick test_power_components;
+        ] );
+      ( "cells",
+        [
+          Alcotest.test_case "library consistency" `Quick
+            test_cell_library_consistency;
+        ] );
+      ( "voltage",
+        [
+          Alcotest.test_case "scaling model" `Quick test_voltage_scaling_model;
+          Alcotest.test_case "vmin monotone" `Quick test_vmin_monotone;
+          qt test_vmin_safe;
+        ] );
+      ( "sizing",
+        [ Alcotest.test_case "downsize reduces" `Slow test_downsize_only_reduces ] );
+    ]

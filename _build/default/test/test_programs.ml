@@ -1,0 +1,259 @@
+module B = Bespoke_programs.Benchmark
+module Rtos = Bespoke_programs.Rtos
+module Subneg = Bespoke_programs.Subneg
+module Asm = Bespoke_isa.Asm
+module Iss = Bespoke_isa.Iss
+module Runner = Bespoke_core.Runner
+
+let all_programs = B.all @ [ Rtos.kernel; Subneg.characterization ]
+
+let test_all_assemble () =
+  List.iter
+    (fun (b : B.t) ->
+      match Asm.assemble b.B.source with
+      | _ -> ()
+      | exception Asm.Error { line; message } ->
+        Alcotest.failf "%s line %d: %s" b.B.name line message)
+    all_programs
+
+let test_all_halt_on_iss () =
+  List.iter
+    (fun (b : B.t) ->
+      List.iter
+        (fun seed ->
+          let o = Runner.run_iss b ~seed in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s seed %d ran" b.B.name seed)
+            true
+            (o.Runner.instructions > 3))
+        [ 1; 2; 3 ])
+    all_programs
+
+let test_gate_equivalence_each () =
+  (* one seed through full ISS-vs-gate lockstep for every program *)
+  List.iter
+    (fun (b : B.t) -> ignore (Runner.check_equivalence b ~seed:1))
+    all_programs
+
+(* functional spot checks against independent OCaml models *)
+
+let results_of b seed =
+  let o = Runner.run_iss b ~seed in
+  o.Runner.results
+
+let test_div_matches_ocaml () =
+  let b = B.find "div" in
+  List.iter
+    (fun seed ->
+      let inputs, _ = b.B.gen_inputs seed in
+      let n = List.assoc B.input_base inputs in
+      let d = List.assoc (B.input_base + 2) inputs in
+      let results = results_of b seed in
+      Alcotest.(check int) "quotient" (n / d) (List.assoc B.output_base results);
+      Alcotest.(check int) "remainder" (n mod d)
+        (List.assoc (B.output_base + 2) results))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_insort_checksum () =
+  let b = B.find "inSort" in
+  List.iter
+    (fun seed ->
+      let inputs, _ = b.B.gen_inputs seed in
+      let sum =
+        List.fold_left (fun acc (_, v) -> (acc + v) land 0xffff) 0 inputs
+      in
+      (* sorting preserves the sum *)
+      Alcotest.(check int) "checksum" sum
+        (List.assoc B.output_base (results_of b seed)))
+    [ 1; 2; 3 ]
+
+let test_intavg_matches_ocaml () =
+  let b = B.find "intAVG" in
+  let inputs, _ = b.B.gen_inputs 4 in
+  let sum = List.fold_left (fun acc (_, v) -> acc + v) 0 inputs in
+  (* the program wraps the 16-bit sum then does 4 arithmetic shifts *)
+  let wrapped = sum land 0xffff in
+  let signed = if wrapped land 0x8000 <> 0 then wrapped - 0x10000 else wrapped in
+  let expect = (signed asr 4) land 0xffff in
+  Alcotest.(check int) "avg" expect
+    (List.assoc B.output_base (results_of b 4))
+
+let test_thold_matches_ocaml () =
+  let b = B.find "tHold" in
+  List.iter
+    (fun seed ->
+      let inputs, _ = b.B.gen_inputs seed in
+      let above = List.filter (fun (_, v) -> v >= 0x0800) inputs in
+      Alcotest.(check int) "count above" (List.length above)
+        (List.assoc B.output_base (results_of b seed)))
+    [ 1; 2; 3 ]
+
+let test_mult_matches_ocaml () =
+  let b = B.find "mult" in
+  let inputs, _ = b.B.gen_inputs 2 in
+  let x = List.assoc B.input_base inputs in
+  let y = List.assoc (B.input_base + 2) inputs in
+  let results = results_of b 2 in
+  let lo = List.assoc B.output_base results in
+  let hi = List.assoc (B.output_base + 2) results in
+  Alcotest.(check int) "product" (x * y) ((hi lsl 16) lor lo)
+
+let test_tea8_roundtrip_model () =
+  (* independent OCaml TEA implementation, 8 rounds, same keys *)
+  let b = B.find "tea8" in
+  let inputs, _ = b.B.gen_inputs 1 in
+  let get a = List.assoc a inputs in
+  let v0 = ref ((get (B.input_base + 2) lsl 16) lor get B.input_base) in
+  let v1 = ref ((get (B.input_base + 6) lsl 16) lor get (B.input_base + 4)) in
+  let k0 = 0xa341316c and k1 = 0xc8012d90 and k2 = 0xd23ce3e1 and k3 = 0x1b559a8d in
+  let delta = 0x9e3779b9 in
+  let m = 0xffffffff in
+  let sum = ref 0 in
+  for _ = 1 to 8 do
+    sum := (!sum + delta) land m;
+    v0 :=
+      (!v0
+      + (((!v1 lsl 4) land m) + k0 land m
+        |> fun a -> a land m |> fun a -> a lxor ((!v1 + !sum) land m)
+        |> fun a -> a lxor (((!v1 lsr 5) + k1) land m)))
+      land m;
+    v1 :=
+      (!v1
+      + ((((!v0 lsl 4) + k2) land m)
+        |> fun a -> a lxor ((!v0 + !sum) land m)
+        |> fun a -> a lxor (((!v0 lsr 5) + k3) land m)))
+      land m
+  done;
+  let results = results_of b 1 in
+  let got_v0 =
+    (List.assoc (B.output_base + 2) results lsl 16)
+    lor List.assoc B.output_base results
+  in
+  let got_v1 =
+    (List.assoc (B.output_base + 6) results lsl 16)
+    lor List.assoc (B.output_base + 4) results
+  in
+  Alcotest.(check int) "v0" !v0 got_v0;
+  Alcotest.(check int) "v1" !v1 got_v1
+
+let test_conven_matches_ocaml () =
+  let b = B.find "convEn" in
+  let inputs, _ = b.B.gen_inputs 3 in
+  let bits = List.assoc B.input_base inputs in
+  let g0 = ref 0 and g1 = ref 0 and s = ref 0 in
+  for i = 15 downto 0 do
+    let bit = (bits lsr i) land 1 in
+    let s0 = !s land 1 and s1 = (!s lsr 1) land 1 in
+    g0 := (!g0 lsl 1) lor (bit lxor s0 lxor s1);
+    g1 := (!g1 lsl 1) lor (bit lxor s1);
+    s := ((!s lsl 1) lor bit) land 3
+  done;
+  let results = results_of b 3 in
+  Alcotest.(check int) "g0 stream" (!g0 land 0xffff)
+    (List.assoc B.output_base results);
+  Alcotest.(check int) "g1 stream" (!g1 land 0xffff)
+    (List.assoc (B.output_base + 2) results)
+
+let test_autocorr_matches_ocaml () =
+  let b = B.find "autocorr" in
+  let inputs, _ = b.B.gen_inputs 5 in
+  let x = Array.of_list (List.map snd inputs) in
+  let results = results_of b 5 in
+  List.iteri
+    (fun lag _ ->
+      if lag < 4 then begin
+        let acc = ref 0 in
+        for i = 0 to 15 - lag do
+          acc := !acc + (x.(i) * x.(i + lag))
+        done;
+        Alcotest.(check int)
+          (Printf.sprintf "lag %d" lag)
+          (!acc land 0xffff)
+          (List.assoc (B.output_base + (2 * lag)) results)
+      end)
+    [ 0; 1; 2; 3 ]
+
+let test_conv_viterbi_roundtrip () =
+  (* encode 8 data bits with the convEn polynomial, decode with
+     Viterbi: the decoder must recover the data when fed the clean
+     symbol stream *)
+  let data = [ 1; 0; 1; 1; 0; 0; 1; 0 ] in
+  let s = ref 0 in
+  let symbols =
+    List.map
+      (fun bit ->
+        let s0 = !s land 1 and s1 = (!s lsr 1) land 1 in
+        let g0 = bit lxor s0 lxor s1 and g1 = bit lxor s1 in
+        s := ((!s lsl 1) lor bit) land 3;
+        (g1 lsl 1) lor g0)
+      data
+  in
+  let b = B.find "Viterbi" in
+  let custom =
+    {
+      b with
+      B.gen_inputs =
+        (fun _ ->
+          (List.mapi (fun i sym -> (B.input_base + (2 * i), sym)) symbols, 0));
+    }
+  in
+  let results = results_of custom 1 in
+  let decoded = List.assoc B.output_base results in
+  let expect =
+    List.fold_left (fun acc b -> (acc lsl 1) lor b) 0 data
+    |> fun v ->
+    (* program emits bit t at position t, msb-first over 8 steps *)
+    let rec flip v i acc =
+      if i >= 8 then acc
+      else flip v (i + 1) (acc lor (((v lsr i) land 1) lsl (7 - i)))
+    in
+    flip v 0 0
+  in
+  Alcotest.(check int) "decoded" expect decoded
+
+let test_scrambled_is_same_function () =
+  (* scrambled-intFilt permutes the schedule but computes the same FIR *)
+  let a = B.find "intFilt" and b = B.find "scrambled-intFilt" in
+  List.iter
+    (fun seed ->
+      let ra = results_of a seed and rb = results_of b seed in
+      List.iter2
+        (fun (addr, va) (addr', vb) ->
+          Alcotest.(check int) "same addr" addr addr';
+          Alcotest.(check int) (Printf.sprintf "out[%04x]" addr) va vb)
+        ra rb)
+    [ 1; 2; 3 ]
+
+let test_rtos_runs_both_tasks () =
+  let o = Runner.run_iss Rtos.kernel ~seed:1 in
+  let t0 = List.assoc 0x0380 o.Runner.results in
+  let t1 = List.assoc 0x0382 o.Runner.results in
+  Alcotest.(check bool) "task0 progressed" true (t0 > 0);
+  Alcotest.(check bool) "task1 progressed" true (t1 > 0)
+
+let () =
+  Alcotest.run "bespoke_programs"
+    [
+      ( "infrastructure",
+        [
+          Alcotest.test_case "all assemble" `Quick test_all_assemble;
+          Alcotest.test_case "all halt on the ISS" `Quick test_all_halt_on_iss;
+          Alcotest.test_case "gate equivalence" `Slow test_gate_equivalence_each;
+        ] );
+      ( "functional",
+        [
+          Alcotest.test_case "div" `Quick test_div_matches_ocaml;
+          Alcotest.test_case "inSort checksum" `Quick test_insort_checksum;
+          Alcotest.test_case "intAVG" `Quick test_intavg_matches_ocaml;
+          Alcotest.test_case "tHold" `Quick test_thold_matches_ocaml;
+          Alcotest.test_case "mult" `Quick test_mult_matches_ocaml;
+          Alcotest.test_case "tea8 vs OCaml TEA" `Quick test_tea8_roundtrip_model;
+          Alcotest.test_case "convEn" `Quick test_conven_matches_ocaml;
+          Alcotest.test_case "autocorr" `Quick test_autocorr_matches_ocaml;
+          Alcotest.test_case "conv->viterbi roundtrip" `Quick
+            test_conv_viterbi_roundtrip;
+          Alcotest.test_case "scrambled intFilt same function" `Quick
+            test_scrambled_is_same_function;
+          Alcotest.test_case "rtos tasks" `Quick test_rtos_runs_both_tasks;
+        ] );
+    ]

@@ -1,0 +1,255 @@
+module Bit = Bespoke_logic.Bit
+module Bvec = Bespoke_logic.Bvec
+module Rtl = Bespoke_rtl.Rtl
+module Engine = Bespoke_sim.Engine
+module Memory = Bespoke_sim.Memory
+
+(* ---- Engine activity tracking ---- *)
+
+let counter_net () =
+  let b = Rtl.create_builder () in
+  let en = Rtl.input b "en" 1 in
+  let count = Rtl.wire 4 in
+  let q = Rtl.reg b ~enable:en ~init:0 (Rtl.add count (Rtl.constant ~width:4 1)) in
+  Rtl.( <== ) count q;
+  Rtl.output b "q" q;
+  Rtl.synthesize b
+
+let test_toggle_counting () =
+  let eng = Engine.create (counter_net ()) in
+  Engine.reset eng;
+  Engine.set_input_int eng "en" 1;
+  Engine.eval eng;
+  Engine.commit_cycle eng;
+  for _ = 1 to 8 do
+    Engine.step eng;
+    Engine.commit_cycle eng
+  done;
+  let q_ids = Bespoke_netlist.Netlist.find_output (Engine.netlist eng) "q" in
+  let toggles = Engine.toggle_counts eng in
+  (* Bit 0 of a counter flips every cycle; bit 3 flips once (at 8). *)
+  Alcotest.(check int) "bit0 toggles" 8 toggles.(q_ids.(0));
+  Alcotest.(check int) "bit3 toggles" 1 toggles.(q_ids.(3))
+
+let test_possibly_toggled_x () =
+  let eng = Engine.create (counter_net ()) in
+  Engine.reset eng;
+  Engine.set_input_x eng "en";
+  Engine.eval eng;
+  Engine.commit_cycle eng;
+  Engine.step eng;
+  Engine.commit_cycle eng;
+  let q_ids = Bespoke_netlist.Netlist.find_output (Engine.netlist eng) "q" in
+  let poss = Engine.possibly_toggled eng in
+  (* With an unknown enable the counter value is unknown: exercisable. *)
+  Alcotest.(check bool) "bit0 possibly toggled" true poss.(q_ids.(0))
+
+let test_held_means_untoggled () =
+  let eng = Engine.create (counter_net ()) in
+  Engine.reset eng;
+  Engine.set_input_int eng "en" 0;
+  Engine.eval eng;
+  Engine.commit_cycle eng;
+  for _ = 1 to 5 do
+    Engine.step eng;
+    Engine.commit_cycle eng
+  done;
+  let q_ids = Bespoke_netlist.Netlist.find_output (Engine.netlist eng) "q" in
+  let poss = Engine.possibly_toggled eng in
+  Array.iter
+    (fun id -> Alcotest.(check bool) "held reg untoggled" false poss.(id))
+    q_ids
+
+let test_dff_state_roundtrip () =
+  let eng = Engine.create (counter_net ()) in
+  Engine.reset eng;
+  Engine.set_input_int eng "en" 1;
+  Engine.eval eng;
+  Engine.step eng;
+  Engine.step eng;
+  let s = Engine.dff_state eng in
+  Engine.step eng;
+  Engine.step eng;
+  Alcotest.(check (option int)) "advanced" (Some 4) (Engine.read_int eng "q");
+  Engine.restore_dff_state eng s;
+  Alcotest.(check (option int)) "restored" (Some 2) (Engine.read_int eng "q")
+
+(* ---- Memory ---- *)
+
+let v16 = Bvec.of_int ~width:16
+let mask_all = v16 0xffff
+
+let test_mem_rw () =
+  let m = Memory.create ~words:64 ~width:16 ~init:Bit.Zero in
+  Memory.write m ~addr:(Bvec.of_int ~width:6 5) ~data:(v16 0xbeef)
+    ~mask:mask_all ~en:Bit.One;
+  Alcotest.(check (option int)) "read back" (Some 0xbeef)
+    (Bvec.to_int (Memory.read m (Bvec.of_int ~width:6 5)));
+  Alcotest.(check (option int)) "other word" (Some 0)
+    (Bvec.to_int (Memory.read m (Bvec.of_int ~width:6 6)))
+
+let test_mem_byte_mask () =
+  let m = Memory.create ~words:16 ~width:16 ~init:Bit.Zero in
+  Memory.load_int m 3 0x1234;
+  Memory.write m ~addr:(Bvec.of_int ~width:4 3) ~data:(v16 0xabcd)
+    ~mask:(v16 0x00ff) ~en:Bit.One;
+  Alcotest.(check (option int)) "low byte written" (Some 0x12cd)
+    (Bvec.to_int (Memory.read_word m 3))
+
+let test_mem_x_enable_merges () =
+  let m = Memory.create ~words:16 ~width:16 ~init:Bit.Zero in
+  Memory.load_int m 2 0x00ff;
+  Memory.write m ~addr:(Bvec.of_int ~width:4 2) ~data:(v16 0x0ff0)
+    ~mask:mask_all ~en:Bit.X;
+  let w = Memory.read_word m 2 in
+  (* old 0x00ff vs new 0x0ff0: agreeing bits (15-12 zero, 7-4 one)
+     stay known; disagreeing bits become X *)
+  Alcotest.(check string) "merged" "0000xxxx1111xxxx"
+    (String.lowercase_ascii (Bvec.to_string w))
+
+let test_mem_x_addr_read () =
+  let m = Memory.create ~words:8 ~width:8 ~init:Bit.Zero in
+  Memory.load_int m 0 0xaa;
+  Memory.load_int m 1 0xab;
+  let addr = Bvec.of_string "00x" in
+  let r = Memory.read m addr in
+  (* words 0 and 1: 0xaa / 0xab differ only in bit 0 *)
+  Alcotest.(check string) "merged read" "1010101x" (Bvec.to_string r)
+
+let test_mem_x_addr_write () =
+  let m = Memory.create ~words:4 ~width:8 ~init:Bit.Zero in
+  Memory.load_int m 0 0x00;
+  Memory.load_int m 1 0x00;
+  Memory.load_int m 2 0x77;
+  Memory.load_int m 3 0x77;
+  let addr = Bvec.of_string "x0" in
+  (* candidates: 0 and 2 *)
+  Memory.write m ~addr ~data:(Bvec.of_int ~width:8 0xff) ~mask:(Bvec.of_int ~width:8 0xff)
+    ~en:Bit.One;
+  Alcotest.(check string) "word0 merged" "xxxxxxxx"
+    (Bvec.to_string (Memory.read_word m 0));
+  Alcotest.(check string) "word2 merged" "x111x111"
+    (Bvec.to_string (Memory.read_word m 2));
+  Alcotest.(check (option int)) "word1 untouched" (Some 0)
+    (Bvec.to_int (Memory.read_word m 1))
+
+let test_mem_snapshots () =
+  let m = Memory.create ~words:8 ~width:8 ~init:Bit.Zero in
+  Memory.load_int m 1 42;
+  let s1 = Memory.snapshot m in
+  Memory.load_int m 1 43;
+  let s2 = Memory.snapshot m in
+  Alcotest.(check bool) "not equal" false (Memory.equal_snapshot s1 s2);
+  let merged = Memory.merge_snapshot s1 s2 in
+  Alcotest.(check bool) "merged subsumes s1" true
+    (Memory.subsumes ~general:merged ~specific:s1);
+  Alcotest.(check bool) "merged subsumes s2" true
+    (Memory.subsumes ~general:merged ~specific:s2);
+  Memory.restore m s1;
+  Alcotest.(check (option int)) "restored" (Some 42)
+    (Bvec.to_int (Memory.read_word m 1))
+
+let test_mem_set_x_range () =
+  let m = Memory.create ~words:8 ~width:8 ~init:Bit.Zero in
+  Memory.set_x_range m ~lo:2 ~hi:3;
+  Alcotest.(check bool) "x region" false (Bvec.is_known (Memory.read_word m 2));
+  Alcotest.(check bool) "outside known" true (Bvec.is_known (Memory.read_word m 4))
+
+(* Conservative-write soundness: a ternary write with X in the
+   address, data, mask or enable must leave the memory subsuming every
+   concrete outcome. *)
+let gen_tern width =
+  QCheck.Gen.(
+    list_size (return width) (frequencyl [ (4, Bit.Zero); (4, Bit.One); (2, Bit.X) ])
+    |> map Array.of_list)
+
+let test_mem_conservative_write =
+  QCheck.Test.make ~name:"ternary write subsumes all concrete outcomes"
+    ~count:150
+    (QCheck.make
+       QCheck.Gen.(
+         let* addr = gen_tern 3 in
+         let* data = gen_tern 8 in
+         let* mask = gen_tern 8 in
+         let* en = oneofl [ Bit.Zero; Bit.One; Bit.X ] in
+         return (addr, data, mask, en)))
+    (fun (addr, data, mask, en) ->
+      QCheck.assume
+        (Bvec.count_x addr + Bvec.count_x data + Bvec.count_x mask
+         + (if Bit.is_known en then 0 else 1)
+        <= 5);
+      let init = Array.init 8 (fun i -> (i * 37) land 0xff) in
+      let tern = Memory.create ~words:8 ~width:8 ~init:Bit.Zero in
+      List.iteri (fun i v -> Memory.load_int tern i v) (Array.to_list init);
+      Memory.write tern ~addr ~data ~mask ~en;
+      (* every concrete choice of the unknowns *)
+      let concrete_cases =
+        List.concat_map
+          (fun a ->
+            List.concat_map
+              (fun d ->
+                List.concat_map
+                  (fun m ->
+                    List.map (fun e -> (a, d, m, e)) (Bit.concretizations en))
+                  (Bvec.concretizations mask))
+              (Bvec.concretizations data))
+          (Bvec.concretizations addr)
+      in
+      List.for_all
+        (fun (a, d, m, e) ->
+          let model = Array.copy init in
+          (if Bit.equal e Bit.One then
+             let idx = Bvec.to_int_exn a in
+             let dv = Bvec.to_int_exn d and mv = Bvec.to_int_exn m in
+             model.(idx) <- (model.(idx) land lnot mv) lor (dv land mv));
+          (* each model word must be subsumed by the ternary word *)
+          Array.for_all (fun x -> x)
+            (Array.mapi
+               (fun w v ->
+                 Bvec.subsumes ~general:(Memory.read_word tern w)
+                   ~specific:(Bvec.of_int ~width:8 v))
+               model))
+        concrete_cases)
+
+(* qcheck: memory write/read with known addresses behaves like an array *)
+let test_mem_model =
+  QCheck.Test.make ~name:"memory matches array model" ~count:200
+    QCheck.(small_list (pair (int_bound 15) (int_bound 0xffff)))
+    (fun writes ->
+      let m = Memory.create ~words:16 ~width:16 ~init:Bit.Zero in
+      let model = Array.make 16 0 in
+      List.iter
+        (fun (a, d) ->
+          Memory.write m ~addr:(Bvec.of_int ~width:4 a) ~data:(v16 d)
+            ~mask:mask_all ~en:Bit.One;
+          model.(a) <- d)
+        writes;
+      List.for_all
+        (fun a -> Bvec.to_int (Memory.read_word m a) = Some model.(a))
+        (List.init 16 (fun i -> i)))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "bespoke_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "toggle counting" `Quick test_toggle_counting;
+          Alcotest.test_case "x marks possibly-toggled" `Quick
+            test_possibly_toggled_x;
+          Alcotest.test_case "held is untoggled" `Quick test_held_means_untoggled;
+          Alcotest.test_case "dff state roundtrip" `Quick test_dff_state_roundtrip;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "read/write" `Quick test_mem_rw;
+          Alcotest.test_case "byte mask" `Quick test_mem_byte_mask;
+          Alcotest.test_case "x enable merges" `Quick test_mem_x_enable_merges;
+          Alcotest.test_case "x addr read" `Quick test_mem_x_addr_read;
+          Alcotest.test_case "x addr write" `Quick test_mem_x_addr_write;
+          Alcotest.test_case "snapshots" `Quick test_mem_snapshots;
+          Alcotest.test_case "set x range" `Quick test_mem_set_x_range;
+          qt test_mem_model;
+          qt test_mem_conservative_write;
+        ] );
+    ]
