@@ -26,6 +26,8 @@ module Voltage = Bespoke_power.Voltage
 module Mutation = Bespoke_mutation.Mutation
 module Coverage = Bespoke_coverage.Coverage
 module System = Bespoke_cpu.System
+module Engine = Bespoke_sim.Engine
+module Pool = Bespoke_core.Pool
 
 let freq_hz = 1e8
 let profile_seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
@@ -53,30 +55,44 @@ let stock () = Runner.shared_netlist ()
 
 let ctx_cache : (string, ctx) Hashtbl.t = Hashtbl.create 32
 
+let compute_ctx (b : B.t) : ctx =
+  let (report, net), analysis_seconds = time (fun () -> Runner.analyze b) in
+  let bespoke, stats =
+    Cut.tailor net ~possibly_toggled:report.Activity.possibly_toggled
+      ~constants:report.Activity.constant_values
+  in
+  {
+    bench = b;
+    report;
+    analysis_seconds;
+    bespoke;
+    stats;
+    baseline_profile =
+      lazy (Profiling.profile ~netlist:net ~seeds:profile_seeds b);
+    bespoke_profile =
+      lazy (Profiling.profile ~netlist:bespoke ~seeds:profile_seeds b);
+  }
+
 let ctx_of (b : B.t) : ctx =
   match Hashtbl.find_opt ctx_cache b.B.name with
   | Some c -> c
   | None ->
-    let (report, net), analysis_seconds = time (fun () -> Runner.analyze b) in
-    let bespoke, stats =
-      Cut.tailor net ~possibly_toggled:report.Activity.possibly_toggled
-        ~constants:report.Activity.constant_values
-    in
-    let c =
-      {
-        bench = b;
-        report;
-        analysis_seconds;
-        bespoke;
-        stats;
-        baseline_profile =
-          lazy (Profiling.profile ~netlist:net ~seeds:profile_seeds b);
-        bespoke_profile =
-          lazy (Profiling.profile ~netlist:bespoke ~seeds:profile_seeds b);
-      }
-    in
+    let c = compute_ctx b in
     Hashtbl.replace ctx_cache b.B.name c;
     c
+
+(* With BESPOKE_JOBS > 1 the per-benchmark analyses (the dominant cost
+   of a full run) are computed up front on the domain pool; the cache
+   itself is only touched from the main domain. *)
+let prewarm_ctxs () =
+  if Pool.default_jobs () > 1 then begin
+    ignore (stock ());
+    let todo =
+      List.filter (fun (b : B.t) -> not (Hashtbl.mem ctx_cache b.B.name)) B.table1
+    in
+    let cs = Pool.map (fun b -> (b, compute_ctx b)) todo in
+    List.iter (fun ((b : B.t), c) -> Hashtbl.replace ctx_cache b.B.name c) cs
+  end
 
 let baseline_power (c : ctx) =
   let p = Lazy.force c.baseline_profile in
@@ -452,8 +468,9 @@ let mutant_reports name =
   | None ->
     let b = B.find name in
     let ms = Mutation.mutants b in
+    ignore (stock ());
     let r =
-      List.map
+      Pool.map
         (fun m ->
           let mb = Mutation.to_benchmark b m in
           match Runner.analyze mb with
@@ -800,6 +817,137 @@ let run_bechamel () =
   List.iter benchmark [ t_tern; t_asm; t_cycle ]
 
 (* ------------------------------------------------------------------ *)
+(* Simulator throughput: full-eval vs event-driven vs 64-way packed    *)
+
+type sim_row = {
+  sr_name : string;
+  sr_sim_cycles : int;  (** total simulated cycles (all profiling seeds) *)
+  full_cps : float;
+  event_cps : float;
+  packed_cps : float;
+  t_analysis : float;
+  t_cut : float;
+  t_profile : float;
+}
+
+let bench_sim_row (b : B.t) : sim_row =
+  let net = stock () in
+  let run_mode mode =
+    let cyc = ref 0 in
+    let (), dt =
+      time (fun () ->
+          List.iter
+            (fun seed ->
+              let o = Runner.run_gate ~mode ~netlist:net b ~seed in
+              cyc := !cyc + o.Runner.sim_cycles)
+            profile_seeds)
+    in
+    (!cyc, float_of_int !cyc /. dt)
+  in
+  let sim_cycles, full_cps = run_mode Engine.Full in
+  let _, event_cps = run_mode Engine.Event in
+  let packed_cps =
+    let cyc = ref 0 in
+    let (), dt =
+      time (fun () ->
+          List.iter
+            (fun (_, (o : Runner.gate_outcome)) ->
+              cyc := !cyc + o.Runner.sim_cycles)
+            (Runner.run_gate_packed ~netlist:net b ~seeds:profile_seeds))
+    in
+    float_of_int !cyc /. dt
+  in
+  let (report, anet), t_analysis = time (fun () -> Runner.analyze b) in
+  let _, t_cut =
+    time (fun () ->
+        ignore
+          (Cut.tailor anet ~possibly_toggled:report.Activity.possibly_toggled
+             ~constants:report.Activity.constant_values))
+  in
+  let _, t_profile =
+    time (fun () -> ignore (Profiling.profile ~netlist:net ~seeds:profile_seeds b))
+  in
+  {
+    sr_name = b.B.name;
+    sr_sim_cycles = sim_cycles;
+    full_cps;
+    event_cps;
+    packed_cps;
+    t_analysis;
+    t_cut;
+    t_profile;
+  }
+
+let run_bench_sim () =
+  printf "=== simulator throughput: cycles/sec over the profiling workload ===\n";
+  printf "%-12s %9s %10s %10s %10s %8s | %8s %6s %8s\n" "Benchmark" "cycles"
+    "full" "event" "packed" "speedup" "analy(s)" "cut(s)" "prof(s)";
+  let rows =
+    List.map
+      (fun b ->
+        let r = bench_sim_row b in
+        printf "%-12s %9d %10.0f %10.0f %10.0f %7.1fx | %8.2f %6.2f %8.2f\n"
+          r.sr_name r.sr_sim_cycles r.full_cps r.event_cps r.packed_cps
+          (r.packed_cps /. r.full_cps)
+          r.t_analysis r.t_cut r.t_profile;
+        r)
+      B.table1
+  in
+  let oc = open_out "BENCH_sim.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"workload\": \"gate-level runs over %d profiling seeds\",\n"
+    (List.length profile_seeds);
+  out "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"name\": %S, \"sim_cycles\": %d,\n\
+        \     \"cycles_per_sec\": {\"full\": %.0f, \"event\": %.0f, \"packed\": \
+         %.0f},\n\
+        \     \"speedup_vs_full\": {\"event\": %.2f, \"packed\": %.2f},\n\
+        \     \"phase_seconds\": {\"analysis\": %.3f, \"cut\": %.3f, \
+         \"profile\": %.3f}}%s\n"
+        r.sr_name r.sr_sim_cycles r.full_cps r.event_cps r.packed_cps
+        (r.event_cps /. r.full_cps)
+        (r.packed_cps /. r.full_cps)
+        r.t_analysis r.t_cut r.t_profile
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ]\n}\n";
+  close_out oc;
+  printf "wrote BENCH_sim.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* bench-smoke: one tiny benchmark through all three engines, asserting
+   bit-identical outcomes.  Wired into `dune runtest` via the
+   @bench-smoke alias.                                                 *)
+
+let run_bench_smoke () =
+  let b = B.find "mult" in
+  let net = stock () in
+  let seeds = [ 1; 2; 3 ] in
+  let full =
+    List.map (fun s -> Runner.run_gate ~mode:Engine.Full ~netlist:net b ~seed:s) seeds
+  in
+  let event =
+    List.map (fun s -> Runner.run_gate ~mode:Engine.Event ~netlist:net b ~seed:s) seeds
+  in
+  let packed = List.map snd (Runner.run_gate_packed ~netlist:net b ~seeds) in
+  let check tag (a : Runner.gate_outcome) (c : Runner.gate_outcome) =
+    if
+      a.Runner.g_results <> c.Runner.g_results
+      || a.Runner.g_cycles <> c.Runner.g_cycles
+      || a.Runner.g_gpio_out <> c.Runner.g_gpio_out
+      || a.Runner.sim_cycles <> c.Runner.sim_cycles
+      || a.Runner.toggles <> c.Runner.toggles
+    then failwith (Printf.sprintf "bench-smoke: %s engine diverges on %s" tag b.B.name)
+  in
+  List.iter2 (check "event") full event;
+  List.iter2 (check "packed") full packed;
+  printf "bench-smoke: full/event/packed bit-identical on %s (%d seeds, %d cycles each)\n"
+    b.B.name (List.length seeds) (List.hd full).Runner.sim_cycles
+
+(* ------------------------------------------------------------------ *)
 
 let sections : (string * (unit -> unit)) list =
   [
@@ -822,20 +970,30 @@ let sections : (string * (unit -> unit)) list =
     ("table6", run_table6);
     ("ablation", run_ablation);
     ("bechamel", run_bechamel);
+    ("bench-sim", run_bench_sim);
+    ("bench-smoke", run_bench_smoke);
   ]
 
 let () =
+  let argv = Array.to_list Sys.argv in
   let only =
-    let rec find = function
-      | "--only" :: v :: _ -> Some v
-      | _ :: rest -> find rest
-      | [] -> None
-    in
-    find (Array.to_list Sys.argv)
+    if List.mem "--bench-sim" argv then Some "bench-sim"
+    else if List.mem "--bench-smoke" argv then Some "bench-smoke"
+    else
+      let rec find = function
+        | "--only" :: v :: _ -> Some v
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find argv
   in
   let chosen =
     match only with
-    | None -> sections
+    | None ->
+      prewarm_ctxs ();
+      (* bench-sim times engines against each other; keep it out of the
+         default full run, which already exercises all three. *)
+      List.filter (fun (id, _) -> id <> "bench-sim") sections
     | Some id -> (
       match List.assoc_opt id sections with
       | Some f -> [ (id, f) ]

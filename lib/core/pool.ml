@@ -1,0 +1,52 @@
+(* Small work-stealing-ish domain pool for fanning independent tasks
+   (benchmark analyses, profiling seeds, mutant reports) across cores.
+
+   Parallelism is opt-in via the BESPOKE_JOBS environment variable so
+   tests and default runs stay single-domain and deterministic; with
+   jobs > 1 the task results are still assembled in input order, so
+   output is deterministic either way — only wall-clock changes.
+
+   Callers are responsible for forcing any shared lazy values (e.g.
+   [Runner.shared_netlist]) before mapping: stdlib [Lazy] is not
+   domain-safe. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "BESPOKE_JOBS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | _ -> 1)
+
+let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let results : 'b option array = Array.make n None in
+    let errors : exn option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f items.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some e);
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned =
+      Array.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) results)
+  end
+
+let iter ?jobs f xs = ignore (map ?jobs (fun x -> f x; ()) xs)

@@ -1,0 +1,20 @@
+(** Domain pool for fanning independent tasks across cores.
+
+    Parallelism is gated behind the [BESPOKE_JOBS] environment
+    variable (default 1 = fully sequential, no domains spawned), so
+    tests and default runs stay deterministic.  Results are assembled
+    in input order regardless of the job count.
+
+    Tasks must be independent and must not force shared lazy values
+    (force them before mapping — stdlib [Lazy] is not domain-safe). *)
+
+val default_jobs : unit -> int
+(** [BESPOKE_JOBS] as a positive int, else 1. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] like [List.map f xs]; with [jobs > 1] (default
+    {!default_jobs}) tasks run on [jobs] domains pulling from a shared
+    queue.  The first task exception (in input order) is re-raised
+    after all domains join. *)
+
+val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit

@@ -10,7 +10,7 @@ type t = {
   total_cycles : int;
 }
 
-let profile ?netlist ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) b =
+let profile ?netlist ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?(packed = true) b =
   let net =
     match netlist with Some n -> n | None -> Runner.shared_netlist ()
   in
@@ -19,10 +19,18 @@ let profile ?netlist ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) b =
   let inter_untoggled = Array.make ng true in
   let totals = Array.make ng 0 in
   let cycles = ref 0 in
+  (* All profiling seeds in one bit-parallel run (the default), or one
+     scalar run per seed fanned across the domain pool; both produce
+     bit-identical per-seed outcomes. *)
+  let outcomes =
+    if packed && List.length seeds > 1 then
+      Runner.run_gate_packed ~netlist:net b ~seeds
+    else
+      Pool.map (fun seed -> (seed, Runner.run_gate ~netlist:net b ~seed)) seeds
+  in
   let per_seed =
     List.map
-      (fun seed ->
-        let o = Runner.run_gate ~netlist:net b ~seed in
+      (fun (seed, o) ->
         let toggled = Array.map (fun c -> c > 0) o.Runner.toggles in
         Array.iteri
           (fun i c ->
@@ -34,7 +42,7 @@ let profile ?netlist ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) b =
           o.Runner.toggles;
         cycles := !cycles + o.Runner.sim_cycles;
         (seed, toggled))
-      seeds
+      outcomes
   in
   {
     per_seed_toggled = per_seed;

@@ -18,8 +18,11 @@ type t = {
 }
 
 val profile :
-  ?netlist:Netlist.t -> ?seeds:int list -> Benchmark.t -> t
-(** Default seeds: 1..8. *)
+  ?netlist:Netlist.t -> ?seeds:int list -> ?packed:bool -> Benchmark.t -> t
+(** Default seeds: 1..8.  [packed] (default true) runs all seeds in
+    one bit-parallel {!Bespoke_sim.Engine64} simulation; [false] falls
+    back to one scalar run per seed, fanned across the domain pool
+    when [BESPOKE_JOBS] > 1.  Both paths are bit-identical. *)
 
 val untoggled_fraction_range :
   Netlist.t -> t -> float * float * float

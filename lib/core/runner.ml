@@ -5,6 +5,8 @@ module Engine = Bespoke_sim.Engine
 module Memory = Bespoke_sim.Memory
 module Iss = Bespoke_isa.Iss
 module System = Bespoke_cpu.System
+module System64 = Bespoke_cpu.System64
+module Engine64 = Bespoke_sim.Engine64
 module Cpu = Bespoke_cpu.Cpu
 module Activity = Bespoke_analysis.Activity
 module Benchmark = Bespoke_programs.Benchmark
@@ -58,12 +60,12 @@ let load_ram_word sys addr v =
   let ram = System.ram sys in
   Memory.load_int ram ((addr lsr 1) land 0x7ff) v
 
-let run_gate ?netlist ?(max_cycles = 3_000_000) (b : Benchmark.t) ~seed =
+let run_gate ?mode ?netlist ?(max_cycles = 3_000_000) (b : Benchmark.t) ~seed =
   let img = Benchmark.image b in
   let sys =
     match netlist with
-    | Some n -> System.create ~netlist:n img
-    | None -> System.create ~netlist:(shared_netlist ()) img
+    | Some n -> System.create ?mode ~netlist:n img
+    | None -> System.create ?mode ~netlist:(shared_netlist ()) img
   in
   System.reset sys;
   let ram_writes, gpio = b.Benchmark.gen_inputs seed in
@@ -104,6 +106,104 @@ let run_gate ?netlist ?(max_cycles = 3_000_000) (b : Benchmark.t) ~seed =
     toggles = Engine.toggle_counts (System.engine sys);
     sim_cycles = System.cycles sys;
   }
+
+(* Packed counterpart of [run_gate]: one lane per seed, all lanes
+   advancing through the same global cycle loop.  The per-lane IRQ
+   bookkeeping, halt detection and deadline mirror [run_gate] exactly,
+   and lanes leave the active set when (and only when) the scalar loop
+   would have exited, so every lane's toggle counts are bit-identical
+   to its scalar run. *)
+let run_packed_chunk ~netlist ~max_cycles (b : Benchmark.t) (seeds : int array) =
+  let lanes = Array.length seeds in
+  let img = Benchmark.image b in
+  let sys = System64.create ~lanes ~netlist img in
+  System64.reset sys;
+  Array.iteri
+    (fun lane seed ->
+      let ram_writes, gpio = b.Benchmark.gen_inputs seed in
+      List.iter (fun (a, v) -> System64.load_ram_word sys lane a v) ram_writes;
+      System64.set_gpio_in_lane sys lane (Bvec.of_int ~width:16 gpio))
+    seeds;
+  System64.set_irq_lanes sys (Array.make lanes Bit.Zero);
+  let pulses =
+    Array.map
+      (fun seed ->
+        if b.Benchmark.uses_irq then b.Benchmark.irq_pulses seed else [])
+      seeds
+  in
+  let completed = Array.make lanes 0 in
+  let first = Array.make lanes true in
+  let after_irq_entry = Array.make lanes false in
+  let irq_next = Array.make lanes Bit.Zero in
+  let halt_cycle = Array.make lanes (-1) in
+  let gpio_at_halt = Array.make lanes None in
+  let active = ref ((1 lsl lanes) - 1) in
+  let capture_halts () =
+    for lane = 0 to lanes - 1 do
+      if !active land (1 lsl lane) <> 0 && System64.halted_lane sys lane then begin
+        active := !active land lnot (1 lsl lane);
+        halt_cycle.(lane) <- System64.cycles sys;
+        (* the lane's netlist keeps evaluating while other lanes run,
+           so capture volatile outputs at the scalar exit point *)
+        gpio_at_halt.(lane) <-
+          Some (Bvec.to_int (System64.gpio_out_lane sys lane))
+      end
+    done
+  in
+  capture_halts ();
+  while !active <> 0 && System64.cycles sys < max_cycles do
+    for lane = 0 to lanes - 1 do
+      if !active land (1 lsl lane) <> 0 then begin
+        (match (System64.read_hook_lane sys "insn_boundary" lane).(0) with
+        | Bit.One ->
+          if first.(lane) then first.(lane) <- false
+          else if after_irq_entry.(lane) then after_irq_entry.(lane) <- false
+          else completed.(lane) <- completed.(lane) + 1;
+          (match (System64.read_hook_lane sys "fetching" lane).(0) with
+          | Bit.Zero -> after_irq_entry.(lane) <- true
+          | Bit.One | Bit.X -> ());
+          irq_next.(lane) <-
+            Bit.of_bool (List.mem completed.(lane) pulses.(lane))
+        | Bit.Zero | Bit.X -> ())
+      end
+    done;
+    System64.set_irq_lanes sys irq_next;
+    System64.step_cycle sys ~active:!active;
+    capture_halts ()
+  done;
+  if !active <> 0 then
+    failwith
+      (Printf.sprintf "Runner.run_gate_packed %s: did not halt" b.Benchmark.name);
+  let eng = System64.engine sys in
+  Array.to_list
+    (Array.mapi
+       (fun lane seed ->
+         ( seed,
+           {
+             g_results =
+               List.map
+                 (fun a ->
+                   (a, Bvec.to_int (System64.read_ram_word sys lane a)))
+                 b.Benchmark.result_addrs;
+             g_cycles = halt_cycle.(lane);
+             g_gpio_out = Option.get gpio_at_halt.(lane);
+             toggles = Engine64.toggle_counts_lane eng lane;
+             sim_cycles = halt_cycle.(lane);
+           } ))
+       seeds)
+
+let run_gate_packed ?netlist ?(max_cycles = 3_000_000) (b : Benchmark.t)
+    ~seeds =
+  let net = match netlist with Some n -> n | None -> shared_netlist () in
+  let rec chunk acc = function
+    | [] -> List.concat (List.rev acc)
+    | rest ->
+      let n = min (List.length rest) Engine64.max_lanes in
+      let head = Array.of_list (List.filteri (fun i _ -> i < n) rest) in
+      let tail = List.filteri (fun i _ -> i >= n) rest in
+      chunk (run_packed_chunk ~netlist:net ~max_cycles b head :: acc) tail
+  in
+  chunk [] seeds
 
 let check_equivalence ?netlist (b : Benchmark.t) ~seed =
   let iss = run_iss b ~seed in

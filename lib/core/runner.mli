@@ -26,11 +26,21 @@ type gate_outcome = {
 }
 
 val run_gate :
+  ?mode:Bespoke_sim.Engine.mode ->
   ?netlist:Netlist.t -> ?max_cycles:int -> Benchmark.t -> seed:int ->
   gate_outcome
 (** Runs on a fresh system unless [netlist] is given (e.g. a bespoke
     design).  IRQ pulses are applied at the benchmark's instruction
-    indices. *)
+    indices.  [mode] selects the gate-evaluation strategy (default
+    event-driven; [Full] is the reference sweep). *)
+
+val run_gate_packed :
+  ?netlist:Netlist.t -> ?max_cycles:int -> Benchmark.t -> seeds:int list ->
+  (int * gate_outcome) list
+(** Run one gate-level execution per seed, packed into the lanes of a
+    single bit-parallel {!Bespoke_sim.Engine64} simulation (chunks of
+    up to 63 seeds).  Outcomes are bit-identical to [run_gate] on the
+    same seed and are returned in seed order. *)
 
 exception Mismatch of string
 

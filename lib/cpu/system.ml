@@ -20,9 +20,9 @@ type t = {
 
 let word_index (addr : Bvec.t) = Array.sub addr 1 11
 
-let create ?netlist image =
+let create ?mode ?netlist image =
   let net = match netlist with Some n -> n | None -> Cpu.build () in
-  let eng = Engine.create net in
+  let eng = Engine.create ?mode net in
   let rom = Memory.create ~words:2048 ~width:16 ~init:Bit.Zero in
   Array.iteri (fun i w -> Memory.load_int rom i w) (Asm.image_rom image);
   let ram = Memory.create ~words:2048 ~width:16 ~init:Bit.Zero in

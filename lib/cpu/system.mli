@@ -13,9 +13,11 @@ module Memory := Bespoke_sim.Memory
 
 type t
 
-val create : ?netlist:Netlist.t -> Bespoke_isa.Asm.image -> t
+val create :
+  ?mode:Engine.mode -> ?netlist:Netlist.t -> Bespoke_isa.Asm.image -> t
 (** [netlist] defaults to a freshly built {!Cpu.build}; pass a bespoke
-    (pruned) netlist to simulate the tailored design. *)
+    (pruned) netlist to simulate the tailored design.  [mode] selects
+    the simulation engine (default event-driven). *)
 
 val netlist : t -> Netlist.t
 val engine : t -> Engine.t

@@ -1,0 +1,52 @@
+(** Packed full-chip harness: the CPU netlist simulated across up to
+    63 lanes at once via {!Bespoke_sim.Engine64}, each lane with its
+    own data RAM, GPIO input and IRQ line (the ROM is shared and
+    read-only after load).
+
+    Per-lane committed activity is bit-identical to a scalar
+    {!System} run of the same stimulus — the packed profiling path
+    ({!Bespoke_core.Runner.run_gate_packed}) depends on this. *)
+
+module Bit := Bespoke_logic.Bit
+module Bvec := Bespoke_logic.Bvec
+module Netlist := Bespoke_netlist.Netlist
+module Engine64 := Bespoke_sim.Engine64
+module Memory := Bespoke_sim.Memory
+
+type t
+
+val create :
+  ?lanes:int -> ?netlist:Netlist.t -> Bespoke_isa.Asm.image -> t
+
+val netlist : t -> Netlist.t
+val engine : t -> Engine64.t
+val lanes : t -> int
+val image : t -> Bespoke_isa.Asm.image
+val cycles : t -> int
+
+val reset : t -> unit
+(** Reset the core in every lane, reload ROM, clear all RAMs, settle
+    cycle 0. *)
+
+(** {1 Per-lane inputs} *)
+
+val set_gpio_in_lane : t -> int -> Bvec.t -> unit
+val set_irq_lanes : t -> Bit.t array -> unit
+val load_ram_word : t -> int -> int -> int -> unit
+(** [load_ram_word t lane byte_addr value]. *)
+
+(** {1 Observation} *)
+
+val read_hook_lane : t -> string -> int -> Bvec.t
+val read_hook_lane_int : t -> string -> int -> int option
+val halted_lane : t -> int -> bool
+val halted_mask : t -> int
+val ram : t -> int -> Memory.t
+val read_ram_word : t -> int -> int -> Bvec.t
+val gpio_out_lane : t -> int -> Bvec.t
+
+(** {1 Stepping} *)
+
+val step_cycle : t -> active:int -> unit
+(** One clock cycle in every lane; only [active] lanes sample RAM
+    writes and are charged committed activity. *)

@@ -22,8 +22,11 @@ and op_xnor = 7
 
 and op_mux = 8
 
+type mode = Full | Event
+
 type t = {
   net : Netlist.t;
+  mode : mode;
   order : int array;  (* levelized combinational order *)
   opcode : int array;
   fi0 : int array;
@@ -37,6 +40,20 @@ type t = {
   possibly : Bytes.t;  (* 0/1 flags *)
   mutable committed : int;
   topo_index : int array;  (* position of each gate in [order], -1 for sources *)
+  (* -- event-driven machinery (Event mode only) -- *)
+  level : int array;  (* combinational depth; sources are level 0 *)
+  fan_start : int array;  (* CSR fanout over combinational readers *)
+  fan : int array;
+  lvl_stack : int array array;  (* pending dirty gates, bucketed by level *)
+  lvl_len : int array;
+  on_queue : Bytes.t;  (* gate already scheduled for re-evaluation *)
+  touched : int array;  (* gates written-with-change since last commit *)
+  mutable touched_len : int;
+  in_touched : Bytes.t;
+  mutable full_commit : bool;
+      (* next [commit_cycle] must scan every gate (after create/reset/
+         clear_activity, when the touched list does not yet cover all
+         possibly-X gates) *)
 }
 
 type cone = int array  (* gate ids in topological order, excluding sources *)
@@ -44,7 +61,7 @@ type cone = int array  (* gate ids in topological order, excluding sources *)
 let code_of_bit = Bit.to_int
 let bit_of_code = Bit.of_int_exn
 
-let create net =
+let create ?(mode = Event) net =
   let ng = Netlist.gate_count net in
   let order = Netlist.levelize net in
   let opcode = Array.make ng (-1) in
@@ -89,56 +106,172 @@ let create net =
   let topo_index = Array.make ng (-1) in
   Array.iteri (fun pos id -> topo_index.(id) <- pos) order;
   let dffs = Array.of_list (List.rev !dffs) in
-  {
-    net;
+  (* Combinational depth: used to drain the dirty queue level by level
+     so each gate is re-evaluated at most once per settle. *)
+  let level = Array.make ng 0 in
+  Array.iter
+    (fun id ->
+      let g = net.Netlist.gates.(id) in
+      let m = ref 0 in
+      Array.iter
+        (fun f -> if level.(f) >= !m then m := level.(f))
+        g.fanin;
+      level.(id) <- !m + 1)
     order;
-    opcode;
-    fi0;
-    fi1;
-    fi2;
-    values = Bytes.make ng (Char.chr Bit.code_x);
-    prev = Bytes.make ng (Char.chr Bit.code_x);
-    dffs;
-    dff_next = Bytes.make (Array.length dffs) '\000';
-    toggles = Array.make ng 0;
-    possibly = Bytes.make ng '\000';
-    committed = 0;
-    topo_index;
-  }
+  let nlevels =
+    1 + Array.fold_left (fun acc l -> if l > acc then l else acc) 0 level
+  in
+  (* CSR fanout restricted to combinational readers: only they need
+     re-evaluation when a driver changes (DFFs sample their D pin at
+     the clock edge, directly). *)
+  let counts = Array.make ng 0 in
+  Array.iter
+    (fun (g : Gate.t) ->
+      if not (Gate.is_source g) then
+        Array.iter (fun f -> counts.(f) <- counts.(f) + 1) g.fanin)
+    net.Netlist.gates;
+  let fan_start = Array.make (ng + 1) 0 in
+  for i = 0 to ng - 1 do
+    fan_start.(i + 1) <- fan_start.(i) + counts.(i)
+  done;
+  let fan = Array.make fan_start.(ng) 0 in
+  let fill = Array.make ng 0 in
+  Array.iteri
+    (fun id (g : Gate.t) ->
+      if not (Gate.is_source g) then
+        Array.iter
+          (fun f ->
+            fan.(fan_start.(f) + fill.(f)) <- id;
+            fill.(f) <- fill.(f) + 1)
+          g.fanin)
+    net.Netlist.gates;
+  let per_level = Array.make nlevels 0 in
+  Array.iter (fun id -> per_level.(level.(id)) <- per_level.(level.(id)) + 1) order;
+  let t =
+    {
+      net;
+      mode;
+      order;
+      opcode;
+      fi0;
+      fi1;
+      fi2;
+      values = Bytes.make ng (Char.chr Bit.code_x);
+      prev = Bytes.make ng (Char.chr Bit.code_x);
+      dffs;
+      dff_next = Bytes.make (Array.length dffs) '\000';
+      toggles = Array.make ng 0;
+      possibly = Bytes.make ng '\000';
+      committed = 0;
+      topo_index;
+      level;
+      fan_start;
+      fan;
+      lvl_stack = Array.map (fun n -> Array.make (max n 1) 0) per_level;
+      lvl_len = Array.make nlevels 0;
+      on_queue = Bytes.make ng '\000';
+      touched = Array.make ng 0;
+      touched_len = 0;
+      in_touched = Bytes.make ng '\000';
+      full_commit = true;
+    }
+  in
+  (* Nothing is settled yet: schedule every combinational gate so the
+     first [eval] is a complete sweep even in Event mode. *)
+  Array.iter
+    (fun id ->
+      let l = t.level.(id) in
+      t.lvl_stack.(l).(t.lvl_len.(l)) <- id;
+      t.lvl_len.(l) <- t.lvl_len.(l) + 1;
+      Bytes.unsafe_set t.on_queue id '\001')
+    order;
+  t
 
 let netlist t = t.net
+let mode t = t.mode
 let get t id = Char.code (Bytes.unsafe_get t.values id)
 let put t id c = Bytes.unsafe_set t.values id (Char.unsafe_chr c)
 let value t id = bit_of_code (get t id)
 
-let eval_one t id =
+let mark_touched t id =
+  if Bytes.unsafe_get t.in_touched id = '\000' then begin
+    Bytes.unsafe_set t.in_touched id '\001';
+    t.touched.(t.touched_len) <- id;
+    t.touched_len <- t.touched_len + 1
+  end
+
+let schedule_readers t id =
+  let lo = t.fan_start.(id) and hi = t.fan_start.(id + 1) in
+  for k = lo to hi - 1 do
+    let r = Array.unsafe_get t.fan k in
+    if Bytes.unsafe_get t.on_queue r = '\000' then begin
+      Bytes.unsafe_set t.on_queue r '\001';
+      let l = Array.unsafe_get t.level r in
+      t.lvl_stack.(l).(t.lvl_len.(l)) <- r;
+      t.lvl_len.(l) <- t.lvl_len.(l) + 1
+    end
+  done
+
+(* Write a value; in Event mode, track the change and wake the fanout. *)
+let write t id c =
+  if t.mode = Full then put t id c
+  else if get t id <> c then begin
+    put t id c;
+    mark_touched t id;
+    schedule_readers t id
+  end
+
+let compute t id =
   let c = t.opcode.(id) in
   let a = get t t.fi0.(id) in
-  let r =
-    if c = op_buf then a
-    else if c = op_not then Bit.tbl_not.(a)
+  if c = op_buf then a
+  else if c = op_not then Bit.tbl_not.(a)
+  else
+    let b = get t t.fi1.(id) in
+    if c = op_and then Bit.tbl_and.((a * 3) + b)
+    else if c = op_or then Bit.tbl_or.((a * 3) + b)
+    else if c = op_nand then Bit.tbl_nand.((a * 3) + b)
+    else if c = op_nor then Bit.tbl_nor.((a * 3) + b)
+    else if c = op_xor then Bit.tbl_xor.((a * 3) + b)
+    else if c = op_xnor then Bit.tbl_xnor.((a * 3) + b)
     else
-      let b = get t t.fi1.(id) in
-      if c = op_and then Bit.tbl_and.((a * 3) + b)
-      else if c = op_or then Bit.tbl_or.((a * 3) + b)
-      else if c = op_nand then Bit.tbl_nand.((a * 3) + b)
-      else if c = op_nor then Bit.tbl_nor.((a * 3) + b)
-      else if c = op_xor then Bit.tbl_xor.((a * 3) + b)
-      else if c = op_xnor then Bit.tbl_xnor.((a * 3) + b)
-      else
-        let s = get t t.fi2.(id) in
-        Bit.tbl_mux.((a * 9) + (b * 3) + s)
-  in
-  put t id r
+      let s = get t t.fi2.(id) in
+      Bit.tbl_mux.((a * 9) + (b * 3) + s)
+
+let eval_one t id = put t id (compute t id)
 
 (* Mux fanin layout is [sel; a; b]: fi0 = sel, fi1 = a, fi2 = b, so the
    table index must be sel*9 + a*3 + b. *)
 
-let eval t =
+let eval_full t =
   let order = t.order in
   for k = 0 to Array.length order - 1 do
     eval_one t order.(k)
   done
+
+(* Drain the dirty queue in increasing level order.  A gate's readers
+   are always at strictly higher levels, so each scheduled gate is
+   visited exactly once per settle, after all its fanin writes. *)
+let flush_dirty t =
+  let nl = Array.length t.lvl_len in
+  for l = 1 to nl - 1 do
+    let stack = t.lvl_stack.(l) in
+    (* the stack at this level cannot grow while it drains *)
+    let n = t.lvl_len.(l) in
+    for k = 0 to n - 1 do
+      let id = Array.unsafe_get stack k in
+      Bytes.unsafe_set t.on_queue id '\000';
+      let r = compute t id in
+      if get t id <> r then begin
+        put t id r;
+        mark_touched t id;
+        schedule_readers t id
+      end
+    done;
+    t.lvl_len.(l) <- 0
+  done
+
+let eval t = match t.mode with Full -> eval_full t | Event -> flush_dirty t
 
 let make_cone t (sources : int array) =
   let ng = Netlist.gate_count t.net in
@@ -174,9 +307,14 @@ let make_cone t (sources : int array) =
   cone
 
 let eval_cone t (cone : cone) =
-  for k = 0 to Array.length cone - 1 do
-    eval_one t cone.(k)
-  done
+  match t.mode with
+  | Event ->
+    (* dirty propagation subsumes the precomputed cone *)
+    flush_dirty t
+  | Full ->
+    for k = 0 to Array.length cone - 1 do
+      eval_one t cone.(k)
+    done
 
 let set_gate t id b =
   (match t.net.Netlist.gates.(id).op with
@@ -185,7 +323,7 @@ let set_gate t id b =
     invalid_arg
       (Printf.sprintf "Engine.set_gate: gate %d is %s, not an input" id
          (Gate.op_name op)));
-  put t id (code_of_bit b)
+  write t id (code_of_bit b)
 
 let find_port t name = Netlist.find_input t.net name
 
@@ -212,7 +350,20 @@ let read t name =
 
 let read_int t name = Bvec.to_int (read t name)
 
+let clear_dirty t =
+  Array.fill t.lvl_len 0 (Array.length t.lvl_len) 0;
+  Bytes.fill t.on_queue 0 (Bytes.length t.on_queue) '\000'
+
+let clear_touched t =
+  t.touched_len <- 0;
+  Bytes.fill t.in_touched 0 (Bytes.length t.in_touched) '\000'
+
 let reset t =
+  (* Discard any partially propagated state: pending dirty entries and
+     the touched list describe a world that no longer exists after the
+     sources are forced back to their reset values. *)
+  clear_dirty t;
+  clear_touched t;
   Array.iteri
     (fun id (g : Gate.t) ->
       match g.op with
@@ -221,9 +372,10 @@ let reset t =
       | Gate.Dff init -> put t id (code_of_bit init)
       | _ -> ())
     t.net.Netlist.gates;
-  eval t;
+  eval_full t;
   Bytes.blit t.values 0 t.prev 0 (Bytes.length t.values);
-  t.committed <- 0
+  t.committed <- 0;
+  t.full_commit <- true
 
 let step t =
   let dffs = t.dffs in
@@ -233,20 +385,37 @@ let step t =
       (Char.unsafe_chr (get t t.fi0.(id)))
   done;
   for i = 0 to Array.length dffs - 1 do
-    put t dffs.(i) (Char.code (Bytes.unsafe_get t.dff_next i))
+    write t dffs.(i) (Char.code (Bytes.unsafe_get t.dff_next i))
   done;
   eval t
 
+let commit_one t id =
+  let cur = Char.code (Bytes.unsafe_get t.values id) in
+  let old = Char.code (Bytes.unsafe_get t.prev id) in
+  if cur <> old then t.toggles.(id) <- t.toggles.(id) + 1;
+  if cur <> old || cur = Bit.code_x then
+    Bytes.unsafe_set t.possibly id '\001'
+
 let commit_cycle t =
   let ng = Bytes.length t.values in
-  for id = 0 to ng - 1 do
-    let cur = Char.code (Bytes.unsafe_get t.values id) in
-    let old = Char.code (Bytes.unsafe_get t.prev id) in
-    if cur <> old then t.toggles.(id) <- t.toggles.(id) + 1;
-    if cur <> old || cur = Bit.code_x then
-      Bytes.unsafe_set t.possibly id '\001'
-  done;
-  Bytes.blit t.values 0 t.prev 0 ng;
+  if t.mode = Full || t.full_commit then begin
+    for id = 0 to ng - 1 do
+      commit_one t id
+    done;
+    Bytes.blit t.values 0 t.prev 0 ng;
+    t.full_commit <- false
+  end
+  else begin
+    (* Only touched gates can differ from [prev]; an untouched gate
+       stuck at X was already X (and hence marked possibly-toggled) at
+       the previous commit, so scanning the touched list is exact. *)
+    for k = 0 to t.touched_len - 1 do
+      let id = Array.unsafe_get t.touched k in
+      commit_one t id;
+      Bytes.unsafe_set t.prev id (Bytes.unsafe_get t.values id)
+    done
+  end;
+  clear_touched t;
   t.committed <- t.committed + 1
 
 let cycles_committed t = t.committed
@@ -265,7 +434,11 @@ let clear_activity t =
   Array.fill t.toggles 0 (Array.length t.toggles) 0;
   Bytes.fill t.possibly 0 (Bytes.length t.possibly) '\000';
   Bytes.blit t.values 0 t.prev 0 (Bytes.length t.values);
-  t.committed <- 0
+  t.committed <- 0;
+  clear_touched t;
+  (* the possibly flags were wiped: currently-X gates must be re-marked
+     at the next commit even if they never change again *)
+  t.full_commit <- true
 
 let sync_prev t = Bytes.blit t.values 0 t.prev 0 (Bytes.length t.values)
 
@@ -278,5 +451,5 @@ let dff_state t = Array.map (fun id -> value t id) t.dffs
 let restore_dff_state t (s : Bvec.t) =
   if Bvec.width s <> Array.length t.dffs then
     invalid_arg "Engine.restore_dff_state: width mismatch";
-  Array.iteri (fun i id -> put t id (code_of_bit s.(i))) t.dffs;
+  Array.iteri (fun i id -> write t id (code_of_bit s.(i))) t.dffs;
   eval t

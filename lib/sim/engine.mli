@@ -19,7 +19,19 @@ module Netlist := Bespoke_netlist.Netlist
 
 type t
 
-val create : Netlist.t -> t
+type mode =
+  | Full  (** re-evaluate the whole levelized order on every settle *)
+  | Event
+      (** event-driven: propagate only through the fanout of gates
+          whose output actually changed (dirty-queue levelized sweep),
+          and commit activity for touched gates only.  Produces
+          bit-identical values, toggle counts and possibly-toggled
+          flags to [Full] — enforced by [test_engine_equiv]. *)
+
+val create : ?mode:mode -> Netlist.t -> t
+(** [mode] defaults to [Event]. *)
+
+val mode : t -> mode
 val netlist : t -> Netlist.t
 
 val reset : t -> unit
@@ -44,7 +56,9 @@ val set_all_inputs_x : t -> unit
 (** {1 Evaluation} *)
 
 val eval : t -> unit
-(** Settle all combinational logic. *)
+(** Settle all combinational logic.  In [Event] mode this drains the
+    dirty queue (gates downstream of changed sources) instead of
+    sweeping the full order; the settled values are identical. *)
 
 type cone
 
