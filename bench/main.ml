@@ -28,6 +28,7 @@ module Coverage = Bespoke_coverage.Coverage
 module System = Bespoke_cpu.System
 module Engine = Bespoke_sim.Engine
 module Pool = Bespoke_core.Pool
+module Obs = Bespoke_obs.Obs
 
 let freq_hz = 1e8
 let profile_seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
@@ -878,6 +879,40 @@ let bench_sim_row (b : B.t) : sim_row =
     t_profile;
   }
 
+(* Observability overhead: event-driven cycles/sec on one small
+   benchmark with tracing disabled vs enabled.  The disabled path is
+   the default for every other row in this table, so any regression
+   there shows up directly in event_cps; the enabled slowdown is only
+   paid when --trace/--metrics-out/BESPOKE_TRACE is in effect. *)
+let measure_obs_overhead () =
+  let b = B.find "mult" in
+  let net = stock () in
+  let reps = 40 in
+  let run () =
+    let cyc = ref 0 in
+    let (), dt =
+      time (fun () ->
+          for _ = 1 to reps do
+            let o = Runner.run_gate ~mode:Engine.Event ~netlist:net b ~seed:1 in
+            cyc := !cyc + o.Runner.sim_cycles
+          done)
+    in
+    float_of_int !cyc /. dt
+  in
+  ignore (run ());  (* warm-up: page in the netlist and code paths *)
+  (* best of three alternating trials per mode: transient machine load
+     only ever slows a trial down, so the max is the honest estimate *)
+  let disabled_cps = ref 0.0 and enabled_cps = ref 0.0 in
+  for _ = 1 to 3 do
+    disabled_cps := Float.max !disabled_cps (run ());
+    Obs.enable ();
+    enabled_cps := Float.max !enabled_cps (run ());
+    Obs.disable ();
+    Obs.Trace.clear ();
+    Obs.Metrics.reset ()
+  done;
+  (!disabled_cps, !enabled_cps)
+
 let run_bench_sim () =
   printf "=== simulator throughput: cycles/sec over the profiling workload ===\n";
   printf "%-12s %9s %10s %10s %10s %8s | %8s %6s %8s\n" "Benchmark" "cycles"
@@ -893,10 +928,22 @@ let run_bench_sim () =
         r)
       B.table1
   in
+  let obs_disabled_cps, obs_enabled_cps = measure_obs_overhead () in
+  printf
+    "obs overhead (mult, event engine): disabled %.0f cps, enabled %.0f cps \
+     (%.1f%% slower when tracing)\n"
+    obs_disabled_cps obs_enabled_cps
+    (100.0 *. (1.0 -. (obs_enabled_cps /. obs_disabled_cps)));
   let oc = open_out "BENCH_sim.json" in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"workload\": \"gate-level runs over %d profiling seeds\",\n"
     (List.length profile_seeds);
+  out
+    "  \"obs_overhead\": {\"benchmark\": \"mult\", \"engine\": \"event\",\n\
+    \                   \"disabled_cps\": %.0f, \"enabled_cps\": %.0f,\n\
+    \                   \"enabled_slowdown\": %.4f},\n"
+    obs_disabled_cps obs_enabled_cps
+    (1.0 -. (obs_enabled_cps /. obs_disabled_cps));
   out "  \"benchmarks\": [\n";
   List.iteri
     (fun i r ->

@@ -27,6 +27,15 @@ module Usage = Bespoke_core.Usage
 module Report = Bespoke_power.Report
 module Sta = Bespoke_power.Sta
 module Voltage = Bespoke_power.Voltage
+module Obs = Bespoke_obs.Obs
+
+(* Not used directly here, but referencing them links their
+   compilation units so their metrics register and appear in
+   --metrics-out snapshots (with zero counts when the phase never
+   ran); a module alias alone is resolved statically and does not
+   force the link. *)
+let _ = Bespoke_core.Profiling.profile
+let _ = Bespoke_core.Pool.map
 
 let ( let* ) r f = Result.bind r f
 
@@ -78,6 +87,51 @@ let handle = function
   | Ok () -> `Ok ()
   | Error m -> `Error (false, m)
 
+(* ---- observability (also enabled by the BESPOKE_TRACE env var) ---- *)
+
+let obs_args =
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Enable telemetry and write a Chrome-trace JSONL span log to \
+                   $(docv) (one event per line; wrap in a JSON array, e.g. \
+                   'jq -s .', to open in a trace viewer).")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Enable telemetry and write a JSON metrics snapshot \
+                   (counters, gauges, histograms) to $(docv).")
+  in
+  Term.(const (fun t m -> (t, m)) $ trace $ metrics)
+
+(* Run [f] with telemetry enabled if requested, then write the
+   requested outputs and print the per-phase summary to stderr.
+   Outputs are written even when [f] fails, so a crashed run still
+   leaves its trace behind. *)
+let with_obs (trace, metrics_out) f =
+  if trace <> None || metrics_out <> None then Obs.enable ();
+  let finish () =
+    if Obs.enabled () then begin
+      Option.iter
+        (fun path ->
+          Obs.Trace.write_jsonl path;
+          Printf.eprintf "wrote trace to %s\n" path)
+        trace;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Obs.Metrics.snapshot_json ());
+          output_char oc '\n';
+          close_out oc;
+          Printf.eprintf "wrote metrics to %s\n" path)
+        metrics_out;
+      let summary = Obs.Trace.summary () in
+      if summary <> "" then prerr_string summary
+    end
+  in
+  Fun.protect ~finally:finish f
+
 let catching f =
   try f () with
   | Asm.Error { line; message } ->
@@ -108,9 +162,10 @@ let cmd_run =
          & info [ "netlist" ] ~docv:"FILE"
              ~doc:"Run on a saved (bespoke) netlist instead of the stock core.")
   in
-  let run file bench gpio seed netlist_file =
+  let run file bench gpio seed netlist_file obs =
     handle
-      (catching (fun () ->
+      (with_obs obs @@ fun () ->
+       catching (fun () ->
            let* b = load_program file bench in
            let netlist = Option.map Bespoke_netlist.Serial.load netlist_file in
            let o =
@@ -139,14 +194,17 @@ let cmd_run =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a program on the ISS and the gate-level core")
     Term.(
-      ret (const run $ file_arg $ bench_arg $ gpio_arg $ seed_arg $ netlist_arg))
+      ret
+        (const run $ file_arg $ bench_arg $ gpio_arg $ seed_arg $ netlist_arg
+        $ obs_args))
 
 (* ---- analyze ---- *)
 
 let cmd_analyze =
-  let run file bench =
+  let run file bench obs =
     handle
-      (catching (fun () ->
+      (with_obs obs @@ fun () ->
+       catching (fun () ->
            let* b = load_program file bench in
            let report, net = Runner.analyze b in
            Printf.printf
@@ -161,7 +219,7 @@ let cmd_analyze =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Input-independent gate activity analysis of a program")
-    Term.(ret (const run $ file_arg $ bench_arg))
+    Term.(ret (const run $ file_arg $ bench_arg $ obs_args))
 
 (* ---- tailor ---- *)
 
@@ -176,9 +234,10 @@ let cmd_tailor =
              ~doc:"Save the bespoke netlist in reloadable text form (see the \
                    run command's --netlist).")
   in
-  let run file bench verify save =
+  let run file bench verify save obs =
     handle
-      (catching (fun () ->
+      (with_obs obs @@ fun () ->
+       catching (fun () ->
            let* b = load_program file bench in
            let report, net = Runner.analyze b in
            let bespoke, stats =
@@ -232,7 +291,8 @@ let cmd_tailor =
   in
   Cmd.v
     (Cmd.info "tailor" ~doc:"Produce and report the bespoke design for a program")
-    Term.(ret (const run $ file_arg $ bench_arg $ verify_arg $ save_arg))
+    Term.(
+      ret (const run $ file_arg $ bench_arg $ verify_arg $ save_arg $ obs_args))
 
 (* ---- update-check (paper Section 3.5) ---- *)
 

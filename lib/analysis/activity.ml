@@ -8,6 +8,15 @@ module Isa = Bespoke_isa.Isa
 module Asm = Bespoke_isa.Asm
 module Memmap = Bespoke_isa.Memmap
 module System = Bespoke_cpu.System
+module Obs = Bespoke_obs.Obs
+
+(* Execution-tree telemetry (no-ops unless Obs is enabled), flushed
+   once per [analyze] call. *)
+let m_branches = Obs.Metrics.counter "analysis.branches"
+let m_merges = Obs.Metrics.counter "analysis.merges"
+let m_prunes = Obs.Metrics.counter "analysis.prunes"
+let m_paths = Obs.Metrics.counter "analysis.paths"
+let m_cycles = Obs.Metrics.counter "analysis.cycles"
 
 type config = {
   gpio_x : bool;
@@ -90,7 +99,7 @@ let is_control_insn (i : Isa.t) =
 
 let arch_regs = [ 0; 1; 2; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ]
 
-let analyze ?(config = default_config) ?shadow sys =
+let analyze_impl ?(config = default_config) ?shadow sys =
   let net = System.netlist sys in
   let eng = System.engine sys in
   let image = System.image sys in
@@ -148,6 +157,7 @@ let analyze ?(config = default_config) ?shadow sys =
   Option.iter init_system shadow;
   let constant_values = Engine.snapshot_values eng in
   let merges = ref 0 in
+  let forks = ref 0 in
   let prunes = ref 0 in
   let paths = ref 0 in
   let halted_paths = ref 0 in
@@ -384,10 +394,12 @@ let analyze ?(config = default_config) ?shadow sys =
                   table false
               in
               if covered then incr prunes
-              else
+              else begin
+                incr forks;
                 Stack.push
                   { snap = s; snap_sh = s_sh; candidates = []; skip_table = false }
-                  stack)
+                  stack
+              end)
             cands;
           log "fork: pc unknown -> %d candidates" (List.length cands);
           finished := true
@@ -478,6 +490,7 @@ let analyze ?(config = default_config) ?shadow sys =
               | first :: rest ->
                 List.iter
                   (fun (c, c_sh) ->
+                    incr forks;
                     Stack.push
                       { snap = c; snap_sh = c_sh; candidates = [];
                         skip_table = true }
@@ -510,6 +523,13 @@ let analyze ?(config = default_config) ?shadow sys =
   while not (Stack.is_empty stack) do
     run_path (Stack.pop stack)
   done;
+  if Obs.enabled () then begin
+    Obs.Metrics.add m_branches !forks;
+    Obs.Metrics.add m_merges !merges;
+    Obs.Metrics.add m_prunes !prunes;
+    Obs.Metrics.add m_paths !paths;
+    Obs.Metrics.add m_cycles !total_cycles
+  end;
   {
     possibly_toggled = Engine.possibly_toggled eng;
     constant_values;
@@ -520,6 +540,10 @@ let analyze ?(config = default_config) ?shadow sys =
     halted_paths = !halted_paths;
     escaped_paths = !escaped_paths;
   }
+
+let analyze ?config ?shadow sys =
+  Obs.Span.with_ ~name:"analysis.analyze" (fun () ->
+      analyze_impl ?config ?shadow sys)
 
 let exercisable_count r =
   Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 r.possibly_toggled

@@ -3,6 +3,9 @@ module Gate = Bespoke_netlist.Gate
 module Netlist = Bespoke_netlist.Netlist
 module Report = Bespoke_power.Report
 module Sta = Bespoke_power.Sta
+module Obs = Bespoke_obs.Obs
+
+let m_gates_removed = Obs.Metrics.counter "cut.gates_removed"
 
 type stats = {
   original_gates : int;
@@ -41,19 +44,24 @@ let count_cut net ~possibly_toggled =
   !n
 
 let tailor net ~possibly_toggled ~constants =
-  let stitched = cut_and_stitch net ~possibly_toggled ~constants in
-  let optimized = Resynth.optimize stitched in
-  let bespoke = Sta.downsize optimized in
-  let stats =
-    {
-      original_gates = Netlist.num_gates net;
-      cut_gates = count_cut net ~possibly_toggled;
-      bespoke_gates = Netlist.num_gates bespoke;
-      original_area = Report.area_um2 net;
-      bespoke_area = Report.area_um2 bespoke;
-    }
-  in
-  (bespoke, stats)
+  Obs.Span.with_ ~name:"cut.tailor" (fun () ->
+      let stitched =
+        Obs.Span.with_ ~name:"cut.cut_and_stitch" (fun () ->
+            cut_and_stitch net ~possibly_toggled ~constants)
+      in
+      let optimized = Resynth.optimize stitched in
+      let bespoke = Sta.downsize optimized in
+      let stats =
+        {
+          original_gates = Netlist.num_gates net;
+          cut_gates = count_cut net ~possibly_toggled;
+          bespoke_gates = Netlist.num_gates bespoke;
+          original_area = Report.area_um2 net;
+          bespoke_area = Report.area_um2 bespoke;
+        }
+      in
+      Obs.Metrics.add m_gates_removed stats.cut_gates;
+      (bespoke, stats))
 
 let pp_stats fmt s =
   Format.fprintf fmt

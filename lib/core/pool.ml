@@ -10,18 +10,41 @@
    [Runner.shared_netlist]) before mapping: stdlib [Lazy] is not
    domain-safe. *)
 
+module Obs = Bespoke_obs.Obs
+
+let m_tasks = Obs.Metrics.counter "pool.tasks"
+let m_maps = Obs.Metrics.counter "pool.maps"
+
+(* Warn (once) instead of silently ignoring — or worse, raising on — a
+   malformed BESPOKE_JOBS value; the safe fallback is single-domain. *)
+let warned_bad_jobs = ref false
+
 let default_jobs () =
   match Sys.getenv_opt "BESPOKE_JOBS" with
   | None -> 1
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some n when n > 0 -> n
-    | _ -> 1)
+    | _ ->
+      if not !warned_bad_jobs then begin
+        warned_bad_jobs := true;
+        Printf.eprintf
+          "warning: BESPOKE_JOBS=%S is not a positive integer; running with 1 \
+           job\n\
+           %!"
+          s
+      end;
+      1)
 
 let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let items = Array.of_list xs in
   let n = Array.length items in
+  Obs.Span.with_ ~name:"pool.map"
+    ~args:[ ("jobs", string_of_int jobs); ("tasks", string_of_int n) ]
+  @@ fun () ->
+  Obs.Metrics.incr m_maps;
+  Obs.Metrics.add m_tasks n;
   if jobs <= 1 || n <= 1 then List.map f xs
   else begin
     let results : 'b option array = Array.make n None in

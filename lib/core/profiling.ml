@@ -1,6 +1,10 @@
 module Netlist = Bespoke_netlist.Netlist
 module Gate = Bespoke_netlist.Gate
 module Benchmark = Bespoke_programs.Benchmark
+module Obs = Bespoke_obs.Obs
+
+let m_runs = Obs.Metrics.counter "profiling.runs"
+let m_lanes_packed = Obs.Metrics.counter "profiling.lanes_packed"
 
 type t = {
   per_seed_toggled : (int * bool array) list;
@@ -11,6 +15,9 @@ type t = {
 }
 
 let profile ?netlist ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?(packed = true) b =
+  Obs.Span.with_ ~name:"profiling.profile"
+    ~args:[ ("benchmark", b.Benchmark.name) ]
+    (fun () ->
   let net =
     match netlist with Some n -> n | None -> Runner.shared_netlist ()
   in
@@ -19,12 +26,15 @@ let profile ?netlist ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?(packed = true) b =
   let inter_untoggled = Array.make ng true in
   let totals = Array.make ng 0 in
   let cycles = ref 0 in
+  Obs.Metrics.incr m_runs;
   (* All profiling seeds in one bit-parallel run (the default), or one
      scalar run per seed fanned across the domain pool; both produce
      bit-identical per-seed outcomes. *)
   let outcomes =
-    if packed && List.length seeds > 1 then
+    if packed && List.length seeds > 1 then begin
+      Obs.Metrics.add m_lanes_packed (List.length seeds);
       Runner.run_gate_packed ~netlist:net b ~seeds
+    end
     else
       Pool.map (fun seed -> (seed, Runner.run_gate ~netlist:net b ~seed)) seeds
   in
@@ -50,7 +60,7 @@ let profile ?netlist ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?(packed = true) b =
     intersection_untoggled = inter_untoggled;
     total_toggles = totals;
     total_cycles = !cycles;
-  }
+  })
 
 let untoggled_fraction_range net t =
   let real = ref 0 in

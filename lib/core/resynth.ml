@@ -3,6 +3,13 @@ module Gate = Bespoke_netlist.Gate
 module Netlist = Bespoke_netlist.Netlist
 module Engine = Bespoke_sim.Engine
 module B = Netlist.Builder
+module Obs = Bespoke_obs.Obs
+
+(* Resynthesis telemetry (no-ops unless Obs is enabled): gates folded
+   away per rewrite (peephole simplifications + constant evaluation)
+   and fixpoint rounds run. *)
+let m_const_folds = Obs.Metrics.counter "resynth.const_folds"
+let m_rounds = Obs.Metrics.counter "resynth.rounds"
 
 (* Sequential constant propagation: find DFFs that provably hold their
    reset value forever.  Greatest fixpoint: start by assuming every
@@ -58,6 +65,7 @@ let rewrite ?(seq_const = true) net =
   let map = Array.make ng (-1) in
   let consts : (Bit.t, int) Hashtbl.t = Hashtbl.create 3 in
   let cse : (int * int * int * int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let folds = ref 0 in
   let tie v =
     match Hashtbl.find_opt consts v with
     | Some id -> id
@@ -151,10 +159,14 @@ let rewrite ?(seq_const = true) net =
       | Gate.Const _ | Gate.Input | Gate.Dff _ -> invalid_arg "emit"
     in
     match simplified with
-    | Some id -> id
+    | Some id ->
+      incr folds;
+      id
     | None ->
-      if Array.for_all (fun f -> const_of_new f <> None) fanin then
+      if Array.for_all (fun f -> const_of_new f <> None) fanin then begin
+        incr folds;
         tie (Gate.eval op (Array.map (fun f -> Option.get (const_of_new f)) fanin))
+      end
       else
         let key =
           ( opcode op,
@@ -218,6 +230,7 @@ let rewrite ?(seq_const = true) net =
   List.iter
     (fun (n, ids) -> B.set_name b n (Array.map (fun i -> map.(i)) ids))
     net.Netlist.names;
+  Obs.Metrics.add m_const_folds !folds;
   B.finish b
 
 let dead_sweep net =
@@ -229,12 +242,15 @@ let dead_sweep net =
 let pass ?seq_const net = dead_sweep (rewrite ?seq_const net)
 
 let optimize ?(max_rounds = 8) ?seq_const net =
-  let rec go round net =
-    if round >= max_rounds then net
-    else
-      let net' = pass ?seq_const net in
-      if Netlist.gate_count net' < Netlist.gate_count net then
-        go (round + 1) net'
-      else net'
-  in
-  go 0 net
+  Obs.Span.with_ ~name:"resynth.optimize" (fun () ->
+      let rec go round net =
+        if round >= max_rounds then net
+        else begin
+          Obs.Metrics.incr m_rounds;
+          let net' = pass ?seq_const net in
+          if Netlist.gate_count net' < Netlist.gate_count net then
+            go (round + 1) net'
+          else net'
+        end
+      in
+      go 0 net)

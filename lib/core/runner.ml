@@ -10,6 +10,9 @@ module Engine64 = Bespoke_sim.Engine64
 module Cpu = Bespoke_cpu.Cpu
 module Activity = Bespoke_analysis.Activity
 module Benchmark = Bespoke_programs.Benchmark
+module Obs = Bespoke_obs.Obs
+
+let m_gate_runs = Obs.Metrics.counter "runner.gate_runs"
 
 type iss_outcome = {
   results : (int * int) list;
@@ -61,6 +64,10 @@ let load_ram_word sys addr v =
   Memory.load_int ram ((addr lsr 1) land 0x7ff) v
 
 let run_gate ?mode ?netlist ?(max_cycles = 3_000_000) (b : Benchmark.t) ~seed =
+  Obs.Span.with_ ~name:"runner.run_gate"
+    ~args:[ ("benchmark", b.Benchmark.name); ("seed", string_of_int seed) ]
+  @@ fun () ->
+  Obs.Metrics.incr m_gate_runs;
   let img = Benchmark.image b in
   let sys =
     match netlist with
@@ -114,6 +121,13 @@ let run_gate ?mode ?netlist ?(max_cycles = 3_000_000) (b : Benchmark.t) ~seed =
    would have exited, so every lane's toggle counts are bit-identical
    to its scalar run. *)
 let run_packed_chunk ~netlist ~max_cycles (b : Benchmark.t) (seeds : int array) =
+  Obs.Span.with_ ~name:"runner.run_gate_packed"
+    ~args:
+      [
+        ("benchmark", b.Benchmark.name);
+        ("lanes", string_of_int (Array.length seeds));
+      ]
+  @@ fun () ->
   let lanes = Array.length seeds in
   let img = Benchmark.image b in
   let sys = System64.create ~lanes ~netlist img in
@@ -238,6 +252,9 @@ let check_equivalence ?netlist (b : Benchmark.t) ~seed =
   iss
 
 let analyze ?config ?netlist (b : Benchmark.t) =
+  Obs.Span.with_ ~name:"runner.analyze"
+    ~args:[ ("benchmark", b.Benchmark.name) ]
+  @@ fun () ->
   let net = match netlist with Some n -> n | None -> shared_netlist () in
   let sys = System.create ~netlist:net (Benchmark.image b) in
   let config =

@@ -1,0 +1,133 @@
+(** Flow-wide telemetry: structured tracing spans, a metrics registry,
+    and Chrome-trace-compatible JSONL export.
+
+    The whole subsystem is disabled by default and designed so that an
+    instrumentation hook in a hot path costs a single mutable-flag
+    check: every recording entry point ({!Span.with_},
+    {!Metrics.incr}, {!Metrics.observe}, ...) first reads {!enabled}
+    and returns immediately when tracing is off.  Callers that would
+    otherwise do work just to build a hook's arguments should guard
+    with [if Obs.enabled () then ...] themselves.
+
+    Collection is domain-safe: trace events go to per-domain buffers
+    (so {!Bespoke_core.Pool} workers can trace without contention) and
+    metric updates are atomic.  Exporting ({!Trace.events},
+    {!Metrics.snapshot_json}) is meant to run after worker domains
+    have been joined.
+
+    Setting the [BESPOKE_TRACE] environment variable enables
+    collection at program start; if its value looks like a file path
+    (anything other than [1]/[true]/[yes]/[on]) the JSONL trace is
+    also written there at exit. *)
+
+val enabled : unit -> bool
+(** Is collection currently on?  This is the single flag every hook
+    checks. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Clear all collected events and zero every registered metric
+    (registrations themselves persist). *)
+
+(** Nestable wall-clock spans with monotonic timestamps. *)
+module Span : sig
+  val with_ : ?args:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+  (** [with_ ~name f] runs [f], bracketing it with a begin/end event
+      pair in the current domain's buffer.  The end event is emitted
+      even if [f] raises.  When collection is disabled this is exactly
+      [f ()]. *)
+
+  val instant : ?args:(string * string) list -> string -> unit
+  (** A point event ([ph:"i"]) in the current domain's buffer. *)
+end
+
+(** Counters, gauges and log-scale histograms, registered by name.
+    Registration is idempotent: looking a name up twice returns the
+    same metric.  A name must keep its kind for the whole program. *)
+module Metrics : sig
+  type counter
+  type gauge
+  type histogram
+
+  val counter : string -> counter
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+  val counter_value : counter -> int
+
+  val gauge : string -> gauge
+  val set : gauge -> float -> unit
+  val gauge_value : gauge -> float
+
+  val histogram : string -> histogram
+
+  val observe : histogram -> int -> unit
+  (** Record a non-negative sample into power-of-two buckets. *)
+
+  val histogram_count : histogram -> int
+
+  val percentile : histogram -> float -> float
+  (** [percentile h p] ([0. <= p <= 1.]) estimates the p-quantile from
+      the log-scale buckets: the answer lies within the matched
+      bucket's bounds (a factor-of-two resolution), clamped to the
+      exact observed min/max. *)
+
+  val names : unit -> string list
+  (** All registered metric names, sorted. *)
+
+  val snapshot_json : unit -> string
+  (** The whole registry as a JSON object
+      [{"counters":{..},"gauges":{..},"histograms":{..}}], with
+      histograms expanded to count/sum/min/max/p50/p90/p99.  Built
+      with no JSON library dependency. *)
+
+  val reset : unit -> unit
+end
+
+(** Export of the collected event stream. *)
+module Trace : sig
+  type event = {
+    name : string;
+    ph : char;  (** ['B'] begin, ['E'] end, ['i'] instant *)
+    ts_us : float;  (** microseconds since program start, monotonic per domain *)
+    tid : int;  (** domain id *)
+    args : (string * string) list;
+  }
+
+  val events : unit -> event list
+  (** All buffered events, globally sorted by timestamp. *)
+
+  val to_jsonl : unit -> string
+  (** One Chrome-trace event object per line ([ph:"B"/"E"/"i"], [ts]
+      in microseconds).  Wrap the lines in a JSON array (e.g.
+      [jq -s .]) to load the file in a Chrome-trace viewer. *)
+
+  val write_jsonl : string -> unit
+  (** Write {!to_jsonl} to a file. *)
+
+  val summary : unit -> string
+  (** Human-readable per-phase table: for every span name, the number
+      of completed spans and their cumulative wall time. *)
+
+  val clear : unit -> unit
+end
+
+(** A minimal JSON reader, used to validate exported traces and
+    metrics snapshots in tests and smoke checks without an external
+    JSON dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  (** Parse one complete JSON value (surrounding whitespace allowed). *)
+
+  val member : string -> t -> t option
+  (** Field lookup in an [Obj]; [None] otherwise. *)
+end

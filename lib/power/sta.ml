@@ -1,6 +1,10 @@
 module Gate = Bespoke_netlist.Gate
 module Netlist = Bespoke_netlist.Netlist
 module Cells = Bespoke_cells.Cells
+module Obs = Bespoke_obs.Obs
+
+let m_analyses = Obs.Metrics.counter "sta.analyses"
+let g_critical_path = Obs.Metrics.gauge "sta.critical_path_ps"
 
 type t = {
   arrival_ps : float array;
@@ -26,6 +30,8 @@ let gate_delay net fanout id =
   +. (cell.Cells.drive_res_ps_per_ff *. load_ff net fanout id)
 
 let analyze net =
+  Obs.Span.with_ ~name:"sta.analyze" @@ fun () ->
+  Obs.Metrics.incr m_analyses;
   let ng = Netlist.gate_count net in
   let fanout = Netlist.fanout net in
   let arrival = Array.make ng 0.0 in
@@ -71,6 +77,7 @@ let analyze net =
           end)
         ids)
     net.Netlist.output_ports;
+  Obs.Metrics.set g_critical_path !crit;
   { arrival_ps = arrival; critical_path_ps = !crit; critical_gate = !crit_gate }
 
 let slack_fraction ~baseline_ps t =

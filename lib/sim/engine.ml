@@ -2,6 +2,15 @@ module Bit = Bespoke_logic.Bit
 module Bvec = Bespoke_logic.Bvec
 module Gate = Bespoke_netlist.Gate
 module Netlist = Bespoke_netlist.Netlist
+module Obs = Bespoke_obs.Obs
+
+(* Telemetry (all no-ops unless Obs is enabled): total gate
+   re-evaluations, settle sweeps, and the dirty-set size drained per
+   settle.  Counting is accumulated locally and flushed once per
+   settle so the disabled-path cost is one flag check per sweep. *)
+let m_gate_evals = Obs.Metrics.counter "sim.gate_evals"
+let m_settles = Obs.Metrics.counter "sim.settle_iterations"
+let h_dirty = Obs.Metrics.histogram "sim.dirty_set_size"
 
 (* Compiled opcodes for the inner evaluation loop. *)
 let op_buf = 0
@@ -247,17 +256,25 @@ let eval_full t =
   let order = t.order in
   for k = 0 to Array.length order - 1 do
     eval_one t order.(k)
-  done
+  done;
+  if Obs.enabled () then begin
+    Obs.Metrics.add m_gate_evals (Array.length order);
+    Obs.Metrics.incr m_settles;
+    Obs.Metrics.observe h_dirty (Array.length order)
+  end
 
 (* Drain the dirty queue in increasing level order.  A gate's readers
    are always at strictly higher levels, so each scheduled gate is
    visited exactly once per settle, after all its fanin writes. *)
 let flush_dirty t =
+  let counting = Obs.enabled () in
+  let drained = ref 0 in
   let nl = Array.length t.lvl_len in
   for l = 1 to nl - 1 do
     let stack = t.lvl_stack.(l) in
     (* the stack at this level cannot grow while it drains *)
     let n = t.lvl_len.(l) in
+    if counting then drained := !drained + n;
     for k = 0 to n - 1 do
       let id = Array.unsafe_get stack k in
       Bytes.unsafe_set t.on_queue id '\000';
@@ -269,7 +286,12 @@ let flush_dirty t =
       end
     done;
     t.lvl_len.(l) <- 0
-  done
+  done;
+  if counting then begin
+    Obs.Metrics.add m_gate_evals !drained;
+    Obs.Metrics.incr m_settles;
+    Obs.Metrics.observe h_dirty !drained
+  end
 
 let eval t = match t.mode with Full -> eval_full t | Event -> flush_dirty t
 

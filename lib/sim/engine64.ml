@@ -2,6 +2,13 @@ module Bit = Bespoke_logic.Bit
 module Bvec = Bespoke_logic.Bvec
 module Gate = Bespoke_netlist.Gate
 module Netlist = Bespoke_netlist.Netlist
+module Obs = Bespoke_obs.Obs
+
+(* Telemetry for the packed engine (no-ops unless Obs is enabled):
+   each "eval" here re-evaluates one gate across all lanes at once. *)
+let m_gate_evals = Obs.Metrics.counter "sim.packed_gate_evals"
+let m_settles = Obs.Metrics.counter "sim.packed_settles"
+let h_dirty = Obs.Metrics.histogram "sim.packed_dirty_set_size"
 
 (* Up to 63 independent concrete simulations packed into dual-rail
    native-int words.  Rail [lo] has a lane's bit set when the lane's
@@ -337,10 +344,13 @@ let eval_full t =
   done
 
 let flush_dirty t =
+  let counting = Obs.enabled () in
+  let drained = ref 0 in
   let nl = Array.length t.lvl_len in
   for l = 1 to nl - 1 do
     let stack = t.lvl_stack.(l) in
     let n = t.lvl_len.(l) in
+    if counting then drained := !drained + n;
     for k = 0 to n - 1 do
       let id = Array.unsafe_get stack k in
       Bytes.unsafe_set t.on_queue id '\000';
@@ -353,7 +363,12 @@ let flush_dirty t =
       end
     done;
     t.lvl_len.(l) <- 0
-  done
+  done;
+  if counting then begin
+    Obs.Metrics.add m_gate_evals !drained;
+    Obs.Metrics.incr m_settles;
+    Obs.Metrics.observe h_dirty !drained
+  end
 
 let eval t = flush_dirty t
 

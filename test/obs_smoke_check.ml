@@ -1,0 +1,94 @@
+(* Validator behind the @obs-smoke alias: given a Chrome-trace JSONL
+   file and a metrics snapshot produced by
+   `bespoke_cli tailor --trace ... --metrics-out ...`, check that the
+   trace is non-empty, every line parses, begin/end events balance per
+   thread, and the snapshot parses with a reasonable spread of metric
+   names.  Exits non-zero with a message on the first violation. *)
+
+module Obs = Bespoke_obs.Obs
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("obs-smoke: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let json_str k j =
+  match Obs.Json.member k j with
+  | Some (Obs.Json.Str s) -> s
+  | _ -> fail "trace event missing string field %S" k
+
+let json_num k j =
+  match Obs.Json.member k j with
+  | Some (Obs.Json.Num n) -> n
+  | _ -> fail "trace event missing numeric field %S" k
+
+let check_trace path =
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (read_file path))
+  in
+  if lines = [] then fail "trace %s is empty" path;
+  let stacks : (int, string list) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun line ->
+      match Obs.Json.parse line with
+      | Error m -> fail "trace line does not parse (%s): %s" m line
+      | Ok j -> (
+        let tid = int_of_float (json_num "tid" j) in
+        if json_num "ts" j < 0.0 then fail "negative timestamp: %s" line;
+        let stack = Option.value ~default:[] (Hashtbl.find_opt stacks tid) in
+        match json_str "ph" j with
+        | "B" -> Hashtbl.replace stacks tid (json_str "name" j :: stack)
+        | "E" -> (
+          match stack with
+          | top :: rest ->
+            if top <> json_str "name" j then
+              fail "E %S does not close innermost B %S" (json_str "name" j) top;
+            Hashtbl.replace stacks tid rest
+          | [] -> fail "E with no open span: %s" line)
+        | "i" -> ()
+        | ph -> fail "unexpected ph %S" ph))
+    lines;
+  Hashtbl.iter
+    (fun tid stack ->
+      if stack <> [] then
+        fail "tid %d ends with %d unclosed spans" tid (List.length stack))
+    stacks;
+  List.length lines
+
+let check_metrics path =
+  match Obs.Json.parse (read_file path) with
+  | Error m -> fail "metrics %s does not parse: %s" path m
+  | Ok j ->
+    let section k =
+      match Obs.Json.member k j with
+      | Some (Obs.Json.Obj fields) -> List.map fst fields
+      | _ -> fail "metrics missing %S object" k
+    in
+    let names =
+      List.sort_uniq String.compare
+        (section "counters" @ section "gauges" @ section "histograms")
+    in
+    if List.length names < 8 then
+      fail "only %d distinct metric names (want >= 8): %s" (List.length names)
+        (String.concat ", " names);
+    List.iter
+      (fun prefix ->
+        if not (List.exists (fun n -> String.starts_with ~prefix n) names) then
+          fail "no %S metrics in snapshot" prefix)
+      [ "sim."; "analysis."; "cut."; "resynth."; "profiling." ];
+    List.length names
+
+let () =
+  match Sys.argv with
+  | [| _; trace; metrics |] ->
+    let n_events = check_trace trace in
+    let n_metrics = check_metrics metrics in
+    Printf.printf "obs-smoke: OK (%d trace events balanced, %d metrics)\n"
+      n_events n_metrics
+  | _ ->
+    prerr_endline "usage: obs_smoke_check TRACE.jsonl METRICS.json";
+    exit 2

@@ -1,0 +1,264 @@
+(* Tests for the Obs telemetry subsystem: span nesting and ordering,
+   JSONL export well-formedness, histogram percentiles, metrics from a
+   real tailor run, and the disabled-by-default no-op guarantee. *)
+
+module Obs = Bespoke_obs.Obs
+module B = Bespoke_programs.Benchmark
+module Activity = Bespoke_analysis.Activity
+module Runner = Bespoke_core.Runner
+module Cut = Bespoke_core.Cut
+
+(* Every test leaves the global collector disabled and empty so test
+   order never matters. *)
+let with_tracing f =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset ();
+      Obs.disable ())
+    f
+
+let run_tailor_mult () =
+  let report, net = Runner.analyze (B.find "mult") in
+  Cut.tailor net ~possibly_toggled:report.Activity.possibly_toggled
+    ~constants:report.Activity.constant_values
+
+(* ---- spans ---- *)
+
+let test_span_nesting () =
+  with_tracing (fun () ->
+      let r =
+        Obs.Span.with_ ~name:"outer" (fun () ->
+            Obs.Span.with_ ~name:"inner"
+              ~args:[ ("k", "v") ]
+              (fun () -> 41 + 1))
+      in
+      Alcotest.(check int) "result threaded through" 42 r;
+      let events = Obs.Trace.events () in
+      Alcotest.(check (list (pair string char)))
+        "B/E sequence"
+        [ ("outer", 'B'); ("inner", 'B'); ("inner", 'E'); ("outer", 'E') ]
+        (List.map (fun (e : Obs.Trace.event) -> (e.name, e.ph)) events);
+      let ts = List.map (fun (e : Obs.Trace.event) -> e.ts_us) events in
+      Alcotest.(check bool)
+        "timestamps non-decreasing" true
+        (List.sort compare ts = ts);
+      let inner_b = List.nth events 1 in
+      Alcotest.(check (list (pair string string)))
+        "args attached to B" [ ("k", "v") ] inner_b.args)
+
+let test_span_end_on_raise () =
+  with_tracing (fun () ->
+      (try Obs.Span.with_ ~name:"boom" (fun () -> failwith "no") with
+      | Failure _ -> ());
+      Alcotest.(check (list (pair string char)))
+        "span closed despite raise"
+        [ ("boom", 'B'); ("boom", 'E') ]
+        (List.map
+           (fun (e : Obs.Trace.event) -> (e.name, e.ph))
+           (Obs.Trace.events ())))
+
+let test_spans_across_domains () =
+  with_tracing (fun () ->
+      let workers =
+        List.init 3 (fun i ->
+            Domain.spawn (fun () ->
+                Obs.Span.with_ ~name:(Printf.sprintf "worker-%d" i) (fun () ->
+                    ())))
+      in
+      List.iter Domain.join workers;
+      Obs.Span.with_ ~name:"main" (fun () -> ());
+      let events = Obs.Trace.events () in
+      Alcotest.(check int) "all buffers merged" 8 (List.length events);
+      (* B/E balance per domain, and events from joined domains kept *)
+      let depth : (int, int) Hashtbl.t = Hashtbl.create 4 in
+      List.iter
+        (fun (e : Obs.Trace.event) ->
+          let d = Option.value ~default:0 (Hashtbl.find_opt depth e.tid) in
+          let d = d + (if e.ph = 'B' then 1 else -1) in
+          if d < 0 then Alcotest.failf "tid %d: E before B" e.tid;
+          Hashtbl.replace depth e.tid d)
+        events;
+      Hashtbl.iter
+        (fun tid d ->
+          if d <> 0 then Alcotest.failf "tid %d: %d unclosed spans" tid d)
+        depth;
+      Alcotest.(check bool)
+        "events span multiple domains" true
+        (Hashtbl.length depth > 1))
+
+(* ---- JSONL export from a real flow ---- *)
+
+let json_str k j =
+  match Obs.Json.member k j with
+  | Some (Obs.Json.Str s) -> s
+  | _ -> Alcotest.failf "field %S missing or not a string" k
+
+let json_num k j =
+  match Obs.Json.member k j with
+  | Some (Obs.Json.Num n) -> n
+  | _ -> Alcotest.failf "field %S missing or not a number" k
+
+let test_jsonl_wellformed () =
+  with_tracing (fun () ->
+      ignore (run_tailor_mult ());
+      let lines =
+        List.filter
+          (fun l -> l <> "")
+          (String.split_on_char '\n' (Obs.Trace.to_jsonl ()))
+      in
+      Alcotest.(check bool) "trace is non-empty" true (lines <> []);
+      (* every line parses; B/E strictly balanced per tid, LIFO order *)
+      let stacks : (int, string list) Hashtbl.t = Hashtbl.create 4 in
+      List.iter
+        (fun line ->
+          match Obs.Json.parse line with
+          | Error m -> Alcotest.failf "unparseable line %S: %s" line m
+          | Ok j -> (
+            let tid = int_of_float (json_num "tid" j) in
+            Alcotest.(check bool)
+              "ts is non-negative" true
+              (json_num "ts" j >= 0.0);
+            let stack =
+              Option.value ~default:[] (Hashtbl.find_opt stacks tid)
+            in
+            match json_str "ph" j with
+            | "B" -> Hashtbl.replace stacks tid (json_str "name" j :: stack)
+            | "E" -> (
+              match stack with
+              | top :: rest ->
+                Alcotest.(check string) "E closes innermost B" top
+                  (json_str "name" j);
+                Hashtbl.replace stacks tid rest
+              | [] -> Alcotest.failf "E with no open span: %s" line)
+            | "i" -> ()
+            | ph -> Alcotest.failf "unexpected ph %S" ph))
+        lines;
+      Hashtbl.iter
+        (fun tid stack ->
+          if stack <> [] then
+            Alcotest.failf "tid %d ends with %d unclosed spans" tid
+              (List.length stack))
+        stacks)
+
+(* ---- histograms ---- *)
+
+let test_histogram_percentiles () =
+  with_tracing (fun () ->
+      let h = Obs.Metrics.histogram "test.uniform" in
+      for i = 1 to 1000 do
+        Obs.Metrics.observe h i
+      done;
+      Alcotest.(check int) "count" 1000 (Obs.Metrics.histogram_count h);
+      let p50 = Obs.Metrics.percentile h 0.5 in
+      let p99 = Obs.Metrics.percentile h 0.99 in
+      (* log-scale buckets: the answer is only factor-of-two accurate,
+         so check bucket bounds, not exact quantiles *)
+      Alcotest.(check bool)
+        "p50 in [256,512]" true
+        (p50 >= 256.0 && p50 <= 512.0);
+      Alcotest.(check bool)
+        "p99 in [512,1000]" true
+        (p99 >= 512.0 && p99 <= 1000.0);
+      Alcotest.(check bool) "quantiles monotone" true (p50 <= p99);
+      Alcotest.(check bool)
+        "p0 clamped near observed min" true
+        (Obs.Metrics.percentile h 0.0 >= 1.0
+        && Obs.Metrics.percentile h 0.0 <= 2.0);
+      (* a degenerate distribution clamps to the exact value *)
+      let d = Obs.Metrics.histogram "test.degenerate" in
+      for _ = 1 to 10 do
+        Obs.Metrics.observe d 42
+      done;
+      Alcotest.(check (float 0.0))
+        "single-valued p50 is exact" 42.0
+        (Obs.Metrics.percentile d 0.5);
+      Alcotest.(check (float 0.0))
+        "single-valued p99 is exact" 42.0
+        (Obs.Metrics.percentile d 0.99))
+
+(* ---- metrics from a real tailor run ---- *)
+
+let test_tailor_metrics () =
+  with_tracing (fun () ->
+      let _bespoke, stats = run_tailor_mult () in
+      let c name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
+      Alcotest.(check bool) "gate evals counted" true (c "sim.gate_evals" > 0);
+      Alcotest.(check bool)
+        "settle iterations counted" true
+        (c "sim.settle_iterations" > 0);
+      Alcotest.(check bool) "analysis paths counted" true (c "analysis.paths" > 0);
+      Alcotest.(check int) "cut.gates_removed matches Cut.stats"
+        stats.Cut.cut_gates (c "cut.gates_removed");
+      Alcotest.(check bool)
+        "resynth folded constants" true
+        (c "resynth.const_folds" > 0);
+      (* the snapshot parses and spans the whole flow *)
+      match Obs.Json.parse (Obs.Metrics.snapshot_json ()) with
+      | Error m -> Alcotest.failf "snapshot does not parse: %s" m
+      | Ok j ->
+        let section k =
+          match Obs.Json.member k j with
+          | Some (Obs.Json.Obj fields) -> List.map fst fields
+          | _ -> Alcotest.failf "snapshot missing %S object" k
+        in
+        let names =
+          section "counters" @ section "gauges" @ section "histograms"
+        in
+        Alcotest.(check bool)
+          "at least 8 distinct metric names" true
+          (List.length (List.sort_uniq String.compare names) >= 8);
+        List.iter
+          (fun prefix ->
+            Alcotest.(check bool)
+              (prefix ^ " metrics present") true
+              (List.exists
+                 (fun n -> String.starts_with ~prefix n)
+                 names))
+          [ "sim."; "analysis."; "cut."; "resynth." ])
+
+(* ---- disabled-by-default no-op guarantee ---- *)
+
+let test_disabled_noop () =
+  Obs.disable ();
+  Obs.reset ();
+  let c = Obs.Metrics.counter "test.noop_counter" in
+  let h = Obs.Metrics.histogram "test.noop_hist" in
+  let r = Obs.Span.with_ ~name:"ignored" (fun () -> "ok") in
+  Obs.Span.instant "ignored too";
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 100;
+  Obs.Metrics.observe h 7;
+  Alcotest.(check string) "span body still runs" "ok" r;
+  Alcotest.(check int) "no events recorded" 0
+    (List.length (Obs.Trace.events ()));
+  Alcotest.(check int) "counter untouched" 0 (Obs.Metrics.counter_value c);
+  Alcotest.(check int) "histogram untouched" 0 (Obs.Metrics.histogram_count h);
+  Alcotest.(check string) "jsonl empty" "" (Obs.Trace.to_jsonl ())
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and ordering" `Quick test_span_nesting;
+          Alcotest.test_case "end emitted on raise" `Quick test_span_end_on_raise;
+          Alcotest.test_case "per-domain buffers merge" `Quick
+            test_spans_across_domains;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "jsonl well-formed and balanced" `Quick
+            test_jsonl_wellformed;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram percentiles" `Quick
+            test_histogram_percentiles;
+          Alcotest.test_case "tailor run populates registry" `Quick
+            test_tailor_metrics;
+        ] );
+      ( "disabled",
+        [ Alcotest.test_case "hooks are no-ops" `Quick test_disabled_noop ] );
+    ]
