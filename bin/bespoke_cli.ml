@@ -4,6 +4,7 @@
    bespoke_cli run prog.s            run on the ISS and the gate-level core
    bespoke_cli analyze prog.s        input-independent gate activity analysis
    bespoke_cli tailor prog.s         full flow: analyze, cut, report, verify
+   bespoke_cli report                savings report across the benchmark suite
    bespoke_cli bench-list            list the built-in benchmark programs
 
    Programs are MSP430-class assembly (see lib/isa/asm.mli for the
@@ -28,6 +29,11 @@ module Report = Bespoke_power.Report
 module Sta = Bespoke_power.Sta
 module Voltage = Bespoke_power.Voltage
 module Obs = Bespoke_obs.Obs
+module Gate = Bespoke_netlist.Gate
+module Bit = Bespoke_logic.Bit
+module Provenance = Bespoke_report.Provenance
+module Attribution = Bespoke_report.Attribution
+module Artifact = Bespoke_report.Artifact
 
 (* Not used directly here, but referencing them links their
    compilation units so their metrics register and appear in
@@ -53,6 +59,13 @@ let gpio_arg =
 
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Input-generation seed for benchmarks.")
+
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Emit a machine-readable JSON document on stdout (schema \
+                 $(b,bespoke-report/v1)); all human-readable output moves to \
+                 stderr so stdout stays parseable.")
 
 let load_program file bench : (B.t, string) result =
   match bench, file with
@@ -140,6 +153,110 @@ let catching f =
   | Runner.Mismatch m -> Error ("verification mismatch: " ^ m)
   | Failure m -> Error m
 
+(* ---- savings-report entry (shared by tailor --json and report) ---- *)
+
+let group_name = function
+  | B.Sensor -> "sensor"
+  | B.Eembc -> "eembc"
+  | B.Unit_test -> "unit-test"
+  | B.Synthetic -> "synthetic"
+
+let build_entry (b : B.t) (report : Activity.report) ~net ~bespoke
+    (stats : Cut.stats) prov =
+  let sta0 = Sta.analyze net and sta1 = Sta.analyze bespoke in
+  {
+    Artifact.name = b.B.name;
+    group = group_name b.B.group;
+    gates_original = stats.Cut.original_gates;
+    gates_cut = stats.Cut.cut_gates;
+    gates_bespoke = stats.Cut.bespoke_gates;
+    area_original = stats.Cut.original_area;
+    area_bespoke = stats.Cut.bespoke_area;
+    leak_original = Report.leakage_nw net;
+    leak_bespoke = Report.leakage_nw bespoke;
+    critical_ps_original = sta0.Sta.critical_path_ps;
+    critical_ps_bespoke = sta1.Sta.critical_path_ps;
+    vmin =
+      Voltage.vmin ~critical_path_ps:sta1.Sta.critical_path_ps
+        ~period_ps:sta0.Sta.critical_path_ps;
+    paths = report.Activity.paths;
+    merges = report.Activity.merges;
+    prunes = report.Activity.prunes;
+    escapes = report.Activity.escaped_paths;
+    cycles = report.Activity.total_cycles;
+    cut_reasons = Provenance.histogram prov;
+    modules = Attribution.table ~original:net ~bespoke;
+  }
+
+(* ---- per-gate explanation (tailor --explain) ---- *)
+
+let resolve_gate_ref net s =
+  match int_of_string_opt s with
+  | Some id ->
+    if id >= 0 && id < Netlist.gate_count net then Ok [ id ]
+    else
+      Error
+        (Printf.sprintf "gate id %d out of range (design has %d gates)" id
+           (Netlist.gate_count net))
+  | None -> (
+    match Netlist.find_bits net s with
+    | ids -> Ok (Array.to_list ids)
+    | exception Not_found ->
+      Error (Printf.sprintf "no gate, net or port named %S" s))
+
+let explain_gate oc net (report : Activity.report) (prov : Provenance.t) id =
+  let g = net.Netlist.gates.(id) in
+  Printf.fprintf oc "gate %d: %s (drive %d)%s%s\n" id (Gate.op_name g.Gate.op)
+    g.Gate.drive
+    (if g.Gate.module_path = "" then ""
+     else ", module " ^ g.Gate.module_path)
+    (match Netlist.names_of net id with
+    | [] -> ""
+    | names -> ", aka " ^ String.concat ", " names);
+  (match report.Activity.first_toggle.(id) with
+  | Some ft ->
+    Printf.fprintf oc "  first possible toggle: cycle %d, tree node %d%s\n"
+      ft.Activity.ft_cycle ft.Activity.ft_node
+      (if ft.Activity.ft_pc >= 0 then
+         Printf.sprintf ", pc=0x%04x" ft.Activity.ft_pc
+       else " (before the first instruction boundary)");
+    let tr = report.Activity.tree in
+    let rec chain acc n =
+      if n < 0 then acc else chain (n :: acc) tr.(n).Activity.parent
+    in
+    Printf.fprintf oc "  tree path: %s\n"
+      (String.concat " -> "
+         (List.map
+            (fun n -> Printf.sprintf "%d[%s]" n tr.(n).Activity.edge_label)
+            (chain [] ft.Activity.ft_node)))
+  | None -> ());
+  match prov.Provenance.reason.(id) with
+  | None -> Printf.fprintf oc "  port pin / tie cell: free in the silicon model\n"
+  | Some r ->
+    Printf.fprintf oc "  %s\n" (Format.asprintf "%a" Provenance.pp_reason r);
+    if Provenance.is_cut r && Array.length g.Gate.fanin > 0 then begin
+      (* The causal chain: the fanin cone with the reset-time constants
+         Algorithm 1 recorded, bounded to keep the output readable. *)
+      Printf.fprintf oc "  fanin cone (recorded constants):\n";
+      let seen = Hashtbl.create 16 in
+      let rec walk depth fid =
+        if depth <= 3 && not (Hashtbl.mem seen fid) then begin
+          Hashtbl.replace seen fid ();
+          let fg = net.Netlist.gates.(fid) in
+          Printf.fprintf oc "  %s- gate %d %s%s\n"
+            (String.make (2 * depth) ' ')
+            fid (Gate.op_name fg.Gate.op)
+            (if report.Activity.possibly_toggled.(fid) then " (can toggle)"
+             else
+               Printf.sprintf " = %c"
+                 (Bit.to_char report.Activity.constant_values.(fid)));
+          if not report.Activity.possibly_toggled.(fid) then
+            Array.iter (walk (depth + 1)) fg.Gate.fanin
+        end
+      in
+      Array.iter (walk 1) g.Gate.fanin
+    end
+
 (* ---- asm ---- *)
 
 let cmd_asm =
@@ -201,25 +318,55 @@ let cmd_run =
 (* ---- analyze ---- *)
 
 let cmd_analyze =
-  let run file bench obs =
+  let tree_dot_arg =
+    Arg.(value & opt (some string) None
+         & info [ "tree-dot" ] ~docv:"FILE"
+             ~doc:"Write the explored symbolic execution tree as a Graphviz \
+                   digraph to $(docv) (nodes colored by how each path ended).")
+  in
+  let run file bench json tree_dot obs =
     handle
       (with_obs obs @@ fun () ->
        catching (fun () ->
            let* b = load_program file bench in
            let report, net = Runner.analyze b in
-           Printf.printf
+           let oc = if json then stderr else stdout in
+           Printf.fprintf oc
              "explored %d paths (%d merges, %d prunes, %d escapes), %d cycles\n"
              report.Activity.paths report.Activity.merges report.Activity.prunes
              report.Activity.escaped_paths report.Activity.total_cycles;
-           Printf.printf "exercisable gates per module:\n";
-           Format.printf "%a@?" Usage.pp_per_module
-             (Usage.per_module net report.Activity.possibly_toggled);
+           let rows = Usage.per_module net report.Activity.possibly_toggled in
+           Printf.fprintf oc "exercisable gates per module:\n%!";
+           let ff = Format.formatter_of_out_channel oc in
+           Format.fprintf ff "%a@?" Usage.pp_per_module rows;
+           (match tree_dot with
+           | None -> ()
+           | Some path ->
+             let och = open_out path in
+             output_string och (Activity.tree_dot report);
+             close_out och;
+             Printf.fprintf oc "wrote execution tree to %s (%d nodes)\n" path
+               (Array.length report.Activity.tree));
+           if json then
+             print_string
+               (Artifact.analysis_to_json ~name:b.B.name
+                  ~paths:report.Activity.paths ~merges:report.Activity.merges
+                  ~prunes:report.Activity.prunes
+                  ~escapes:report.Activity.escaped_paths
+                  ~cycles:report.Activity.total_cycles
+                  ~modules:
+                    (List.filter_map
+                       (fun r ->
+                         if r.Usage.module_name = "(total)" then None
+                         else
+                           Some (r.Usage.module_name, r.Usage.active, r.Usage.total))
+                       rows));
            Ok ()))
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Input-independent gate activity analysis of a program")
-    Term.(ret (const run $ file_arg $ bench_arg $ obs_args))
+    Term.(ret (const run $ file_arg $ bench_arg $ json_arg $ tree_dot_arg $ obs_args))
 
 (* ---- tailor ---- *)
 
@@ -234,31 +381,51 @@ let cmd_tailor =
              ~doc:"Save the bespoke netlist in reloadable text form (see the \
                    run command's --netlist).")
   in
-  let run file bench verify save obs =
+  let explain_arg =
+    Arg.(value & opt_all string []
+         & info [ "explain" ] ~docv:"GATE"
+             ~doc:"Explain what happened to a gate of the original design \
+                   (numeric id, or a net/port name like $(b,pc) or \
+                   $(b,pc\\[3\\])): first-toggle provenance for exercisable \
+                   gates, the typed cut reason and recorded fanin-cone \
+                   constants otherwise.  Repeatable.")
+  in
+  let run file bench verify save json explain obs =
     handle
       (with_obs obs @@ fun () ->
        catching (fun () ->
            let* b = load_program file bench in
            let report, net = Runner.analyze b in
-           let bespoke, stats =
-             Cut.tailor net
+           let bespoke, stats, prov =
+             Cut.tailor_explained net
                ~possibly_toggled:report.Activity.possibly_toggled
                ~constants:report.Activity.constant_values
            in
-           Format.printf "%a@." Cut.pp_stats stats;
+           let oc = if json then stderr else stdout in
+           let ff = Format.formatter_of_out_channel oc in
+           Format.fprintf ff "%a@." Cut.pp_stats stats;
            let sta0 = Sta.analyze net and sta1 = Sta.analyze bespoke in
            let vmin =
              Voltage.vmin ~critical_path_ps:sta1.Sta.critical_path_ps
                ~period_ps:sta0.Sta.critical_path_ps
            in
-           Printf.printf
+           Printf.fprintf oc
              "critical path %.0f ps -> %.0f ps (%.1f%% slack); Vmin %.2f V\n"
              sta0.Sta.critical_path_ps sta1.Sta.critical_path_ps
              (100.0
              *. Sta.slack_fraction ~baseline_ps:sta0.Sta.critical_path_ps sta1)
              vmin;
-           Printf.printf "area %.0f -> %.0f um2\n" (Report.area_um2 net)
+           Printf.fprintf oc "area %.0f -> %.0f um2\n" (Report.area_um2 net)
              (Report.area_um2 bespoke);
+           let* () =
+             List.fold_left
+               (fun acc s ->
+                 let* () = acc in
+                 let* ids = resolve_gate_ref net s in
+                 List.iter (explain_gate oc net report prov) ids;
+                 Ok ())
+               (Ok ()) explain
+           in
            if verify then begin
              List.iter
                (fun seed ->
@@ -274,7 +441,7 @@ let cmd_tailor =
                }
              in
              ignore (Activity.analyze ~config ~shadow:sh sys);
-             Printf.printf
+             Printf.fprintf oc
                "verified: input-based equivalence (3 seeds) and symbolic shadow analysis\n"
            end;
            (match save with
@@ -285,14 +452,72 @@ let cmd_tailor =
                 later in-field update checks *)
              Bespoke_netlist.Serial.save_gate_set (path ^ ".gates")
                report.Activity.possibly_toggled;
-             Printf.printf "saved bespoke netlist to %s (+ %s.gates)\n" path
+             Printf.fprintf oc "saved bespoke netlist to %s (+ %s.gates)\n" path
                path);
+           if json then
+             print_string
+               (Artifact.to_json
+                  [ build_entry b report ~net ~bespoke stats prov ]);
            Ok ()))
   in
   Cmd.v
     (Cmd.info "tailor" ~doc:"Produce and report the bespoke design for a program")
     Term.(
-      ret (const run $ file_arg $ bench_arg $ verify_arg $ save_arg $ obs_args))
+      ret
+        (const run $ file_arg $ bench_arg $ verify_arg $ save_arg $ json_arg
+        $ explain_arg $ obs_args))
+
+(* ---- report (savings artifact across benchmarks) ---- *)
+
+let cmd_report =
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  let run bench json out obs =
+    handle
+      (with_obs obs @@ fun () ->
+       catching (fun () ->
+           let* benches =
+             match bench with
+             | None -> Ok B.all
+             | Some name ->
+               let* b = load_program None (Some name) in
+               Ok [ b ]
+           in
+           let entries =
+             List.map
+               (fun (b : B.t) ->
+                 Printf.eprintf "tailoring %-18s ...\n%!" b.B.name;
+                 let report, net = Runner.analyze b in
+                 let bespoke, stats, prov =
+                   Cut.tailor_explained net
+                     ~possibly_toggled:report.Activity.possibly_toggled
+                     ~constants:report.Activity.constant_values
+                 in
+                 build_entry b report ~net ~bespoke stats prov)
+               benches
+           in
+           let text =
+             if json then Artifact.to_json entries
+             else Format.asprintf "%a" Artifact.pp_text entries
+           in
+           (match out with
+           | None -> print_string text
+           | Some path ->
+             let och = open_out path in
+             output_string och text;
+             close_out och;
+             Printf.eprintf "wrote %s (%d benchmarks)\n" path
+               (List.length entries));
+           Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Tailor one or all benchmarks and emit the savings report \
+             (human-readable text, or a schema-versioned JSON artifact with \
+             per-module attribution and cut-reason histograms)")
+    Term.(ret (const run $ bench_arg $ json_arg $ out_arg $ obs_args))
 
 (* ---- update-check (paper Section 3.5) ---- *)
 
@@ -466,6 +691,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            cmd_asm; cmd_run; cmd_analyze; cmd_tailor; cmd_update_check;
-            cmd_export; cmd_trace; cmd_bench_list;
+            cmd_asm; cmd_run; cmd_analyze; cmd_tailor; cmd_report;
+            cmd_update_check; cmd_export; cmd_trace; cmd_bench_list;
           ]))

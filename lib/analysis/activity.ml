@@ -45,6 +45,18 @@ let default_config =
     probe = None;
   }
 
+type first_toggle = { ft_cycle : int; ft_node : int; ft_pc : int }
+
+type tree_node = {
+  node_id : int;
+  parent : int;
+  edge_label : string;
+  start_pc : int;
+  mutable end_pc : int;
+  mutable end_kind : string;
+  mutable node_cycles : int;
+}
+
 type report = {
   possibly_toggled : bool array;
   constant_values : Bit.t array;
@@ -54,6 +66,8 @@ type report = {
   total_cycles : int;
   halted_paths : int;
   escaped_paths : int;
+  first_toggle : first_toggle option array;
+  tree : tree_node array;
 }
 
 exception Analysis_error of string
@@ -85,6 +99,7 @@ type entry = {
   snap_sh : System.snapshot option;
   candidates : int list;  (* recorded jump targets if PC is unknown *)
   skip_table : bool;  (* fork children continue the merged state *)
+  node : tree_node;  (* execution-tree node this entry continues *)
 }
 
 let is_control_insn (i : Isa.t) =
@@ -143,6 +158,51 @@ let analyze_impl ?(config = default_config) ?shadow sys =
     List.iter (fun a -> Hashtbl.replace tbl a ()) (Asm.instruction_addrs image);
     tbl
   in
+  let merges = ref 0 in
+  let forks = ref 0 in
+  let prunes = ref 0 in
+  let paths = ref 0 in
+  let halted_paths = ref 0 in
+  let escaped_paths = ref 0 in
+  let total_cycles = ref 0 in
+  (* -- provenance: first-toggle attribution + execution tree -- *)
+  let first_toggle = Array.make (Netlist.gate_count net) None in
+  let nodes = ref [] in
+  let node_count = ref 0 in
+  let new_node ~parent ~edge ~start_pc =
+    let n =
+      {
+        node_id = !node_count;
+        parent;
+        edge_label = edge;
+        start_pc;
+        end_pc = -1;
+        end_kind = "open";
+        node_cycles = 0;
+      }
+    in
+    incr node_count;
+    nodes := n :: !nodes;
+    n
+  in
+  let root = new_node ~parent:(-1) ~edge:"reset" ~start_pc:(-1) in
+  let cur_node = ref root in
+  let cur_pc = ref (-1) in
+  Engine.set_first_possibly_hook eng
+    (Some
+       (fun id ->
+         match first_toggle.(id) with
+         | Some _ -> ()
+         | None ->
+           first_toggle.(id) <-
+             Some
+               {
+                 ft_cycle = !total_cycles;
+                 ft_node = (!cur_node).node_id;
+                 ft_pc = !cur_pc;
+               }));
+  Fun.protect ~finally:(fun () -> Engine.set_first_possibly_hook eng None)
+  @@ fun () ->
   (* -- initialization -- *)
   let init_system s =
     System.reset s;
@@ -156,13 +216,6 @@ let analyze_impl ?(config = default_config) ?shadow sys =
   init_system sys;
   Option.iter init_system shadow;
   let constant_values = Engine.snapshot_values eng in
-  let merges = ref 0 in
-  let forks = ref 0 in
-  let prunes = ref 0 in
-  let paths = ref 0 in
-  let halted_paths = ref 0 in
-  let escaped_paths = ref 0 in
-  let total_cycles = ref 0 in
   (* Conservative-state table keyed by (pc, GIE, stack context).
      Keeping interrupt-enabled/-disabled contexts and different stack
      contexts (SP bits 15:4) apart stops the merge from smearing one
@@ -287,6 +340,7 @@ let analyze_impl ?(config = default_config) ?shadow sys =
       Option.iter System.step_cycle shadow;
       Option.iter (fun f -> f sys) config.probe;
       incr total_cycles;
+      (!cur_node).node_cycles <- (!cur_node).node_cycles + 1;
       if !total_cycles > config.max_total_cycles then
         fail "exceeded max_total_cycles (%d)" config.max_total_cycles;
       (* record candidate targets at an unknown branch decision *)
@@ -322,6 +376,13 @@ let analyze_impl ?(config = default_config) ?shadow sys =
     incr paths;
     if !paths > config.max_paths then fail "exceeded max_paths";
     restore_both (e.snap, e.snap_sh);
+    let nd = e.node in
+    cur_node := nd;
+    cur_pc := -1;
+    let finish kind =
+      nd.end_kind <- kind;
+      nd.end_pc <- !cur_pc
+    in
     let skip_table = ref e.skip_table in
     let candidates = ref e.candidates in
     let finished = ref false in
@@ -330,6 +391,7 @@ let analyze_impl ?(config = default_config) ?shadow sys =
         incr halted_paths;
         compare_shadow "halted path";
         compare_shadow_ram "halted path";
+        finish "halted";
         finished := true
       end
       else begin
@@ -341,6 +403,7 @@ let analyze_impl ?(config = default_config) ?shadow sys =
              [computed_branch_fallback] documentation *)
           incr escaped_paths;
           log "computed-branch escape (pc %s)" (Bvec.to_string (System.pc sys));
+          finish "escaped";
           finished := true
         | None ->
           (* conditional jump with unknown decision: fork on the
@@ -384,6 +447,7 @@ let analyze_impl ?(config = default_config) ?shadow sys =
                 force_both snap ~pos:pc_pos ~pos_sh:(Lazy.force pc_pos_sh)
                   (Bvec.of_int ~width:16 t)
               in
+              let edge = Printf.sprintf "pc=0x%04x" t in
               (* prune eagerly if the table already covers this child *)
               let covered =
                 Hashtbl.fold
@@ -393,15 +457,23 @@ let analyze_impl ?(config = default_config) ?shadow sys =
                        && System.snapshot_subsumes ~general:c ~specific:s)
                   table false
               in
-              if covered then incr prunes
+              if covered then begin
+                incr prunes;
+                let child = new_node ~parent:nd.node_id ~edge ~start_pc:t in
+                child.end_kind <- "pruned";
+                child.end_pc <- t
+              end
               else begin
                 incr forks;
                 Stack.push
-                  { snap = s; snap_sh = s_sh; candidates = []; skip_table = false }
+                  { snap = s; snap_sh = s_sh; candidates = [];
+                    skip_table = false;
+                    node = new_node ~parent:nd.node_id ~edge ~start_pc:t }
                   stack
               end)
             cands;
           log "fork: pc unknown -> %d candidates" (List.length cands);
+          finish "forked";
           finished := true
         | Some pcv when
             (not (Memmap.in_rom pcv)) || not (Hashtbl.mem insn_starts pcv) ->
@@ -412,8 +484,11 @@ let analyze_impl ?(config = default_config) ?shadow sys =
              activity; the count is reported for auditability. *)
           incr escaped_paths;
           log "path escaped at %04x" pcv;
+          cur_pc := pcv;
+          finish "escaped";
           finished := true
         | Some pcv ->
+          cur_pc := pcv;
           let insn =
             try
               fst
@@ -433,6 +508,7 @@ let analyze_impl ?(config = default_config) ?shadow sys =
               when System.snapshot_subsumes ~general:c ~specific:(fst s) ->
               incr prunes;
               log "prune at %04x" pcv;
+              finish "pruned";
               finished := true
             | Some (c, c_sh) ->
               let m = System.snapshot_merge c (fst s) in
@@ -493,7 +569,10 @@ let analyze_impl ?(config = default_config) ?shadow sys =
                     incr forks;
                     Stack.push
                       { snap = c; snap_sh = c_sh; candidates = [];
-                        skip_table = true }
+                        skip_table = true;
+                        node =
+                          new_node ~parent:nd.node_id ~edge:"irq-case"
+                            ~start_pc:pcv }
                       stack)
                   rest;
                 restore_both first
@@ -506,6 +585,7 @@ let analyze_impl ?(config = default_config) ?shadow sys =
               incr halted_paths;
               compare_shadow "halted path";
               compare_shadow_ram "halted path";
+              finish "halted";
               finished := true
             | `Boundary, cands -> candidates := cands
           end
@@ -516,9 +596,13 @@ let analyze_impl ?(config = default_config) ?shadow sys =
   (* reach the first instruction boundary (reset vector fetch) *)
   (match simulate_segment () with
   | `Boundary, _ -> ()
-  | `Halted, _ -> incr halted_paths);
+  | `Halted, _ ->
+    incr halted_paths;
+    root.end_kind <- "halted");
   let s0, s0_sh = snapshot_both () in
-  Stack.push { snap = s0; snap_sh = s0_sh; candidates = []; skip_table = false }
+  Stack.push
+    { snap = s0; snap_sh = s0_sh; candidates = []; skip_table = false;
+      node = root }
     stack;
   while not (Stack.is_empty stack) do
     run_path (Stack.pop stack)
@@ -539,11 +623,51 @@ let analyze_impl ?(config = default_config) ?shadow sys =
     total_cycles = !total_cycles;
     halted_paths = !halted_paths;
     escaped_paths = !escaped_paths;
+    first_toggle;
+    tree = Array.of_list (List.rev !nodes);
   }
 
 let analyze ?config ?shadow sys =
   Obs.Span.with_ ~name:"analysis.analyze" (fun () ->
       analyze_impl ?config ?shadow sys)
+
+let tree_dot ?(max_nodes = 4000) r =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "digraph exec_tree {\n  rankdir=TB;\n\
+    \  node [shape=box fontsize=9 fontname=\"monospace\"];\n";
+  let n = Array.length r.tree in
+  let shown = min n max_nodes in
+  let pc_str p = if p < 0 then "?" else Printf.sprintf "0x%04x" p in
+  for i = 0 to shown - 1 do
+    let nd = r.tree.(i) in
+    let color =
+      match nd.end_kind with
+      | "halted" -> "palegreen"
+      | "pruned" -> "lightgray"
+      | "escaped" -> "lightsalmon"
+      | "forked" -> "lightblue"
+      | _ -> "white"
+    in
+    Buffer.add_string b
+      (Printf.sprintf
+         "  n%d [label=\"#%d %s\\n%s -> %s\\n%d cycles\" style=filled \
+          fillcolor=%s];\n"
+         nd.node_id nd.node_id nd.end_kind (pc_str nd.start_pc)
+         (pc_str nd.end_pc) nd.node_cycles color);
+    (* a node's parent always has a smaller id, so it is never cut off
+       by the [max_nodes] truncation before its children *)
+    if nd.parent >= 0 then
+      Buffer.add_string b
+        (Printf.sprintf "  n%d -> n%d [label=\"%s\" fontsize=8];\n" nd.parent
+           nd.node_id nd.edge_label)
+  done;
+  if shown < n then
+    Buffer.add_string b
+      (Printf.sprintf "  trunc [label=\"... %d more nodes\" shape=plaintext];\n"
+         (n - shown));
+  Buffer.add_string b "}\n";
+  Buffer.contents b
 
 let exercisable_count r =
   Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 r.possibly_toggled

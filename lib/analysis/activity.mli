@@ -57,6 +57,33 @@ type config = {
 
 val default_config : config
 
+type first_toggle = {
+  ft_cycle : int;
+      (** global analysis cycle at which the gate was first marked
+          possibly-toggled *)
+  ft_node : int;  (** execution-tree node ({!tree_node.node_id}) *)
+  ft_pc : int;
+      (** PC of the instruction executing at that boundary, [-1] when
+          it was not concrete (e.g. during reset) *)
+}
+(** Provenance of a gate's first possible toggle: the answer to "which
+    instruction / path first exercised gate H?". *)
+
+type tree_node = {
+  node_id : int;
+  parent : int;  (** [-1] for the root (reset) node *)
+  edge_label : string;
+      (** how the explorer reached this node from its parent:
+          ["reset"], ["pc=0x.."] (branch fork), ["irq-case"] *)
+  start_pc : int;  (** first concrete PC, [-1] for the reset node *)
+  mutable end_pc : int;  (** last concrete PC seen, [-1] if none *)
+  mutable end_kind : string;
+      (** ["halted"], ["pruned"], ["escaped"], ["forked"] (or ["open"]
+          if exploration aborted inside the node) *)
+  mutable node_cycles : int;  (** cycles simulated within this node *)
+}
+(** One node of the explored symbolic execution tree. *)
+
 type report = {
   possibly_toggled : bool array;
   constant_values : Bit.t array;
@@ -71,6 +98,9 @@ type report = {
       (** paths ended because an over-approximate merged superstate
           computed a PC outside the program — impossible for any
           concrete execution, reported for auditability *)
+  first_toggle : first_toggle option array;
+      (** per gate; [Some _] exactly for possibly-toggled gates *)
+  tree : tree_node array;  (** indexed by [node_id] *)
 }
 
 exception Analysis_error of string
@@ -90,6 +120,12 @@ val analyze : ?config:config -> ?shadow:System.t -> System.t -> report
     merges), and the architectural state (PC, SP, SR, R4..R15) is
     compared at every instruction boundary, the data RAM at every
     halted path end.  @raise Shadow_mismatch on divergence. *)
+
+val tree_dot : ?max_nodes:int -> report -> string
+(** The explored execution tree as a Graphviz digraph (nodes colored
+    by end kind, edges labeled with the fork decision).  At most
+    [max_nodes] (default 4000) nodes are drawn, lowest ids first, with
+    a truncation marker. *)
 
 val exercisable_count : report -> int
 val gate_is_cuttable : report -> Bespoke_netlist.Netlist.t -> int -> bool

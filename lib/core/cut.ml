@@ -4,6 +4,7 @@ module Netlist = Bespoke_netlist.Netlist
 module Report = Bespoke_power.Report
 module Sta = Bespoke_power.Sta
 module Obs = Bespoke_obs.Obs
+module Provenance = Bespoke_report.Provenance
 
 let m_gates_removed = Obs.Metrics.counter "cut.gates_removed"
 
@@ -43,14 +44,20 @@ let count_cut net ~possibly_toggled =
     net.Netlist.gates;
   !n
 
-let tailor net ~possibly_toggled ~constants =
+let tailor_explained net ~possibly_toggled ~constants =
   Obs.Span.with_ ~name:"cut.tailor" (fun () ->
       let stitched =
         Obs.Span.with_ ~name:"cut.cut_and_stitch" (fun () ->
             cut_and_stitch net ~possibly_toggled ~constants)
       in
-      let optimized = Resynth.optimize stitched in
+      let optimized, map = Resynth.optimize_traced stitched in
+      (* [Sta.downsize] is pointwise (ids preserved), so [map] reaches
+         all the way to the bespoke design. *)
       let bespoke = Sta.downsize optimized in
+      let prov =
+        Provenance.build ~original:net ~bespoke ~possibly_toggled ~constants
+          ~map
+      in
       let stats =
         {
           original_gates = Netlist.num_gates net;
@@ -61,7 +68,11 @@ let tailor net ~possibly_toggled ~constants =
         }
       in
       Obs.Metrics.add m_gates_removed stats.cut_gates;
-      (bespoke, stats))
+      (bespoke, stats, prov))
+
+let tailor net ~possibly_toggled ~constants =
+  let bespoke, stats, _ = tailor_explained net ~possibly_toggled ~constants in
+  (bespoke, stats)
 
 let pp_stats fmt s =
   Format.fprintf fmt

@@ -31,4 +31,14 @@ val tailor :
   Netlist.t * stats
 (** Full flow: cut & stitch, re-synthesize, downsize drives. *)
 
+val tailor_explained :
+  Netlist.t ->
+  possibly_toggled:bool array ->
+  constants:Bespoke_logic.Bit.t array ->
+  Netlist.t * stats * Bespoke_report.Provenance.t
+(** {!tailor}, additionally returning per-gate cut/keep provenance
+    over the original design: every removed gate carries a typed
+    reason (never-toggled constant, dead fanout, const-folded,
+    merged) and every kept gate its bespoke id and drive change. *)
+
 val pp_stats : Format.formatter -> stats -> unit

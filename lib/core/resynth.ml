@@ -56,7 +56,7 @@ let stuck_dffs net =
 (* Rebuild the netlist gate by gate in topological order, folding
    constants, simplifying, and structurally hashing.  DFFs stuck at
    their reset value (constant or self-looped D) become tie cells. *)
-let rewrite ?(seq_const = true) net =
+let rewrite_traced ?(seq_const = true) net =
   let sequentially_stuck =
     if seq_const then stuck_dffs net else Hashtbl.create 1
   in
@@ -231,26 +231,41 @@ let rewrite ?(seq_const = true) net =
     (fun (n, ids) -> B.set_name b n (Array.map (fun i -> map.(i)) ids))
     net.Netlist.names;
   Obs.Metrics.add m_const_folds !folds;
-  B.finish b
+  (B.finish b, map)
+
+let rewrite ?seq_const net = fst (rewrite_traced ?seq_const net)
 
 let dead_sweep net =
   let keep = Netlist.live_gates net in
   (* keep tie cells referenced by names so analysis hooks stay
      resolvable; compact re-materializes dropped const references *)
-  fst (Netlist.compact net ~keep)
+  Netlist.compact net ~keep
 
-let pass ?seq_const net = dead_sweep (rewrite ?seq_const net)
+(* [m2] after [m1]; a gate dropped at either stage stays dropped. *)
+let compose m1 m2 =
+  Array.map (fun i -> if i < 0 then -1 else m2.(i)) m1
 
-let optimize ?(max_rounds = 8) ?seq_const net =
+let pass_traced ?seq_const net =
+  let net1, m1 = rewrite_traced ?seq_const net in
+  let net2, m2 = dead_sweep net1 in
+  (net2, compose m1 m2)
+
+let pass ?seq_const net = fst (pass_traced ?seq_const net)
+
+let optimize_traced ?(max_rounds = 8) ?seq_const net =
   Obs.Span.with_ ~name:"resynth.optimize" (fun () ->
-      let rec go round net =
-        if round >= max_rounds then net
+      let rec go round net map =
+        if round >= max_rounds then (net, map)
         else begin
           Obs.Metrics.incr m_rounds;
-          let net' = pass ?seq_const net in
+          let net', m' = pass_traced ?seq_const net in
+          let map' = compose map m' in
           if Netlist.gate_count net' < Netlist.gate_count net then
-            go (round + 1) net'
-          else net'
+            go (round + 1) net' map'
+          else (net', map')
         end
       in
-      go 0 net)
+      go 0 net (Array.init (Netlist.gate_count net) Fun.id))
+
+let optimize ?max_rounds ?seq_const net =
+  fst (optimize_traced ?max_rounds ?seq_const net)

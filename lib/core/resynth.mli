@@ -22,3 +22,10 @@ val optimize :
   ?max_rounds:int -> ?seq_const:bool -> Bespoke_netlist.Netlist.t ->
   Bespoke_netlist.Netlist.t
 (** Iterate {!pass} until the gate count stops improving. *)
+
+val optimize_traced :
+  ?max_rounds:int -> ?seq_const:bool -> Bespoke_netlist.Netlist.t ->
+  Bespoke_netlist.Netlist.t * int array
+(** Like {!optimize}, but also returns the composed old-id -> new-id
+    map ([-1] for gates with no image in the result: swept dead or
+    folded away) — the raw material of cut/keep provenance. *)

@@ -2,6 +2,17 @@ module Isa = Bespoke_isa.Isa
 module Asm = Bespoke_isa.Asm
 module Iss = Bespoke_isa.Iss
 module Benchmark = Bespoke_programs.Benchmark
+module Obs = Bespoke_obs.Obs
+
+(* Coverage telemetry (no-ops unless Obs is enabled), in the same
+   style as the sim/analysis instrumentation: counters accumulate
+   across measurements, gauges hold the most recent result. *)
+let m_trace_runs = Obs.Metrics.counter "coverage.trace_runs"
+let m_candidates = Obs.Metrics.counter "coverage.candidates_tried"
+let g_kept_seeds = Obs.Metrics.gauge "coverage.kept_seeds"
+let g_line_pct = Obs.Metrics.gauge "coverage.line_pct"
+let g_branch_pct = Obs.Metrics.gauge "coverage.branch_pct"
+let g_branch_dir_pct = Obs.Metrics.gauge "coverage.branch_dir_pct"
 
 type stats = {
   kept_seeds : int list;
@@ -11,6 +22,14 @@ type stats = {
   lines_total : int;
   branches_total : int;
 }
+
+let record_stats s =
+  if Obs.enabled () then begin
+    Obs.Metrics.set g_kept_seeds (float_of_int (List.length s.kept_seeds));
+    Obs.Metrics.set g_line_pct s.line_pct;
+    Obs.Metrics.set g_branch_pct s.branch_pct;
+    Obs.Metrics.set g_branch_dir_pct s.branch_dir_pct
+  end
 
 (* Static program structure: instruction starts and conditional
    branches. *)
@@ -32,6 +51,7 @@ let program_shape (img : Asm.image) =
 (* One concrete ISS run recording executed addresses and branch
    directions. *)
 let trace_run (b : Benchmark.t) ~seed ~executed ~taken ~not_taken =
+  Obs.Metrics.incr m_trace_runs;
   let img = Benchmark.image b in
   let t = Iss.create img in
   Iss.reset t;
@@ -92,7 +112,10 @@ let coverage_of (b : Benchmark.t) seeds =
     branches_total;
   }
 
-let measure b ~seeds = coverage_of b seeds
+let measure b ~seeds =
+  let s = coverage_of b seeds in
+  record_stats s;
+  s
 
 let score s = s.line_pct +. s.branch_dir_pct
 
@@ -104,6 +127,7 @@ let explore ?(initial = 2) ?(budget = 40) b =
   while !stale < 10 && !candidate <= initial + budget
         && score !best < 200.0 -. 1e-9 do
     let trial = !seeds @ [ !candidate ] in
+    Obs.Metrics.incr m_candidates;
     let s = coverage_of b trial in
     if score s > score !best +. 1e-9 then begin
       seeds := trial;
@@ -113,4 +137,5 @@ let explore ?(initial = 2) ?(budget = 40) b =
     else incr stale;
     incr candidate
   done;
+  record_stats !best;
   !best

@@ -210,6 +210,42 @@ let modules n =
   Array.iteri (fun id _ -> Hashtbl.replace tbl (module_of n id) ()) n.gates;
   List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
 
+let names_of n id =
+  let acc = ref [] in
+  let scan (name, ids) =
+    Array.iteri
+      (fun i g ->
+        if g = id then
+          acc :=
+            (if Array.length ids = 1 then name
+             else Printf.sprintf "%s[%d]" name i)
+            :: !acc)
+      ids
+  in
+  List.iter scan n.names;
+  List.iter scan n.output_ports;
+  List.iter scan n.input_ports;
+  List.sort_uniq String.compare !acc
+
+let find_bits n ref_str =
+  let len = String.length ref_str in
+  let base, idx =
+    if len > 1 && ref_str.[len - 1] = ']' then
+      match String.index_opt ref_str '[' with
+      | Some i -> (
+        match int_of_string_opt (String.sub ref_str (i + 1) (len - i - 2)) with
+        | Some bit -> (String.sub ref_str 0 i, Some bit)
+        | None -> (ref_str, None))
+      | None -> (ref_str, None)
+    else (ref_str, None)
+  in
+  let ids = find_name n base in
+  match idx with
+  | None -> ids
+  | Some bit ->
+    if bit < 0 || bit >= Array.length ids then raise Not_found
+    else [| ids.(bit) |]
+
 module Builder = struct
   type t = {
     mutable arr : Gate.t array;

@@ -61,6 +61,16 @@ val module_of : t -> int -> string
 val modules : t -> string list
 (** Sorted list of distinct top-level module names. *)
 
+val names_of : t -> int -> string list
+(** Reverse lookup: every name, output-port or input-port bit driven
+    by gate [id], as ["name"] (1-bit nets) or ["name[i]"].  Sorted,
+    deduplicated; empty for anonymous internal gates. *)
+
+val find_bits : t -> string -> int array
+(** Resolve a human gate reference: ["name"] gives all bits of the
+    net (as {!find_name}), ["name\[i\]"] the single bit [i].
+    @raise Not_found if the name is absent or the bit out of range. *)
+
 (** {1 Construction} *)
 
 module Builder : sig

@@ -24,6 +24,19 @@ let area_um2 net =
   done;
   !sum *. Cells.area_routing_overhead
 
+let gate_area_um2 net id =
+  (cell_of net id).Cells.area_um2 *. Cells.area_routing_overhead
+
+let gate_leakage_nw ?(vdd = Cells.vdd_nominal) net id =
+  (cell_of net id).Cells.leakage_nw *. Cells.leakage_scale ~vdd
+
+let leakage_nw ?vdd net =
+  let sum = ref 0.0 in
+  for id = 0 to Netlist.gate_count net - 1 do
+    sum := !sum +. gate_leakage_nw ?vdd net id
+  done;
+  !sum
+
 let power ?(vdd = Cells.vdd_nominal) ~freq_hz ~toggles ~cycles net =
   let ng = Netlist.gate_count net in
   if Array.length toggles <> ng then

@@ -17,6 +17,18 @@ type t = {
 
 val area_um2 : Bespoke_netlist.Netlist.t -> float
 
+val gate_area_um2 : Bespoke_netlist.Netlist.t -> int -> float
+(** One gate's cell area (routing overhead included), so per-gate
+    attributions sum exactly to {!area_um2}. *)
+
+val gate_leakage_nw :
+  ?vdd:float -> Bespoke_netlist.Netlist.t -> int -> float
+(** One gate's static leakage at the given supply (default nominal). *)
+
+val leakage_nw : ?vdd:float -> Bespoke_netlist.Netlist.t -> float
+(** Whole-design static leakage, independent of any activity trace
+    (the savings-report numerator; {!power} adds the dynamic terms). *)
+
 val power :
   ?vdd:float ->
   freq_hz:float ->

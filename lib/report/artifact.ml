@@ -1,0 +1,191 @@
+type entry = {
+  name : string;
+  group : string;
+  gates_original : int;
+  gates_cut : int;
+  gates_bespoke : int;
+  area_original : float;
+  area_bespoke : float;
+  leak_original : float;
+  leak_bespoke : float;
+  critical_ps_original : float;
+  critical_ps_bespoke : float;
+  vmin : float;
+  paths : int;
+  merges : int;
+  prunes : int;
+  escapes : int;
+  cycles : int;
+  cut_reasons : (string * int) list;
+  modules : Attribution.row list;
+}
+
+let schema = "bespoke-report/v1"
+
+(* ---- minimal JSON writer (mirrors the style of Bespoke_obs) ---- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let num f =
+  if not (Float.is_finite f) then "0"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let str s = "\"" ^ escape s ^ "\""
+let obj fields = "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+let arr items = "[" ^ String.concat "," items ^ "]"
+let int_ i = string_of_int i
+
+let pct ~original ~bespoke =
+  if original = 0.0 then 0.0 else 100.0 *. (1.0 -. (bespoke /. original))
+
+let savings_obj ~original ~bespoke =
+  obj
+    [
+      ("original", num original);
+      ("bespoke", num bespoke);
+      ("saved_pct", num (pct ~original ~bespoke));
+    ]
+
+let module_json (r : Attribution.row) =
+  obj
+    [
+      ("module", str r.Attribution.module_name);
+      ("gates_original", int_ r.Attribution.gates_original);
+      ("gates_bespoke", int_ r.Attribution.gates_bespoke);
+      ("area_original_um2", num r.Attribution.area_original);
+      ("area_bespoke_um2", num r.Attribution.area_bespoke);
+      ("leakage_original_nw", num r.Attribution.leak_original);
+      ("leakage_bespoke_nw", num r.Attribution.leak_bespoke);
+    ]
+
+let entry_json e =
+  obj
+    [
+      ("name", str e.name);
+      ("group", str e.group);
+      ( "gates",
+        obj
+          [
+            ("original", int_ e.gates_original);
+            ("cut", int_ e.gates_cut);
+            ("bespoke", int_ e.gates_bespoke);
+            ( "saved_pct",
+              num
+                (pct
+                   ~original:(float_of_int e.gates_original)
+                   ~bespoke:(float_of_int e.gates_bespoke)) );
+          ] );
+      ( "area_um2",
+        savings_obj ~original:e.area_original ~bespoke:e.area_bespoke );
+      ( "leakage_nw",
+        savings_obj ~original:e.leak_original ~bespoke:e.leak_bespoke );
+      ( "timing",
+        obj
+          [
+            ("critical_ps_original", num e.critical_ps_original);
+            ("critical_ps_bespoke", num e.critical_ps_bespoke);
+            ( "slack_pct",
+              num
+                (pct ~original:e.critical_ps_original
+                   ~bespoke:e.critical_ps_bespoke) );
+            ("vmin_v", num e.vmin);
+          ] );
+      ( "analysis",
+        obj
+          [
+            ("paths", int_ e.paths);
+            ("merges", int_ e.merges);
+            ("prunes", int_ e.prunes);
+            ("escapes", int_ e.escapes);
+            ("cycles", int_ e.cycles);
+          ] );
+      ( "cut_reasons",
+        obj (List.map (fun (k, v) -> (k, int_ v)) e.cut_reasons) );
+      ("modules", arr (List.map module_json e.modules));
+    ]
+
+let to_json entries =
+  obj
+    [
+      ("schema", str schema);
+      ("generator", str "bespoke_cli report");
+      ("benchmarks", arr (List.map entry_json entries));
+    ]
+  ^ "\n"
+
+let analysis_to_json ~name ~paths ~merges ~prunes ~escapes ~cycles ~modules =
+  obj
+    [
+      ("schema", str schema);
+      ("generator", str "bespoke_cli analyze");
+      ("benchmark", str name);
+      ( "analysis",
+        obj
+          [
+            ("paths", int_ paths);
+            ("merges", int_ merges);
+            ("prunes", int_ prunes);
+            ("escapes", int_ escapes);
+            ("cycles", int_ cycles);
+          ] );
+      ( "modules",
+        arr
+          (List.map
+             (fun (m, active, total) ->
+               obj
+                 [
+                   ("module", str m);
+                   ("exercisable", int_ active);
+                   ("total", int_ total);
+                 ])
+             modules) );
+    ]
+  ^ "\n"
+
+let pp_text fmt entries =
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "benchmark %s (%s)@." e.name e.group;
+      Format.fprintf fmt
+        "  gates   %6d -> %6d (%d cut, %.1f%% saved)@." e.gates_original
+        e.gates_bespoke e.gates_cut
+        (pct
+           ~original:(float_of_int e.gates_original)
+           ~bespoke:(float_of_int e.gates_bespoke));
+      Format.fprintf fmt "  area    %8.0f -> %8.0f um2 (%.1f%% saved)@."
+        e.area_original e.area_bespoke
+        (pct ~original:e.area_original ~bespoke:e.area_bespoke);
+      Format.fprintf fmt "  leakage %8.1f -> %8.1f nW (%.1f%% saved)@."
+        e.leak_original e.leak_bespoke
+        (pct ~original:e.leak_original ~bespoke:e.leak_bespoke);
+      Format.fprintf fmt
+        "  timing  %.0f -> %.0f ps critical (%.1f%% slack), Vmin %.2f V@."
+        e.critical_ps_original e.critical_ps_bespoke
+        (pct ~original:e.critical_ps_original ~bespoke:e.critical_ps_bespoke)
+        e.vmin;
+      Format.fprintf fmt
+        "  analysis: %d paths, %d merges, %d prunes, %d escapes, %d cycles@."
+        e.paths e.merges e.prunes e.escapes e.cycles;
+      Format.fprintf fmt "  cut reasons: %s@."
+        (String.concat ", "
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%s %d" k v)
+              e.cut_reasons));
+      Attribution.pp fmt e.modules;
+      Format.fprintf fmt "@.")
+    entries

@@ -1,0 +1,119 @@
+module Bit = Bespoke_logic.Bit
+module Gate = Bespoke_netlist.Gate
+module Netlist = Bespoke_netlist.Netlist
+
+type reason =
+  | Kept
+  | Downsized of int * int
+  | Never_toggled of Bit.t
+  | Dead_fanout
+  | Const_folded
+  | Merged of int
+
+type t = {
+  reason : reason option array;
+  new_id : int array;
+}
+
+let is_cut = function
+  | Never_toggled _ | Dead_fanout | Const_folded | Merged _ -> true
+  | Kept | Downsized _ -> false
+
+let reason_label = function
+  | Kept -> "kept"
+  | Downsized _ -> "downsized"
+  | Never_toggled _ -> "never-toggled"
+  | Dead_fanout -> "dead-fanout"
+  | Const_folded -> "const-folded"
+  | Merged _ -> "merged"
+
+let pp_reason fmt = function
+  | Kept -> Format.fprintf fmt "kept (unchanged)"
+  | Downsized (a, b) ->
+    Format.fprintf fmt "kept, cell downsized (drive %d -> %d)" a b
+  | Never_toggled v ->
+    Format.fprintf fmt
+      "cut: can never toggle (Algorithm 1), stitched to constant %c"
+      (Bit.to_char v)
+  | Dead_fanout ->
+    Format.fprintf fmt "cut: fanout dead after cutting (dead-gate sweep)"
+  | Const_folded ->
+    Format.fprintf fmt "cut: folded to a constant during re-synthesis"
+  | Merged m ->
+    Format.fprintf fmt
+      "cut: absorbed into the equivalent bespoke gate %d (CSE/simplification)"
+      m
+
+let build ~original ~bespoke ~possibly_toggled ~constants ~map =
+  let ng = Netlist.gate_count original in
+  if
+    Array.length map <> ng
+    || Array.length possibly_toggled <> ng
+    || Array.length constants <> ng
+  then invalid_arg "Provenance.build: array size mismatch";
+  let reason = Array.make ng None in
+  let new_id = Array.make ng (-1) in
+  (* A bespoke gate is "owned" by the lowest-id original gate with the
+     same op that maps to it: that gate is the one the rewrite
+     re-emitted; any other original gate landing on the same id was
+     absorbed into it. *)
+  let owner : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  for id = 0 to ng - 1 do
+    let g = original.Netlist.gates.(id) in
+    match g.Gate.op with
+    | Gate.Input | Gate.Const _ -> ()
+    | op ->
+      if possibly_toggled.(id) then begin
+        let m = map.(id) in
+        if
+          m >= 0
+          && (not (Hashtbl.mem owner m))
+          && Gate.op_equal op bespoke.Netlist.gates.(m).Gate.op
+        then Hashtbl.replace owner m id
+      end
+  done;
+  for id = 0 to ng - 1 do
+    let g = original.Netlist.gates.(id) in
+    match g.Gate.op with
+    | Gate.Input | Gate.Const _ -> ()
+    | _ ->
+      if not possibly_toggled.(id) then
+        reason.(id) <- Some (Never_toggled constants.(id))
+      else begin
+        let m = map.(id) in
+        if m < 0 then reason.(id) <- Some Dead_fanout
+        else
+          match bespoke.Netlist.gates.(m).Gate.op with
+          | Gate.Const _ -> reason.(id) <- Some Const_folded
+          | _ ->
+            if Hashtbl.find_opt owner m = Some id then begin
+              new_id.(id) <- m;
+              let d0 = g.Gate.drive in
+              let d1 = bespoke.Netlist.gates.(m).Gate.drive in
+              reason.(id) <-
+                Some (if d0 = d1 then Kept else Downsized (d0, d1))
+            end
+            else reason.(id) <- Some (Merged m)
+      end
+  done;
+  { reason; new_id }
+
+let count p t =
+  Array.fold_left
+    (fun acc r -> match r with Some r when p r -> acc + 1 | _ -> acc)
+    0 t.reason
+
+let cut_count t = count is_cut t
+let kept_count t = count (fun r -> not (is_cut r)) t
+
+let histogram t =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some r ->
+        let l = reason_label r in
+        Hashtbl.replace tbl l (1 + Option.value ~default:0 (Hashtbl.find_opt tbl l)))
+    t.reason;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,68 @@
+(** Per-gate cut/keep provenance for the bespoke flow.
+
+    The paper's central artifact is the set of gates that can never
+    toggle and may therefore be cut; the flow historically reported
+    only aggregate counts.  This module keeps, for every gate of the
+    {e original} design, a typed record of what happened to it on the
+    way to the bespoke design, so "why was gate G cut?" has a
+    first-class answer. *)
+
+module Bit := Bespoke_logic.Bit
+module Netlist := Bespoke_netlist.Netlist
+
+type reason =
+  | Kept  (** survives unchanged into the bespoke design *)
+  | Downsized of int * int
+      (** survives with a smaller cell: (original drive, bespoke
+          drive) — the slack-driven downsizing step *)
+  | Never_toggled of Bit.t
+      (** Algorithm 1 proved it can never toggle; cut and stitched to
+          this constant *)
+  | Dead_fanout
+      (** removed by the dead-gate sweep: its output no longer reaches
+          an output port or DFF after cutting *)
+  | Const_folded
+      (** folded into a tie cell by constant propagation during
+          re-synthesis *)
+  | Merged of int
+      (** absorbed into the structurally equivalent bespoke gate with
+          this id (peephole simplification or CSE) *)
+
+type t = {
+  reason : reason option array;
+      (** indexed by original gate id; [None] for port pins and tie
+          cells, which are free in the silicon model *)
+  new_id : int array;
+      (** original id -> bespoke id for [Kept]/[Downsized] gates, else
+          [-1] *)
+}
+
+val build :
+  original:Netlist.t ->
+  bespoke:Netlist.t ->
+  possibly_toggled:bool array ->
+  constants:Bit.t array ->
+  map:int array ->
+  t
+(** [map] is the original-id -> bespoke-id map threaded through
+    re-synthesis ([-1] for gates with no surviving image); drive
+    comparison against [bespoke] detects downsizing.  When several
+    original gates map to one bespoke gate, the lowest-id gate with a
+    matching op owns it; the others are [Merged]. *)
+
+val is_cut : reason -> bool
+(** True for [Never_toggled], [Dead_fanout], [Const_folded] and
+    [Merged] — the gate has no cell of its own in the bespoke
+    design. *)
+
+val cut_count : t -> int
+val kept_count : t -> int
+
+val reason_label : reason -> string
+(** Stable kebab-case tag for machine-readable output. *)
+
+val histogram : t -> (string * int) list
+(** Count per {!reason_label}, sorted by label. *)
+
+val pp_reason : Format.formatter -> reason -> unit
+(** Human-readable one-line explanation. *)

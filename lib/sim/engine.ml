@@ -63,6 +63,9 @@ type t = {
       (* next [commit_cycle] must scan every gate (after create/reset/
          clear_activity, when the touched list does not yet cover all
          possibly-X gates) *)
+  mutable on_first_possibly : (int -> unit) option;
+      (* provenance hook: called once per gate, when it is first
+         marked possibly-toggled *)
 }
 
 type cone = int array  (* gate ids in topological order, excluding sources *)
@@ -183,6 +186,7 @@ let create ?(mode = Event) net =
       touched_len = 0;
       in_touched = Bytes.make ng '\000';
       full_commit = true;
+      on_first_possibly = None;
     }
   in
   (* Nothing is settled yet: schedule every combinational gate so the
@@ -415,8 +419,15 @@ let commit_one t id =
   let cur = Char.code (Bytes.unsafe_get t.values id) in
   let old = Char.code (Bytes.unsafe_get t.prev id) in
   if cur <> old then t.toggles.(id) <- t.toggles.(id) + 1;
-  if cur <> old || cur = Bit.code_x then
-    Bytes.unsafe_set t.possibly id '\001'
+  if
+    (cur <> old || cur = Bit.code_x)
+    && Bytes.unsafe_get t.possibly id = '\000'
+  then begin
+    Bytes.unsafe_set t.possibly id '\001';
+    match t.on_first_possibly with None -> () | Some f -> f id
+  end
+
+let set_first_possibly_hook t f = t.on_first_possibly <- f
 
 let commit_cycle t =
   let ng = Bytes.length t.values in

@@ -90,6 +90,13 @@ val possibly_toggled : t -> bool array
 val merge_possibly_toggled_into : t -> bool array -> unit
 val clear_activity : t -> unit
 
+val set_first_possibly_hook : t -> (int -> unit) option -> unit
+(** Provenance hook: [f id] is called from {!commit_cycle} the first
+    time gate [id] is marked possibly-toggled (once per gate until
+    {!clear_activity}/{!reset}).  Costs one byte-compare per marking
+    when unset.  Gate activity analysis uses it to attribute each
+    gate's first toggle to an execution-tree node / cycle / PC. *)
+
 val sync_prev : t -> unit
 (** Make the current settled values the activity baseline without
     charging toggles.  Called after restoring an execution-tree

@@ -1,0 +1,110 @@
+(* Validator behind the @report-smoke alias: parse the JSON savings
+   artifact emitted by `bespoke_cli report --json` (with the same
+   minimal reader used for the telemetry smoke) and check the schema
+   tag, the shape of every benchmark entry, and that the derived
+   percentages and attribution totals are arithmetically consistent
+   with the raw numbers.  Exits non-zero on the first violation. *)
+
+module Obs = Bespoke_obs.Obs
+
+let fail fmt =
+  Printf.ksprintf (fun m -> prerr_endline ("report-smoke: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let mem k j =
+  match Obs.Json.member k j with
+  | Some v -> v
+  | None -> fail "missing field %S" k
+
+let str k j = match mem k j with Obs.Json.Str s -> s | _ -> fail "field %S is not a string" k
+let num k j = match mem k j with Obs.Json.Num n -> n | _ -> fail "field %S is not a number" k
+
+let arr k j =
+  match mem k j with Obs.Json.Arr l -> l | _ -> fail "field %S is not an array" k
+
+let close a b = Float.abs (a -. b) <= 0.05 +. (1e-4 *. Float.abs b)
+
+let check_savings name what j =
+  let original = num "original" j and bespoke = num "bespoke" j in
+  if original <= 0.0 then fail "%s: %s.original is not positive" name what;
+  if bespoke < 0.0 || bespoke > original then
+    fail "%s: %s.bespoke %g outside [0, original %g]" name what bespoke original;
+  let expect = 100.0 *. (1.0 -. (bespoke /. original)) in
+  let got = num "saved_pct" j in
+  if not (close got expect) then
+    fail "%s: %s.saved_pct %g does not match original/bespoke (%g)" name what
+      got expect;
+  (original, bespoke)
+
+let check_bench b =
+  let name = str "name" b in
+  let gates = mem "gates" b in
+  let go, gb = check_savings name "gates" gates in
+  let cut = num "cut" gates in
+  if cut < 0.0 || cut > go then fail "%s: gates.cut %g out of range" name cut;
+  let ao, _ = check_savings name "area_um2" (mem "area_um2" b) in
+  let _ = check_savings name "leakage_nw" (mem "leakage_nw" b) in
+  let timing = mem "timing" b in
+  if num "critical_ps_bespoke" timing > num "critical_ps_original" timing then
+    fail "%s: bespoke critical path longer than the original" name;
+  if num "vmin_v" timing <= 0.0 then fail "%s: non-positive Vmin" name;
+  if num "cycles" (mem "analysis" b) <= 0.0 then
+    fail "%s: analysis simulated no cycles" name;
+  (* cut-reason histogram partitions the original real gates *)
+  let reasons =
+    match mem "cut_reasons" b with
+    | Obs.Json.Obj fields -> fields
+    | _ -> fail "%s: cut_reasons is not an object" name
+  in
+  let count k =
+    match List.assoc_opt k reasons with Some (Obs.Json.Num n) -> n | _ -> 0.0
+  in
+  let total =
+    List.fold_left
+      (fun acc (_, v) ->
+        match v with Obs.Json.Num n -> acc +. n | _ -> acc)
+      0.0 reasons
+  in
+  if total <> go then
+    fail "%s: cut reasons sum to %g, design has %g gates" name total go;
+  if count "kept" +. count "downsized" <> gb then
+    fail "%s: kept + downsized does not equal the bespoke gate count" name;
+  if count "never-toggled" <> cut then
+    fail "%s: never-toggled %g does not match gates.cut %g" name
+      (count "never-toggled") cut;
+  (* the (total) attribution row agrees with the top-level numbers *)
+  let modules = arr "modules" b in
+  match
+    List.find_opt (fun m -> str "module" m = "(total)") modules
+  with
+  | None -> fail "%s: no (total) attribution row" name
+  | Some t ->
+    if num "gates_original" t <> go then
+      fail "%s: attribution total gates %g != %g" name
+        (num "gates_original" t) go;
+    if num "gates_bespoke" t <> gb then
+      fail "%s: attribution bespoke gates %g != %g" name
+        (num "gates_bespoke" t) gb;
+    if not (close (num "area_original_um2" t) ao) then
+      fail "%s: attribution total area %g != %g" name
+        (num "area_original_um2" t) ao
+
+let () =
+  if Array.length Sys.argv <> 2 then fail "usage: report_smoke_check FILE.json";
+  match Obs.Json.parse (read_file Sys.argv.(1)) with
+  | Error m -> fail "artifact does not parse: %s" m
+  | Ok j ->
+    if str "schema" j <> "bespoke-report/v1" then
+      fail "unexpected schema tag %S" (str "schema" j);
+    ignore (str "generator" j);
+    let benches = arr "benchmarks" j in
+    if benches = [] then fail "artifact lists no benchmarks";
+    List.iter check_bench benches;
+    Printf.printf "report-smoke: %d benchmark(s) validated\n"
+      (List.length benches)

@@ -3,6 +3,7 @@ module Bvec = Bespoke_logic.Bvec
 module Rtl = Bespoke_rtl.Rtl
 module Engine = Bespoke_sim.Engine
 module Memory = Bespoke_sim.Memory
+module Vcd = Bespoke_sim.Vcd
 
 (* ---- Engine activity tracking ---- *)
 
@@ -228,6 +229,94 @@ let test_mem_model =
         (fun a -> Bvec.to_int (Memory.read_word m a) = Some model.(a))
         (List.init 16 (fun i -> i)))
 
+(* ---- VCD writer ---- *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_vcd_header () =
+  let eng = Engine.create (counter_net ()) in
+  Engine.reset eng;
+  let buf = Buffer.create 256 in
+  let _ = Vcd.create buf eng ~signals:[ "en"; "q" ] in
+  let hdr = Buffer.contents buf in
+  Alcotest.(check bool) "timescale" true (contains ~sub:"$timescale" hdr);
+  Alcotest.(check bool) "scope" true
+    (contains ~sub:"$scope module bespoke $end" hdr);
+  Alcotest.(check bool) "en is 1 bit" true
+    (contains ~sub:"$var wire 1 ! en $end" hdr);
+  Alcotest.(check bool) "q is 4 bits" true
+    (contains ~sub:"$var wire 4 \" q $end" hdr);
+  Alcotest.(check bool) "enddefinitions" true
+    (contains ~sub:"$enddefinitions $end" hdr)
+
+(* A design with more named signals than there are single-character
+   VCD identifiers (94): every $var must still get a unique code. *)
+let test_vcd_codes_unique () =
+  let n = 100 in
+  let b = Rtl.create_builder () in
+  let first = Rtl.input b "s0" 1 in
+  for i = 1 to n - 1 do
+    ignore (Rtl.input b (Printf.sprintf "s%d" i) 1)
+  done;
+  Rtl.output b "y" first;
+  let eng = Engine.create (Rtl.synthesize b) in
+  Engine.reset eng;
+  let buf = Buffer.create 4096 in
+  let _ =
+    Vcd.create buf eng ~signals:(List.init n (fun i -> Printf.sprintf "s%d" i))
+  in
+  let codes =
+    List.filter_map
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | [ "$var"; "wire"; _w; code; _name; "$end" ] -> Some code
+        | _ -> None)
+      (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  Alcotest.(check int) "one $var per signal" n (List.length codes);
+  Alcotest.(check int) "all codes distinct" n
+    (List.length (List.sort_uniq String.compare codes));
+  Alcotest.(check bool) "codes past 94 are multi-character" true
+    (List.exists (fun c -> String.length c > 1) codes)
+
+let test_vcd_x_values () =
+  let eng = Engine.create (counter_net ()) in
+  Engine.reset eng;
+  Engine.set_input_x eng "en";
+  Engine.eval eng;
+  let buf = Buffer.create 256 in
+  let vcd = Vcd.create buf eng ~signals:[ "en"; "q" ] in
+  Vcd.sample vcd ~time:0;
+  (* en is unknown: its scalar dump must use the VCD 'x' value *)
+  Alcotest.(check bool) "x dumped" true
+    (contains ~sub:"\nx!\n" (Buffer.contents buf))
+
+let test_vcd_change_only () =
+  let eng = Engine.create (counter_net ()) in
+  Engine.reset eng;
+  Engine.set_input_int eng "en" 0;
+  Engine.eval eng;
+  let buf = Buffer.create 256 in
+  let vcd = Vcd.create buf eng ~signals:[ "en"; "q" ] in
+  Vcd.sample vcd ~time:0;
+  Engine.step eng;
+  (* enable held low: nothing changed, so no #1 timestamp block *)
+  Vcd.sample vcd ~time:1;
+  Engine.set_input_int eng "en" 1;
+  Engine.eval eng;
+  Engine.step eng;
+  Vcd.sample vcd ~time:2;
+  Vcd.finish vcd ~time:3;
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "initial dump" true (contains ~sub:"#0\n" s);
+  Alcotest.(check bool) "no block for unchanged cycle" false
+    (contains ~sub:"#1\n" s);
+  Alcotest.(check bool) "changed cycle dumped" true (contains ~sub:"#2\n" s);
+  Alcotest.(check bool) "final timestamp" true (contains ~sub:"#3\n" s)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "bespoke_sim"
@@ -251,5 +340,13 @@ let () =
           Alcotest.test_case "set x range" `Quick test_mem_set_x_range;
           qt test_mem_model;
           qt test_mem_conservative_write;
+        ] );
+      ( "vcd",
+        [
+          Alcotest.test_case "header well-formed" `Quick test_vcd_header;
+          Alcotest.test_case "identifier codes unique past 94" `Quick
+            test_vcd_codes_unique;
+          Alcotest.test_case "x values dumped" `Quick test_vcd_x_values;
+          Alcotest.test_case "change-only emission" `Quick test_vcd_change_only;
         ] );
     ]
