@@ -5,6 +5,8 @@
    bespoke_cli analyze prog.s        input-independent gate activity analysis
    bespoke_cli tailor prog.s         full flow: analyze, cut, report, verify
    bespoke_cli report                savings report across the benchmark suite
+   bespoke_cli verify                verification campaign: equivalence +
+                                     fault injection + shrunk repros
    bespoke_cli bench-list            list the built-in benchmark programs
 
    Programs are MSP430-class assembly (see lib/isa/asm.mli for the
@@ -34,6 +36,7 @@ module Bit = Bespoke_logic.Bit
 module Provenance = Bespoke_report.Provenance
 module Attribution = Bespoke_report.Attribution
 module Artifact = Bespoke_report.Artifact
+module Verify = Bespoke_verify.Verify
 
 (* Not used directly here, but referencing them links their
    compilation units so their metrics register and appear in
@@ -519,6 +522,78 @@ let cmd_report =
              per-module attribution and cut-reason histograms)")
     Term.(ret (const run $ bench_arg $ json_arg $ out_arg $ obs_args))
 
+(* ---- verify (paper Section 5.1 / Table 3 campaign) ---- *)
+
+let cmd_verify =
+  let faults_arg =
+    Arg.(value & opt int 8
+         & info [ "faults" ] ~docv:"N"
+             ~doc:"Number of netlist faults injected per benchmark (layer 2 \
+                   of the campaign); 0 disables fault injection.")
+  in
+  let budget_arg =
+    Arg.(value & opt (some int) None
+         & info [ "explore-budget" ] ~docv:"N"
+             ~doc:"Candidate budget for the coverage-directed input search.")
+  in
+  let run file bench json faults seed budget obs =
+    handle
+      (with_obs obs @@ fun () ->
+       catching (fun () ->
+           let* benches =
+             match bench, file with
+             | None, None -> Ok B.all
+             | _ ->
+               let* b = load_program file bench in
+               Ok [ b ]
+           in
+           List.iter
+             (fun (b : B.t) ->
+               Printf.eprintf "verifying %-18s ...\n%!" b.B.name)
+             benches;
+           let campaigns =
+             Verify.run_campaign ~faults ~seed ?explore_budget:budget benches
+           in
+           let oc = if json then stderr else stdout in
+           let ff = Format.formatter_of_out_channel oc in
+           Format.fprintf ff "%a@?" Verify.pp_text campaigns;
+           if json then print_string (Verify.to_json campaigns);
+           let bad =
+             List.filter (fun (c : Verify.campaign) -> not c.Verify.equivalent)
+               campaigns
+           in
+           let missed =
+             List.filter
+               (fun c ->
+                 let s = Verify.kill_stats c in
+                 Verify.detectable_score_pct s < 100.0 -. 1e-9)
+               campaigns
+           in
+           match bad, missed with
+           | [], [] -> Ok ()
+           | b :: _, _ ->
+             Error
+               (Printf.sprintf "verification FAILED: %s is not equivalent"
+                  b.Verify.benchmark)
+           | [], m :: _ ->
+             Error
+               (Printf.sprintf
+                  "verification FAILED: %s: a detectable injected fault \
+                   survived the checker"
+                  m.Verify.benchmark)))
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Run the verification campaign: symbolic + input-based \
+             equivalence checking of the bespoke design (Table 3 columns), \
+             adversarial netlist-fault injection with a mutation-kill score, \
+             and shrunk repros for every divergence.  Exits non-zero if any \
+             design is non-equivalent or any detectable fault survives.")
+    Term.(
+      ret
+        (const run $ file_arg $ bench_arg $ json_arg $ faults_arg $ seed_arg
+        $ budget_arg $ obs_args))
+
 (* ---- update-check (paper Section 3.5) ---- *)
 
 let cmd_update_check =
@@ -691,6 +766,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            cmd_asm; cmd_run; cmd_analyze; cmd_tailor; cmd_report;
+            cmd_asm; cmd_run; cmd_analyze; cmd_tailor; cmd_report; cmd_verify;
             cmd_update_check; cmd_export; cmd_trace; cmd_bench_list;
           ]))

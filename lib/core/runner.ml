@@ -219,6 +219,19 @@ let run_gate_packed ?netlist ?(max_cycles = 3_000_000) (b : Benchmark.t)
   in
   chunk [] seeds
 
+let co_simulate ?netlist ?x_dont_care (b : Benchmark.t) ~seed =
+  Obs.Span.with_ ~name:"runner.co_simulate"
+    ~args:[ ("benchmark", b.Benchmark.name); ("seed", string_of_int seed) ]
+  @@ fun () ->
+  let img = Benchmark.image b in
+  let ram_writes, gpio = b.Benchmark.gen_inputs seed in
+  let irq_pulse_at =
+    if b.Benchmark.uses_irq then b.Benchmark.irq_pulses seed else []
+  in
+  let netlist = match netlist with Some n -> n | None -> shared_netlist () in
+  Bespoke_cpu.Lockstep.run_result ~netlist ~gpio_in:gpio ~ram_writes
+    ~irq_pulse_at ?x_dont_care img
+
 let check_equivalence ?netlist (b : Benchmark.t) ~seed =
   let iss = run_iss b ~seed in
   let gate = run_gate ?netlist b ~seed in

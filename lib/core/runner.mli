@@ -42,6 +42,20 @@ val run_gate_packed :
     up to 63 seeds).  Outcomes are bit-identical to [run_gate] on the
     same seed and are returned in seed order. *)
 
+val co_simulate :
+  ?netlist:Netlist.t -> ?x_dont_care:bool -> Benchmark.t -> seed:int ->
+  (Bespoke_cpu.Lockstep.result, Bespoke_cpu.Lockstep.divergence_info)
+  Stdlib.result
+(** Input-based co-simulation (paper Section 5.1): run the benchmark's
+    generated inputs for [seed] through the gate-level design (stock,
+    or [netlist] for a bespoke/faulty variant) in full lockstep with
+    the ISS — every architectural register at every instruction
+    boundary, exact cycle counts, final RAM and GPIO.  Never raises on
+    divergence; the structured first mismatch is returned so the
+    verification campaign can shrink and report it.  [x_dont_care]
+    (for tailored designs, see {!Bespoke_cpu.Lockstep.run}) requires
+    only the concrete gate-level bits to match. *)
+
 exception Mismatch of string
 
 val check_equivalence :

@@ -120,6 +120,14 @@ let measure b ~seeds =
 let score s = s.line_pct +. s.branch_dir_pct
 
 let explore ?(initial = 2) ?(budget = 40) b =
+  Obs.Span.with_ ~name:"coverage.explore"
+    ~args:
+      [
+        ("benchmark", b.Benchmark.name);
+        ("initial", string_of_int initial);
+        ("budget", string_of_int budget);
+      ]
+  @@ fun () ->
   let seeds = ref (List.init initial (fun i -> i + 1)) in
   let best = ref (coverage_of b !seeds) in
   let candidate = ref (initial + 1) in

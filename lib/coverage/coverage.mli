@@ -26,6 +26,11 @@ type stats = {
 val measure : Benchmark.t -> seeds:int list -> stats
 (** Coverage of a fixed input set (all seeds kept). *)
 
+val score : stats -> float
+(** The greedy search's objective: [line_pct +. branch_dir_pct]
+    (so full coverage scores 200).  Exposed for the verification
+    campaign and for determinism regression tests. *)
+
 val explore : ?initial:int -> ?budget:int -> Benchmark.t -> stats
 (** Greedy search: start with [initial] seeds (default 2), then try up
     to [budget] further candidates (default 40), keeping those that

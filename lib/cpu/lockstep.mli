@@ -11,18 +11,62 @@ type result = {
   cycles : int;  (** gate-level cycles, including the reset cycle *)
   gpio_final : int;
   outputs : int list;  (** values written to the GPIO output port *)
+  toggles : int array;
+      (** per-gate toggle counts of the gate-level run (indexed by
+          gate id); the denominator for gate-coverage accounting *)
 }
+
+type divergence_info = {
+  at_insn : int;
+      (** instruction index of the first mismatch; [-1] when the
+          divergence predates the first boundary (reset) *)
+  at_pc : int;  (** ISS program counter at the mismatch, [-1] if n/a *)
+  what : string;
+      (** the diverging state element: ["r7"], ["cycles"],
+          ["ram\[0382\]"], ["gpio_out"], ["halt"], ... *)
+  detail : string;  (** full human-readable diagnostic *)
+}
+(** Structured description of the first architectural divergence —
+    the shrinking layer of the verification campaign keys on
+    [at_insn]/[what] rather than parsing [detail]. *)
 
 exception Divergence of string
 
 val run :
   ?netlist:Bespoke_netlist.Netlist.t ->
   ?gpio_in:int ->
+  ?ram_writes:(int * int) list ->
   ?irq_pulse_at:int list ->
   ?max_insns:int ->
+  ?x_dont_care:bool ->
   Bespoke_isa.Asm.image ->
   result
-(** Runs both models to completion (the halt port).  [irq_pulse_at]
-    lists instruction indices before which the external IRQ line is
-    pulsed high for one instruction.  @raise Divergence on the first
-    architectural mismatch, with a diagnostic. *)
+(** Runs both models to completion (the halt port).  [ram_writes]
+    preloads (byte address, word) pairs into both models' data RAM
+    before the run (benchmark inputs).  [irq_pulse_at] lists
+    instruction indices before which the external IRQ line is pulsed
+    high for one instruction.
+
+    [x_dont_care] (default [false]) only requires the {e concrete}
+    gate-level bits to match the ISS: a tailored design may hold
+    const-X ties on state the analysis proved the application never
+    observes (e.g. SP bits of a program with no stack traffic), which
+    is correct by construction but fails the strict all-bits compare.
+    Leave it off for stock netlists, where an X is always a bug.
+
+    @raise Divergence on the first architectural mismatch, with a
+    diagnostic. *)
+
+val run_result :
+  ?netlist:Bespoke_netlist.Netlist.t ->
+  ?gpio_in:int ->
+  ?ram_writes:(int * int) list ->
+  ?irq_pulse_at:int list ->
+  ?max_insns:int ->
+  ?x_dont_care:bool ->
+  Bespoke_isa.Asm.image ->
+  (result, divergence_info) Stdlib.result
+(** Like {!run} but never raises {!Divergence}: the first mismatch is
+    returned as structured {!divergence_info} instead, so callers (the
+    verification campaign, the fault-injection kill check) can shrink
+    and report without string matching. *)

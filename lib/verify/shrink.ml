@@ -1,0 +1,48 @@
+module Lockstep = Bespoke_cpu.Lockstep
+
+type repro = {
+  seeds : int list;
+  info : Lockstep.divergence_info;
+}
+
+let rec minimize still_failing xs =
+  match xs with
+  | [] | [ _ ] -> xs
+  | _ ->
+    let n = List.length xs in
+    let rec try_at i =
+      if i >= n then xs
+      else
+        let shrunk = List.filteri (fun j _ -> j <> i) xs in
+        if still_failing shrunk then minimize still_failing shrunk
+        else try_at (i + 1)
+    in
+    try_at 0
+
+let of_seeds ~check seeds =
+  let cache = Hashtbl.create 8 in
+  let check seed =
+    match Hashtbl.find_opt cache seed with
+    | Some r -> r
+    | None ->
+      let r = check seed in
+      Hashtbl.replace cache seed r;
+      r
+  in
+  let diverging s = List.exists (fun seed -> check seed <> None) s in
+  if not (diverging seeds) then None
+  else
+    let seeds = minimize diverging seeds in
+    let first = List.find (fun seed -> check seed <> None) seeds in
+    match check first with
+    | Some info -> Some { seeds; info }
+    | None -> assert false
+
+let pp_repro ppf r =
+  Format.fprintf ppf "seeds [%s]; first divergence at insn %d%s in %s: %s"
+    (String.concat "; " (List.map string_of_int r.seeds))
+    r.info.Lockstep.at_insn
+    (if r.info.Lockstep.at_pc >= 0 then
+       Printf.sprintf " (pc 0x%04x)" r.info.Lockstep.at_pc
+     else "")
+    r.info.Lockstep.what r.info.Lockstep.detail

@@ -1,0 +1,462 @@
+module B = Bespoke_programs.Benchmark
+module Netlist = Bespoke_netlist.Netlist
+module Gate = Bespoke_netlist.Gate
+module Lockstep = Bespoke_cpu.Lockstep
+module System = Bespoke_cpu.System
+module Activity = Bespoke_analysis.Activity
+module Runner = Bespoke_core.Runner
+module Cut = Bespoke_core.Cut
+module Pool = Bespoke_core.Pool
+module Coverage = Bespoke_coverage.Coverage
+module Obs = Bespoke_obs.Obs
+
+(* campaign telemetry, in the flow-wide verify.* group *)
+let m_campaigns = Obs.Metrics.counter "verify.campaigns"
+let m_inputs = Obs.Metrics.counter "verify.inputs_checked"
+let m_faults = Obs.Metrics.counter "verify.faults_injected"
+let m_killed = Obs.Metrics.counter "verify.faults_killed"
+let m_survived = Obs.Metrics.counter "verify.faults_survived"
+let g_kill_score = Obs.Metrics.gauge "verify.kill_score_pct"
+
+let now = Unix.gettimeofday
+
+type input_run = {
+  ir_seed : int;
+  ir_time_s : float;
+  ir_diverged : Lockstep.divergence_info option;
+}
+
+type symbolic = {
+  sym_ok : bool;
+  sym_paths : int;
+  sym_time_s : float;
+  sym_detail : string option;
+}
+
+type kill =
+  | Killed_input of Shrink.repro
+  | Killed_symbolic of string
+  | Survived
+
+type fault_result = {
+  fault : Fault.t;
+  kill : kill;
+  fr_time_s : float;
+}
+
+type campaign = {
+  benchmark : string;
+  gates_original : int;
+  gates_bespoke : int;
+  symbolic : symbolic;
+  inputs : input_run list;
+  coverage : Coverage.stats;
+  gate_pct : float;
+  equivalent : bool;
+  repro : Shrink.repro option;
+  faults : fault_result list;
+  total_time_s : float;
+}
+
+type score = {
+  injected : int;
+  killed_input : int;
+  killed_symbolic : int;
+  survived : int;
+  detectable : int;
+  detectable_killed : int;
+}
+
+let kill_stats c =
+  List.fold_left
+    (fun s fr ->
+      let killed = fr.kill <> Survived in
+      {
+        injected = s.injected + 1;
+        killed_input =
+          (s.killed_input
+          + match fr.kill with Killed_input _ -> 1 | _ -> 0);
+        killed_symbolic =
+          (s.killed_symbolic
+          + match fr.kill with Killed_symbolic _ -> 1 | _ -> 0);
+        survived = (s.survived + if killed then 0 else 1);
+        detectable = (s.detectable + if fr.fault.Fault.detectable then 1 else 0);
+        detectable_killed =
+          (s.detectable_killed
+          + if fr.fault.Fault.detectable && killed then 1 else 0);
+      })
+    {
+      injected = 0;
+      killed_input = 0;
+      killed_symbolic = 0;
+      survived = 0;
+      detectable = 0;
+      detectable_killed = 0;
+    }
+    c.faults
+
+let pct a b = if b = 0 then 100.0 else 100.0 *. float_of_int a /. float_of_int b
+
+let kill_score_pct s = pct (s.killed_input + s.killed_symbolic) s.injected
+let detectable_score_pct s = pct s.detectable_killed s.detectable
+
+(* Input-based co-simulation that never escapes: a faulty design that
+   hangs or loses its control state (Failure from the cycle-bounded
+   run) is a detected divergence, not a crash.  [x_dont_care]: the
+   netlist under test is always a tailored design (or a mutant of
+   one), whose const-X ties on application-dead state are correct by
+   construction; only the concrete bits must match the ISS. *)
+let cosim ~netlist b ~seed =
+  match Runner.co_simulate ~netlist ~x_dont_care:true b ~seed with
+  | r -> r
+  | exception Failure m ->
+    Error
+      { Lockstep.at_insn = -1; at_pc = -1; what = "hang"; detail = m }
+
+(* The symbolic layer: re-play the original design's execution tree on
+   [shadow_net], comparing architectural state at every boundary. *)
+let symbolic_check ~original ~shadow_net b =
+  Obs.Span.with_ ~name:"verify.symbolic" ~args:[ ("benchmark", b.B.name) ]
+  @@ fun () ->
+  let t0 = now () in
+  let img = B.image b in
+  let sys = System.create ~netlist:original img in
+  let sh = System.create ~netlist:shadow_net img in
+  let config =
+    {
+      Activity.default_config with
+      Activity.ram_x_ranges = b.B.input_ranges;
+      irq_x = b.B.uses_irq;
+    }
+  in
+  match Activity.analyze ~config ~shadow:sh sys with
+  | report ->
+    {
+      sym_ok = true;
+      sym_paths = report.Activity.paths;
+      sym_time_s = now () -. t0;
+      sym_detail = None;
+    }
+  | exception Activity.Shadow_mismatch m ->
+    {
+      sym_ok = false;
+      sym_paths = 0;
+      sym_time_s = now () -. t0;
+      sym_detail = Some m;
+    }
+  | exception Activity.Analysis_error m ->
+    (* the shadow drove the exploration off its bounds: also a
+       detected difference between the two designs *)
+    {
+      sym_ok = false;
+      sym_paths = 0;
+      sym_time_s = now () -. t0;
+      sym_detail = Some ("analysis diverged: " ^ m);
+    }
+
+let real_gate (g : Gate.t) =
+  match g.Gate.op with Gate.Input | Gate.Const _ -> false | _ -> true
+
+let check_benchmark ?(faults = 8) ?(seed = 1) ?explore_budget b =
+  Obs.Span.with_ ~name:"verify.campaign" ~args:[ ("benchmark", b.B.name) ]
+  @@ fun () ->
+  Obs.Metrics.incr m_campaigns;
+  let t0 = now () in
+  (* tailor *)
+  let report, net = Runner.analyze b in
+  let bespoke, stats =
+    Cut.tailor net ~possibly_toggled:report.Activity.possibly_toggled
+      ~constants:report.Activity.constant_values
+  in
+  (* layer 1a: coverage-directed input-based co-simulation *)
+  let cov = Coverage.explore ?budget:explore_budget b in
+  let toggle_union = Array.make (Netlist.gate_count bespoke) 0 in
+  let inputs =
+    List.map
+      (fun s ->
+        Obs.Metrics.incr m_inputs;
+        let t = now () in
+        let r = cosim ~netlist:bespoke b ~seed:s in
+        (match r with
+        | Ok lr ->
+          Array.iteri
+            (fun i c -> toggle_union.(i) <- toggle_union.(i) + c)
+            lr.Lockstep.toggles
+        | Error _ -> ());
+        {
+          ir_seed = s;
+          ir_time_s = now () -. t;
+          ir_diverged =
+            (match r with Ok _ -> None | Error i -> Some i);
+        })
+      cov.Coverage.kept_seeds
+  in
+  let gate_pct =
+    let total = ref 0 and hit = ref 0 in
+    Array.iteri
+      (fun i g ->
+        if real_gate g then begin
+          incr total;
+          if toggle_union.(i) > 0 then incr hit
+        end)
+      bespoke.Netlist.gates;
+    pct !hit !total
+  in
+  let inputs_ok = List.for_all (fun ir -> ir.ir_diverged = None) inputs in
+  let repro =
+    if inputs_ok then None
+    else
+      Shrink.of_seeds
+        ~check:(fun s ->
+          match cosim ~netlist:bespoke b ~seed:s with
+          | Ok _ -> None
+          | Error i -> Some i)
+        cov.Coverage.kept_seeds
+  in
+  (* layer 1b: symbolic state-trace comparison *)
+  let symbolic = symbolic_check ~original:net ~shadow_net:bespoke b in
+  (* layer 2: adversarial fault injection, each fault checked by the
+     input layer first and the symbolic layer as a fallback; layer 3
+     shrinks every diverging case before it is recorded *)
+  let fault_list =
+    Fault.generate ~seed ~n:faults ~toggles:toggle_union bespoke
+  in
+  let fault_results =
+    List.map
+      (fun f ->
+        Obs.Span.with_ ~name:"verify.fault"
+          ~args:
+            [
+              ("benchmark", b.B.name);
+              ("kind", Fault.kind_name f.Fault.kind);
+              ("gate", string_of_int f.Fault.gate);
+            ]
+        @@ fun () ->
+        Obs.Metrics.incr m_faults;
+        let t = now () in
+        let faulty = Fault.inject bespoke f in
+        let kill =
+          match
+            Shrink.of_seeds
+              ~check:(fun s ->
+                match cosim ~netlist:faulty b ~seed:s with
+                | Ok _ -> None
+                | Error i -> Some i)
+              cov.Coverage.kept_seeds
+          with
+          | Some repro -> Killed_input repro
+          | None -> (
+            let sym = symbolic_check ~original:net ~shadow_net:faulty b in
+            match sym.sym_detail with
+            | Some m when not sym.sym_ok -> Killed_symbolic m
+            | _ -> Survived)
+        in
+        Obs.Metrics.incr
+          (if kill = Survived then m_survived else m_killed);
+        { fault = f; kill; fr_time_s = now () -. t })
+      fault_list
+  in
+  let campaign =
+    {
+      benchmark = b.B.name;
+      gates_original = stats.Cut.original_gates;
+      gates_bespoke = stats.Cut.bespoke_gates;
+      symbolic;
+      inputs;
+      coverage = cov;
+      gate_pct;
+      equivalent = inputs_ok && symbolic.sym_ok;
+      repro;
+      faults = fault_results;
+      total_time_s = now () -. t0;
+    }
+  in
+  if Obs.enabled () then
+    Obs.Metrics.set g_kill_score (kill_score_pct (kill_stats campaign));
+  campaign
+
+let run_campaign ?faults ?seed ?explore_budget ?jobs benches =
+  (* the stock netlist is shared by every task: force it before the
+     domains fan out (stdlib Lazy is not domain-safe) *)
+  ignore (Runner.shared_netlist ());
+  Pool.map ?jobs
+    (fun b -> check_benchmark ?faults ?seed ?explore_budget b)
+    benches
+
+(* ---- the bespoke-verify/v1 artifact ---- *)
+
+let schema = "bespoke-verify/v1"
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let num f =
+  if not (Float.is_finite f) then "0"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let str s = "\"" ^ escape s ^ "\""
+let int_ = string_of_int
+let bool_ b = if b then "true" else "false"
+
+let obj fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields)
+  ^ "}"
+
+let arr items = "[" ^ String.concat "," items ^ "]"
+
+let repro_json (r : Shrink.repro) =
+  obj
+    [
+      ("seeds", arr (List.map int_ r.Shrink.seeds));
+      ("at_insn", int_ r.Shrink.info.Lockstep.at_insn);
+      ("at_pc", int_ r.Shrink.info.Lockstep.at_pc);
+      ("what", str r.Shrink.info.Lockstep.what);
+      ("detail", str r.Shrink.info.Lockstep.detail);
+    ]
+
+let fault_json fr =
+  let f = fr.fault in
+  obj
+    (("id", int_ f.Fault.id)
+     :: ("kind", str (Fault.kind_name f.Fault.kind))
+     :: ("gate", int_ f.Fault.gate)
+     :: ("site", str f.Fault.desc)
+     :: ("detectable", bool_ f.Fault.detectable)
+     :: ( "kill",
+          str
+            (match fr.kill with
+            | Killed_input _ -> "input"
+            | Killed_symbolic _ -> "symbolic"
+            | Survived -> "survived") )
+     :: ("time_s", num fr.fr_time_s)
+     ::
+     (match fr.kill with
+     | Killed_input r -> [ ("repro", repro_json r) ]
+     | Killed_symbolic m -> [ ("detail", str m) ]
+     | Survived -> []))
+
+let campaign_json c =
+  let s = kill_stats c in
+  let input_time =
+    List.fold_left (fun acc ir -> acc +. ir.ir_time_s) 0.0 c.inputs
+  in
+  let n_inputs = List.length c.inputs in
+  obj
+    (("name", str c.benchmark)
+     :: ( "gates",
+          obj
+            [
+              ("original", int_ c.gates_original);
+              ("bespoke", int_ c.gates_bespoke);
+            ] )
+     :: ( "symbolic",
+          obj
+            (("equivalent", bool_ c.symbolic.sym_ok)
+             :: ("paths", int_ c.symbolic.sym_paths)
+             :: ("time_s", num c.symbolic.sym_time_s)
+             ::
+             (match c.symbolic.sym_detail with
+             | Some m -> [ ("detail", str m) ]
+             | None -> [])) )
+     :: ( "inputs",
+          obj
+            [
+              ("count", int_ n_inputs);
+              ("seeds", arr (List.map (fun ir -> int_ ir.ir_seed) c.inputs));
+              ("time_s", num input_time);
+              ( "time_s_per_input",
+                num (if n_inputs = 0 then 0.0 else input_time /. float_of_int n_inputs) );
+              ("line_pct", num c.coverage.Coverage.line_pct);
+              ("branch_pct", num c.coverage.Coverage.branch_pct);
+              ("branch_dir_pct", num c.coverage.Coverage.branch_dir_pct);
+              ("gate_pct", num c.gate_pct);
+              ( "all_ok",
+                bool_ (List.for_all (fun ir -> ir.ir_diverged = None) c.inputs)
+              );
+            ] )
+     :: ("verdict", str (if c.equivalent then "equivalent" else "divergent"))
+     :: ( "fault_injection",
+          obj
+            [
+              ("injected", int_ s.injected);
+              ("killed_input", int_ s.killed_input);
+              ("killed_symbolic", int_ s.killed_symbolic);
+              ("survived", int_ s.survived);
+              ("detectable", int_ s.detectable);
+              ("detectable_killed", int_ s.detectable_killed);
+              ("kill_score_pct", num (kill_score_pct s));
+              ("detectable_score_pct", num (detectable_score_pct s));
+              ("faults", arr (List.map fault_json c.faults));
+            ] )
+     :: ("time_s", num c.total_time_s)
+     ::
+     (match c.repro with
+     | Some r -> [ ("repro", repro_json r) ]
+     | None -> []))
+
+let to_json campaigns =
+  obj
+    [
+      ("schema", str schema);
+      ("generator", str "bespoke_cli verify");
+      ("benchmarks", arr (List.map campaign_json campaigns));
+    ]
+  ^ "\n"
+
+let pp_text ppf campaigns =
+  List.iter
+    (fun c ->
+      let s = kill_stats c in
+      Format.fprintf ppf "%s: %s@." c.benchmark
+        (if c.equivalent then "EQUIVALENT" else "DIVERGENT");
+      Format.fprintf ppf
+        "  gates %d -> %d; symbolic: %s (%d paths, %.3f s)@."
+        c.gates_original c.gates_bespoke
+        (if c.symbolic.sym_ok then "ok" else "MISMATCH")
+        c.symbolic.sym_paths c.symbolic.sym_time_s;
+      (match c.symbolic.sym_detail with
+      | Some m -> Format.fprintf ppf "    %s@." m
+      | None -> ());
+      let input_time =
+        List.fold_left (fun acc ir -> acc +. ir.ir_time_s) 0.0 c.inputs
+      in
+      Format.fprintf ppf
+        "  inputs: %d seeds in %.3f s; coverage line %.1f%%, branch \
+         %.1f%%, branch-dir %.1f%%, gate %.1f%%@."
+        (List.length c.inputs) input_time c.coverage.Coverage.line_pct
+        c.coverage.Coverage.branch_pct c.coverage.Coverage.branch_dir_pct
+        c.gate_pct;
+      (match c.repro with
+      | Some r -> Format.fprintf ppf "  repro: %a@." Shrink.pp_repro r
+      | None -> ());
+      Format.fprintf ppf
+        "  faults: %d injected, %d killed by inputs, %d by the symbolic \
+         shadow, %d survived (kill score %.0f%%; detectable %d/%d)@."
+        s.injected s.killed_input s.killed_symbolic s.survived
+        (kill_score_pct s) s.detectable_killed s.detectable;
+      List.iter
+        (fun fr ->
+          Format.fprintf ppf "    [%d] %-12s %s -> %s@." fr.fault.Fault.id
+            (Fault.kind_name fr.fault.Fault.kind)
+            fr.fault.Fault.desc
+            (match fr.kill with
+            | Killed_input r -> Format.asprintf "killed (%a)" Shrink.pp_repro r
+            | Killed_symbolic m -> "killed symbolically: " ^ m
+            | Survived -> "SURVIVED"))
+        c.faults)
+    campaigns

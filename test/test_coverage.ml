@@ -33,6 +33,33 @@ let test_more_seeds_monotone () =
   Alcotest.(check bool) "direction coverage monotone" true
     (s2.Coverage.branch_dir_pct >= s1.Coverage.branch_dir_pct -. 1e-9)
 
+let test_explore_deterministic () =
+  let b = B.find "binSearch" in
+  let a = Coverage.explore ~initial:2 ~budget:15 b in
+  let b' = Coverage.explore ~initial:2 ~budget:15 b in
+  Alcotest.(check (list int)) "same kept seeds" a.Coverage.kept_seeds
+    b'.Coverage.kept_seeds;
+  Alcotest.(check (float 1e-9)) "same score" (Coverage.score a)
+    (Coverage.score b')
+
+let test_explore_reproducible () =
+  (* the reported percentages are a pure function of the kept seeds:
+     re-measuring the kept set reproduces them exactly *)
+  List.iter
+    (fun name ->
+      let b = B.find name in
+      let explored = Coverage.explore ~initial:2 ~budget:12 b in
+      let remeasured = Coverage.measure b ~seeds:explored.Coverage.kept_seeds in
+      Alcotest.(check (float 1e-9)) (name ^ " line") explored.Coverage.line_pct
+        remeasured.Coverage.line_pct;
+      Alcotest.(check (float 1e-9)) (name ^ " branch")
+        explored.Coverage.branch_pct remeasured.Coverage.branch_pct;
+      Alcotest.(check (float 1e-9)) (name ^ " branch dir")
+        explored.Coverage.branch_dir_pct remeasured.Coverage.branch_dir_pct;
+      Alcotest.(check int) (name ^ " lines total")
+        explored.Coverage.lines_total remeasured.Coverage.lines_total)
+    [ "mult"; "tHold" ]
+
 let test_directions_bounded () =
   List.iter
     (fun name ->
@@ -53,6 +80,10 @@ let () =
           Alcotest.test_case "explore improves" `Quick
             test_explore_improves_or_matches;
           Alcotest.test_case "monotone in seeds" `Quick test_more_seeds_monotone;
+          Alcotest.test_case "explore deterministic" `Quick
+            test_explore_deterministic;
+          Alcotest.test_case "explore reproducible" `Quick
+            test_explore_reproducible;
           Alcotest.test_case "bounded" `Quick test_directions_bounded;
         ] );
     ]

@@ -1,15 +1,18 @@
-(* Random-program fuzzing:
+(* Random-program fuzzing (fast tier; see test_fuzz_deep for the
+   @slow campaign):
 
-   - generated programs exercise arbitrary mixes of the ISA (all
-     two-op/one-op instructions, byte/word, every addressing mode,
-     bounded loops, forward branches, stack traffic, multiplier and
-     GPIO access) and always terminate;
+   - programs come from the shared {!Fuzzgen} generator (deterministic
+     in the seed, always terminating);
    - every program runs in lockstep, gate-level vs. ISS (exact
      architectural state every instruction, exact cycle counts);
    - a subset goes through the whole bespoke flow: symbolic analysis,
-     cut & stitch, and re-verification of the tailored design. *)
+     cut & stitch, and re-verification of the tailored design.
 
-module B = Bespoke_programs.Benchmark
+   Any divergence report includes the PRNG seed and the generated
+   assembly listing, so it can be replayed from the log alone:
+
+     BESPOKE_FUZZ_SEED=<seed> dune exec test/test_fuzz.exe *)
+
 module Asm = Bespoke_isa.Asm
 module Lockstep = Bespoke_cpu.Lockstep
 module System = Bespoke_cpu.System
@@ -17,128 +20,21 @@ module Activity = Bespoke_analysis.Activity
 module Runner = Bespoke_core.Runner
 module Cut = Bespoke_core.Cut
 
-let scratch = 0x0300  (* 32-word scratch window the programs write *)
-
-(* deterministic PRNG so failures are reproducible from the seed *)
-type rng = { mutable s : int }
-
-let next r =
-  r.s <- ((r.s * 1103515245) + 12345) land 0x3FFFFFFF;
-  (r.s lsr 7) land 0xFFFFFF
-
-let pick r l = List.nth l (next r mod List.length l)
-let chance r pct = next r mod 100 < pct
-
-let reg r = pick r [ "r4"; "r5"; "r6"; "r7"; "r8"; "r9"; "r10"; "r11" ]
-
-let imm r = pick r [ "#0"; "#1"; "#2"; "#4"; "#8"; Printf.sprintf "#%d" (next r land 0xffff) ]
-
-let scratch_abs r = Printf.sprintf "&0x%04x" (scratch + (next r land 0x3e))
-let scratch_idx r = Printf.sprintf "%d(r14)" (next r land 0x3e)
-
-let src r =
-  match next r mod 6 with
-  | 0 -> reg r
-  | 1 | 2 -> imm r
-  | 3 -> scratch_abs r
-  | 4 -> scratch_idx r
-  | _ -> "@r14"
-
-let dst r =
-  match next r mod 4 with
-  | 0 | 1 -> reg r
-  | 2 -> scratch_abs r
-  | _ -> scratch_idx r
-
-let two_op r =
-  pick r
-    [ "mov"; "add"; "addc"; "sub"; "subc"; "cmp"; "dadd"; "bit"; "bic";
-      "bis"; "xor"; "and" ]
-
-let size_suffix r = if chance r 25 then ".b" else ""
-
-let gen_instr r buf label_counter =
-  match next r mod 12 with
-  | 0 | 1 | 2 | 3 | 4 ->
-    Buffer.add_string buf
-      (Printf.sprintf "        %s%s %s, %s\n" (two_op r) (size_suffix r)
-         (src r) (dst r))
-  | 5 ->
-    let op = pick r [ "rrc"; "rra" ] in
-    Buffer.add_string buf
-      (Printf.sprintf "        %s%s %s\n" op (size_suffix r) (reg r))
-  | 6 ->
-    let op = pick r [ "swpb"; "sxt" ] in
-    Buffer.add_string buf (Printf.sprintf "        %s %s\n" op (reg r))
-  | 7 ->
-    (* balanced stack traffic *)
-    Buffer.add_string buf
-      (Printf.sprintf "        push %s\n        pop %s\n" (src r) (reg r))
-  | 8 ->
-    (* forward conditional skip *)
-    incr label_counter;
-    let l = Printf.sprintf "fl%d" !label_counter in
-    let cond = pick r [ "jz"; "jnz"; "jc"; "jnc"; "jn"; "jge"; "jl" ] in
-    Buffer.add_string buf
-      (Printf.sprintf "        %s %s\n        %s %s, %s\n%s:\n" cond l
-         (two_op r) (src r) (dst r) l)
-  | 9 ->
-    (* bounded loop *)
-    incr label_counter;
-    let l = Printf.sprintf "lp%d" !label_counter in
-    let n = 1 + (next r mod 6) in
-    Buffer.add_string buf
-      (Printf.sprintf
-         "        mov #%d, r12\n%s:\n        %s %s, %s\n        dec r12\n        jnz %s\n"
-         n l (two_op r) (src r) (reg r) l)
-  | 10 ->
-    (* hardware multiplier *)
-    Buffer.add_string buf
-      (Printf.sprintf
-         "        mov %s, &0x0130\n        mov %s, &0x0138\n        mov &0x013a, %s\n"
-         (src r) (src r) (reg r))
-  | _ ->
-    (* GPIO *)
-    if chance r 50 then
-      Buffer.add_string buf
-        (Printf.sprintf "        mov &0x0010, %s\n" (reg r))
-    else
-      Buffer.add_string buf
-        (Printf.sprintf "        mov %s, &0x0012\n" (src r))
-
-let gen_program seed =
-  let r = { s = (seed * 2654435761) lor 1 } in
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "start:  mov #0x0400, sp\n";
-  Buffer.add_string buf (Printf.sprintf "        mov #0x%04x, r14\n" scratch);
-  (* seed some registers and scratch *)
-  for i = 4 to 11 do
-    Buffer.add_string buf
-      (Printf.sprintf "        mov #0x%04x, r%d\n" (next r land 0xffff) i)
-  done;
-  for i = 0 to 7 do
-    Buffer.add_string buf
-      (Printf.sprintf "        mov #0x%04x, &0x%04x\n" (next r land 0xffff)
-         (scratch + (2 * i)))
-  done;
-  let label_counter = ref 0 in
-  let n = 12 + (next r mod 25) in
-  for _ = 1 to n do
-    gen_instr r buf label_counter
-  done;
-  (* publish a checksum so divergence is observable even in registers
-     we never compare *)
-  Buffer.add_string buf "        mov r4, &0x0380\n";
-  Buffer.add_string buf "        halt\n";
-  Buffer.contents buf
-
 let shared = lazy (Runner.shared_netlist ())
+
+let report_divergence ~seed ~src what detail =
+  QCheck.Test.fail_reportf
+    "seed %d %s: %s@\n\
+     replay: BESPOKE_FUZZ_SEED=%d dune exec test/test_fuzz.exe@\n\
+     --- generated assembly (seed %d) ---@\n\
+     %s--- end assembly ---"
+    seed what detail seed seed src
 
 let test_lockstep_fuzz =
   QCheck.Test.make ~name:"random programs run in exact lockstep" ~count:60
     QCheck.(pair (int_bound 1_000_000) (int_bound 0xffff))
     (fun (seed, gpio) ->
-      let src = gen_program seed in
+      let src = Fuzzgen.program ~seed in
       match Asm.assemble src with
       | exception Asm.Error { line; message } ->
         QCheck.Test.fail_reportf "generator produced bad asm (seed %d): line %d %s"
@@ -147,27 +43,28 @@ let test_lockstep_fuzz =
         match Lockstep.run ~netlist:(Lazy.force shared) ~gpio_in:gpio img with
         | _ -> true
         | exception Lockstep.Divergence m ->
-          QCheck.Test.fail_reportf "seed %d diverged: %s" seed m))
+          report_divergence ~seed ~src
+            (Printf.sprintf "(gpio 0x%04x) diverged" gpio) m))
 
 let test_flow_fuzz =
   QCheck.Test.make ~name:"random programs survive the full bespoke flow"
     ~count:8
     QCheck.(int_bound 1_000_000)
     (fun seed ->
-      let src = gen_program seed in
+      let src = Fuzzgen.program ~seed in
       let img = Asm.assemble src in
       let net = Lazy.force shared in
       let sys = System.create ~netlist:net img in
       match Activity.analyze sys with
       | exception Activity.Analysis_error m ->
-        QCheck.Test.fail_reportf "seed %d: analysis failed: %s" seed m
+        report_divergence ~seed ~src "analysis failed" m
       | report ->
         let bespoke, stats =
           Cut.tailor net ~possibly_toggled:report.Activity.possibly_toggled
             ~constants:report.Activity.constant_values
         in
         if stats.Cut.bespoke_gates >= stats.Cut.original_gates then
-          QCheck.Test.fail_reportf "seed %d: nothing cut" seed;
+          report_divergence ~seed ~src "tailoring" "nothing cut";
         List.for_all
           (fun gpio ->
             let a = Lockstep.run ~netlist:net ~gpio_in:gpio img in
@@ -177,7 +74,23 @@ let test_flow_fuzz =
             && a.Lockstep.outputs = b.Lockstep.outputs)
           [ 0; 0x00ff; 0xa5a5; 0xffff ])
 
+(* Replay one specific seed from a failure log: prints the listing and
+   runs the lockstep check for it alone. *)
+let replay_cases =
+  match Sys.getenv_opt "BESPOKE_FUZZ_SEED" with
+  | None -> []
+  | Some s ->
+    let seed = int_of_string s in
+    [
+      Alcotest.test_case (Printf.sprintf "replay seed %d" seed) `Quick
+        (fun () ->
+          let src = Fuzzgen.program ~seed in
+          Printf.printf "--- generated assembly (seed %d) ---\n%s%!" seed src;
+          let img = Asm.assemble src in
+          ignore (Lockstep.run ~netlist:(Lazy.force shared) img));
+    ]
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "bespoke_fuzz"
-    [ ("fuzz", [ qt test_lockstep_fuzz; qt test_flow_fuzz ]) ]
+    [ ("fuzz", (qt test_lockstep_fuzz :: qt test_flow_fuzz :: replay_cases)) ]

@@ -1,0 +1,112 @@
+(* Validator behind the @verify-smoke alias: parse the JSON artifact
+   emitted by `bespoke_cli verify --json`, check the schema tag, the
+   Table 3-style per-benchmark columns, the fault-injection arithmetic
+   (killed + survived = injected, detectable kill score 100), and that
+   every input-killed fault carries a shrunk repro.  Exits non-zero on
+   the first violation. *)
+
+module Obs = Bespoke_obs.Obs
+
+let fail fmt =
+  Printf.ksprintf (fun m -> prerr_endline ("verify-smoke: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let mem k j =
+  match Obs.Json.member k j with
+  | Some v -> v
+  | None -> fail "missing field %S" k
+
+let str k j = match mem k j with Obs.Json.Str s -> s | _ -> fail "field %S is not a string" k
+let num k j = match mem k j with Obs.Json.Num n -> n | _ -> fail "field %S is not a number" k
+
+let bool_ k j =
+  match mem k j with Obs.Json.Bool b -> b | _ -> fail "field %S is not a bool" k
+
+let arr k j =
+  match mem k j with Obs.Json.Arr l -> l | _ -> fail "field %S is not an array" k
+
+let pct name what v =
+  if v < 0.0 || v > 100.0 then fail "%s: %s %g outside [0, 100]" name what v
+
+let check_fault name f =
+  let kill = str "kill" f in
+  (match kill with
+  | "input" ->
+    (* an input kill must come with a shrunk, replayable repro *)
+    let r = mem "repro" f in
+    if arr "seeds" r = [] then fail "%s: input-killed fault with empty repro" name;
+    ignore (str "what" r);
+    ignore (num "at_insn" r)
+  | "symbolic" -> ignore (str "detail" f)
+  | "survived" -> ()
+  | k -> fail "%s: unknown kill class %S" name k);
+  (kill, bool_ "detectable" f)
+
+let check_bench b =
+  let name = str "name" b in
+  let gates = mem "gates" b in
+  let go = num "original" gates and gb = num "bespoke" gates in
+  if go <= 0.0 then fail "%s: no original gates" name;
+  if gb <= 0.0 || gb > go then
+    fail "%s: bespoke gate count %g outside (0, original %g]" name gb go;
+  if str "verdict" b <> "equivalent" then fail "%s: not equivalent" name;
+  if not (bool_ "equivalent" (mem "symbolic" b)) then
+    fail "%s: symbolic layer disagrees with the verdict" name;
+  if num "paths" (mem "symbolic" b) < 1.0 then fail "%s: no symbolic paths" name;
+  let inputs = mem "inputs" b in
+  let n = num "count" inputs in
+  if n < 1.0 then fail "%s: no co-simulated inputs" name;
+  if float_of_int (List.length (arr "seeds" inputs)) <> n then
+    fail "%s: inputs.count disagrees with inputs.seeds" name;
+  if not (bool_ "all_ok" inputs) then fail "%s: an input run diverged" name;
+  pct name "line_pct" (num "line_pct" inputs);
+  pct name "branch_pct" (num "branch_pct" inputs);
+  pct name "branch_dir_pct" (num "branch_dir_pct" inputs);
+  pct name "gate_pct" (num "gate_pct" inputs);
+  if num "gate_pct" inputs <= 0.0 then fail "%s: no gate toggled" name;
+  let fi = mem "fault_injection" b in
+  let injected = num "injected" fi in
+  let ki = num "killed_input" fi
+  and ks = num "killed_symbolic" fi
+  and sv = num "survived" fi in
+  if ki +. ks +. sv <> injected then
+    fail "%s: kill classes sum to %g, %g injected" name (ki +. ks +. sv) injected;
+  let faults = arr "faults" fi in
+  if float_of_int (List.length faults) <> injected then
+    fail "%s: faults array length disagrees with injected" name;
+  let kills = List.map (check_fault name) faults in
+  let count p = float_of_int (List.length (List.filter p kills)) in
+  if count (fun (k, _) -> k = "input") <> ki then
+    fail "%s: killed_input disagrees with the fault list" name;
+  if count (fun (k, _) -> k = "symbolic") <> ks then
+    fail "%s: killed_symbolic disagrees with the fault list" name;
+  if count (fun (_, d) -> d) <> num "detectable" fi then
+    fail "%s: detectable count disagrees with the fault list" name;
+  if count (fun (k, d) -> d && k <> "survived") <> num "detectable_killed" fi
+  then fail "%s: detectable_killed disagrees with the fault list" name;
+  if injected > 0.0 && num "detectable" fi < 1.0 then
+    fail "%s: campaign drew no detectable fault" name;
+  (* the acceptance bar: every detectable fault killed *)
+  if num "detectable_score_pct" fi <> 100.0 then
+    fail "%s: detectable kill score %g, want 100" name
+      (num "detectable_score_pct" fi)
+
+let () =
+  if Array.length Sys.argv <> 2 then fail "usage: verify_smoke_check FILE.json";
+  match Obs.Json.parse (read_file Sys.argv.(1)) with
+  | Error m -> fail "artifact does not parse: %s" m
+  | Ok j ->
+    if str "schema" j <> "bespoke-verify/v1" then
+      fail "unexpected schema tag %S" (str "schema" j);
+    ignore (str "generator" j);
+    let benches = arr "benchmarks" j in
+    if benches = [] then fail "artifact lists no benchmarks";
+    List.iter check_bench benches;
+    Printf.printf "verify-smoke: %d benchmark campaign(s) validated\n"
+      (List.length benches)
