@@ -27,6 +27,7 @@ module Mutation = Bespoke_mutation.Mutation
 module Coverage = Bespoke_coverage.Coverage
 module System = Bespoke_cpu.System
 module Engine = Bespoke_sim.Engine
+module Compile = Bespoke_sim.Compile
 module Pool = Bespoke_core.Pool
 module Obs = Bespoke_obs.Obs
 
@@ -818,7 +819,21 @@ let run_bechamel () =
   List.iter benchmark [ t_tern; t_asm; t_cycle ]
 
 (* ------------------------------------------------------------------ *)
-(* Simulator throughput: full-eval vs event-driven vs 64-way packed    *)
+(* Simulator throughput: full-eval vs event-driven vs 64-way packed
+   vs compiled word-level                                              *)
+
+(* Every cycles/sec figure is the median of [timing_reps] repetitions
+   of the whole measurement (recorded in the artifact), so a transient
+   load spike during one trial cannot flip a comparison between two
+   engines measured at different moments. *)
+let timing_reps = 3
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let median_of_reps f = median (List.init timing_reps (fun _ -> f ()))
 
 type sim_row = {
   sr_name : string;
@@ -826,6 +841,7 @@ type sim_row = {
   full_cps : float;
   event_cps : float;
   packed_cps : float;
+  compiled_cps : float;
   t_analysis : float;
   t_cut : float;
   t_profile : float;
@@ -833,31 +849,37 @@ type sim_row = {
 
 let bench_sim_row (b : B.t) : sim_row =
   let net = stock () in
-  let run_mode mode =
-    let cyc = ref 0 in
-    let (), dt =
-      time (fun () ->
-          List.iter
-            (fun seed ->
-              let o = Runner.run_gate ~mode ~netlist:net b ~seed in
-              cyc := !cyc + o.Runner.sim_cycles)
-            profile_seeds)
-    in
-    (!cyc, float_of_int !cyc /. dt)
+  let sim_cycles = ref 0 in
+  let run_engine engine =
+    median_of_reps (fun () ->
+        let cyc = ref 0 in
+        let (), dt =
+          time (fun () ->
+              List.iter
+                (fun seed ->
+                  let o = Runner.run_gate ~engine ~netlist:net b ~seed in
+                  cyc := !cyc + o.Runner.sim_cycles)
+                profile_seeds)
+        in
+        sim_cycles := !cyc;
+        float_of_int !cyc /. dt)
   in
-  let sim_cycles, full_cps = run_mode Engine.Full in
-  let _, event_cps = run_mode Engine.Event in
+  let full_cps = run_engine Runner.Full in
+  let event_cps = run_engine Runner.Event in
+  let compiled_cps = run_engine Runner.Compiled in
   let packed_cps =
-    let cyc = ref 0 in
-    let (), dt =
-      time (fun () ->
-          List.iter
-            (fun (_, (o : Runner.gate_outcome)) ->
-              cyc := !cyc + o.Runner.sim_cycles)
-            (Runner.run_gate_packed ~netlist:net b ~seeds:profile_seeds))
-    in
-    float_of_int !cyc /. dt
+    median_of_reps (fun () ->
+        let cyc = ref 0 in
+        let (), dt =
+          time (fun () ->
+              List.iter
+                (fun (_, (o : Runner.gate_outcome)) ->
+                  cyc := !cyc + o.Runner.sim_cycles)
+                (Runner.run_gate_packed ~netlist:net b ~seeds:profile_seeds))
+        in
+        float_of_int !cyc /. dt)
   in
+  let sim_cycles = !sim_cycles in
   let (report, anet), t_analysis = time (fun () -> Runner.analyze b) in
   let _, t_cut =
     time (fun () ->
@@ -874,6 +896,7 @@ let bench_sim_row (b : B.t) : sim_row =
     full_cps;
     event_cps;
     packed_cps;
+    compiled_cps;
     t_analysis;
     t_cut;
     t_profile;
@@ -884,6 +907,8 @@ let bench_sim_row (b : B.t) : sim_row =
    the default for every other row in this table, so any regression
    there shows up directly in event_cps; the enabled slowdown is only
    paid when --trace/--metrics-out/BESPOKE_TRACE is in effect. *)
+let obs_reps = 5
+
 let measure_obs_overhead () =
   let b = B.find "mult" in
   let net = stock () in
@@ -893,41 +918,79 @@ let measure_obs_overhead () =
     let (), dt =
       time (fun () ->
           for _ = 1 to reps do
-            let o = Runner.run_gate ~mode:Engine.Event ~netlist:net b ~seed:1 in
+            let o =
+              Runner.run_gate ~engine:Runner.Event ~netlist:net b ~seed:1
+            in
             cyc := !cyc + o.Runner.sim_cycles
           done)
     in
     float_of_int !cyc /. dt
   in
   ignore (run ());  (* warm-up: page in the netlist and code paths *)
-  (* best of three alternating trials per mode: transient machine load
-     only ever slows a trial down, so the max is the honest estimate *)
-  let disabled_cps = ref 0.0 and enabled_cps = ref 0.0 in
-  for _ = 1 to 3 do
-    disabled_cps := Float.max !disabled_cps (run ());
+  (* [obs_reps] alternating trials per mode, paired so both modes see
+     the same load environment, then the median of each: a single
+     transient spike (or lull) cannot produce a nonsense comparison
+     such as a negative enabled slowdown *)
+  let disabled = ref [] and enabled = ref [] in
+  for _ = 1 to obs_reps do
+    disabled := run () :: !disabled;
     Obs.enable ();
-    enabled_cps := Float.max !enabled_cps (run ());
+    enabled := run () :: !enabled;
     Obs.disable ();
     Obs.Trace.clear ();
     Obs.Metrics.reset ()
   done;
-  (!disabled_cps, !enabled_cps)
+  (median !disabled, median !enabled)
+
+(* One-time program-compilation cost of the compiled engine for the
+   stock core, and the per-instance cost of a design-cache hit
+   (dominated by the netlist hash).  Reported separately from the
+   cycles/sec columns, which all run with a warm cache. *)
+let measure_compile_cost () =
+  let net = stock () in
+  Compile.clear_cache ();
+  let _, cold = time (fun () -> ignore (Compile.create net)) in
+  let warm =
+    median_of_reps (fun () ->
+        let _, dt = time (fun () -> ignore (Compile.create net)) in
+        dt)
+  in
+  (cold, warm)
 
 let run_bench_sim () =
   printf "=== simulator throughput: cycles/sec over the profiling workload ===\n";
-  printf "%-12s %9s %10s %10s %10s %8s | %8s %6s %8s\n" "Benchmark" "cycles"
-    "full" "event" "packed" "speedup" "analy(s)" "cut(s)" "prof(s)";
+  printf "%-12s %9s %9s %9s %9s %9s %8s | %8s %6s %8s\n" "Benchmark" "cycles"
+    "full" "event" "packed" "compiled" "speedup" "analy(s)" "cut(s)" "prof(s)";
   let rows =
     List.map
       (fun b ->
         let r = bench_sim_row b in
-        printf "%-12s %9d %10.0f %10.0f %10.0f %7.1fx | %8.2f %6.2f %8.2f\n"
+        printf
+          "%-12s %9d %9.0f %9.0f %9.0f %9.0f %7.1fx | %8.2f %6.2f %8.2f\n"
           r.sr_name r.sr_sim_cycles r.full_cps r.event_cps r.packed_cps
-          (r.packed_cps /. r.full_cps)
+          r.compiled_cps
+          (r.compiled_cps /. r.full_cps)
           r.t_analysis r.t_cut r.t_profile;
         r)
       B.table1
   in
+  let geomean f =
+    exp
+      (List.fold_left (fun acc r -> acc +. log (f r)) 0.0 rows
+      /. float_of_int (List.length rows))
+  in
+  printf
+    "geomean cycles/sec: full %.0f, event %.0f, packed %.0f, compiled %.0f\n"
+    (geomean (fun r -> r.full_cps))
+    (geomean (fun r -> r.event_cps))
+    (geomean (fun r -> r.packed_cps))
+    (geomean (fun r -> r.compiled_cps));
+  let compile_cold_s, compile_warm_s = measure_compile_cost () in
+  printf
+    "compiled engine: program build %.3f s (cache miss), cached create %.4f s \
+     (%d hits / %d misses this run)\n"
+    compile_cold_s compile_warm_s (Compile.cache_hits ())
+    (Compile.cache_misses ());
   let obs_disabled_cps, obs_enabled_cps = measure_obs_overhead () in
   printf
     "obs overhead (mult, event engine): disabled %.0f cps, enabled %.0f cps \
@@ -938,6 +1001,15 @@ let run_bench_sim () =
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"workload\": \"gate-level runs over %d profiling seeds\",\n"
     (List.length profile_seeds);
+  out "  \"timing\": {\"reps\": %d, \"statistic\": \"median\", \
+       \"obs_reps\": %d},\n"
+    timing_reps obs_reps;
+  out
+    "  \"compiled_engine\": {\"compile_seconds\": %.4f, \
+     \"cached_create_seconds\": %.4f,\n\
+    \                      \"cache_hits\": %d, \"cache_misses\": %d},\n"
+    compile_cold_s compile_warm_s (Compile.cache_hits ())
+    (Compile.cache_misses ());
   out
     "  \"obs_overhead\": {\"benchmark\": \"mult\", \"engine\": \"event\",\n\
     \                   \"disabled_cps\": %.0f, \"enabled_cps\": %.0f,\n\
@@ -949,14 +1021,17 @@ let run_bench_sim () =
     (fun i r ->
       out
         "    {\"name\": %S, \"sim_cycles\": %d,\n\
-        \     \"cycles_per_sec\": {\"full\": %.0f, \"event\": %.0f, \"packed\": \
-         %.0f},\n\
-        \     \"speedup_vs_full\": {\"event\": %.2f, \"packed\": %.2f},\n\
+        \     \"cycles_per_sec\": {\"full\": %.0f, \"event\": %.0f, \
+         \"packed\": %.0f, \"compiled\": %.0f},\n\
+        \     \"speedup_vs_full\": {\"event\": %.2f, \"packed\": %.2f, \
+         \"compiled\": %.2f},\n\
         \     \"phase_seconds\": {\"analysis\": %.3f, \"cut\": %.3f, \
          \"profile\": %.3f}}%s\n"
         r.sr_name r.sr_sim_cycles r.full_cps r.event_cps r.packed_cps
+        r.compiled_cps
         (r.event_cps /. r.full_cps)
         (r.packed_cps /. r.full_cps)
+        (r.compiled_cps /. r.full_cps)
         r.t_analysis r.t_cut r.t_profile
         (if i = List.length rows - 1 then "" else ","))
     rows;
@@ -965,20 +1040,69 @@ let run_bench_sim () =
   printf "wrote BENCH_sim.json\n"
 
 (* ------------------------------------------------------------------ *)
-(* bench-smoke: one tiny benchmark through all three engines, asserting
-   bit-identical outcomes.  Wired into `dune runtest` via the
+(* bench-smoke: one tiny benchmark through all four engines, asserting
+   bit-identical outcomes, plus a validation pass over the recorded
+   BENCH_sim.json artifact.  Wired into `dune runtest` via the
    @bench-smoke alias.                                                 *)
+
+(* Validate the checked-in BENCH_sim.json: every benchmark row must
+   carry a compiled column, and the recorded compiled engine must not
+   be slower than the event engine on any benchmark — a regression
+   gate on the artifact the docs quote. *)
+let validate_bench_sim_artifact () =
+  let path =
+    if Sys.file_exists "BENCH_sim.json" then "BENCH_sim.json"
+    else "../BENCH_sim.json"
+  in
+  let ic = open_in path in
+  let rows = ref [] in
+  let name = ref "" in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       (try Scanf.sscanf line "{\"name\": %S" (fun n -> name := n)
+        with Scanf.Scan_failure _ | End_of_file -> ());
+       if
+         String.length line >= 17
+         && String.sub line 0 17 = "\"cycles_per_sec\":"
+       then
+         Scanf.sscanf line
+           "\"cycles_per_sec\": {\"full\": %f, \"event\": %f, \"packed\": \
+            %f, \"compiled\": %f}%_s"
+           (fun _full event _packed compiled ->
+             rows := (!name, event, compiled) :: !rows)
+     done
+   with End_of_file -> close_in ic);
+  if !rows = [] then
+    failwith
+      (Printf.sprintf
+         "bench-smoke: no cycles_per_sec rows with a compiled column in %s \
+          (regenerate with --bench-sim)"
+         path);
+  List.iter
+    (fun (n, event, compiled) ->
+      if compiled < event then
+        failwith
+          (Printf.sprintf
+             "bench-smoke: %s records compiled %.0f < event %.0f cycles/sec \
+              in %s — compiled engine regression"
+             n compiled event path))
+    !rows;
+  printf
+    "bench-smoke: BENCH_sim.json valid (%d benchmarks, compiled >= event on \
+     all)\n"
+    (List.length !rows)
 
 let run_bench_smoke () =
   let b = B.find "mult" in
   let net = stock () in
   let seeds = [ 1; 2; 3 ] in
-  let full =
-    List.map (fun s -> Runner.run_gate ~mode:Engine.Full ~netlist:net b ~seed:s) seeds
+  let run engine =
+    List.map (fun s -> Runner.run_gate ~engine ~netlist:net b ~seed:s) seeds
   in
-  let event =
-    List.map (fun s -> Runner.run_gate ~mode:Engine.Event ~netlist:net b ~seed:s) seeds
-  in
+  let full = run Runner.Full in
+  let event = run Runner.Event in
+  let compiled = run Runner.Compiled in
   let packed = List.map snd (Runner.run_gate_packed ~netlist:net b ~seeds) in
   let check tag (a : Runner.gate_outcome) (c : Runner.gate_outcome) =
     if
@@ -991,8 +1115,12 @@ let run_bench_smoke () =
   in
   List.iter2 (check "event") full event;
   List.iter2 (check "packed") full packed;
-  printf "bench-smoke: full/event/packed bit-identical on %s (%d seeds, %d cycles each)\n"
-    b.B.name (List.length seeds) (List.hd full).Runner.sim_cycles
+  List.iter2 (check "compiled") full compiled;
+  printf
+    "bench-smoke: full/event/packed/compiled bit-identical on %s (%d seeds, \
+     %d cycles each)\n"
+    b.B.name (List.length seeds) (List.hd full).Runner.sim_cycles;
+  validate_bench_sim_artifact ()
 
 (* ------------------------------------------------------------------ *)
 

@@ -70,6 +70,40 @@ let json_arg =
                  $(b,bespoke-report/v1)); all human-readable output moves to \
                  stderr so stdout stays parseable.")
 
+let engine_conv =
+  let parse s =
+    match Runner.engine_of_string s with
+    | Some e -> Ok e
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "unknown engine %S (expected full, event, packed or compiled)" s))
+  in
+  Arg.conv
+    (parse, fun ppf e -> Format.pp_print_string ppf (Runner.engine_to_string e))
+
+(* Every engine is bit-identical; they differ only in speed.  The
+   default varies per subcommand: concrete runs default to the
+   compiled engine, symbolic analysis to the event-driven one. *)
+let engine_arg default =
+  Arg.(value & opt engine_conv default
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:(Printf.sprintf
+                   "Gate-level simulation engine: $(b,full), $(b,event), \
+                    $(b,packed) or $(b,compiled) (default %s).  All engines \
+                    are bit-identical."
+                   (Runner.engine_to_string default)))
+
+(* The packed engine is seed-parallel (many inputs in one bit-parallel
+   run); subcommands that simulate a single concrete or symbolic
+   execution cannot use it. *)
+let require_scalar cmd engine =
+  if engine = Runner.Packed then
+    failwith
+      (cmd
+     ^ ": --engine packed is seed-parallel; choose full, event or compiled")
+
 let load_program file bench : (B.t, string) result =
   match bench, file with
   | Some name, _ -> (
@@ -282,7 +316,7 @@ let cmd_run =
          & info [ "netlist" ] ~docv:"FILE"
              ~doc:"Run on a saved (bespoke) netlist instead of the stock core.")
   in
-  let run file bench gpio seed netlist_file obs =
+  let run file bench gpio seed netlist_file engine obs =
     handle
       (with_obs obs @@ fun () ->
        catching (fun () ->
@@ -291,13 +325,17 @@ let cmd_run =
            let o =
              if b.B.gen_inputs seed = ([], 0) && gpio <> 0 then begin
                (* raw program: run via lockstep with the given gpio *)
+               require_scalar "run" engine;
                let img = Asm.assemble b.B.source in
-               let r = Lockstep.run ?netlist ~gpio_in:gpio img in
+               let r =
+                 Lockstep.run ~mode:(Runner.mode_of_engine engine) ?netlist
+                   ~gpio_in:gpio img
+               in
                Printf.printf "ran %d instructions, %d cycles, gpio_out=0x%04x\n"
                  r.Lockstep.instructions r.Lockstep.cycles r.Lockstep.gpio_final;
                None
              end
-             else Some (Runner.check_equivalence ?netlist b ~seed)
+             else Some (Runner.check_equivalence ~engine ?netlist b ~seed)
            in
            (match o with
            | Some o ->
@@ -316,7 +354,7 @@ let cmd_run =
     Term.(
       ret
         (const run $ file_arg $ bench_arg $ gpio_arg $ seed_arg $ netlist_arg
-        $ obs_args))
+        $ engine_arg Runner.Compiled $ obs_args))
 
 (* ---- analyze ---- *)
 
@@ -327,12 +365,13 @@ let cmd_analyze =
              ~doc:"Write the explored symbolic execution tree as a Graphviz \
                    digraph to $(docv) (nodes colored by how each path ended).")
   in
-  let run file bench json tree_dot obs =
+  let run file bench json tree_dot engine obs =
     handle
       (with_obs obs @@ fun () ->
        catching (fun () ->
            let* b = load_program file bench in
-           let report, net = Runner.analyze b in
+           require_scalar "analyze" engine;
+           let report, net = Runner.analyze ~engine b in
            let oc = if json then stderr else stdout in
            Printf.fprintf oc
              "explored %d paths (%d merges, %d prunes, %d escapes), %d cycles\n"
@@ -369,7 +408,10 @@ let cmd_analyze =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Input-independent gate activity analysis of a program")
-    Term.(ret (const run $ file_arg $ bench_arg $ json_arg $ tree_dot_arg $ obs_args))
+    Term.(
+      ret
+        (const run $ file_arg $ bench_arg $ json_arg $ tree_dot_arg
+        $ engine_arg Runner.Event $ obs_args))
 
 (* ---- tailor ---- *)
 
@@ -393,12 +435,13 @@ let cmd_tailor =
                    gates, the typed cut reason and recorded fanin-cone \
                    constants otherwise.  Repeatable.")
   in
-  let run file bench verify save json explain obs =
+  let run file bench verify save json explain engine obs =
     handle
       (with_obs obs @@ fun () ->
        catching (fun () ->
            let* b = load_program file bench in
-           let report, net = Runner.analyze b in
+           require_scalar "tailor" engine;
+           let report, net = Runner.analyze ~engine b in
            let bespoke, stats, prov =
              Cut.tailor_explained net
                ~possibly_toggled:report.Activity.possibly_toggled
@@ -432,7 +475,8 @@ let cmd_tailor =
            if verify then begin
              List.iter
                (fun seed ->
-                 ignore (Runner.check_equivalence ~netlist:bespoke b ~seed))
+                 ignore
+                   (Runner.check_equivalence ~engine ~netlist:bespoke b ~seed))
                [ 1; 2; 3 ];
              let sys = System.create (B.image b) in
              let sh = System.create ~netlist:bespoke (B.image b) in
@@ -468,7 +512,7 @@ let cmd_tailor =
     Term.(
       ret
         (const run $ file_arg $ bench_arg $ verify_arg $ save_arg $ json_arg
-        $ explain_arg $ obs_args))
+        $ explain_arg $ engine_arg Runner.Event $ obs_args))
 
 (* ---- report (savings artifact across benchmarks) ---- *)
 
@@ -536,7 +580,7 @@ let cmd_verify =
          & info [ "explore-budget" ] ~docv:"N"
              ~doc:"Candidate budget for the coverage-directed input search.")
   in
-  let run file bench json faults seed budget obs =
+  let run file bench json faults seed budget engine obs =
     handle
       (with_obs obs @@ fun () ->
        catching (fun () ->
@@ -547,12 +591,14 @@ let cmd_verify =
                let* b = load_program file bench in
                Ok [ b ]
            in
+           require_scalar "verify" engine;
            List.iter
              (fun (b : B.t) ->
                Printf.eprintf "verifying %-18s ...\n%!" b.B.name)
              benches;
            let campaigns =
-             Verify.run_campaign ~faults ~seed ?explore_budget:budget benches
+             Verify.run_campaign ~engine ~faults ~seed ?explore_budget:budget
+               benches
            in
            let oc = if json then stderr else stdout in
            let ff = Format.formatter_of_out_channel oc in
@@ -592,7 +638,7 @@ let cmd_verify =
     Term.(
       ret
         (const run $ file_arg $ bench_arg $ json_arg $ faults_arg $ seed_arg
-        $ budget_arg $ obs_args))
+        $ budget_arg $ engine_arg Runner.Compiled $ obs_args))
 
 (* ---- update-check (paper Section 3.5) ---- *)
 

@@ -14,7 +14,8 @@ type t = {
   total_cycles : int;
 }
 
-let profile ?netlist ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?(packed = true) b =
+let profile ?netlist ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+    ?(engine = Runner.Packed) b =
   Obs.Span.with_ ~name:"profiling.profile"
     ~args:[ ("benchmark", b.Benchmark.name) ]
     (fun () ->
@@ -28,15 +29,18 @@ let profile ?netlist ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?(packed = true) b =
   let cycles = ref 0 in
   Obs.Metrics.incr m_runs;
   (* All profiling seeds in one bit-parallel run (the default), or one
-     scalar run per seed fanned across the domain pool; both produce
-     bit-identical per-seed outcomes. *)
+     scalar run per seed fanned across the domain pool; every engine
+     produces bit-identical per-seed outcomes. *)
   let outcomes =
-    if packed && List.length seeds > 1 then begin
+    match engine with
+    | Runner.Packed when List.length seeds > 1 ->
       Obs.Metrics.add m_lanes_packed (List.length seeds);
       Runner.run_gate_packed ~netlist:net b ~seeds
-    end
-    else
-      Pool.map (fun seed -> (seed, Runner.run_gate ~netlist:net b ~seed)) seeds
+    | e ->
+      let e = if e = Runner.Packed then Runner.Compiled else e in
+      Pool.map
+        (fun seed -> (seed, Runner.run_gate ~engine:e ~netlist:net b ~seed))
+        seeds
   in
   let per_seed =
     List.map

@@ -18,11 +18,13 @@ type t = {
 }
 
 val profile :
-  ?netlist:Netlist.t -> ?seeds:int list -> ?packed:bool -> Benchmark.t -> t
-(** Default seeds: 1..8.  [packed] (default true) runs all seeds in
-    one bit-parallel {!Bespoke_sim.Engine64} simulation; [false] falls
-    back to one scalar run per seed, fanned across the domain pool
-    when [BESPOKE_JOBS] > 1.  Both paths are bit-identical. *)
+  ?netlist:Netlist.t -> ?seeds:int list -> ?engine:Runner.engine ->
+  Benchmark.t -> t
+(** Default seeds: 1..8.  [engine] (default [Packed]) selects the
+    simulation engine: [Packed] runs all seeds in one bit-parallel
+    {!Bespoke_sim.Engine64} simulation, the scalar engines run one
+    simulation per seed, fanned across the domain pool when
+    [BESPOKE_JOBS] > 1.  All engines are bit-identical. *)
 
 val untoggled_fraction_range :
   Netlist.t -> t -> float * float * float

@@ -14,6 +14,33 @@ module Obs = Bespoke_obs.Obs
 
 let m_gate_runs = Obs.Metrics.counter "runner.gate_runs"
 
+(* Uniform engine selector shared by the library entry points and the
+   CLI.  [Packed] is seed-parallel (one Engine64 lane per seed); the
+   other three map onto {!Engine.mode} for a single scalar run. *)
+type engine = Full | Event | Packed | Compiled
+
+let all_engines = [ Full; Event; Packed; Compiled ]
+
+let engine_to_string = function
+  | Full -> "full"
+  | Event -> "event"
+  | Packed -> "packed"
+  | Compiled -> "compiled"
+
+let engine_of_string = function
+  | "full" -> Some Full
+  | "event" -> Some Event
+  | "packed" -> Some Packed
+  | "compiled" -> Some Compiled
+  | _ -> None
+
+let mode_of_engine = function
+  | Full -> Engine.Full
+  | Event -> Engine.Event
+  | Compiled -> Engine.Compiled
+  | Packed ->
+    invalid_arg "Runner.mode_of_engine: packed is seed-parallel, not a mode"
+
 type iss_outcome = {
   results : (int * int) list;
   cycles : int;
@@ -63,7 +90,8 @@ let load_ram_word sys addr v =
   let ram = System.ram sys in
   Memory.load_int ram ((addr lsr 1) land 0x7ff) v
 
-let run_gate ?mode ?netlist ?(max_cycles = 3_000_000) (b : Benchmark.t) ~seed =
+let run_gate_scalar ~mode ?netlist ?(max_cycles = 3_000_000) (b : Benchmark.t)
+    ~seed =
   Obs.Span.with_ ~name:"runner.run_gate"
     ~args:[ ("benchmark", b.Benchmark.name); ("seed", string_of_int seed) ]
   @@ fun () ->
@@ -71,8 +99,8 @@ let run_gate ?mode ?netlist ?(max_cycles = 3_000_000) (b : Benchmark.t) ~seed =
   let img = Benchmark.image b in
   let sys =
     match netlist with
-    | Some n -> System.create ?mode ~netlist:n img
-    | None -> System.create ?mode ~netlist:(shared_netlist ()) img
+    | Some n -> System.create ~mode ~netlist:n img
+    | None -> System.create ~mode ~netlist:(shared_netlist ()) img
   in
   System.reset sys;
   let ram_writes, gpio = b.Benchmark.gen_inputs seed in
@@ -89,7 +117,7 @@ let run_gate ?mode ?netlist ?(max_cycles = 3_000_000) (b : Benchmark.t) ~seed =
   let after_irq_entry = ref false in
   let deadline = max_cycles in
   while (not (System.halted sys)) && System.cycles sys < deadline do
-    (match (System.read_hook sys "insn_boundary").(0) with
+    (match Bit.of_int_exn (System.insn_boundary_code sys) with
     | Bit.One ->
       if !first then first := false
       else if !after_irq_entry then after_irq_entry := false
@@ -219,7 +247,20 @@ let run_gate_packed ?netlist ?(max_cycles = 3_000_000) (b : Benchmark.t)
   in
   chunk [] seeds
 
-let co_simulate ?netlist ?x_dont_care (b : Benchmark.t) ~seed =
+(* The selector entry point.  [Packed] runs a one-lane Engine64
+   simulation, so every engine answers the same single-seed question
+   with bit-identical results. *)
+let run_gate ?(engine = Compiled) ?netlist ?max_cycles (b : Benchmark.t) ~seed
+    =
+  match engine with
+  | Packed -> (
+    match run_gate_packed ?netlist ?max_cycles b ~seeds:[ seed ] with
+    | [ (_, o) ] -> o
+    | _ -> assert false)
+  | e -> run_gate_scalar ~mode:(mode_of_engine e) ?netlist ?max_cycles b ~seed
+
+let co_simulate ?(engine = Compiled) ?netlist ?x_dont_care (b : Benchmark.t)
+    ~seed =
   Obs.Span.with_ ~name:"runner.co_simulate"
     ~args:[ ("benchmark", b.Benchmark.name); ("seed", string_of_int seed) ]
   @@ fun () ->
@@ -229,12 +270,12 @@ let co_simulate ?netlist ?x_dont_care (b : Benchmark.t) ~seed =
     if b.Benchmark.uses_irq then b.Benchmark.irq_pulses seed else []
   in
   let netlist = match netlist with Some n -> n | None -> shared_netlist () in
-  Bespoke_cpu.Lockstep.run_result ~netlist ~gpio_in:gpio ~ram_writes
-    ~irq_pulse_at ?x_dont_care img
+  Bespoke_cpu.Lockstep.run_result ~mode:(mode_of_engine engine) ~netlist
+    ~gpio_in:gpio ~ram_writes ~irq_pulse_at ?x_dont_care img
 
-let check_equivalence ?netlist (b : Benchmark.t) ~seed =
+let check_equivalence ?engine ?netlist (b : Benchmark.t) ~seed =
   let iss = run_iss b ~seed in
-  let gate = run_gate ?netlist b ~seed in
+  let gate = run_gate ?engine ?netlist b ~seed in
   List.iter2
     (fun (a, expect) (a', got) ->
       assert (a = a');
@@ -264,12 +305,20 @@ let check_equivalence ?netlist (b : Benchmark.t) ~seed =
             b.Benchmark.name seed iss.cycles gate.g_cycles));
   iss
 
-let analyze ?config ?netlist (b : Benchmark.t) =
+let analyze ?config ?(engine = Event) ?netlist (b : Benchmark.t) =
   Obs.Span.with_ ~name:"runner.analyze"
     ~args:[ ("benchmark", b.Benchmark.name) ]
   @@ fun () ->
+  (match engine with
+  | Packed ->
+    invalid_arg
+      "Runner.analyze: packed is seed-parallel; use full, event or compiled"
+  | _ -> ());
   let net = match netlist with Some n -> n | None -> shared_netlist () in
-  let sys = System.create ~netlist:net (Benchmark.image b) in
+  let sys =
+    System.create ~mode:(mode_of_engine engine) ~netlist:net
+      (Benchmark.image b)
+  in
   let config =
     match config with
     | Some c -> { c with Activity.ram_x_ranges = b.Benchmark.input_ranges }

@@ -7,6 +7,24 @@ module Benchmark := Bespoke_programs.Benchmark
 module Netlist := Bespoke_netlist.Netlist
 module Activity := Bespoke_analysis.Activity
 
+type engine = Full | Event | Packed | Compiled
+(** Uniform gate-simulation engine selector, shared by the library
+    entry points and the CLI's [--engine] flag: [Full] re-evaluates
+    every gate per settle (the reference), [Event] is event-driven,
+    [Packed] packs one run per seed into Engine64 lanes, [Compiled]
+    executes the memoized word-level program
+    ({!Bespoke_sim.Compile}).  All four are bit-identical in results,
+    cycle counts and per-gate activity. *)
+
+val all_engines : engine list
+
+val engine_to_string : engine -> string
+val engine_of_string : string -> engine option
+
+val mode_of_engine : engine -> Bespoke_sim.Engine.mode
+(** @raise Invalid_argument on [Packed] (seed-parallel, not a scalar
+    engine mode). *)
+
 type iss_outcome = {
   results : (int * int) list;  (** benchmark result words (addr, value) *)
   cycles : int;
@@ -26,13 +44,13 @@ type gate_outcome = {
 }
 
 val run_gate :
-  ?mode:Bespoke_sim.Engine.mode ->
+  ?engine:engine ->
   ?netlist:Netlist.t -> ?max_cycles:int -> Benchmark.t -> seed:int ->
   gate_outcome
 (** Runs on a fresh system unless [netlist] is given (e.g. a bespoke
     design).  IRQ pulses are applied at the benchmark's instruction
-    indices.  [mode] selects the gate-evaluation strategy (default
-    event-driven; [Full] is the reference sweep). *)
+    indices.  [engine] selects the gate-evaluation strategy (default
+    [Compiled]; [Packed] runs a one-lane packed simulation). *)
 
 val run_gate_packed :
   ?netlist:Netlist.t -> ?max_cycles:int -> Benchmark.t -> seeds:int list ->
@@ -43,7 +61,8 @@ val run_gate_packed :
     same seed and are returned in seed order. *)
 
 val co_simulate :
-  ?netlist:Netlist.t -> ?x_dont_care:bool -> Benchmark.t -> seed:int ->
+  ?engine:engine -> ?netlist:Netlist.t -> ?x_dont_care:bool ->
+  Benchmark.t -> seed:int ->
   (Bespoke_cpu.Lockstep.result, Bespoke_cpu.Lockstep.divergence_info)
   Stdlib.result
 (** Input-based co-simulation (paper Section 5.1): run the benchmark's
@@ -52,23 +71,28 @@ val co_simulate :
     the ISS — every architectural register at every instruction
     boundary, exact cycle counts, final RAM and GPIO.  Never raises on
     divergence; the structured first mismatch is returned so the
-    verification campaign can shrink and report it.  [x_dont_care]
+    verification campaign can shrink and report it.  [engine] (default
+    [Compiled]) selects the scalar gate-level engine;
+    @raise Invalid_argument on [Packed].  [x_dont_care]
     (for tailored designs, see {!Bespoke_cpu.Lockstep.run}) requires
     only the concrete gate-level bits to match. *)
 
 exception Mismatch of string
 
 val check_equivalence :
-  ?netlist:Netlist.t -> Benchmark.t -> seed:int -> iss_outcome
+  ?engine:engine -> ?netlist:Netlist.t -> Benchmark.t -> seed:int ->
+  iss_outcome
 (** Run both models and require identical results, GPIO and cycle
     counts.  Returns the ISS outcome.  @raise Mismatch. *)
 
 val analyze :
-  ?config:Activity.config -> ?netlist:Netlist.t -> Benchmark.t ->
-  Activity.report * Netlist.t
+  ?config:Activity.config -> ?engine:engine -> ?netlist:Netlist.t ->
+  Benchmark.t -> Activity.report * Netlist.t
 (** Input-independent analysis of the benchmark (inputs per its
     [input_ranges]; GPIO X; IRQ X only if the benchmark uses it).
-    Returns the report and the netlist analyzed. *)
+    Returns the report and the netlist analyzed.  [engine] (default
+    [Event]) selects the scalar engine driving the symbolic
+    exploration; @raise Invalid_argument on [Packed]. *)
 
 val shared_netlist : unit -> Netlist.t
 (** One lazily built copy of the stock CPU, shared by callers that do

@@ -100,14 +100,14 @@ let compare_final ~x_dont_care ~insn_idx sys iss =
   | None when x_dont_care && concrete_bits_match (Iss.gpio_out iss) gpio -> ()
   | None -> fail ~at_insn:insn_idx ~at_pc ~what:"gpio_out" "gpio_out unknown in CPU"
 
-let run_result ?netlist ?(gpio_in = 0) ?(ram_writes = []) ?(irq_pulse_at = [])
-    ?(max_insns = 200_000) ?(x_dont_care = false) image =
+let run_result ?mode ?netlist ?(gpio_in = 0) ?(ram_writes = [])
+    ?(irq_pulse_at = []) ?(max_insns = 200_000) ?(x_dont_care = false) image =
   try
     let iss = Iss.create image in
     Iss.reset iss;
     Iss.set_gpio_in iss gpio_in;
     List.iter (fun (a, v) -> Iss.write_ram_word iss a v) ram_writes;
-    let sys = System.create ?netlist image in
+    let sys = System.create ?mode ?netlist image in
     System.reset sys;
     System.set_gpio_in_int sys gpio_in;
     List.iter
@@ -162,10 +162,10 @@ let run_result ?netlist ?(gpio_in = 0) ?(ram_writes = []) ?(irq_pulse_at = [])
       }
   with Diverged info -> Error info
 
-let run ?netlist ?gpio_in ?ram_writes ?irq_pulse_at ?max_insns ?x_dont_care
-    image =
+let run ?mode ?netlist ?gpio_in ?ram_writes ?irq_pulse_at ?max_insns
+    ?x_dont_care image =
   match
-    run_result ?netlist ?gpio_in ?ram_writes ?irq_pulse_at ?max_insns
+    run_result ?mode ?netlist ?gpio_in ?ram_writes ?irq_pulse_at ?max_insns
       ?x_dont_care image
   with
   | Ok r -> r

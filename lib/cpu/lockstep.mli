@@ -33,6 +33,7 @@ type divergence_info = {
 exception Divergence of string
 
 val run :
+  ?mode:Bespoke_sim.Engine.mode ->
   ?netlist:Bespoke_netlist.Netlist.t ->
   ?gpio_in:int ->
   ?ram_writes:(int * int) list ->
@@ -41,7 +42,9 @@ val run :
   ?x_dont_care:bool ->
   Bespoke_isa.Asm.image ->
   result
-(** Runs both models to completion (the halt port).  [ram_writes]
+(** Runs both models to completion (the halt port).  [mode] selects
+    the gate-level simulation engine for the CPU side (the ISS is
+    unaffected); all modes are bit-identical.  [ram_writes]
     preloads (byte address, word) pairs into both models' data RAM
     before the run (benchmark inputs).  [irq_pulse_at] lists
     instruction indices before which the external IRQ line is pulsed
@@ -58,6 +61,7 @@ val run :
     diagnostic. *)
 
 val run_result :
+  ?mode:Bespoke_sim.Engine.mode ->
   ?netlist:Bespoke_netlist.Netlist.t ->
   ?gpio_in:int ->
   ?ram_writes:(int * int) list ->

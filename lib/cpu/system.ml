@@ -6,12 +6,31 @@ module Memory = Bespoke_sim.Memory
 module Asm = Bespoke_isa.Asm
 module Memmap = Bespoke_isa.Memmap
 
+(* Gate ids of the signals the per-cycle loop probes, resolved once at
+   [create] so the hot path never goes through string lookups or
+   allocates Bvecs. *)
+type hooks = {
+  pmem_widx : int array;  (* pmem_addr[11:1] *)
+  dmem_widx : int array;  (* dmem_addr[11:1] *)
+  pmem_rdata : int array;
+  dmem_rdata : int array;
+  dmem_wdata : int array;
+  dmem_wen : int;
+  dmem_ben0 : int;
+  dmem_ben1 : int;
+  gpio_wr : int;
+  halted : int;
+  fetching : int;
+  insn_boundary : int;
+}
+
 type t = {
   eng : Engine.t;
   image : Asm.image;
   rom : Memory.t;  (* 2048 words, indexed by addr[11:1] *)
   ram : Memory.t;  (* 2048 words, indexed by addr[11:1] *)
   mem_cone : Engine.cone;
+  hk : hooks;
   mutable gpio_in : Bvec.t;
   mutable irq : Bit.t;
   mutable cycle : int;
@@ -32,12 +51,31 @@ let create ?mode ?netlist image =
       (Netlist.find_input net "dmem_rdata")
   in
   let mem_cone = Engine.make_cone eng mem_inputs in
+  let bit0 name = (Netlist.find_name net name).(0) in
+  let ben = Netlist.find_name net "dmem_ben" in
+  let hk =
+    {
+      pmem_widx = Array.sub (Netlist.find_name net "pmem_addr") 1 11;
+      dmem_widx = Array.sub (Netlist.find_name net "dmem_addr") 1 11;
+      pmem_rdata = Netlist.find_input net "pmem_rdata";
+      dmem_rdata = Netlist.find_input net "dmem_rdata";
+      dmem_wdata = Netlist.find_name net "dmem_wdata";
+      dmem_wen = bit0 "dmem_wen";
+      dmem_ben0 = ben.(0);
+      dmem_ben1 = ben.(1);
+      gpio_wr = bit0 "gpio_wr";
+      halted = bit0 "halted";
+      fetching = bit0 "fetching";
+      insn_boundary = bit0 "insn_boundary";
+    }
+  in
   {
     eng;
     image;
     rom;
     ram;
     mem_cone;
+    hk;
     gpio_in = Bvec.of_int ~width:16 0;
     irq = Bit.Zero;
     cycle = 0;
@@ -48,12 +86,25 @@ let netlist t = Engine.netlist t.eng
 let engine t = t.eng
 let image t = t.image
 
-(* Feed combinational memory read data for the currently settled cycle. *)
+(* Feed combinational memory read data for the currently settled
+   cycle.  The int fast path applies while address and stored word are
+   fully known (the overwhelmingly common concrete case); any X falls
+   back to the ternary Bvec path with identical semantics. *)
+let feed_port t mem ~widx ~rdata ~addr_name ~rdata_name =
+  (match Engine.read_int_ids t.eng widx with
+  | Some w -> (
+    match Memory.read_word_int mem w with
+    | Some v -> Engine.set_gates_int t.eng rdata v
+    | None -> Engine.set_input t.eng rdata_name (Memory.read_word mem w))
+  | None ->
+    let addr = Engine.read t.eng addr_name in
+    Engine.set_input t.eng rdata_name (Memory.read mem (word_index addr)))
+
 let feed_memories t =
-  let pmem_addr = Engine.read t.eng "pmem_addr" in
-  Engine.set_input t.eng "pmem_rdata" (Memory.read t.rom (word_index pmem_addr));
-  let dmem_addr = Engine.read t.eng "dmem_addr" in
-  Engine.set_input t.eng "dmem_rdata" (Memory.read t.ram (word_index dmem_addr));
+  feed_port t t.rom ~widx:t.hk.pmem_widx ~rdata:t.hk.pmem_rdata
+    ~addr_name:"pmem_addr" ~rdata_name:"pmem_rdata";
+  feed_port t t.ram ~widx:t.hk.dmem_widx ~rdata:t.hk.dmem_rdata
+    ~addr_name:"dmem_addr" ~rdata_name:"dmem_rdata";
   Engine.eval_cone t.eng t.mem_cone
 
 let apply_inputs t =
@@ -97,8 +148,10 @@ let reg t i =
   | 3 -> Bvec.of_int ~width:16 0
   | _ -> read_hook t (Printf.sprintf "r%d" i)
 
-let halted t = Bit.equal (read_hook t "halted").(0) Bit.One
-let fetching t = (read_hook t "fetching").(0)
+let halted t = Engine.value_code t.eng t.hk.halted = 1
+let fetching t = Engine.value t.eng t.hk.fetching
+
+let insn_boundary_code t = Engine.value_code t.eng t.hk.insn_boundary
 let cycles t = t.cycle
 let ram t = t.ram
 let read_ram_word t addr = Memory.read_word t.ram ((addr lsr 1) land 0x7ff)
@@ -111,22 +164,37 @@ let gpio_out t = read_hook t "gpio_out"
 
 let output_trace t = List.rev t.trace
 
-(* Sample this cycle's RAM write (if any) and the GPIO trace. *)
+(* Sample this cycle's RAM write (if any) and the GPIO trace.  The
+   ternary path is kept for any X on the write port; definite writes
+   (the common case) go through the masked-int fast path. *)
+let sample_writes_slow t wen =
+  let addr = read_hook t "dmem_addr" in
+  let ben = read_hook t "dmem_ben" in
+  let data = read_hook t "dmem_wdata" in
+  let mask = Array.init 16 (fun i -> if i < 8 then ben.(0) else ben.(1)) in
+  Memory.write t.ram ~addr:(word_index addr) ~data ~mask ~en:wen
+
 let sample_writes t =
-  let wen = (read_hook t "dmem_wen").(0) in
-  (match wen with
-  | Bit.Zero -> ()
-  | Bit.One | Bit.X ->
-    let addr = read_hook t "dmem_addr" in
-    let ben = read_hook t "dmem_ben" in
-    let data = read_hook t "dmem_wdata" in
-    let mask =
-      Array.init 16 (fun i -> if i < 8 then ben.(0) else ben.(1))
-    in
-    Memory.write t.ram ~addr:(word_index addr) ~data ~mask ~en:wen);
-  match (read_hook t "gpio_wr").(0) with
-  | Bit.One -> t.trace <- (t.cycle, gpio_out t) :: t.trace
-  | Bit.Zero | Bit.X -> ()
+  let hk = t.hk in
+  (match Engine.value_code t.eng hk.dmem_wen with
+  | 0 -> ()
+  | 1 -> (
+    let b0 = Engine.value_code t.eng hk.dmem_ben0 in
+    let b1 = Engine.value_code t.eng hk.dmem_ben1 in
+    if b0 <= 1 && b1 <= 1 then
+      match
+        ( Engine.read_int_ids t.eng hk.dmem_widx,
+          Engine.read_int_ids t.eng hk.dmem_wdata )
+      with
+      | Some w, Some data ->
+        let mask = (if b0 = 1 then 0xff else 0) lor (if b1 = 1 then 0xff00 else 0) in
+        if mask <> 0 then Memory.write_masked_int t.ram w ~data ~mask
+      | _ -> sample_writes_slow t Bit.One
+    else sample_writes_slow t Bit.One)
+  | _ -> sample_writes_slow t Bit.X);
+  match Engine.value_code t.eng hk.gpio_wr with
+  | 1 -> t.trace <- (t.cycle, gpio_out t) :: t.trace
+  | _ -> ()
 
 let step_cycle t =
   sample_writes t;
@@ -152,10 +220,10 @@ let run_to_boundary ?(max_cycles = 1_000_000) t =
            is pre-empted by a pending interrupt: that is still an
            instruction boundary (it aligns with the ISS, whose
            interrupt entry is its own step). *)
-        match (read_hook t "insn_boundary").(0) with
-        | Bit.One -> `Fetch
-        | Bit.X -> `Unknown
-        | Bit.Zero -> go ()
+        match insn_boundary_code t with
+        | 1 -> `Fetch
+        | 0 -> go ()
+        | _ -> `Unknown
     end
   in
   go ()

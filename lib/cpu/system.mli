@@ -48,6 +48,10 @@ val halted : t -> bool
 val fetching : t -> Bit.t
 (** Value of the "fetching" hook this cycle. *)
 
+val insn_boundary_code : t -> int
+(** Ternary code (0/1/2=X) of the "insn_boundary" hook, allocation-free
+    (for per-cycle driver loops). *)
+
 val cycles : t -> int
 val ram : t -> Memory.t
 val read_ram_word : t -> int -> Bvec.t

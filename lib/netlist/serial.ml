@@ -224,3 +224,37 @@ let load_gate_set path =
   let text = really_input_string ic (in_channel_length ic) in
   close_in ic;
   gate_set_of_string text
+
+(* Design identity for memoization caches (e.g. the compiled-simulation
+   cache): a digest of the canonical text serialization, so any change
+   to a gate, port or name produces a different key while re-serialized
+   copies of the same design share one. *)
+(* Digest over a compact binary encoding of the same information as
+   [to_string].  [create]-per-run callers (the compiled engine's
+   design cache) hit this on every instance, so it avoids the Printf
+   formatting cost of the text serialization. *)
+let hash (n : Netlist.t) =
+  let buf = Buffer.create (1 lsl 16) in
+  let add_int i = Buffer.add_int64_le buf (Int64.of_int i) in
+  let add_str s =
+    add_int (String.length s);
+    Buffer.add_string buf s
+  in
+  add_int (Netlist.gate_count n);
+  Array.iter
+    (fun (g : Gate.t) ->
+      add_str (op_token g.Gate.op);
+      add_int g.Gate.drive;
+      add_str g.Gate.module_path;
+      add_int (Array.length g.Gate.fanin);
+      Array.iter add_int g.Gate.fanin)
+    n.Netlist.gates;
+  let port (name, ids) =
+    add_str name;
+    add_int (Array.length ids);
+    Array.iter add_int ids
+  in
+  List.iter port n.Netlist.input_ports;
+  List.iter port n.Netlist.output_ports;
+  List.iter port n.Netlist.names;
+  Digest.to_hex (Digest.bytes (Buffer.to_bytes buf))

@@ -35,3 +35,9 @@ val gate_set_to_string : bool array -> string
 val gate_set_of_string : string -> bool array
 val save_gate_set : string -> bool array -> unit
 val load_gate_set : string -> bool array
+
+val hash : Netlist.t -> string
+(** Hex digest of the canonical serialization — a stable design
+    identity used to key memoization caches (the compiled-simulation
+    engine's design cache in particular).  Equal for structurally
+    identical netlists, different after any gate/port/name change. *)

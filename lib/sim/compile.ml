@@ -1,0 +1,1441 @@
+module Bit = Bespoke_logic.Bit
+module Bvec = Bespoke_logic.Bvec
+module Gate = Bespoke_netlist.Gate
+module Netlist = Bespoke_netlist.Netlist
+module Serial = Bespoke_netlist.Serial
+module Obs = Bespoke_obs.Obs
+
+(* Telemetry: compilation/cache traffic and per-settle execution
+   counts ("ops per cycle" = instr_execs / cycles).  All hooks are
+   flag-guarded so the disabled cost is one check per settle. *)
+let m_cache_hits = Obs.Metrics.counter "sim.compile.cache_hits"
+let m_cache_misses = Obs.Metrics.counter "sim.compile.cache_misses"
+let m_instr_execs = Obs.Metrics.counter "sim.compile.instr_execs"
+let m_settles = Obs.Metrics.counter "sim.compile.settles"
+let m_cycles = Obs.Metrics.counter "sim.compile.cycles"
+let h_active = Obs.Metrics.histogram "sim.compile.execs_per_settle"
+
+(* Gate opcodes, same numbering as [Engine]. *)
+let op_buf = 0
+
+and op_not = 1
+
+and op_and = 2
+
+and op_or = 3
+
+and op_nand = 4
+
+and op_nor = 5
+
+and op_xor = 6
+
+and op_xnor = 7
+
+and op_mux = 8
+
+let opcode_of : Gate.op -> int = function
+  | Gate.Buf -> op_buf
+  | Gate.Not -> op_not
+  | Gate.And -> op_and
+  | Gate.Or -> op_or
+  | Gate.Nand -> op_nand
+  | Gate.Nor -> op_nor
+  | Gate.Xor -> op_xor
+  | Gate.Xnor -> op_xnor
+  | Gate.Mux -> op_mux
+  | Gate.Const _ | Gate.Input | Gate.Dff _ -> -1
+
+(* An operand is a width-w column of gate values, materialized as a
+   pair of dual-rail words.  Columns that land as consecutive bits of
+   one state word are a shift; single-gate columns broadcast; anything
+   else gathers bit by bit through precompiled locations.  This is the
+   compile-time representation; the program stores operands encoded
+   into ints (see [enc_op]). *)
+type operand =
+  | OAligned of { c : int; sh : int }
+  | OBcast of { c : int; sh : int }
+  | OGather of int array  (* per output bit: (chunk lsl 6) lor bit *)
+
+(* Compile-time IR, serialized to the flat [code] array below. *)
+type instr =
+  | I1 of { op : int; a : operand; dst : int; mask : int }
+  | I2 of { op : int; a : operand; b : operand; dst : int; mask : int }
+  | IMuxS of {
+      sel_c : int;
+      sel_sh : int;
+      a : operand;
+      b : operand;
+      dst : int;
+      mask : int;
+    }
+  | IMuxV of { sel : operand; a : operand; b : operand; dst : int; mask : int }
+  | IAdd of {
+      x : operand;
+      y : operand;
+      cin_c : int;
+      cin_sh : int;
+      d_axb : int;
+      d_out : int;
+      d_t1 : int;
+      d_t2 : int;
+      d_cout : int;
+      w : int;
+      mask : int;
+    }
+  | IGate of {
+      op : int;
+      l0 : int;
+      l1 : int;
+      l2 : int;
+      dst : int;  (* packed destination location *)
+      dg : int;  (* destination gate id *)
+    }
+
+(* The immutable compiled design, shared by every instance simulating
+   a netlist with the same design hash (including across domains).
+   Instructions live in one flat int array [code] indexed through
+   [ioff], so the dispatch loop chases no pointers:
+     word ops    [opc; dst; mask; operands...]         opc 0..9
+     adder       [10; mask; w; cin; 5 dsts; x; y]
+     scalar gate [11+op; dstloc; dstgate; fanin locs]
+   Word operands are ints: low 2 bits select aligned (0) / broadcast
+   (1) / gather (2); aligned and broadcast carry chunk and shift,
+   gather carries an offset into [gpool] (length-prefixed location
+   list). *)
+type program = {
+  ng : int;
+  nchunks : int;
+  ninstr : int;
+  ch_mask : int array;
+  ch_gidx : int array;  (* chunk -> offset of its bit->gate map *)
+  ch_bitidx : Bytes.t;  (* chunks whose readers are tracked per gate *)
+  gid_tbl : int array;  (* ch_gidx.(c) + bit -> gate id *)
+  g_chunk : int array;
+  g_bit : int array;
+  code : int array;
+  ioff : int array;  (* instr index -> offset into [code] *)
+  gpool : int array;
+  rd_start : int array;  (* CSR: word chunk -> (reader, read-mask) *)
+  rd_instr : int array;
+  rd_mask : int array;
+  rb_start : int array;  (* CSR: gate -> readers (bit-indexed chunks) *)
+  rb : int array;
+  rs_chunk : int array;  (* reset plan: source chunks and their rails *)
+  rs_lo : int array;
+  rs_hi : int array;
+  dc_chunk : int array;  (* clock-edge plan: DFF chunk and its D column *)
+  dc_src : operand array;
+  dc_mask : int array;
+  dff_ids : int array;
+  n_word_gates : int;
+  n_adders : int;
+}
+
+(* Toggle counters are bit-sliced: plane i of a chunk holds bit i of
+   every lane's count, so charging a whole changed-mask costs an
+   amortized two word ops instead of a per-bit loop. *)
+let planes = 32
+
+type t = {
+  net : Netlist.t;
+  p : program;
+  lo : int array;  (* dual-rail state: can-be-0 / can-be-1, per chunk *)
+  hi : int array;
+  prev_lo : int array;
+  prev_hi : int array;
+  poss_w : int array;  (* per-chunk mask of already possibly-toggled bits *)
+  tplanes : int array;  (* bit-sliced toggle counters, [planes] per chunk *)
+  possibly : Bytes.t;
+  pend : int array;  (* pending-instruction bitmask, topo order *)
+  touched : int array;  (* chunks written-with-change since last commit *)
+  mutable touched_len : int;
+  in_touched : Bytes.t;
+  mutable committed : int;
+  mutable full_commit : bool;
+  mutable on_first_possibly : (int -> unit) option;
+  mutable sc_lo : int;  (* operand-load scratch, avoids tuple allocation *)
+  mutable sc_hi : int;
+  dff_next_lo : int array;
+  dff_next_hi : int array;
+  from_cache : bool;
+}
+
+let max_w = 63
+
+(* trailing-zero count of a one-bit word *)
+let ntz b =
+  let n = ref 0 and b = ref b in
+  if !b land 0xFFFFFFFF = 0 then begin
+    n := !n + 32;
+    b := !b lsr 32
+  end;
+  if !b land 0xFFFF = 0 then begin
+    n := !n + 16;
+    b := !b lsr 16
+  end;
+  if !b land 0xFF = 0 then begin
+    n := !n + 8;
+    b := !b lsr 8
+  end;
+  if !b land 0xF = 0 then begin
+    n := !n + 4;
+    b := !b lsr 4
+  end;
+  if !b land 0x3 = 0 then begin
+    n := !n + 2;
+    b := !b lsr 2
+  end;
+  if !b land 0x1 = 0 then incr n;
+  !n
+
+(* ---------- compilation ---------- *)
+
+type kind =
+  | KAdd of int  (* ripple-carry chain of w repetitions (5 gates each) *)
+  | KRun of int  (* w consecutive same-op gates, constant-stride columns *)
+  | KSeq of int  (* w consecutive DFF or input bits sharing one word *)
+
+let loc_pack c b = (c lsl 6) lor b
+
+let compile net =
+  let ng = Netlist.gate_count net in
+  let gates = net.Netlist.gates in
+  (* Clustering (and ordering instructions by base id) relies on every
+     combinational gate reading strictly lower ids; netlists built by
+     the RTL DSL and the fuzzers satisfy this.  Otherwise fall back to
+     per-gate instructions in levelized order. *)
+  let forward_ok =
+    let ok = ref true in
+    Array.iteri
+      (fun id (g : Gate.t) ->
+        if not (Gate.is_source g) then
+          Array.iter (fun f -> if f >= id then ok := false) g.fanin)
+      gates;
+    !ok
+  in
+  let start : kind option array = Array.make (max ng 1) None in
+  let claimed = Bytes.make (max ng 1) '\000' in
+  let is_claimed i = Bytes.get claimed i <> '\000' in
+  let claim i n = Bytes.fill claimed i n '\001' in
+  if forward_ok then begin
+    (* Ripple-carry adders: the RTL lowering emits, per bit,
+       axb = Xor(x,y); out = Xor(axb,c); t1 = And(x,y);
+       t2 = And(c,axb); c' = Or(t1,t2), with the carry chain linking
+       consecutive 5-gate repetitions. *)
+    let add_bit_at i ~base ~carry =
+      i + 4 < ng
+      && (not (is_claimed i))
+      &&
+      let axb = gates.(i)
+      and out = gates.(i + 1)
+      and t1 = gates.(i + 2)
+      and t2 = gates.(i + 3)
+      and c' = gates.(i + 4) in
+      match (axb.op, out.op, t1.op, t2.op, c'.op) with
+      | Gate.Xor, Gate.Xor, Gate.And, Gate.And, Gate.Or ->
+        Array.length axb.fanin = 2
+        && axb.fanin.(0) < base
+        && axb.fanin.(1) < base
+        && out.fanin.(0) = i
+        && out.fanin.(1)
+           = (match carry with Some c -> c | None -> out.fanin.(1))
+        && (match carry with Some _ -> true | None -> out.fanin.(1) < base)
+        && t1.fanin.(0) = axb.fanin.(0)
+        && t1.fanin.(1) = axb.fanin.(1)
+        && t2.fanin.(0) = out.fanin.(1)
+        && t2.fanin.(1) = i
+        && c'.fanin.(0) = i + 2
+        && c'.fanin.(1) = i + 3
+      | _ -> false
+    in
+    let i = ref 0 in
+    while !i < ng do
+      if (not (is_claimed !i)) && add_bit_at !i ~base:!i ~carry:None then begin
+        let base = !i in
+        let w = ref 1 in
+        while
+          !w < 60
+          && add_bit_at
+               (base + (5 * !w))
+               ~base
+               ~carry:(Some (base + (5 * !w) - 1))
+        do
+          incr w
+        done;
+        if !w >= 2 then begin
+          start.(base) <- Some (KAdd !w);
+          claim base (5 * !w);
+          i := base + (5 * !w)
+        end
+        else incr i
+      end
+      else incr i
+    done;
+    (* Vector runs: maximal consecutive-id same-op gates whose fanin
+       columns are arithmetic progressions through lower ids. *)
+    let i = ref 0 in
+    while !i < ng do
+      let g = gates.(!i) in
+      let nf = Array.length g.fanin in
+      if (not (is_claimed !i)) && (not (Gate.is_source g)) && nf > 0 then begin
+        let base = !i in
+        let strides = Array.make nf 0 in
+        let w = ref 1 in
+        let fits k =
+          (* does gate base+k extend the run? *)
+          base + k < ng
+          && (not (is_claimed (base + k)))
+          &&
+          let h = gates.(base + k) in
+          Gate.op_equal h.op g.op
+          && Array.length h.fanin = nf
+          &&
+          let ok = ref true in
+          for j = 0 to nf - 1 do
+            if k = 1 then strides.(j) <- h.fanin.(j) - g.fanin.(j);
+            if h.fanin.(j) <> g.fanin.(j) + (strides.(j) * k) then ok := false;
+            if h.fanin.(j) >= base then ok := false
+          done;
+          !ok
+        in
+        while !w < max_w && fits !w do
+          incr w
+        done;
+        if !w >= 2 then begin
+          start.(base) <- Some (KRun !w);
+          claim base !w;
+          i := base + !w
+        end
+        else incr i
+      end
+      else incr i
+    done
+  end;
+  (* DFF and input-port bits: consecutive ids share one word. *)
+  let i = ref 0 in
+  while !i < ng do
+    if not (is_claimed !i) then begin
+      let seq_op (g : Gate.t) =
+        match g.op with
+        | Gate.Dff _ -> 1
+        | Gate.Input -> 2
+        | _ -> 0
+      in
+      let k = seq_op gates.(!i) in
+      if k <> 0 then begin
+        let base = !i in
+        let w = ref 1 in
+        while
+          !w < max_w
+          && base + !w < ng
+          && (not (is_claimed (base + !w)))
+          && seq_op gates.(base + !w) = k
+        do
+          incr w
+        done;
+        if !w >= 2 then start.(base) <- Some (KSeq !w);
+        claim base !w;
+        i := base + !w
+      end
+      else incr i
+    end
+    else incr i
+  done;
+  (* Pass 1: assign every gate a (chunk, bit) location.  Gates inside
+     a discovered structure share a word; leftover singletons are
+     packed up to 63 per word by category (combinational / DFF /
+     source), keeping the state vector small and commits cheap.
+     Readers of packed-singleton bits are scheduled through per-gate
+     lists ([rb]); word-structure chunks use per-chunk reader lists
+     with read-masks ([rd]), so a changed bit only wakes instructions
+     that actually read it. *)
+  let g_chunk = Array.make (max ng 1) 0 in
+  let g_bit = Array.make (max ng 1) 0 in
+  let ch_mask = ref [] and ch_gids = ref [] and ch_bit = ref [] in
+  let nchunks = ref 0 in
+  let new_chunk gids ~bitidx =
+    let c = !nchunks in
+    incr nchunks;
+    let w = Array.length gids in
+    ch_mask := ((1 lsl w) - 1) :: !ch_mask;
+    ch_gids := gids :: !ch_gids;
+    ch_bit := bitidx :: !ch_bit;
+    Array.iteri
+      (fun b g ->
+        g_chunk.(g) <- c;
+        g_bit.(g) <- b)
+      gids;
+    c
+  in
+  let n_word_gates = ref 0 and n_adders = ref 0 in
+  let pools = Array.make 3 [] and pool_n = Array.make 3 0 in
+  let flush cat =
+    if pool_n.(cat) > 0 then begin
+      ignore (new_chunk (Array.of_list (List.rev pools.(cat))) ~bitidx:true);
+      pools.(cat) <- [];
+      pool_n.(cat) <- 0
+    end
+  in
+  let pool cat g =
+    pools.(cat) <- g :: pools.(cat);
+    pool_n.(cat) <- pool_n.(cat) + 1;
+    if pool_n.(cat) = max_w then flush cat
+  in
+  let i = ref 0 in
+  while !i < ng do
+    match start.(!i) with
+    | Some (KAdd w) ->
+      let base = !i in
+      for k = 0 to 4 do
+        ignore
+          (new_chunk (Array.init w (fun b -> base + k + (5 * b))) ~bitidx:false)
+      done;
+      n_word_gates := !n_word_gates + (5 * w);
+      incr n_adders;
+      i := base + (5 * w)
+    | Some (KRun w) | Some (KSeq w) ->
+      let base = !i in
+      ignore (new_chunk (Array.init w (fun b -> base + b)) ~bitidx:false);
+      n_word_gates := !n_word_gates + w;
+      i := base + w
+    | None ->
+      let cat =
+        match gates.(!i).Gate.op with
+        | Gate.Dff _ -> 1
+        | Gate.Input | Gate.Const _ -> 2
+        | _ -> 0
+      in
+      pool cat !i;
+      incr i
+  done;
+  flush 0;
+  flush 1;
+  flush 2;
+  let nchunks = !nchunks in
+  let ch_mask = Array.of_list (List.rev !ch_mask) in
+  let ch_gids = Array.of_list (List.rev !ch_gids) in
+  let ch_bitarr = Array.of_list (List.rev !ch_bit) in
+  let ch_bitidx = Bytes.make (max nchunks 1) '\000' in
+  Array.iteri (fun c b -> if b then Bytes.set ch_bitidx c '\001') ch_bitarr;
+  let ch_gidx = Array.make (nchunks + 1) 0 in
+  for c = 0 to nchunks - 1 do
+    ch_gidx.(c + 1) <- ch_gidx.(c) + Array.length ch_gids.(c)
+  done;
+  let gid_tbl = Array.make (max ng 1) 0 in
+  Array.iteri
+    (fun c gids -> Array.iteri (fun b g -> gid_tbl.(ch_gidx.(c) + b) <- g) gids)
+    ch_gids;
+  (* Pass 2: build instructions (locations are now all known). *)
+  let mk_operand (col : int array) =
+    let w = Array.length col in
+    let g0 = col.(0) in
+    let all_same = ref (w > 1) in
+    Array.iter (fun g -> if g <> g0 then all_same := false) col;
+    if !all_same then OBcast { c = g_chunk.(g0); sh = g_bit.(g0) }
+    else begin
+      let c0 = g_chunk.(g0) and b0 = g_bit.(g0) in
+      let aligned = ref true in
+      Array.iteri
+        (fun k g ->
+          if g_chunk.(g) <> c0 || g_bit.(g) <> b0 + k then aligned := false)
+        col;
+      if !aligned then OAligned { c = c0; sh = b0 }
+      else OGather (Array.map (fun g -> loc_pack g_chunk.(g) g_bit.(g)) col)
+    end
+  in
+  let column base stride w j =
+    Array.init w (fun k -> gates.(base + (stride * k)).Gate.fanin.(j))
+  in
+  let instrs = ref [] in
+  let ninstr = ref 0 in
+  let emit ins =
+    instrs := ins :: !instrs;
+    incr ninstr
+  in
+  let emit_single id (g : Gate.t) =
+    let nf = Array.length g.fanin in
+    let l j =
+      if j < nf then loc_pack g_chunk.(g.fanin.(j)) g_bit.(g.fanin.(j)) else 0
+    in
+    emit
+      (IGate
+         {
+           op = opcode_of g.op;
+           l0 = l 0;
+           l1 = l 1;
+           l2 = l 2;
+           dst = loc_pack g_chunk.(id) g_bit.(id);
+           dg = id;
+         })
+  in
+  let emit_struct id =
+    match start.(id) with
+    | Some (KAdd w) ->
+      let out0 = gates.(id + 1) in
+      emit
+        (IAdd
+           {
+             x = mk_operand (column id 5 w 0);
+             y = mk_operand (column id 5 w 1);
+             cin_c = g_chunk.(out0.fanin.(1));
+             cin_sh = g_bit.(out0.fanin.(1));
+             d_axb = g_chunk.(id);
+             d_out = g_chunk.(id + 1);
+             d_t1 = g_chunk.(id + 2);
+             d_t2 = g_chunk.(id + 3);
+             d_cout = g_chunk.(id + 4);
+             w;
+             mask = (1 lsl w) - 1;
+           })
+    | Some (KRun w) ->
+      let g = gates.(id) in
+      let dst = g_chunk.(id) and mask = (1 lsl w) - 1 in
+      let op = opcode_of g.op in
+      if op = op_buf || op = op_not then
+        emit (I1 { op; a = mk_operand (column id 1 w 0); dst; mask })
+      else if op = op_mux then begin
+        let sel = column id 1 w 0 in
+        let a = mk_operand (column id 1 w 1) in
+        let b = mk_operand (column id 1 w 2) in
+        let s0 = sel.(0) in
+        let bcast = Array.for_all (fun g -> g = s0) sel in
+        if bcast then
+          emit
+            (IMuxS
+               { sel_c = g_chunk.(s0); sel_sh = g_bit.(s0); a; b; dst; mask })
+        else emit (IMuxV { sel = mk_operand sel; a; b; dst; mask })
+      end
+      else
+        emit
+          (I2
+             {
+               op;
+               a = mk_operand (column id 1 w 0);
+               b = mk_operand (column id 1 w 1);
+               dst;
+               mask;
+             })
+    | Some (KSeq _) | None -> ()
+  in
+  if forward_ok then begin
+    let i = ref 0 in
+    while !i < ng do
+      (match start.(!i) with
+      | Some (KAdd w) ->
+        emit_struct !i;
+        i := !i + (5 * w)
+      | Some (KRun w) ->
+        emit_struct !i;
+        i := !i + w
+      | Some (KSeq w) -> i := !i + w
+      | None ->
+        let g = gates.(!i) in
+        if not (Gate.is_source g) then emit_single !i g;
+        incr i)
+    done
+  end
+  else
+    (* Per-gate instructions in levelized (topological) order. *)
+    Array.iter (fun id -> emit_single id gates.(id)) (Netlist.levelize net);
+  let ninstr = !ninstr in
+  let prog = Array.of_list (List.rev !instrs) in
+  (* Serialize the IR into the flat dispatch format. *)
+  let codebuf = ref [] and clen = ref 0 in
+  let emitw w =
+    codebuf := w :: !codebuf;
+    incr clen
+  in
+  let gbuf = ref [] and glen = ref 0 in
+  let enc_op = function
+    | OAligned { c; sh } -> (c lsl 8) lor (sh lsl 2)
+    | OBcast { c; sh } -> (c lsl 8) lor (sh lsl 2) lor 1
+    | OGather locs ->
+      let off = !glen in
+      gbuf := Array.length locs :: !gbuf;
+      incr glen;
+      Array.iter
+        (fun l ->
+          gbuf := l :: !gbuf;
+          incr glen)
+        locs;
+      (off lsl 2) lor 2
+  in
+  let ioff = Array.make (ninstr + 1) 0 in
+  Array.iteri
+    (fun i ins ->
+      ioff.(i) <- !clen;
+      match ins with
+      | I1 { op; a; dst; mask } ->
+        emitw op;
+        emitw dst;
+        emitw mask;
+        emitw (enc_op a)
+      | I2 { op; a; b; dst; mask } ->
+        emitw op;
+        emitw dst;
+        emitw mask;
+        emitw (enc_op a);
+        emitw (enc_op b)
+      | IMuxS { sel_c; sel_sh; a; b; dst; mask } ->
+        emitw 8;
+        emitw dst;
+        emitw mask;
+        emitw (loc_pack sel_c sel_sh);
+        emitw (enc_op a);
+        emitw (enc_op b)
+      | IMuxV { sel; a; b; dst; mask } ->
+        emitw 9;
+        emitw dst;
+        emitw mask;
+        emitw (enc_op sel);
+        emitw (enc_op a);
+        emitw (enc_op b)
+      | IAdd { x; y; cin_c; cin_sh; d_axb; d_out; d_t1; d_t2; d_cout; w; mask }
+        ->
+        emitw 10;
+        emitw mask;
+        emitw w;
+        emitw (loc_pack cin_c cin_sh);
+        emitw d_axb;
+        emitw d_out;
+        emitw d_t1;
+        emitw d_t2;
+        emitw d_cout;
+        emitw (enc_op x);
+        emitw (enc_op y)
+      | IGate { op; l0; l1; l2; dst; dg } ->
+        emitw (11 + op);
+        emitw dst;
+        emitw dg;
+        emitw l0;
+        if op >= op_and then emitw l1;
+        if op = op_mux then emitw l2)
+    prog;
+  ioff.(ninstr) <- !clen;
+  let code = Array.make (max !clen 1) 0 in
+  List.iteri (fun k w -> code.(!clen - 1 - k) <- w) !codebuf;
+  let gpool = Array.make (max !glen 1) 0 in
+  List.iteri (fun k w -> gpool.(!glen - 1 - k) <- w) !gbuf;
+  (* Reader lists.  For each instruction, collect (chunk, bit-mask) of
+     everything it reads; bits of bit-indexed chunks feed the per-gate
+     CSR, word chunks keep (instr, mask) entries. *)
+  let dep_masks ins =
+    let acc = ref [] in
+    let add c m =
+      match List.assoc_opt c !acc with
+      | Some r -> r := !r lor m
+      | None -> acc := (c, ref m) :: !acc
+    in
+    let add_loc l = add (l lsr 6) (1 lsl (l land 63)) in
+    let add_op mask = function
+      | OAligned { c; sh } -> add c (mask lsl sh)
+      | OBcast { c; sh } -> add c (1 lsl sh)
+      | OGather locs -> Array.iter add_loc locs
+    in
+    (match ins with
+    | I1 { a; mask; _ } -> add_op mask a
+    | I2 { a; b; mask; _ } ->
+      add_op mask a;
+      add_op mask b
+    | IMuxS { sel_c; sel_sh; a; b; mask; _ } ->
+      add sel_c (1 lsl sel_sh);
+      add_op mask a;
+      add_op mask b
+    | IMuxV { sel; a; b; mask; _ } ->
+      add_op mask sel;
+      add_op mask a;
+      add_op mask b
+    | IAdd { x; y; cin_c; cin_sh; mask; _ } ->
+      add_op mask x;
+      add_op mask y;
+      add cin_c (1 lsl cin_sh)
+    | IGate { op; l0; l1; l2; _ } ->
+      add_loc l0;
+      if op >= op_and then add_loc l1;
+      if op = op_mux then add_loc l2);
+    List.map (fun (c, r) -> (c, !r)) !acc
+  in
+  let deps = Array.map dep_masks prog in
+  let wc_counts = Array.make (nchunks + 1) 0 in
+  let gb_counts = Array.make (ng + 1) 0 in
+  let iter_bits m f =
+    let mm = ref m in
+    while !mm <> 0 do
+      let b = !mm land (0 - !mm) in
+      mm := !mm lxor b;
+      f (ntz b)
+    done
+  in
+  Array.iter
+    (List.iter (fun (c, m) ->
+         if Bytes.get ch_bitidx c = '\000' then
+           wc_counts.(c) <- wc_counts.(c) + 1
+         else
+           iter_bits m (fun b ->
+               let g = gid_tbl.(ch_gidx.(c) + b) in
+               gb_counts.(g) <- gb_counts.(g) + 1)))
+    deps;
+  let rd_start = Array.make (nchunks + 1) 0 in
+  for c = 0 to nchunks - 1 do
+    rd_start.(c + 1) <- rd_start.(c) + wc_counts.(c)
+  done;
+  let rd_instr = Array.make (max rd_start.(nchunks) 1) 0 in
+  let rd_mask = Array.make (max rd_start.(nchunks) 1) 0 in
+  let rb_start = Array.make (ng + 1) 0 in
+  for g = 0 to ng - 1 do
+    rb_start.(g + 1) <- rb_start.(g) + gb_counts.(g)
+  done;
+  let rb = Array.make (max rb_start.(ng) 1) 0 in
+  let wfill = Array.make (max nchunks 1) 0 in
+  let gfill = Array.make (max ng 1) 0 in
+  Array.iteri
+    (fun idx dl ->
+      List.iter
+        (fun (c, m) ->
+          if Bytes.get ch_bitidx c = '\000' then begin
+            rd_instr.(rd_start.(c) + wfill.(c)) <- idx;
+            rd_mask.(rd_start.(c) + wfill.(c)) <- m;
+            wfill.(c) <- wfill.(c) + 1
+          end
+          else
+            iter_bits m (fun b ->
+                let g = gid_tbl.(ch_gidx.(c) + b) in
+                rb.(rb_start.(g) + gfill.(g)) <- idx;
+                gfill.(g) <- gfill.(g) + 1))
+        dl)
+    deps;
+  (* Reset plan (source chunks) and clock-edge plan (DFF chunks). *)
+  let rs = ref [] and dcs = ref [] in
+  for c = 0 to nchunks - 1 do
+    let gids = ch_gids.(c) in
+    match gates.(gids.(0)).Gate.op with
+    | Gate.Input | Gate.Const _ | Gate.Dff _ ->
+      let lo = ref 0 and hi = ref 0 in
+      Array.iteri
+        (fun k g ->
+          let l, h =
+            match gates.(g).Gate.op with
+            | Gate.Input | Gate.Dff Bit.X | Gate.Const Bit.X -> (1, 1)
+            | Gate.Dff Bit.Zero | Gate.Const Bit.Zero -> (1, 0)
+            | Gate.Dff Bit.One | Gate.Const Bit.One -> (0, 1)
+            | _ -> assert false
+          in
+          lo := !lo lor (l lsl k);
+          hi := !hi lor (h lsl k))
+        gids;
+      rs := (c, !lo, !hi) :: !rs;
+      (match gates.(gids.(0)).Gate.op with
+      | Gate.Dff _ ->
+        let d_col = Array.map (fun g -> gates.(g).Gate.fanin.(0)) gids in
+        dcs := (c, mk_operand d_col, ch_mask.(c)) :: !dcs
+      | _ -> ())
+    | _ -> ()
+  done;
+  let rs = Array.of_list (List.rev !rs) in
+  let dcs = Array.of_list (List.rev !dcs) in
+  let dff_ids = ref [] in
+  for g = ng - 1 downto 0 do
+    match gates.(g).Gate.op with
+    | Gate.Dff _ -> dff_ids := g :: !dff_ids
+    | _ -> ()
+  done;
+  {
+    ng;
+    nchunks;
+    ninstr;
+    ch_mask;
+    ch_gidx;
+    ch_bitidx;
+    gid_tbl;
+    g_chunk;
+    g_bit;
+    code;
+    ioff;
+    gpool;
+    rd_start;
+    rd_instr;
+    rd_mask;
+    rb_start;
+    rb;
+    rs_chunk = Array.map (fun (c, _, _) -> c) rs;
+    rs_lo = Array.map (fun (_, l, _) -> l) rs;
+    rs_hi = Array.map (fun (_, _, h) -> h) rs;
+    dc_chunk = Array.map (fun (c, _, _) -> c) dcs;
+    dc_src = Array.map (fun (_, s, _) -> s) dcs;
+    dc_mask = Array.map (fun (_, _, m) -> m) dcs;
+    dff_ids = Array.of_list !dff_ids;
+    n_word_gates = !n_word_gates;
+    n_adders = !n_adders;
+  }
+
+(* ---------- design cache ---------- *)
+
+let cache : (string, program) Hashtbl.t = Hashtbl.create 16
+let cache_lock = Mutex.create ()
+let hits = Atomic.make 0
+let misses = Atomic.make 0
+
+let compile_cached net =
+  let key = Serial.hash net in
+  let found =
+    Mutex.lock cache_lock;
+    let r = Hashtbl.find_opt cache key in
+    Mutex.unlock cache_lock;
+    r
+  in
+  match found with
+  | Some p ->
+    Atomic.incr hits;
+    if Obs.enabled () then Obs.Metrics.incr m_cache_hits;
+    (p, true)
+  | None ->
+    Atomic.incr misses;
+    if Obs.enabled () then Obs.Metrics.incr m_cache_misses;
+    let p = Obs.Span.with_ ~name:"sim.compile" (fun () -> compile net) in
+    Mutex.lock cache_lock;
+    if not (Hashtbl.mem cache key) then Hashtbl.add cache key p;
+    Mutex.unlock cache_lock;
+    (p, false)
+
+let cache_hits () = Atomic.get hits
+let cache_misses () = Atomic.get misses
+
+let clear_cache () =
+  Mutex.lock cache_lock;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_lock
+
+(* ---------- instance state ---------- *)
+
+let create net =
+  let p, from_cache = compile_cached net in
+  let nc = max p.nchunks 1 in
+  let npw = (p.ninstr + 62) / 63 in
+  let t =
+    {
+      net;
+      p;
+      (* like [Engine.create]: everything starts X, and the whole
+         program is pending so the first eval is a complete sweep *)
+      lo = Array.copy p.ch_mask;
+      hi = Array.copy p.ch_mask;
+      prev_lo = Array.copy p.ch_mask;
+      prev_hi = Array.copy p.ch_mask;
+      poss_w = Array.make nc 0;
+      tplanes = Array.make (nc * planes) 0;
+      possibly = Bytes.make (max p.ng 1) '\000';
+      pend = Array.make (max npw 1) 0;
+      touched = Array.make nc 0;
+      touched_len = 0;
+      in_touched = Bytes.make nc '\000';
+      committed = 0;
+      full_commit = true;
+      on_first_possibly = None;
+      sc_lo = 0;
+      sc_hi = 0;
+      dff_next_lo = Array.make (max (Array.length p.dc_chunk) 1) 0;
+      dff_next_hi = Array.make (max (Array.length p.dc_chunk) 1) 0;
+      from_cache;
+    }
+  in
+  for i = 0 to p.ninstr - 1 do
+    t.pend.(i / 63) <- t.pend.(i / 63) lor (1 lsl (i mod 63))
+  done;
+  t
+
+let netlist t = t.net
+
+type stats = {
+  gates : int;
+  instructions : int;
+  word_gates : int;
+  adders : int;
+  from_cache : bool;
+}
+
+let stats t =
+  {
+    gates = t.p.ng;
+    instructions = t.p.ninstr;
+    word_gates = t.p.n_word_gates;
+    adders = t.p.n_adders;
+    from_cache = t.from_cache;
+  }
+
+(* ---------- execution ---------- *)
+
+let mark_touched t c =
+  if Bytes.unsafe_get t.in_touched c = '\000' then begin
+    Bytes.unsafe_set t.in_touched c '\001';
+    t.touched.(t.touched_len) <- c;
+    t.touched_len <- t.touched_len + 1
+  end
+
+(* wake the readers of gate [g] (bit of a bit-indexed chunk) *)
+let schedule_rb t g =
+  let s = Array.unsafe_get t.p.rb_start g
+  and e = Array.unsafe_get t.p.rb_start (g + 1) in
+  for k = s to e - 1 do
+    let i = Array.unsafe_get t.p.rb k in
+    let wi = i / 63 in
+    Array.unsafe_set t.pend wi
+      (Array.unsafe_get t.pend wi lor (1 lsl (i mod 63)))
+  done
+
+(* wake readers of the changed bits [delta] of chunk [c] *)
+let schedule_delta t c delta =
+  if Bytes.unsafe_get t.p.ch_bitidx c <> '\000' then begin
+    let gx = Array.unsafe_get t.p.ch_gidx c in
+    let m = ref delta in
+    while !m <> 0 do
+      let b = !m land (0 - !m) in
+      m := !m lxor b;
+      schedule_rb t (Array.unsafe_get t.p.gid_tbl (gx + ntz b))
+    done
+  end
+  else begin
+    let s = Array.unsafe_get t.p.rd_start c
+    and e = Array.unsafe_get t.p.rd_start (c + 1) in
+    for k = s to e - 1 do
+      if Array.unsafe_get t.p.rd_mask k land delta <> 0 then begin
+        let i = Array.unsafe_get t.p.rd_instr k in
+        let wi = i / 63 in
+        Array.unsafe_set t.pend wi
+          (Array.unsafe_get t.pend wi lor (1 lsl (i mod 63)))
+      end
+    done
+  end
+
+let store t c nlo nhi =
+  let olo = Array.unsafe_get t.lo c and ohi = Array.unsafe_get t.hi c in
+  let delta = olo lxor nlo lor (ohi lxor nhi) in
+  if delta <> 0 then begin
+    Array.unsafe_set t.lo c nlo;
+    Array.unsafe_set t.hi c nhi;
+    mark_touched t c;
+    schedule_delta t c delta
+  end
+
+(* Decode an int-encoded operand into the dual-rail scratch pair. *)
+let load t v mask =
+  let m = v land 3 in
+  if m = 0 then begin
+    let c = v lsr 8 and sh = (v lsr 2) land 63 in
+    t.sc_lo <- (Array.unsafe_get t.lo c lsr sh) land mask;
+    t.sc_hi <- (Array.unsafe_get t.hi c lsr sh) land mask
+  end
+  else if m = 1 then begin
+    let c = v lsr 8 and sh = (v lsr 2) land 63 in
+    t.sc_lo <- (0 - ((Array.unsafe_get t.lo c lsr sh) land 1)) land mask;
+    t.sc_hi <- (0 - ((Array.unsafe_get t.hi c lsr sh) land 1)) land mask
+  end
+  else begin
+    let gp = t.p.gpool in
+    let off = v lsr 2 in
+    let len = Array.unsafe_get gp off in
+    let llo = ref 0 and lhi = ref 0 in
+    for i = 0 to len - 1 do
+      let l = Array.unsafe_get gp (off + 1 + i) in
+      let c = l lsr 6 and b = l land 63 in
+      llo := !llo lor (((Array.unsafe_get t.lo c lsr b) land 1) lsl i);
+      lhi := !lhi lor (((Array.unsafe_get t.hi c lsr b) land 1) lsl i)
+    done;
+    t.sc_lo <- !llo;
+    t.sc_hi <- !lhi
+  end
+
+(* Clock-edge D columns are kept as IR operands (cold path). *)
+let load_rec t a mask =
+  match a with
+  | OAligned { c; sh } ->
+    t.sc_lo <- (Array.unsafe_get t.lo c lsr sh) land mask;
+    t.sc_hi <- (Array.unsafe_get t.hi c lsr sh) land mask
+  | OBcast { c; sh } ->
+    t.sc_lo <- (0 - ((Array.unsafe_get t.lo c lsr sh) land 1)) land mask;
+    t.sc_hi <- (0 - ((Array.unsafe_get t.hi c lsr sh) land 1)) land mask
+  | OGather locs ->
+    let llo = ref 0 and lhi = ref 0 in
+    for i = 0 to Array.length locs - 1 do
+      let l = Array.unsafe_get locs i in
+      let c = l lsr 6 and b = l land 63 in
+      llo := !llo lor (((Array.unsafe_get t.lo c lsr b) land 1) lsl i);
+      lhi := !lhi lor (((Array.unsafe_get t.hi c lsr b) land 1) lsl i)
+    done;
+    t.sc_lo <- !llo;
+    t.sc_hi <- !lhi
+
+(* value code (0/1/2) of the bit at a packed location *)
+let code_loc t l =
+  let c = l lsr 6 and b = l land 63 in
+  let lo = (Array.unsafe_get t.lo c lsr b) land 1
+  and hi = (Array.unsafe_get t.hi c lsr b) land 1 in
+  hi + (lo land hi)
+
+let exec t i =
+  let code = t.p.code in
+  let o = Array.unsafe_get t.p.ioff i in
+  let opc = Array.unsafe_get code o in
+  if opc >= 11 then begin
+    (* scalar gate: one dispatch evaluates and stores a single bit *)
+    let a = code_loc t (Array.unsafe_get code (o + 3)) in
+    let r =
+      if opc = 11 then a
+      else if opc = 12 then Bit.tbl_not.(a)
+      else
+        let b = code_loc t (Array.unsafe_get code (o + 4)) in
+        if opc = 13 then Bit.tbl_and.((a * 3) + b)
+        else if opc = 14 then Bit.tbl_or.((a * 3) + b)
+        else if opc = 15 then Bit.tbl_nand.((a * 3) + b)
+        else if opc = 16 then Bit.tbl_nor.((a * 3) + b)
+        else if opc = 17 then Bit.tbl_xor.((a * 3) + b)
+        else if opc = 18 then Bit.tbl_xnor.((a * 3) + b)
+        else
+          let s = code_loc t (Array.unsafe_get code (o + 5)) in
+          Bit.tbl_mux.((a * 9) + (b * 3) + s)
+    in
+    let dst = Array.unsafe_get code (o + 1) in
+    let c = dst lsr 6 and b = dst land 63 in
+    let nl = 1 - (r land 1) and nh = (r + 1) lsr 1 in
+    let olo = Array.unsafe_get t.lo c and ohi = Array.unsafe_get t.hi c in
+    if (olo lsr b) land 1 <> nl || (ohi lsr b) land 1 <> nh then begin
+      let m = lnot (1 lsl b) in
+      Array.unsafe_set t.lo c (olo land m lor (nl lsl b));
+      Array.unsafe_set t.hi c (ohi land m lor (nh lsl b));
+      mark_touched t c;
+      schedule_rb t (Array.unsafe_get code (o + 2))
+    end
+  end
+  else if opc < 8 then begin
+    let dst = Array.unsafe_get code (o + 1)
+    and mask = Array.unsafe_get code (o + 2) in
+    if opc < 2 then begin
+      load t (Array.unsafe_get code (o + 3)) mask;
+      if opc = 0 then store t dst t.sc_lo t.sc_hi
+      else store t dst t.sc_hi t.sc_lo
+    end
+    else begin
+      load t (Array.unsafe_get code (o + 3)) mask;
+      let alo = t.sc_lo and ahi = t.sc_hi in
+      load t (Array.unsafe_get code (o + 4)) mask;
+      let blo = t.sc_lo and bhi = t.sc_hi in
+      if opc = 2 then store t dst (alo lor blo) (ahi land bhi)
+      else if opc = 3 then store t dst (alo land blo) (ahi lor bhi)
+      else if opc = 4 then store t dst (ahi land bhi) (alo lor blo)
+      else if opc = 5 then store t dst (ahi lor bhi) (alo land blo)
+      else if opc = 6 then
+        store t dst
+          ((alo land blo) lor (ahi land bhi))
+          ((alo land bhi) lor (ahi land blo))
+      else
+        store t dst
+          ((alo land bhi) lor (ahi land blo))
+          ((alo land blo) lor (ahi land bhi))
+    end
+  end
+  else if opc = 8 then begin
+    let dst = Array.unsafe_get code (o + 1)
+    and mask = Array.unsafe_get code (o + 2)
+    and sel = Array.unsafe_get code (o + 3) in
+    let sc = sel lsr 6 and sb = sel land 63 in
+    let sl = (Array.unsafe_get t.lo sc lsr sb) land 1
+    and sh = (Array.unsafe_get t.hi sc lsr sb) land 1 in
+    if sh = 0 then begin
+      load t (Array.unsafe_get code (o + 4)) mask;
+      store t dst t.sc_lo t.sc_hi
+    end
+    else if sl = 0 then begin
+      load t (Array.unsafe_get code (o + 5)) mask;
+      store t dst t.sc_lo t.sc_hi
+    end
+    else begin
+      load t (Array.unsafe_get code (o + 4)) mask;
+      let alo = t.sc_lo and ahi = t.sc_hi in
+      load t (Array.unsafe_get code (o + 5)) mask;
+      store t dst (alo lor t.sc_lo) (ahi lor t.sc_hi)
+    end
+  end
+  else if opc = 9 then begin
+    let dst = Array.unsafe_get code (o + 1)
+    and mask = Array.unsafe_get code (o + 2) in
+    load t (Array.unsafe_get code (o + 3)) mask;
+    let slo = t.sc_lo and shi = t.sc_hi in
+    load t (Array.unsafe_get code (o + 4)) mask;
+    let alo = t.sc_lo and ahi = t.sc_hi in
+    load t (Array.unsafe_get code (o + 5)) mask;
+    let blo = t.sc_lo and bhi = t.sc_hi in
+    let s0 = slo land lnot shi
+    and s1 = shi land lnot slo
+    and sx = slo land shi in
+    store t dst
+      ((s0 land alo) lor (s1 land blo) lor (sx land (alo lor blo)))
+      ((s0 land ahi) lor (s1 land bhi) lor (sx land (ahi lor bhi)))
+  end
+  else begin
+    (* opc = 10: recovered ripple-carry adder *)
+    let mask = Array.unsafe_get code (o + 1)
+    and w = Array.unsafe_get code (o + 2)
+    and cin = Array.unsafe_get code (o + 3) in
+    let d_axb = Array.unsafe_get code (o + 4)
+    and d_out = Array.unsafe_get code (o + 5)
+    and d_t1 = Array.unsafe_get code (o + 6)
+    and d_t2 = Array.unsafe_get code (o + 7)
+    and d_cout = Array.unsafe_get code (o + 8) in
+    load t (Array.unsafe_get code (o + 9)) mask;
+    let xlo = t.sc_lo and xhi = t.sc_hi in
+    load t (Array.unsafe_get code (o + 10)) mask;
+    let ylo = t.sc_lo and yhi = t.sc_hi in
+    let cc = cin lsr 6 and cb = cin land 63 in
+    let cl = (Array.unsafe_get t.lo cc lsr cb) land 1
+    and ch = (Array.unsafe_get t.hi cc lsr cb) land 1 in
+    if (xlo land xhi) lor (ylo land yhi) lor (cl land ch) = 0 then begin
+      (* no X anywhere: one native add reconstructs every internal
+         gate of the ripple chain word-wise *)
+      let a = xhi and b = yhi in
+      let tsum = a + b + ch in
+      let u = tsum lxor a lxor b in
+      (* bit k of [u] is the carry into bit k *)
+      let axb = a lxor b in
+      let sum = tsum land mask in
+      let t1 = a land b in
+      let cinw = u land mask in
+      let t2 = cinw land axb in
+      let cout = (u lsr 1) land mask in
+      store t d_axb (lnot axb land mask) axb;
+      store t d_out (lnot sum land mask) sum;
+      store t d_t1 (lnot t1 land mask) t1;
+      store t d_t2 (lnot t2 land mask) t2;
+      store t d_cout (lnot cout land mask) cout
+    end
+    else begin
+      (* three-valued fallback: exact per-bit gate functions *)
+      let lo_axb = ref 0 and hi_axb = ref 0 in
+      let lo_out = ref 0 and hi_out = ref 0 in
+      let lo_t1 = ref 0 and hi_t1 = ref 0 in
+      let lo_t2 = ref 0 and hi_t2 = ref 0 in
+      let lo_co = ref 0 and hi_co = ref 0 in
+      let cc = ref (ch + (cl land ch)) in
+      for k = 0 to w - 1 do
+        let xc =
+          let l = (xlo lsr k) land 1 and h = (xhi lsr k) land 1 in
+          h + (l land h)
+        in
+        let yc =
+          let l = (ylo lsr k) land 1 and h = (yhi lsr k) land 1 in
+          h + (l land h)
+        in
+        let axb = Bit.tbl_xor.((xc * 3) + yc) in
+        let out = Bit.tbl_xor.((axb * 3) + !cc) in
+        let t1 = Bit.tbl_and.((xc * 3) + yc) in
+        let t2 = Bit.tbl_and.((!cc * 3) + axb) in
+        let co = Bit.tbl_or.((t1 * 3) + t2) in
+        let dep lo hi c =
+          lo := !lo lor ((1 - (c land 1)) lsl k);
+          hi := !hi lor (((c + 1) lsr 1) lsl k)
+        in
+        dep lo_axb hi_axb axb;
+        dep lo_out hi_out out;
+        dep lo_t1 hi_t1 t1;
+        dep lo_t2 hi_t2 t2;
+        dep lo_co hi_co co;
+        cc := co
+      done;
+      store t d_axb !lo_axb !hi_axb;
+      store t d_out !lo_out !hi_out;
+      store t d_t1 !lo_t1 !hi_t1;
+      store t d_t2 !lo_t2 !hi_t2;
+      store t d_cout !lo_co !hi_co
+    end
+  end
+
+(* Drain pending instructions in topological order.  Every reader of a
+   chunk sits strictly later in the program, so one forward sweep
+   settles everything. *)
+let eval t =
+  let pend = t.pend in
+  let nw = Array.length pend in
+  let counting = Obs.enabled () in
+  let execs = ref 0 in
+  for wi = 0 to nw - 1 do
+    while Array.unsafe_get pend wi <> 0 do
+      let w = Array.unsafe_get pend wi in
+      let b = w land (0 - w) in
+      Array.unsafe_set pend wi (w lxor b);
+      let i = (wi * 63) + ntz b in
+      exec t i;
+      if counting then incr execs
+    done
+  done;
+  if counting then begin
+    Obs.Metrics.add m_instr_execs !execs;
+    Obs.Metrics.incr m_settles;
+    Obs.Metrics.observe h_active !execs
+  end
+
+let clear_pending t = Array.fill t.pend 0 (Array.length t.pend) 0
+
+let clear_touched t =
+  t.touched_len <- 0;
+  Bytes.fill t.in_touched 0 (Bytes.length t.in_touched) '\000'
+
+let reset t =
+  clear_pending t;
+  clear_touched t;
+  let p = t.p in
+  for k = 0 to Array.length p.rs_chunk - 1 do
+    let c = p.rs_chunk.(k) in
+    t.lo.(c) <- p.rs_lo.(k);
+    t.hi.(c) <- p.rs_hi.(k)
+  done;
+  (* full unconditional sweep, then forget the bookkeeping it caused *)
+  for i = 0 to p.ninstr - 1 do
+    exec t i
+  done;
+  clear_pending t;
+  clear_touched t;
+  Array.blit t.lo 0 t.prev_lo 0 p.nchunks;
+  Array.blit t.hi 0 t.prev_hi 0 p.nchunks;
+  t.committed <- 0;
+  t.full_commit <- true
+
+(* ---------- values ---------- *)
+
+let value_code t g = code_loc t (loc_pack t.p.g_chunk.(g) t.p.g_bit.(g))
+let value t g = Bit.of_int_exn (value_code t g)
+
+let write_bit t g bit =
+  let c = t.p.g_chunk.(g) and b = t.p.g_bit.(g) in
+  let nlo, nhi =
+    match bit with Bit.Zero -> (1, 0) | Bit.One -> (0, 1) | Bit.X -> (1, 1)
+  in
+  let olo = (t.lo.(c) lsr b) land 1 and ohi = (t.hi.(c) lsr b) land 1 in
+  if olo <> nlo || ohi <> nhi then begin
+    let m = lnot (1 lsl b) in
+    t.lo.(c) <- t.lo.(c) land m lor (nlo lsl b);
+    t.hi.(c) <- t.hi.(c) land m lor (nhi lsl b);
+    mark_touched t c;
+    schedule_delta t c (1 lsl b)
+  end
+
+let set_gate t g bit =
+  (match t.net.Netlist.gates.(g).op with
+  | Gate.Input -> ()
+  | op ->
+    invalid_arg
+      (Printf.sprintf "Compile.set_gate: gate %d is %s, not an input" g
+         (Gate.op_name op)));
+  write_bit t g bit
+
+(* Drive a whole input port from an int in one word store when its
+   gates share a chunk (the common case: consecutive input-port bits
+   are packed together at compile time).  Only the first id's op is
+   checked; callers pass input-port id vectors. *)
+let set_gates_int t (ids : int array) v =
+  let n = Array.length ids in
+  if n > 0 then begin
+    (match t.net.Netlist.gates.(ids.(0)).op with
+    | Gate.Input -> ()
+    | op ->
+      invalid_arg
+        (Printf.sprintf "Compile.set_gates_int: gate %d is %s, not an input"
+           ids.(0) (Gate.op_name op)));
+    let p = t.p in
+    let c = p.g_chunk.(ids.(0)) and b0 = p.g_bit.(ids.(0)) in
+    let aligned = ref (n <= max_w) in
+    for i = 1 to n - 1 do
+      if p.g_chunk.(ids.(i)) <> c || p.g_bit.(ids.(i)) <> b0 + i then
+        aligned := false
+    done;
+    if !aligned then begin
+      let mask = ((1 lsl n) - 1) lsl b0 in
+      let hibits = (v lsl b0) land mask in
+      let lobits = mask land lnot hibits in
+      let keep = lnot mask in
+      store t c
+        ((t.lo.(c) land keep) lor lobits)
+        ((t.hi.(c) land keep) lor hibits)
+    end
+    else
+      Array.iteri
+        (fun i id ->
+          write_bit t id (if (v lsr i) land 1 = 1 then Bit.One else Bit.Zero))
+        ids
+  end
+
+(* Int readback of a gate-id vector; [None] if any bit is X.  One word
+   extract when the ids are consecutive bits of a chunk. *)
+let read_ids_int t (ids : int array) =
+  let n = Array.length ids in
+  if n = 0 then Some 0
+  else begin
+    let p = t.p in
+    let c = p.g_chunk.(ids.(0)) and b0 = p.g_bit.(ids.(0)) in
+    let aligned = ref (b0 + n <= max_w) in
+    for i = 1 to n - 1 do
+      if p.g_chunk.(ids.(i)) <> c || p.g_bit.(ids.(i)) <> b0 + i then
+        aligned := false
+    done;
+    if !aligned then begin
+      let mask = (1 lsl n) - 1 in
+      let lo = (t.lo.(c) lsr b0) land mask
+      and hi = (t.hi.(c) lsr b0) land mask in
+      if lo land hi <> 0 then None else Some hi
+    end
+    else begin
+      let v = ref 0 and known = ref true in
+      Array.iteri
+        (fun i id ->
+          let cd = value_code t id in
+          if cd > 1 then known := false else v := !v lor (cd lsl i))
+        ids;
+      if !known then Some !v else None
+    end
+  end
+
+let find_port t name = Netlist.find_input t.net name
+
+let set_input t name (v : Bvec.t) =
+  let ids = find_port t name in
+  if Array.length ids <> Bvec.width v then
+    invalid_arg (Printf.sprintf "Compile.set_input %s: width mismatch" name);
+  Array.iteri (fun i id -> set_gate t id v.(i)) ids
+
+let set_input_int t name n =
+  let ids = find_port t name in
+  set_input t name (Bvec.of_int ~width:(Array.length ids) n)
+
+let set_input_x t name =
+  Array.iter (fun id -> set_gate t id Bit.X) (find_port t name)
+
+let set_all_inputs_x t =
+  List.iter (fun (name, _) -> set_input_x t name) t.net.Netlist.input_ports
+
+let read t name = Array.map (fun id -> value t id) (Netlist.find_name t.net name)
+let read_int t name = Bvec.to_int (read t name)
+
+(* ---------- clock edge ---------- *)
+
+let step t =
+  let p = t.p in
+  let n = Array.length p.dc_chunk in
+  for i = 0 to n - 1 do
+    load_rec t p.dc_src.(i) p.dc_mask.(i);
+    t.dff_next_lo.(i) <- t.sc_lo;
+    t.dff_next_hi.(i) <- t.sc_hi
+  done;
+  for i = 0 to n - 1 do
+    store t p.dc_chunk.(i) t.dff_next_lo.(i) t.dff_next_hi.(i)
+  done;
+  eval t
+
+(* ---------- per-cycle activity ---------- *)
+
+(* bit-sliced increment: add the changed mask into the counter planes *)
+let add_toggles t c m =
+  let base = c * planes in
+  let carry = ref m and i = ref 0 in
+  while !carry <> 0 && !i < planes do
+    let idx = base + !i in
+    let p = Array.unsafe_get t.tplanes idx in
+    Array.unsafe_set t.tplanes idx (p lxor !carry);
+    carry := p land !carry;
+    incr i
+  done
+
+let commit_chunk t c =
+  let cl = Array.unsafe_get t.lo c and ch = Array.unsafe_get t.hi c in
+  let changed =
+    cl lxor Array.unsafe_get t.prev_lo c
+    lor (ch lxor Array.unsafe_get t.prev_hi c)
+  in
+  if changed <> 0 then begin
+    add_toggles t c changed;
+    Array.unsafe_set t.prev_lo c cl;
+    Array.unsafe_set t.prev_hi c ch
+  end;
+  let target =
+    (changed lor (cl land ch)) land lnot (Array.unsafe_get t.poss_w c)
+  in
+  if target <> 0 then begin
+    Array.unsafe_set t.poss_w c (Array.unsafe_get t.poss_w c lor target);
+    let gx = Array.unsafe_get t.p.ch_gidx c in
+    let m = ref target in
+    while !m <> 0 do
+      let bbit = !m land (0 - !m) in
+      let g = Array.unsafe_get t.p.gid_tbl (gx + ntz bbit) in
+      Bytes.unsafe_set t.possibly g '\001';
+      (match t.on_first_possibly with None -> () | Some f -> f g);
+      m := !m lxor bbit
+    done
+  end
+
+let commit_cycle t =
+  if t.full_commit then begin
+    for c = 0 to t.p.nchunks - 1 do
+      commit_chunk t c
+    done;
+    t.full_commit <- false
+  end
+  else
+    for k = 0 to t.touched_len - 1 do
+      commit_chunk t (Array.unsafe_get t.touched k)
+    done;
+  clear_touched t;
+  t.committed <- t.committed + 1;
+  if Obs.enabled () then Obs.Metrics.incr m_cycles
+
+let cycles_committed t = t.committed
+
+let toggle_counts t =
+  let arr = Array.make (max t.p.ng 1) 0 in
+  for c = 0 to t.p.nchunks - 1 do
+    let gx = t.p.ch_gidx.(c) in
+    let base = c * planes in
+    for i = 0 to planes - 1 do
+      let w = ref t.tplanes.(base + i) in
+      while !w <> 0 do
+        let b = !w land (0 - !w) in
+        let g = t.p.gid_tbl.(gx + ntz b) in
+        arr.(g) <- arr.(g) + (1 lsl i);
+        w := !w lxor b
+      done
+    done
+  done;
+  arr
+
+let possibly_toggled t =
+  Array.init t.p.ng (fun i -> Bytes.get t.possibly i <> '\000')
+
+let merge_possibly_toggled_into t (acc : bool array) =
+  for i = 0 to t.p.ng - 1 do
+    if Bytes.unsafe_get t.possibly i <> '\000' then acc.(i) <- true
+  done
+
+let clear_activity t =
+  Array.fill t.tplanes 0 (Array.length t.tplanes) 0;
+  Bytes.fill t.possibly 0 (Bytes.length t.possibly) '\000';
+  Array.fill t.poss_w 0 (Array.length t.poss_w) 0;
+  Array.blit t.lo 0 t.prev_lo 0 t.p.nchunks;
+  Array.blit t.hi 0 t.prev_hi 0 t.p.nchunks;
+  t.committed <- 0;
+  clear_touched t;
+  t.full_commit <- true
+
+let set_first_possibly_hook t f = t.on_first_possibly <- f
+
+let sync_prev t =
+  Array.blit t.lo 0 t.prev_lo 0 t.p.nchunks;
+  Array.blit t.hi 0 t.prev_hi 0 t.p.nchunks
+
+let snapshot_values t = Array.init t.p.ng (fun i -> value t i)
+
+(* ---------- sequential state ---------- *)
+
+let dff_ids t = Array.copy t.p.dff_ids
+let dff_state t = Array.map (fun id -> value t id) t.p.dff_ids
+
+let restore_dff_state t (s : Bvec.t) =
+  if Bvec.width s <> Array.length t.p.dff_ids then
+    invalid_arg "Compile.restore_dff_state: width mismatch";
+  Array.iteri (fun i id -> write_bit t id s.(i)) t.p.dff_ids;
+  eval t

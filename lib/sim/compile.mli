@@ -1,0 +1,106 @@
+(** Compiled word-level gate simulation.
+
+    [create] lowers a levelized netlist into a flat, closure-free
+    instruction program over native 63-bit words and caches the result
+    by design hash ({!Bespoke_netlist.Serial.hash}), so repeated
+    simulations of the same (or an unchanged) design recompile
+    nothing.
+
+    The compiler re-discovers word-level structure that the RTL DSL
+    lowered away:
+
+    - maximal runs of consecutive-id gates with the same op whose
+      fanin columns are arithmetic progressions become one vector
+      instruction (AND/OR/XOR/... over a whole word per step);
+    - the 5-gates-per-bit ripple-carry pattern emitted for adders
+      becomes one integer-add instruction that reconstructs every
+      internal carry/propagate gate value word-wise, so per-gate
+      activity stays exact;
+    - consecutive DFF and input-port bits share one word each;
+    - everything else falls back to per-gate instructions.
+
+    State is dual-rail (can-be-0 / can-be-1 masks), making the word
+    operations exact three-valued Kleene evaluation: values, toggle
+    counts and possibly-toggled flags are bit-identical to
+    {!Engine} in both [Full] and [Event] modes (enforced by
+    [test_compile_equiv]).  Instructions are re-executed only when an
+    operand word actually changed (a pending bitmask in topological
+    order), so settles after small input changes are cheap.
+
+    This module mirrors the {!Engine} per-cycle protocol; it is
+    normally driven through [Engine.create ~mode:Compiled]. *)
+
+module Bit := Bespoke_logic.Bit
+module Bvec := Bespoke_logic.Bvec
+module Netlist := Bespoke_netlist.Netlist
+
+type t
+
+val create : Netlist.t -> t
+(** Compile [net] (or reuse a cached program for its design hash) and
+    allocate fresh per-instance state. *)
+
+val netlist : t -> Netlist.t
+val reset : t -> unit
+
+(** {1 Values} *)
+
+val value : t -> int -> Bit.t
+val value_code : t -> int -> int
+val set_gate : t -> int -> Bit.t -> unit
+
+val set_gates_int : t -> int array -> int -> unit
+(** [set_gates_int t ids v] drives input gate [ids.(i)] to bit [i] of
+    [v].  When the ids are consecutive bits of one state word (the
+    common case for input ports) this is a single word store. *)
+
+val read_ids_int : t -> int array -> int option
+(** Int readback of a gate-id vector, LSB first, or [None] if any bit
+    is X; one word extract when the ids are chunk-aligned. *)
+
+val read : t -> string -> Bvec.t
+val read_int : t -> string -> int option
+val set_input : t -> string -> Bvec.t -> unit
+val set_input_int : t -> string -> int -> unit
+val set_input_x : t -> string -> unit
+val set_all_inputs_x : t -> unit
+
+(** {1 Evaluation} *)
+
+val eval : t -> unit
+val step : t -> unit
+
+(** {1 Per-cycle activity} *)
+
+val commit_cycle : t -> unit
+val cycles_committed : t -> int
+val toggle_counts : t -> int array
+val possibly_toggled : t -> bool array
+val merge_possibly_toggled_into : t -> bool array -> unit
+val clear_activity : t -> unit
+val set_first_possibly_hook : t -> (int -> unit) option -> unit
+val sync_prev : t -> unit
+val snapshot_values : t -> Bvec.t
+
+(** {1 Sequential state} *)
+
+val dff_ids : t -> int array
+val dff_state : t -> Bvec.t
+val restore_dff_state : t -> Bvec.t -> unit
+
+(** {1 Program introspection} *)
+
+type stats = {
+  gates : int;
+  instructions : int;  (** flat program length *)
+  word_gates : int;
+      (** gates covered by vector/adder/register words (vs singletons) *)
+  adders : int;  (** ripple-carry chains recovered as integer adds *)
+  from_cache : bool;  (** this instance reused a memoized program *)
+}
+
+val stats : t -> stats
+
+val cache_hits : unit -> int
+val cache_misses : unit -> int
+val clear_cache : unit -> unit

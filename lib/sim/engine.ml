@@ -31,9 +31,12 @@ and op_xnor = 7
 
 and op_mux = 8
 
-type mode = Full | Event
+type mode = Full | Event | Compiled
 
 type t = {
+  comp : Compile.t option;
+      (* [Compiled] mode: every operation delegates to the compiled
+         word-level engine (see the dispatch block at the end) *)
   net : Netlist.t;
   mode : mode;
   order : int array;  (* levelized combinational order *)
@@ -73,7 +76,40 @@ type cone = int array  (* gate ids in topological order, excluding sources *)
 let code_of_bit = Bit.to_int
 let bit_of_code = Bit.of_int_exn
 
+let create_compiled net mode =
+  {
+    comp = Some (Compile.create net);
+    net;
+    mode;
+    order = [||];
+    opcode = [||];
+    fi0 = [||];
+    fi1 = [||];
+    fi2 = [||];
+    values = Bytes.empty;
+    prev = Bytes.empty;
+    dffs = [||];
+    dff_next = Bytes.empty;
+    toggles = [||];
+    possibly = Bytes.empty;
+    committed = 0;
+    topo_index = [||];
+    level = [||];
+    fan_start = [||];
+    fan = [||];
+    lvl_stack = [||];
+    lvl_len = [||];
+    on_queue = Bytes.empty;
+    touched = [||];
+    touched_len = 0;
+    in_touched = Bytes.empty;
+    full_commit = true;
+    on_first_possibly = None;
+  }
+
 let create ?(mode = Event) net =
+  if mode = Compiled then create_compiled net mode
+  else
   let ng = Netlist.gate_count net in
   let order = Netlist.levelize net in
   let opcode = Array.make ng (-1) in
@@ -161,6 +197,7 @@ let create ?(mode = Event) net =
   Array.iter (fun id -> per_level.(level.(id)) <- per_level.(level.(id)) + 1) order;
   let t =
     {
+      comp = None;
       net;
       mode;
       order;
@@ -297,7 +334,8 @@ let flush_dirty t =
     Obs.Metrics.observe h_dirty !drained
   end
 
-let eval t = match t.mode with Full -> eval_full t | Event -> flush_dirty t
+let eval t =
+  match t.mode with Full -> eval_full t | Event | Compiled -> flush_dirty t
 
 let make_cone t (sources : int array) =
   let ng = Netlist.gate_count t.net in
@@ -334,7 +372,7 @@ let make_cone t (sources : int array) =
 
 let eval_cone t (cone : cone) =
   match t.mode with
-  | Event ->
+  | Event | Compiled ->
     (* dirty propagation subsumes the precomputed cone *)
     flush_dirty t
   | Full ->
@@ -486,3 +524,129 @@ let restore_dff_state t (s : Bvec.t) =
     invalid_arg "Engine.restore_dff_state: width mismatch";
   Array.iteri (fun i id -> write t id (code_of_bit s.(i))) t.dffs;
   eval t
+
+(* ---------------------------------------------------------------- *)
+(* Compiled-mode dispatch.  The shadowing definitions below route
+   every public operation to the word-level compiled engine when the
+   instance was created with [~mode:Compiled]; the scalar bodies bound
+   above keep referring to each other directly, so Full/Event pay one
+   option check per public call and nothing else. *)
+
+let reset t = match t.comp with Some c -> Compile.reset c | None -> reset t
+let value t id = match t.comp with Some c -> Compile.value c id | None -> value t id
+
+let value_code t id =
+  match t.comp with Some c -> Compile.value_code c id | None -> get t id
+
+let read_int_ids t (ids : int array) =
+  match t.comp with
+  | Some c -> Compile.read_ids_int c ids
+  | None ->
+    let v = ref 0 and known = ref true in
+    Array.iteri
+      (fun i id ->
+        let cd = get t id in
+        if cd > 1 then known := false else v := !v lor (cd lsl i))
+      ids;
+    if !known then Some !v else None
+
+let set_gate t id b =
+  match t.comp with Some c -> Compile.set_gate c id b | None -> set_gate t id b
+
+let set_gates_int t (ids : int array) v =
+  match t.comp with
+  | Some c -> Compile.set_gates_int c ids v
+  | None ->
+    Array.iteri
+      (fun i id ->
+        set_gate t id (if (v lsr i) land 1 = 1 then Bit.One else Bit.Zero))
+      ids
+
+let read t name = match t.comp with Some c -> Compile.read c name | None -> read t name
+
+let read_int t name =
+  match t.comp with Some c -> Compile.read_int c name | None -> read_int t name
+
+let set_input t name v =
+  match t.comp with
+  | Some c -> Compile.set_input c name v
+  | None -> set_input t name v
+
+let set_input_int t name n =
+  match t.comp with
+  | Some c -> Compile.set_input_int c name n
+  | None -> set_input_int t name n
+
+let set_input_x t name =
+  match t.comp with
+  | Some c -> Compile.set_input_x c name
+  | None -> set_input_x t name
+
+let set_all_inputs_x t =
+  match t.comp with
+  | Some c -> Compile.set_all_inputs_x c
+  | None -> set_all_inputs_x t
+
+let eval t = match t.comp with Some c -> Compile.eval c | None -> eval t
+
+let make_cone t sources =
+  match t.comp with
+  | Some _ -> [||]  (* pending-instruction tracking subsumes cones *)
+  | None -> make_cone t sources
+
+let eval_cone t cone =
+  match t.comp with Some c -> Compile.eval c | None -> eval_cone t cone
+
+let step t = match t.comp with Some c -> Compile.step c | None -> step t
+
+let commit_cycle t =
+  match t.comp with Some c -> Compile.commit_cycle c | None -> commit_cycle t
+
+let cycles_committed t =
+  match t.comp with
+  | Some c -> Compile.cycles_committed c
+  | None -> cycles_committed t
+
+let toggle_counts t =
+  match t.comp with Some c -> Compile.toggle_counts c | None -> toggle_counts t
+
+let possibly_toggled t =
+  match t.comp with
+  | Some c -> Compile.possibly_toggled c
+  | None -> possibly_toggled t
+
+let merge_possibly_toggled_into t acc =
+  match t.comp with
+  | Some c -> Compile.merge_possibly_toggled_into c acc
+  | None -> merge_possibly_toggled_into t acc
+
+let clear_activity t =
+  match t.comp with
+  | Some c -> Compile.clear_activity c
+  | None -> clear_activity t
+
+let set_first_possibly_hook t f =
+  match t.comp with
+  | Some c -> Compile.set_first_possibly_hook c f
+  | None -> set_first_possibly_hook t f
+
+let sync_prev t =
+  match t.comp with Some c -> Compile.sync_prev c | None -> sync_prev t
+
+let snapshot_values t =
+  match t.comp with
+  | Some c -> Compile.snapshot_values c
+  | None -> snapshot_values t
+
+let dff_ids t =
+  match t.comp with Some c -> Compile.dff_ids c | None -> dff_ids t
+
+let dff_state t =
+  match t.comp with Some c -> Compile.dff_state c | None -> dff_state t
+
+let restore_dff_state t s =
+  match t.comp with
+  | Some c -> Compile.restore_dff_state c s
+  | None -> restore_dff_state t s
+
+let compile_stats t = Option.map Compile.stats t.comp

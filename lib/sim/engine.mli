@@ -27,6 +27,13 @@ type mode =
           and commit activity for touched gates only.  Produces
           bit-identical values, toggle counts and possibly-toggled
           flags to [Full] — enforced by [test_engine_equiv]. *)
+  | Compiled
+      (** word-level compiled evaluation (see {!Compile}): the netlist
+          is lowered once into a flat instruction program over native
+          63-bit words (vector ops, recovered integer adders, packed
+          registers) and memoized by design hash.  Values, toggle
+          counts and possibly-toggled flags are bit-identical to the
+          other modes — enforced by [test_compile_equiv]. *)
 
 val create : ?mode:mode -> Netlist.t -> t
 (** [mode] defaults to [Event]. *)
@@ -41,8 +48,23 @@ val reset : t -> unit
 (** {1 Values} *)
 
 val value : t -> int -> Bit.t
+
+val value_code : t -> int -> int
+(** [value] as its integer code (0/1/2=X), allocation-free. *)
+
+val read_int_ids : t -> int array -> int option
+(** Integer value of the given gate bits (LSB first), [None] if any
+    bit is X.  Allocation-free; callers that probe the same signal
+    every cycle should resolve its ids once and use this instead of
+    {!read_int}. *)
+
 val set_gate : t -> int -> Bit.t -> unit
 (** Only valid on [Input] gates. *)
+
+val set_gates_int : t -> int array -> int -> unit
+(** Drive input gate [ids.(i)] to bit [i] of the int (LSB first).
+    Only valid on [Input] gates; in compiled mode a chunk-aligned port
+    is driven with a single word store. *)
 
 val read : t -> string -> Bvec.t
 (** Read a named net, output port or input port. *)
@@ -117,3 +139,7 @@ val dff_state : t -> Bvec.t
 val restore_dff_state : t -> Bvec.t -> unit
 (** Overwrite DFF outputs and re-settle combinational logic.  Does not
     touch activity. *)
+
+val compile_stats : t -> Compile.stats option
+(** Program statistics when running in [Compiled] mode, [None]
+    otherwise. *)

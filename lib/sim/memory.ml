@@ -27,6 +27,25 @@ let load t w (v : Bvec.t) =
 let load_int t w n = load t w (Bvec.of_int ~width:t.width n)
 let read_word t w = Array.init t.width (get t (w land (t.words - 1)))
 
+let read_word_int t w =
+  let w = w land (t.words - 1) in
+  let base = w * t.width in
+  let v = ref 0 and known = ref true in
+  for i = t.width - 1 downto 0 do
+    let c = Char.code (Bytes.unsafe_get t.store (base + i)) in
+    if c > 1 then known := false else v := (!v lsl 1) lor c
+  done;
+  if !known then Some !v else None
+
+let write_masked_int t w ~data ~mask =
+  let w = w land (t.words - 1) in
+  let base = w * t.width in
+  for i = 0 to t.width - 1 do
+    if (mask lsr i) land 1 = 1 then
+      Bytes.unsafe_set t.store (base + i)
+        (Char.unsafe_chr ((data lsr i) land 1))
+  done
+
 let set_x_range t ~lo ~hi =
   for w = lo to hi do
     for i = 0 to t.width - 1 do

@@ -32,6 +32,16 @@ val clear : t -> Bit.t -> unit
 val load : t -> int -> Bvec.t -> unit
 val load_int : t -> int -> int -> unit
 val read_word : t -> int -> Bvec.t
+
+val read_word_int : t -> int -> int option
+(** Allocation-free fast path for harness inner loops: the stored word
+    as an integer, [None] if any bit is X. *)
+
+val write_masked_int : t -> int -> data:int -> mask:int -> unit
+(** Fully-known write fast path: store bit [i] of [data] wherever bit
+    [i] of [mask] is set.  Semantically identical to {!write} with a
+    known index, known data, a definite per-bit mask and [en = One]. *)
+
 val set_x_range : t -> lo:int -> hi:int -> unit
 (** Mark an inclusive word-index range unknown (application-input
     regions during symbolic analysis). *)

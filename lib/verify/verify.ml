@@ -106,8 +106,8 @@ let detectable_score_pct s = pct s.detectable_killed s.detectable
    netlist under test is always a tailored design (or a mutant of
    one), whose const-X ties on application-dead state are correct by
    construction; only the concrete bits must match the ISS. *)
-let cosim ~netlist b ~seed =
-  match Runner.co_simulate ~netlist ~x_dont_care:true b ~seed with
+let cosim ?engine ~netlist b ~seed =
+  match Runner.co_simulate ?engine ~netlist ~x_dont_care:true b ~seed with
   | r -> r
   | exception Failure m ->
     Error
@@ -157,7 +157,7 @@ let symbolic_check ~original ~shadow_net b =
 let real_gate (g : Gate.t) =
   match g.Gate.op with Gate.Input | Gate.Const _ -> false | _ -> true
 
-let check_benchmark ?(faults = 8) ?(seed = 1) ?explore_budget b =
+let check_benchmark ?engine ?(faults = 8) ?(seed = 1) ?explore_budget b =
   Obs.Span.with_ ~name:"verify.campaign" ~args:[ ("benchmark", b.B.name) ]
   @@ fun () ->
   Obs.Metrics.incr m_campaigns;
@@ -176,7 +176,7 @@ let check_benchmark ?(faults = 8) ?(seed = 1) ?explore_budget b =
       (fun s ->
         Obs.Metrics.incr m_inputs;
         let t = now () in
-        let r = cosim ~netlist:bespoke b ~seed:s in
+        let r = cosim ?engine ~netlist:bespoke b ~seed:s in
         (match r with
         | Ok lr ->
           Array.iteri
@@ -208,7 +208,7 @@ let check_benchmark ?(faults = 8) ?(seed = 1) ?explore_budget b =
     else
       Shrink.of_seeds
         ~check:(fun s ->
-          match cosim ~netlist:bespoke b ~seed:s with
+          match cosim ?engine ~netlist:bespoke b ~seed:s with
           | Ok _ -> None
           | Error i -> Some i)
         cov.Coverage.kept_seeds
@@ -239,7 +239,7 @@ let check_benchmark ?(faults = 8) ?(seed = 1) ?explore_budget b =
           match
             Shrink.of_seeds
               ~check:(fun s ->
-                match cosim ~netlist:faulty b ~seed:s with
+                match cosim ?engine ~netlist:faulty b ~seed:s with
                 | Ok _ -> None
                 | Error i -> Some i)
               cov.Coverage.kept_seeds
@@ -275,12 +275,12 @@ let check_benchmark ?(faults = 8) ?(seed = 1) ?explore_budget b =
     Obs.Metrics.set g_kill_score (kill_score_pct (kill_stats campaign));
   campaign
 
-let run_campaign ?faults ?seed ?explore_budget ?jobs benches =
+let run_campaign ?engine ?faults ?seed ?explore_budget ?jobs benches =
   (* the stock netlist is shared by every task: force it before the
      domains fan out (stdlib Lazy is not domain-safe) *)
   ignore (Runner.shared_netlist ());
   Pool.map ?jobs
-    (fun b -> check_benchmark ?faults ?seed ?explore_budget b)
+    (fun b -> check_benchmark ?engine ?faults ?seed ?explore_budget b)
     benches
 
 (* ---- the bespoke-verify/v1 artifact ---- *)

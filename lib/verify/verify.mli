@@ -25,6 +25,7 @@
 module B := Bespoke_programs.Benchmark
 module Lockstep := Bespoke_cpu.Lockstep
 module Coverage := Bespoke_coverage.Coverage
+module Runner := Bespoke_core.Runner
 
 type input_run = {
   ir_seed : int;
@@ -88,16 +89,19 @@ val detectable_score_pct : score -> float
     gate) faults — the campaign's acceptance bar is 100. *)
 
 val check_benchmark :
-  ?faults:int -> ?seed:int -> ?explore_budget:int -> B.t -> campaign
+  ?engine:Runner.engine -> ?faults:int -> ?seed:int -> ?explore_budget:int ->
+  B.t -> campaign
 (** Run the full three-layer campaign on one benchmark: tailor it,
     check equivalence symbolically and on the explored input set, then
     inject [faults] (default 8) netlist faults drawn with PRNG [seed]
-    (default 1) and require layer 1 to kill them.
+    (default 1) and require layer 1 to kill them.  [engine] (default
+    [Compiled]) selects the gate-level engine for the input-based
+    co-simulation layer; the symbolic layer always runs event-driven.
     [explore_budget] is passed to {!Bespoke_coverage.Coverage.explore}. *)
 
 val run_campaign :
-  ?faults:int -> ?seed:int -> ?explore_budget:int -> ?jobs:int ->
-  B.t list -> campaign list
+  ?engine:Runner.engine -> ?faults:int -> ?seed:int -> ?explore_budget:int ->
+  ?jobs:int -> B.t list -> campaign list
 (** {!check_benchmark} over several benchmarks on the
     {!Bespoke_core.Pool} (jobs default [BESPOKE_JOBS]). *)
 

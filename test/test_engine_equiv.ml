@@ -46,12 +46,12 @@ let test_benchmark (b : B.t) () =
   let seeds = [ 1; 2 ] in
   let full =
     List.map
-      (fun s -> Runner.run_gate ~mode:Engine.Full ~netlist:net b ~seed:s)
+      (fun s -> Runner.run_gate ~engine:Runner.Full ~netlist:net b ~seed:s)
       seeds
   in
   let event =
     List.map
-      (fun s -> Runner.run_gate ~mode:Engine.Event ~netlist:net b ~seed:s)
+      (fun s -> Runner.run_gate ~engine:Runner.Event ~netlist:net b ~seed:s)
       seeds
   in
   let packed = List.map snd (Runner.run_gate_packed ~netlist:net b ~seeds) in
