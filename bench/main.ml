@@ -29,6 +29,8 @@ module System = Bespoke_cpu.System
 module Engine = Bespoke_sim.Engine
 module Compile = Bespoke_sim.Compile
 module Pool = Bespoke_core.Pool
+module Flowcache = Bespoke_core.Flowcache
+module Campaign = Bespoke_campaign.Campaign
 module Obs = Bespoke_obs.Obs
 
 let freq_hz = 1e8
@@ -350,13 +352,6 @@ let run_table3 () =
 (* ------------------------------------------------------------------ *)
 (* Figure 13: multi-program bespoke designs                             *)
 
-let bitset_of (toggled : bool array) =
-  let words = Array.make ((Array.length toggled + 62) / 63) 0 in
-  Array.iteri
-    (fun i b -> if b then words.(i / 63) <- words.(i / 63) lor (1 lsl (i mod 63)))
-    toggled;
-  words
-
 let run_fig13 () =
   printf "=== Figure 13: N-program bespoke designs (ranges over all C(15,N)) ===\n";
   let benches = Array.of_list B.table1 in
@@ -370,38 +365,18 @@ let run_fig13 () =
         match g.Gate.op with Gate.Input | Gate.Const _ -> false | _ -> true)
       (stock ()).Netlist.gates
   in
-  let real_set = bitset_of real in
+  let real_set = Multi.bitset_of real in
   let sets =
     Array.map
       (fun c ->
-        let s = bitset_of c.report.Activity.possibly_toggled in
+        let s = Multi.bitset_of c.report.Activity.possibly_toggled in
         Array.mapi (fun i w -> w land real_set.(i)) s)
       ctxs
   in
-  let popcount words =
-    Array.fold_left
-      (fun acc w ->
-        let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
-        go w acc)
-      0 words
-  in
-  let total_real = popcount real_set in
-  let best = Array.make (n + 1) (max_int, 0) in
-  let worst = Array.make (n + 1) (min_int, 0) in
-  for subset = 1 to (1 lsl n) - 1 do
-    let members = ref [] in
-    for i = 0 to n - 1 do
-      if subset land (1 lsl i) <> 0 then members := i :: !members
-    done;
-    let u = Array.make (Array.length real_set) 0 in
-    List.iter
-      (fun i -> Array.iteri (fun k w -> u.(k) <- u.(k) lor w) sets.(i))
-      !members;
-    let count = popcount u in
-    let k = List.length !members in
-    if count < fst best.(k) then best.(k) <- (count, subset);
-    if count > fst worst.(k) then worst.(k) <- (count, subset)
-  done;
+  let total_real = Multi.popcount real_set in
+  let (best, worst), sweep_seconds = time (fun () -> Multi.sweep sets) in
+  printf "sweep: %d subsets in %.3f s (%d domain(s))\n"
+    ((1 lsl n) - 1) sweep_seconds (Pool.default_jobs ());
   printf
     "%3s %14s %14s %14s %14s %14s %14s\n" "N" "min-gates" "max-gates"
     "min-area" "max-area" "min-power" "max-power";
@@ -957,6 +932,66 @@ let measure_compile_cost () =
   in
   (cold, warm)
 
+(* Campaign throughput: the analyze+tailor+report+run flow over all
+   15 benchmarks (60 jobs), three ways.
+
+   - "one-shot" is the pre-campaign world: one fresh CLI process per
+     job.  Simulated in-process by clearing every flow cache (and the
+     compiled-engine design cache) before each job and charging each
+     job a netlist build, which a fresh process always pays.
+   - "cold" campaigns start with cleared caches and pay one netlist
+     build, but the 60 jobs share the process — and the flow cache, so
+     the four kinds share one analysis (and one cut) per benchmark.
+   - "warm" reruns the same campaign without clearing: every job is a
+     content-addressed cache hit.
+
+   On a multi-core box the jobs=4 campaign additionally overlaps four
+   jobs; on one core jobs=4 clamps to one domain
+   (Pool.clamp_jobs) and the win is cache sharing alone. *)
+let measure_campaign () =
+  let kinds =
+    [ Campaign.Analyze; Campaign.Tailor; Campaign.Report; Campaign.Run ]
+  in
+  let all_jobs =
+    List.concat_map
+      (fun (b : B.t) ->
+        List.map (fun kind -> Campaign.job ~kind (Campaign.Inline b)) kinds)
+      B.table1
+  in
+  let clear_caches () =
+    Flowcache.clear_all ();
+    Compile.clear_cache ()
+  in
+  let t_build =
+    median_of_reps (fun () ->
+        snd (time (fun () -> ignore (Bespoke_cpu.Cpu.build ()))))
+  in
+  let assert_ok tag (s : Campaign.summary) =
+    if s.Campaign.failed > 0 then
+      failwith
+        (Printf.sprintf "bench campaign (%s): %d job(s) failed" tag
+           s.Campaign.failed)
+  in
+  let oneshot_s =
+    List.fold_left
+      (fun acc j ->
+        clear_caches ();
+        let (_, s), dt = time (fun () -> Campaign.run ~jobs:1 [ j ]) in
+        assert_ok "oneshot" s;
+        acc +. dt +. t_build)
+      0.0 all_jobs
+  in
+  let run_one tag n ~cold =
+    if cold then clear_caches ();
+    let (_, s), dt = time (fun () -> Campaign.run ~jobs:n all_jobs) in
+    assert_ok tag s;
+    if cold then dt +. t_build else dt
+  in
+  let cold1_s = run_one "cold1" 1 ~cold:true in
+  let cold4_s = run_one "cold4" 4 ~cold:true in
+  let warm4_s = run_one "warm4" 4 ~cold:false in
+  (List.length all_jobs, t_build, oneshot_s, cold1_s, cold4_s, warm4_s)
+
 let run_bench_sim () =
   printf "=== simulator throughput: cycles/sec over the profiling workload ===\n";
   printf "%-12s %9s %9s %9s %9s %9s %8s | %8s %6s %8s\n" "Benchmark" "cycles"
@@ -997,6 +1032,21 @@ let run_bench_sim () =
      (%.1f%% slower when tracing)\n"
     obs_disabled_cps obs_enabled_cps
     (100.0 *. (1.0 -. (obs_enabled_cps /. obs_disabled_cps)));
+  let camp_jobs, camp_build_s, camp_oneshot_s, camp_cold1_s, camp_cold4_s,
+      camp_warm4_s =
+    measure_campaign ()
+  in
+  let jps t = float_of_int camp_jobs /. t in
+  printf
+    "campaign (%d jobs: analyze+tailor+report+run x %d benchmarks):\n\
+    \  one-shot %.1f s (%.2f jobs/s), cold jobs=1 %.1f s (%.2f), cold jobs=4 \
+     %.1f s (%.2f), warm jobs=4 %.3f s (%.0f)\n\
+    \  speedups: cold jobs=4 vs one-shot %.2fx, warm vs cold %.1fx\n"
+    camp_jobs (List.length B.table1) camp_oneshot_s (jps camp_oneshot_s)
+    camp_cold1_s (jps camp_cold1_s) camp_cold4_s (jps camp_cold4_s)
+    camp_warm4_s (jps camp_warm4_s)
+    (camp_oneshot_s /. camp_cold4_s)
+    (camp_cold4_s /. camp_warm4_s);
   let oc = open_out "BENCH_sim.json" in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"workload\": \"gate-level runs over %d profiling seeds\",\n"
@@ -1016,6 +1066,23 @@ let run_bench_sim () =
     \                   \"enabled_slowdown\": %.4f},\n"
     obs_disabled_cps obs_enabled_cps
     (1.0 -. (obs_enabled_cps /. obs_disabled_cps));
+  out
+    "  \"campaign\": {\"jobs_total\": %d, \"benchmarks\": %d, \"kinds\": \
+     [\"analyze\", \"tailor\", \"report\", \"run\"],\n"
+    camp_jobs (List.length B.table1);
+  out "    \"netlist_build_seconds\": %.3f,\n" camp_build_s;
+  out
+    "    \"oneshot_seconds\": %.2f, \"cold_jobs1_seconds\": %.2f, \
+     \"cold_jobs4_seconds\": %.2f, \"warm_jobs4_seconds\": %.4f,\n"
+    camp_oneshot_s camp_cold1_s camp_cold4_s camp_warm4_s;
+  out
+    "    \"jobs_per_sec\": {\"oneshot\": %.3f, \"cold_jobs1\": %.3f, \
+     \"cold_jobs4\": %.3f, \"warm_jobs4\": %.1f},\n"
+    (jps camp_oneshot_s) (jps camp_cold1_s) (jps camp_cold4_s)
+    (jps camp_warm4_s);
+  out "    \"speedup_cold_jobs4_vs_oneshot\": %.2f,\n"
+    (camp_oneshot_s /. camp_cold4_s);
+  out "    \"speedup_warm_vs_cold\": %.2f},\n" (camp_cold4_s /. camp_warm4_s);
   out "  \"benchmarks\": [\n";
   List.iteri
     (fun i r ->
@@ -1057,10 +1124,20 @@ let validate_bench_sim_artifact () =
   let ic = open_in path in
   let rows = ref [] in
   let name = ref "" in
+  let camp_cold_speedup = ref None in
+  let camp_warm_speedup = ref None in
   (try
      while true do
        let line = String.trim (input_line ic) in
        (try Scanf.sscanf line "{\"name\": %S" (fun n -> name := n)
+        with Scanf.Scan_failure _ | End_of_file -> ());
+       (try
+          Scanf.sscanf line "\"speedup_cold_jobs4_vs_oneshot\": %f" (fun x ->
+              camp_cold_speedup := Some x)
+        with Scanf.Scan_failure _ | End_of_file -> ());
+       (try
+          Scanf.sscanf line "\"speedup_warm_vs_cold\": %f" (fun x ->
+              camp_warm_speedup := Some x)
         with Scanf.Scan_failure _ | End_of_file -> ());
        if
          String.length line >= 17
@@ -1088,10 +1165,44 @@ let validate_bench_sim_artifact () =
               in %s — compiled engine regression"
              n compiled event path))
     !rows;
+  (* the campaign acceptance bars: batch throughput >= 2.5x one-shot,
+     warm cache >= 5x cold *)
+  let cold =
+    match !camp_cold_speedup with
+    | Some x -> x
+    | None ->
+      failwith
+        (Printf.sprintf
+           "bench-smoke: no campaign speedup_cold_jobs4_vs_oneshot in %s \
+            (regenerate with --bench-sim)"
+           path)
+  in
+  let warm =
+    match !camp_warm_speedup with
+    | Some x -> x
+    | None ->
+      failwith
+        (Printf.sprintf
+           "bench-smoke: no campaign speedup_warm_vs_cold in %s (regenerate \
+            with --bench-sim)"
+           path)
+  in
+  if cold < 2.5 then
+    failwith
+      (Printf.sprintf
+         "bench-smoke: campaign cold speedup %.2fx < 2.5x one-shot in %s — \
+          campaign throughput regression"
+         cold path);
+  if warm < 5.0 then
+    failwith
+      (Printf.sprintf
+         "bench-smoke: campaign warm-cache speedup %.2fx < 5x cold in %s — \
+          flow cache regression"
+         warm path);
   printf
     "bench-smoke: BENCH_sim.json valid (%d benchmarks, compiled >= event on \
-     all)\n"
-    (List.length !rows)
+     all; campaign %.2fx vs one-shot cold, %.1fx warm vs cold)\n"
+    (List.length !rows) cold warm
 
 let run_bench_smoke () =
   let b = B.find "mult" in

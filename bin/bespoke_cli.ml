@@ -37,6 +37,8 @@ module Provenance = Bespoke_report.Provenance
 module Attribution = Bespoke_report.Attribution
 module Artifact = Bespoke_report.Artifact
 module Verify = Bespoke_verify.Verify
+module Campaign = Bespoke_campaign.Campaign
+module Pool = Bespoke_core.Pool
 
 (* Not used directly here, but referencing them links their
    compilation units so their metrics register and appear in
@@ -44,7 +46,6 @@ module Verify = Bespoke_verify.Verify
    ran); a module alias alone is resolved statically and does not
    force the link. *)
 let _ = Bespoke_core.Profiling.profile
-let _ = Bespoke_core.Pool.map
 
 let ( let* ) r f = Result.bind r f
 
@@ -62,6 +63,17 @@ let gpio_arg =
 
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Input-generation seed for benchmarks.")
+
+(* Parallelism: --jobs N beats the BESPOKE_JOBS env var, which beats
+   the single-domain default. *)
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "jobs" ] ~docv:"N"
+           ~doc:"Domains for parallel work (overrides the \
+                 $(b,BESPOKE_JOBS) environment variable; default 1; \
+                 capped at the machine's core count).")
+
+let apply_jobs jobs = Option.iter Pool.set_default_jobs jobs
 
 let json_arg =
   Arg.(value & flag
@@ -188,6 +200,17 @@ let catching f =
     Error (Printf.sprintf "assembly error, line %d: %s" line message)
   | Activity.Analysis_error m -> Error ("analysis error: " ^ m)
   | Runner.Mismatch m -> Error ("verification mismatch: " ^ m)
+  | Pool.Task_errors errs ->
+    Error
+      (Printf.sprintf "%d parallel task(s) failed: %s" (List.length errs)
+         (String.concat "; "
+            (List.map
+               (fun (i, e) ->
+                 Printf.sprintf "task %d: %s" i
+                   (match e with
+                   | Failure m -> m
+                   | e -> Printexc.to_string e))
+               errs)))
   | Failure m -> Error m
 
 (* ---- savings-report entry (shared by tailor --json and report) ---- *)
@@ -316,10 +339,11 @@ let cmd_run =
          & info [ "netlist" ] ~docv:"FILE"
              ~doc:"Run on a saved (bespoke) netlist instead of the stock core.")
   in
-  let run file bench gpio seed netlist_file engine obs =
+  let run file bench gpio seed netlist_file engine jobs obs =
     handle
       (with_obs obs @@ fun () ->
        catching (fun () ->
+           apply_jobs jobs;
            let* b = load_program file bench in
            let netlist = Option.map Bespoke_netlist.Serial.load netlist_file in
            let o =
@@ -354,7 +378,7 @@ let cmd_run =
     Term.(
       ret
         (const run $ file_arg $ bench_arg $ gpio_arg $ seed_arg $ netlist_arg
-        $ engine_arg Runner.Compiled $ obs_args))
+        $ engine_arg Runner.Compiled $ jobs_arg $ obs_args))
 
 (* ---- analyze ---- *)
 
@@ -365,10 +389,11 @@ let cmd_analyze =
              ~doc:"Write the explored symbolic execution tree as a Graphviz \
                    digraph to $(docv) (nodes colored by how each path ended).")
   in
-  let run file bench json tree_dot engine obs =
+  let run file bench json tree_dot engine jobs obs =
     handle
       (with_obs obs @@ fun () ->
        catching (fun () ->
+           apply_jobs jobs;
            let* b = load_program file bench in
            require_scalar "analyze" engine;
            let report, net = Runner.analyze ~engine b in
@@ -411,7 +436,7 @@ let cmd_analyze =
     Term.(
       ret
         (const run $ file_arg $ bench_arg $ json_arg $ tree_dot_arg
-        $ engine_arg Runner.Event $ obs_args))
+        $ engine_arg Runner.Event $ jobs_arg $ obs_args))
 
 (* ---- tailor ---- *)
 
@@ -435,10 +460,11 @@ let cmd_tailor =
                    gates, the typed cut reason and recorded fanin-cone \
                    constants otherwise.  Repeatable.")
   in
-  let run file bench verify save json explain engine obs =
+  let run file bench verify save json explain engine jobs obs =
     handle
       (with_obs obs @@ fun () ->
        catching (fun () ->
+           apply_jobs jobs;
            let* b = load_program file bench in
            require_scalar "tailor" engine;
            let report, net = Runner.analyze ~engine b in
@@ -512,7 +538,7 @@ let cmd_tailor =
     Term.(
       ret
         (const run $ file_arg $ bench_arg $ verify_arg $ save_arg $ json_arg
-        $ explain_arg $ engine_arg Runner.Event $ obs_args))
+        $ explain_arg $ engine_arg Runner.Event $ jobs_arg $ obs_args))
 
 (* ---- report (savings artifact across benchmarks) ---- *)
 
@@ -580,10 +606,11 @@ let cmd_verify =
          & info [ "explore-budget" ] ~docv:"N"
              ~doc:"Candidate budget for the coverage-directed input search.")
   in
-  let run file bench json faults seed budget engine obs =
+  let run file bench json faults seed budget engine jobs obs =
     handle
       (with_obs obs @@ fun () ->
        catching (fun () ->
+           apply_jobs jobs;
            let* benches =
              match bench, file with
              | None, None -> Ok B.all
@@ -638,7 +665,115 @@ let cmd_verify =
     Term.(
       ret
         (const run $ file_arg $ bench_arg $ json_arg $ faults_arg $ seed_arg
-        $ budget_arg $ engine_arg Runner.Compiled $ obs_args))
+        $ budget_arg $ engine_arg Runner.Compiled $ jobs_arg $ obs_args))
+
+(* ---- campaign (batch jobs on the pool, JSONL stream) ---- *)
+
+let cmd_campaign =
+  let jobs_file_arg =
+    Arg.(value & opt (some file) None
+         & info [ "file" ] ~docv:"JOBS.TXT"
+             ~doc:"Job-list file: one $(b,KIND BENCH [seed=N] [faults=N] \
+                   [engine=E]) per line, where KIND is analyze, tailor, \
+                   report, verify or run; blank lines and # comments are \
+                   skipped.")
+  in
+  let job_specs_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"JOB"
+             ~doc:"Inline job specs, colon-separated: \
+                   $(b,KIND:BENCH[:seed=N][:faults=N][:engine=E]), e.g. \
+                   $(b,verify:mult:faults=4).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the bespoke-campaign/v1 JSONL stream to $(docv) \
+                   (default stdout).")
+  in
+  let run jobs_file specs out jobs obs =
+    handle
+      (with_obs obs @@ fun () ->
+       catching (fun () ->
+           apply_jobs jobs;
+           let* from_file =
+             match jobs_file with
+             | None -> Ok []
+             | Some path -> Campaign.parse_file path
+           in
+           let* from_specs =
+             List.fold_left
+               (fun acc spec ->
+                 let* js = acc in
+                 let line =
+                   String.concat " " (String.split_on_char ':' spec)
+                 in
+                 match Campaign.parse_line line with
+                 | Ok (Some j) -> Ok (j :: js)
+                 | Ok None -> Error (Printf.sprintf "empty job spec %S" spec)
+                 | Error m -> Error (Printf.sprintf "%S: %s" spec m))
+               (Ok []) specs
+           in
+           let js = from_file @ List.rev from_specs in
+           if js = [] then
+             Error "no jobs: give --file JOBS.TXT and/or inline JOB specs"
+           else begin
+             let oc, close =
+               match out with
+               | None -> (stdout, fun () -> flush stdout)
+               | Some path ->
+                 let oc = open_out path in
+                 (oc, fun () -> close_out oc)
+             in
+             Fun.protect ~finally:close @@ fun () ->
+             let jobs_n = Pool.default_jobs () in
+             output_string oc
+               (Campaign.header_jsonl ~jobs:jobs_n ~total:(List.length js));
+             output_char oc '\n';
+             let emit o =
+               output_string oc (Campaign.outcome_jsonl o);
+               output_char oc '\n';
+               flush oc;
+               match o.Campaign.status with
+               | Ok _ ->
+                 Printf.eprintf "job %d %s %s: ok%s (%.3f s)\n%!"
+                   o.Campaign.o_index
+                   (Campaign.kind_to_string o.Campaign.o_job.Campaign.kind)
+                   (Campaign.program_name o.Campaign.o_job.Campaign.program)
+                   (if o.Campaign.cached then " (cached)" else "")
+                   o.Campaign.time_s
+               | Error m ->
+                 Printf.eprintf "job %d %s %s: ERROR %s\n%!"
+                   o.Campaign.o_index
+                   (Campaign.kind_to_string o.Campaign.o_job.Campaign.kind)
+                   (Campaign.program_name o.Campaign.o_job.Campaign.program)
+                   m
+             in
+             let _, summary = Campaign.run ~on_outcome:emit js in
+             output_string oc (Campaign.summary_jsonl summary);
+             output_char oc '\n';
+             Printf.eprintf
+               "campaign: %d job(s), %d ok, %d failed, %d cache hit(s), %.3f s \
+                at %d job(s) in flight\n%!"
+               summary.Campaign.total summary.Campaign.ok
+               summary.Campaign.failed summary.Campaign.cache_hits
+               summary.Campaign.wall_s summary.Campaign.jobs_used;
+             (* per-job failures are error records in the stream, not a
+                campaign failure — the campaign completed *)
+             Ok ()
+           end))
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run a batch of flow jobs (analyze/tailor/report/verify/run) \
+             across the domain pool, memoized by the content-addressed flow \
+             cache, streaming schema-versioned bespoke-campaign/v1 JSONL.  A \
+             job that fails yields an error record; the campaign always \
+             completes.")
+    Term.(
+      ret
+        (const run $ jobs_file_arg $ job_specs_arg $ out_arg $ jobs_arg
+       $ obs_args))
 
 (* ---- update-check (paper Section 3.5) ---- *)
 
@@ -813,5 +948,6 @@ let () =
        (Cmd.group info
           [
             cmd_asm; cmd_run; cmd_analyze; cmd_tailor; cmd_report; cmd_verify;
-            cmd_update_check; cmd_export; cmd_trace; cmd_bench_list;
+            cmd_campaign; cmd_update_check; cmd_export; cmd_trace;
+            cmd_bench_list;
           ]))

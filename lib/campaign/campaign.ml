@@ -1,0 +1,431 @@
+(* The campaign engine: run a batch of (program, config) flow jobs as
+   fast as the hardware allows.
+
+   Jobs are sharded across the persistent Pool (work-stealing domain
+   pool); every job runs through the content-addressed Flowcache, so a
+   campaign that touches the same (binary, netlist, config) triple
+   twice — analyze + tailor + report of one benchmark, or a warm rerun
+   of a whole campaign — pays for the expensive analysis once.  A job
+   that raises yields an error record; the campaign always completes.
+
+   Results stream as schema-versioned bespoke-campaign/v1 JSONL: one
+   header line, one record per job (in completion order — the [job]
+   field is the input index), one trailing summary line. *)
+
+module B = Bespoke_programs.Benchmark
+module Rtos = Bespoke_programs.Rtos
+module Subneg = Bespoke_programs.Subneg
+module Activity = Bespoke_analysis.Activity
+module Netlist = Bespoke_netlist.Netlist
+module Runner = Bespoke_core.Runner
+module Cut = Bespoke_core.Cut
+module Pool = Bespoke_core.Pool
+module Flowcache = Bespoke_core.Flowcache
+module Report = Bespoke_power.Report
+module Verify = Bespoke_verify.Verify
+module Obs = Bespoke_obs.Obs
+
+let m_jobs = Obs.Metrics.counter "campaign.jobs"
+let m_failures = Obs.Metrics.counter "campaign.failures"
+
+let now = Unix.gettimeofday
+
+type kind = Analyze | Tailor | Report | Verify | Run
+
+let kind_to_string = function
+  | Analyze -> "analyze"
+  | Tailor -> "tailor"
+  | Report -> "report"
+  | Verify -> "verify"
+  | Run -> "run"
+
+let kind_of_string = function
+  | "analyze" -> Some Analyze
+  | "tailor" -> Some Tailor
+  | "report" -> Some Report
+  | "verify" -> Some Verify
+  | "run" -> Some Run
+  | _ -> None
+
+type program = Named of string | Inline of B.t
+
+type job = {
+  kind : kind;
+  program : program;
+  seed : int;
+  faults : int;
+  engine : Runner.engine;
+}
+
+let job ?(kind = Analyze) ?(seed = 1) ?(faults = 3)
+    ?(engine = Runner.Compiled) program =
+  { kind; program; seed; faults; engine }
+
+let program_name = function Named n -> n | Inline b -> b.B.name
+
+(* Benchmarks are resolved at execution time, inside the per-job
+   exception fence — an unknown name becomes that job's error record,
+   never a dead campaign. *)
+let known_benchmarks () = B.all @ [ Rtos.kernel; Subneg.characterization ]
+
+let resolve_program = function
+  | Inline b -> b
+  | Named name -> (
+    match List.find_opt (fun b -> b.B.name = name) (known_benchmarks ()) with
+    | Some b -> b
+    | None ->
+      failwith
+        (Printf.sprintf "unknown benchmark %S (see `bespoke bench-list`)" name))
+
+(* ------------------------------------------------------------------ *)
+(* Job execution.  Every kind goes through the campaign job cache —
+   keyed by kind, binary image hash, netlist hash and the parameters
+   that affect the result (seed/faults where they matter; the engine
+   is excluded because all engines are bit-identical).  The payload is
+   a list of (field, raw JSON value) pairs, ready to stream. *)
+
+let jobs_cache : (string * string) list Flowcache.t =
+  Flowcache.create ~name:"campaign.jobs" ()
+
+let freq_hz = 1e8
+
+let num f =
+  if not (Float.is_finite f) then "0"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let count_toggled a =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a
+
+let analyze_payload (report : Activity.report) =
+  [
+    ("toggled_gates", string_of_int (count_toggled report.Activity.possibly_toggled));
+    ("paths", string_of_int report.Activity.paths);
+    ("total_cycles", string_of_int report.Activity.total_cycles);
+  ]
+
+(* Tailored designs are cached too, so a Report job after (or racing)
+   a Tailor job of the same benchmark reuses the cut instead of
+   re-cutting.  The analysis config is the default one, so the key
+   only needs what varies it: image, netlist, X-ranges, IRQ use. *)
+let tailor_cache : (Activity.report * Netlist.t * Cut.stats) Flowcache.t =
+  Flowcache.create ~name:"campaign.tailor" ()
+
+let tailored b =
+  let key =
+    Flowcache.digest
+      [
+        "campaign.tailor";
+        Runner.image_hash (B.image b);
+        Runner.shared_netlist_hash ();
+        String.concat ","
+          (List.map (fun (a, z) -> Printf.sprintf "%x-%x" a z) b.B.input_ranges);
+        string_of_bool b.B.uses_irq;
+      ]
+  in
+  Flowcache.find_or_compute tailor_cache ~key (fun () ->
+      let (report, net), _ = Runner.analyze_cached b in
+      let bespoke, stats =
+        Cut.tailor net ~possibly_toggled:report.Activity.possibly_toggled
+          ~constants:report.Activity.constant_values
+      in
+      (report, bespoke, stats))
+
+let stats_payload (stats : Cut.stats) =
+  [
+    ("gates_original", string_of_int stats.Cut.original_gates);
+    ("gates_cut", string_of_int stats.Cut.cut_gates);
+    ("gates_bespoke", string_of_int stats.Cut.bespoke_gates);
+    ("area_ratio", num (stats.Cut.bespoke_area /. stats.Cut.original_area));
+  ]
+
+let exec_kind (j : job) (b : B.t) : (string * string) list =
+  match j.kind with
+  | Analyze ->
+    let (report, _), _ = Runner.analyze_cached b in
+    analyze_payload report
+  | Tailor ->
+    let _, _, stats = tailored b in
+    stats_payload stats
+  | Report ->
+    let _, bespoke, stats = tailored b in
+    let o = Runner.run_gate ~engine:j.engine ~netlist:bespoke b ~seed:j.seed in
+    let p =
+      Report.power ~freq_hz ~toggles:o.Runner.toggles
+        ~cycles:o.Runner.sim_cycles bespoke
+    in
+    stats_payload stats
+    @ [
+        ("area_um2", num p.Report.area_um2);
+        ("total_nw", num p.Report.total_nw);
+        ("cycles", string_of_int o.Runner.g_cycles);
+      ]
+  | Verify ->
+    let c =
+      Verify.check_benchmark ~engine:j.engine ~faults:j.faults ~seed:j.seed b
+    in
+    let score = Verify.kill_stats c in
+    [
+      ("equivalent", if c.Verify.equivalent then "true" else "false");
+      ("faults_injected", string_of_int score.Verify.injected);
+      ("faults_survived", string_of_int score.Verify.survived);
+      ("kill_score_pct", num (Verify.kill_score_pct score));
+    ]
+  | Run ->
+    let iss = Runner.check_equivalence ~engine:j.engine b ~seed:j.seed in
+    [
+      ("cycles", string_of_int iss.Runner.cycles);
+      ("instructions", string_of_int iss.Runner.instructions);
+      ("equivalent", "true");
+    ]
+
+(* The part of a benchmark's input content the image hash cannot see:
+   the analysis X-ranges, and for concrete runs the generated RAM
+   writes, GPIO value and IRQ schedule at the job's seed.  Without
+   this, two benchmarks sharing a binary but differing in inputs would
+   alias in the cache.  Generation runs inside the per-job fence, so a
+   benchmark whose [gen_inputs] raises becomes an error record before
+   it ever touches the cache. *)
+let inputs_fingerprint (j : job) (b : B.t) =
+  let ranges =
+    String.concat ","
+      (List.map (fun (a, z) -> Printf.sprintf "%x-%x" a z) b.B.input_ranges)
+  in
+  match j.kind with
+  | Analyze | Tailor -> Printf.sprintf "ranges=%s;irq=%b" ranges b.B.uses_irq
+  | Report | Run | Verify ->
+    let writes, gpio = b.B.gen_inputs j.seed in
+    let irqs = if b.B.uses_irq then b.B.irq_pulses j.seed else [] in
+    let buf = Buffer.create 64 in
+    List.iter
+      (fun (a, v) -> Buffer.add_string buf (Printf.sprintf "%x:%x;" a v))
+      writes;
+    Printf.sprintf "ranges=%s;inputs=%s;gpio=%x;irqs=%s" ranges
+      (Digest.to_hex (Digest.string (Buffer.contents buf)))
+      gpio
+      (String.concat "," (List.map string_of_int irqs))
+
+let exec_job (j : job) : (string * string) list * bool =
+  let b = resolve_program j.program in
+  let params =
+    match j.kind with
+    | Analyze | Tailor -> ""
+    | Report | Run -> Printf.sprintf "seed=%d" j.seed
+    | Verify -> Printf.sprintf "seed=%d;faults=%d" j.seed j.faults
+  in
+  let key =
+    Flowcache.digest
+      [
+        "campaign";
+        kind_to_string j.kind;
+        Runner.image_hash (B.image b);
+        Runner.shared_netlist_hash ();
+        inputs_fingerprint j b;
+        params;
+      ]
+  in
+  Flowcache.find_or_compute_report jobs_cache ~key (fun () -> exec_kind j b)
+
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  o_job : job;
+  o_index : int;
+  status : ((string * string) list, string) result;
+  time_s : float;
+  cached : bool;
+}
+
+type summary = {
+  total : int;
+  ok : int;
+  failed : int;
+  cache_hits : int;
+  wall_s : float;
+  jobs_used : int;
+}
+
+let run ?jobs ?on_outcome (js : job list) =
+  (* the campaign is CPU-bound, so even an explicit request is capped
+     at the hardware's concurrency *)
+  let jobs_n =
+    match jobs with
+    | Some j -> Pool.clamp_jobs j
+    | None -> Pool.default_jobs ()
+  in
+  Obs.Span.with_ ~name:"campaign.run"
+    ~args:
+      [
+        ("jobs", string_of_int jobs_n);
+        ("tasks", string_of_int (List.length js));
+      ]
+  @@ fun () ->
+  (* shared lazies, forced before the domains fan out *)
+  ignore (Runner.shared_netlist ());
+  ignore (Runner.shared_netlist_hash ());
+  let t0 = now () in
+  let cb_lock = Mutex.create () in
+  let emit o =
+    match on_outcome with
+    | None -> ()
+    | Some f ->
+      Mutex.lock cb_lock;
+      (try f o
+       with e ->
+         Printf.eprintf "warning: campaign on_outcome raised: %s\n%!"
+           (Printexc.to_string e));
+      Mutex.unlock cb_lock
+  in
+  let outcomes =
+    Pool.map ~jobs:jobs_n
+      (fun (i, j) ->
+        Obs.Metrics.incr m_jobs;
+        let t = now () in
+        let status, cached =
+          match exec_job j with
+          | payload, hit -> (Ok payload, hit)
+          | exception e ->
+            Obs.Metrics.incr m_failures;
+            let m =
+              match e with Failure m -> m | e -> Printexc.to_string e
+            in
+            (Error m, false)
+        in
+        let o = { o_job = j; o_index = i; status; time_s = now () -. t; cached } in
+        emit o;
+        o)
+      (List.mapi (fun i j -> (i, j)) js)
+  in
+  let ok = List.length (List.filter (fun o -> Result.is_ok o.status) outcomes) in
+  let hits = List.length (List.filter (fun o -> o.cached) outcomes) in
+  let summary =
+    {
+      total = List.length outcomes;
+      ok;
+      failed = List.length outcomes - ok;
+      cache_hits = hits;
+      wall_s = now () -. t0;
+      jobs_used = jobs_n;
+    }
+  in
+  (outcomes, summary)
+
+(* ------------------------------------------------------------------ *)
+(* Job-list parsing: one job per line, `KIND BENCH [seed=N] [faults=N]
+   [engine=E]`; blank lines and #-comments are skipped.  A malformed
+   line is a campaign-level error (the file is wrong, not a job). *)
+
+let parse_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let words =
+    List.filter (fun w -> w <> "") (String.split_on_char ' ' (String.trim line))
+  in
+  match words with
+  | [] -> Ok None
+  | kind_s :: bench :: opts -> (
+    match kind_of_string kind_s with
+    | None -> Error (Printf.sprintf "unknown job kind %S" kind_s)
+    | Some kind -> (
+      let j = ref (job ~kind (Named bench)) in
+      let bad = ref None in
+      List.iter
+        (fun opt ->
+          match String.split_on_char '=' opt with
+          | [ "seed"; v ] -> (
+            match int_of_string_opt v with
+            | Some s -> j := { !j with seed = s }
+            | None -> bad := Some (Printf.sprintf "bad seed %S" v))
+          | [ "faults"; v ] -> (
+            match int_of_string_opt v with
+            | Some f -> j := { !j with faults = f }
+            | None -> bad := Some (Printf.sprintf "bad faults %S" v))
+          | [ "engine"; v ] -> (
+            match Runner.engine_of_string v with
+            | Some e -> j := { !j with engine = e }
+            | None -> bad := Some (Printf.sprintf "unknown engine %S" v))
+          | _ -> bad := Some (Printf.sprintf "unknown option %S" opt))
+        opts;
+      match !bad with Some m -> Error m | None -> Ok (Some !j)))
+  | [ k ] -> Error (Printf.sprintf "job %S is missing a benchmark name" k)
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let rec go lineno acc =
+    match input_line ic with
+    | exception End_of_file -> Ok (List.rev acc)
+    | line -> (
+      match parse_line line with
+      | Ok None -> go (lineno + 1) acc
+      | Ok (Some j) -> go (lineno + 1) (j :: acc)
+      | Error m -> Error (Printf.sprintf "%s:%d: %s" path lineno m))
+  in
+  go 1 []
+
+(* ---- the bespoke-campaign/v1 JSONL stream ---- *)
+
+let schema = "bespoke-campaign/v1"
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let str s = "\"" ^ escape s ^ "\""
+
+let obj fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields)
+  ^ "}"
+
+let header_jsonl ~jobs ~total =
+  obj
+    [
+      ("schema", str schema);
+      ("total_jobs", string_of_int total);
+      ("jobs", string_of_int jobs);
+    ]
+
+let outcome_jsonl (o : outcome) =
+  let common =
+    [
+      ("job", string_of_int o.o_index);
+      ("kind", str (kind_to_string o.o_job.kind));
+      ("bench", str (program_name o.o_job.program));
+      ("seed", string_of_int o.o_job.seed);
+      ("faults", string_of_int o.o_job.faults);
+      ("engine", str (Runner.engine_to_string o.o_job.engine));
+      ("cached", if o.cached then "true" else "false");
+      ("time_s", num o.time_s);
+    ]
+  in
+  match o.status with
+  | Ok payload ->
+    obj (common @ [ ("status", str "ok"); ("payload", obj payload) ])
+  | Error m -> obj (common @ [ ("status", str "error"); ("error", str m) ])
+
+let summary_jsonl (s : summary) =
+  obj
+    [
+      ("summary", "true");
+      ("total", string_of_int s.total);
+      ("ok", string_of_int s.ok);
+      ("failed", string_of_int s.failed);
+      ("cache_hits", string_of_int s.cache_hits);
+      ("wall_s", num s.wall_s);
+      ("jobs", string_of_int s.jobs_used);
+    ]

@@ -1,0 +1,91 @@
+(** The campaign engine: batches of flow jobs sharded across the
+    persistent {!Bespoke_core.Pool}, memoized by the content-addressed
+    {!Bespoke_core.Flowcache}, streamed as schema-versioned
+    [bespoke-campaign/v1] JSONL.
+
+    A job that raises yields an error record (its [status] is
+    [Error _]); every other job still completes — a campaign never
+    dies with a job. *)
+
+module B := Bespoke_programs.Benchmark
+module Runner := Bespoke_core.Runner
+
+type kind =
+  | Analyze  (** input-independent activity analysis *)
+  | Tailor  (** analysis + cut-and-stitch + resynthesis *)
+  | Report  (** tailor + representative run + area/power report *)
+  | Verify  (** the three-layer verification campaign *)
+  | Run  (** concrete ISS/gate run with equivalence check *)
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+type program =
+  | Named of string
+      (** resolved against the benchmark suite (plus the RTOS kernel
+          and SUBNEG characterization) at {e execution} time, so an
+          unknown name is that job's error record, not a campaign
+          failure *)
+  | Inline of B.t
+
+type job = {
+  kind : kind;
+  program : program;
+  seed : int;  (** concrete-input seed for report/run/verify *)
+  faults : int;  (** injected faults for verify *)
+  engine : Runner.engine;
+}
+
+val job :
+  ?kind:kind -> ?seed:int -> ?faults:int -> ?engine:Runner.engine ->
+  program -> job
+(** Defaults: [Analyze], seed 1, 3 faults, [Compiled]. *)
+
+val program_name : program -> string
+
+type outcome = {
+  o_job : job;
+  o_index : int;  (** position in the submitted job list *)
+  status : ((string * string) list, string) result;
+      (** [Ok payload] as (field, raw JSON value) pairs, or the
+          exception text *)
+  time_s : float;
+  cached : bool;  (** payload came from the flow cache *)
+}
+
+type summary = {
+  total : int;
+  ok : int;
+  failed : int;
+  cache_hits : int;
+  wall_s : float;
+  jobs_used : int;
+}
+
+val run :
+  ?jobs:int -> ?on_outcome:(outcome -> unit) -> job list ->
+  outcome list * summary
+(** Execute the jobs on the pool ([jobs] defaults to
+    {!Bespoke_core.Pool.default_jobs}; either way the count is
+    clamped to the hardware's concurrency — the campaign is CPU-bound
+    and oversubscribed domains only slow it down).  The count
+    actually used is reported as [jobs_used].  [on_outcome] is called as
+    each job finishes (serialized — safe to write a stream from);
+    outcomes are returned in input order regardless.  Each job is
+    memoized by (kind, binary hash, netlist hash, input content,
+    params) — the engine is not part of the key, engines are
+    bit-identical. *)
+
+val parse_line : string -> (job option, string) result
+(** One job-list line: [KIND BENCH [seed=N] [faults=N] [engine=E]].
+    Blank lines and [#] comments are [Ok None]. *)
+
+val parse_file : string -> (job list, string) result
+(** Parse a job file; the error carries [file:line:]. *)
+
+val schema : string
+(** ["bespoke-campaign/v1"]. *)
+
+val header_jsonl : jobs:int -> total:int -> string
+val outcome_jsonl : outcome -> string
+val summary_jsonl : summary -> string

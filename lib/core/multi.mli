@@ -26,3 +26,20 @@ val tailor_multi :
     report's constants are used. *)
 
 val usable_gate_count : Netlist.t -> bool array -> int
+
+val bitset_of : bool array -> int array
+(** Pack a toggled mask into 63-bit words (for fast subset unions). *)
+
+val popcount : int array -> int
+
+val sweep :
+  ?jobs:int -> int array array -> (int * int) array * (int * int) array
+(** [sweep sets] enumerates every nonempty subset of the [n]
+    applications (bitsets from {!bitset_of}, all the same length) and
+    returns [(best, worst)]: for each subset size [k] in [1..n],
+    [best.(k)] / [worst.(k)] is [(gate count, subset bitmask)] of the
+    subset with the fewest / most union gates.  Ties keep the smallest
+    subset bitmask, independent of [jobs] (default
+    {!Pool.default_jobs}) — the enumeration is chunked across the
+    domain pool but merged deterministically.  Entries at index 0 are
+    [(max_int, 0)] / [(min_int, 0)]. *)

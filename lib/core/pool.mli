@@ -1,20 +1,54 @@
-(** Domain pool for fanning independent tasks across cores.
+(** Persistent work-stealing domain pool for fanning independent tasks
+    across cores.
 
-    Parallelism is gated behind the [BESPOKE_JOBS] environment
-    variable (default 1 = fully sequential, no domains spawned), so
-    tests and default runs stay deterministic.  Results are assembled
-    in input order regardless of the job count.
+    Worker domains are spawned on first use and reused for every later
+    [map] (no per-call [Domain.spawn]/[join]).  Each domain owns a
+    deque — the owner works the back, idle domains steal from the
+    front — and a [map] submitted from inside a worker task pushes onto
+    that worker's own deque, so nested submission composes without
+    deadlock.
+
+    Parallelism is gated behind the [BESPOKE_JOBS] environment variable
+    (default 1 = fully sequential, no domains spawned), overridable
+    in-process with {!set_default_jobs} (the CLI [--jobs] flag).
+    Results are assembled in input order regardless of the job count.
 
     Tasks must be independent and must not force shared lazy values
     (force them before mapping — stdlib [Lazy] is not domain-safe). *)
 
+exception Task_errors of (int * exn) list
+(** Raised by {!map}/{!iter} when one or more tasks raised: every
+    failed task as [(input index, exception)], sorted by index.  All
+    tasks run to completion (or failure) before this is raised —
+    a failing task never cancels its siblings. *)
+
+val clamp_jobs : int -> int
+(** [max 1 (min n (Domain.recommended_domain_count ()))]: CPU-bound
+    domains beyond the core count only add scheduling and GC-sync
+    overhead, so requested job counts are capped at the hardware. *)
+
 val default_jobs : unit -> int
-(** [BESPOKE_JOBS] as a positive int, else 1. *)
+(** The {!set_default_jobs} override if set, else [BESPOKE_JOBS] as a
+    positive int, else 1 — then {!clamp_jobs}ed to the hardware. *)
+
+val set_default_jobs : int -> unit
+(** Override [BESPOKE_JOBS] process-wide (clamped to >= 1).  Used by
+    the CLI [--jobs] flag. *)
+
+val domain_count : unit -> int
+(** Number of worker domains spawned so far (0 until the first
+    parallel [map]; never shrinks). *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] like [List.map f xs]; with [jobs > 1] (default
-    {!default_jobs}) tasks run on [jobs] domains pulling from a shared
-    queue.  The first task exception (in input order) is re-raised
-    after all domains join. *)
+    {!default_jobs}) tasks are pushed onto the submitter's deque and
+    executed by the submitter plus up to [jobs - 1] pool workers.
+    An explicit [~jobs] is taken literally, {e not} clamped — tests
+    exercising the parallel paths need real worker domains even on a
+    small machine; go through {!default_jobs} to be hardware-aware.
+    Raises {!Task_errors} with {e every} failed task if any task
+    raised; otherwise returns results in input order. *)
 
 val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
+(** [iter f xs] is [map] with unit results.  Raises {!Task_errors}
+    like {!map}. *)

@@ -1,6 +1,8 @@
 module Bit = Bespoke_logic.Bit
 module Bvec = Bespoke_logic.Bvec
 module Netlist = Bespoke_netlist.Netlist
+module Serial = Bespoke_netlist.Serial
+module Asm = Bespoke_isa.Asm
 module Engine = Bespoke_sim.Engine
 module Memory = Bespoke_sim.Memory
 module Iss = Bespoke_isa.Iss
@@ -60,6 +62,48 @@ exception Mismatch of string
 
 let the_netlist = lazy (Cpu.build ())
 let shared_netlist () = Lazy.force the_netlist
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed keys for the flow cache: a binary-image hash, a
+   netlist hash (memoized for the shared stock netlist — [Serial.hash]
+   is ~2 ms) and a config fingerprint covering every field that can
+   change the analysis result. *)
+
+let image_hash (img : Asm.image) =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (a, w) -> Buffer.add_string b (Printf.sprintf "%x:%x;" a w))
+    img.Asm.words;
+  Buffer.add_string b (Printf.sprintf "@%x" img.Asm.entry);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let the_netlist_hash = lazy (Serial.hash (Lazy.force the_netlist))
+let shared_netlist_hash () = Lazy.force the_netlist_hash
+
+let netlist_hash net =
+  if Lazy.is_val the_netlist && Lazy.force the_netlist == net then
+    Lazy.force the_netlist_hash
+  else Serial.hash net
+
+let config_fingerprint (c : Activity.config) =
+  (* [verbose] only changes logging and [probe] bypasses the cache
+     entirely, so neither is part of the fingerprint. *)
+  let ranges =
+    String.concat ","
+      (List.map
+         (fun (a, b) -> Printf.sprintf "%x-%x" a b)
+         c.Activity.ram_x_ranges)
+  in
+  Printf.sprintf "gpio_x=%b;irq_x=%b;ram=%s;cycles=%d;paths=%d;pc=%d;cbf=%s;key=%s"
+    c.Activity.gpio_x c.Activity.irq_x ranges c.Activity.max_total_cycles
+    c.Activity.max_paths c.Activity.max_pc_candidates
+    (match c.Activity.computed_branch_fallback with
+    | `Escape -> "escape"
+    | `Enumerate -> "enumerate")
+    (match c.Activity.key_refinement with
+    | `Pc_only -> "pc"
+    | `Pc_gie -> "pc_gie"
+    | `Full -> "full")
 
 let run_iss (b : Benchmark.t) ~seed =
   let img = Benchmark.image b in
@@ -305,6 +349,16 @@ let check_equivalence ?engine ?netlist (b : Benchmark.t) ~seed =
             b.Benchmark.name seed iss.cycles gate.g_cycles));
   iss
 
+let resolve_analysis_config ?config (b : Benchmark.t) =
+  match config with
+  | Some c -> { c with Activity.ram_x_ranges = b.Benchmark.input_ranges }
+  | None ->
+    {
+      Activity.default_config with
+      Activity.ram_x_ranges = b.Benchmark.input_ranges;
+      irq_x = b.Benchmark.uses_irq;
+    }
+
 let analyze ?config ?(engine = Event) ?netlist (b : Benchmark.t) =
   Obs.Span.with_ ~name:"runner.analyze"
     ~args:[ ("benchmark", b.Benchmark.name) ]
@@ -319,14 +373,31 @@ let analyze ?config ?(engine = Event) ?netlist (b : Benchmark.t) =
     System.create ~mode:(mode_of_engine engine) ~netlist:net
       (Benchmark.image b)
   in
-  let config =
-    match config with
-    | Some c -> { c with Activity.ram_x_ranges = b.Benchmark.input_ranges }
-    | None ->
-      {
-        Activity.default_config with
-        Activity.ram_x_ranges = b.Benchmark.input_ranges;
-        irq_x = b.Benchmark.uses_irq;
-      }
-  in
+  let config = resolve_analysis_config ?config b in
   (Activity.analyze ~config sys, net)
+
+let analysis_cache : (Activity.report * Netlist.t) Flowcache.t =
+  Flowcache.create ~name:"analysis" ()
+
+let analyze_cached ?config ?engine ?netlist (b : Benchmark.t) =
+  let rc = resolve_analysis_config ?config b in
+  if rc.Activity.probe <> None || rc.Activity.verbose then
+    (* a probe observes every simulated cycle and verbose logs as it
+       explores — a cache hit would silently skip both *)
+    (analyze ~config:rc ?engine ?netlist b, false)
+  else begin
+    let net = match netlist with Some n -> n | None -> shared_netlist () in
+    let key =
+      Flowcache.digest
+        [
+          "analysis";
+          image_hash (Benchmark.image b);
+          netlist_hash net;
+          config_fingerprint rc;
+        ]
+    in
+    (* the engine is not part of the key: all engines are bit-identical,
+       so the report is engine-independent *)
+    Flowcache.find_or_compute_report analysis_cache ~key (fun () ->
+        analyze ~config:rc ?engine ~netlist:net b)
+  end

@@ -94,6 +94,36 @@ val analyze :
     [Event]) selects the scalar engine driving the symbolic
     exploration; @raise Invalid_argument on [Packed]. *)
 
+val resolve_analysis_config :
+  ?config:Activity.config -> Benchmark.t -> Activity.config
+(** The exact config {!analyze} runs with: the given one (or the
+    default) with the benchmark's input ranges (and, for the default,
+    its IRQ usage) applied. *)
+
+val analyze_cached :
+  ?config:Activity.config -> ?engine:engine -> ?netlist:Netlist.t ->
+  Benchmark.t -> (Activity.report * Netlist.t) * bool
+(** {!analyze} through the content-addressed flow cache: keyed by
+    (binary image hash, netlist hash, config fingerprint), so a repeat
+    analysis of the same triple returns the memoized report.  The
+    returned flag is [true] on a cache hit.  [engine] is not part of
+    the key (all engines are bit-identical).  Bypasses the cache (and
+    reports a miss) when the config carries a [probe] or [verbose]. *)
+
 val shared_netlist : unit -> Netlist.t
 (** One lazily built copy of the stock CPU, shared by callers that do
-    not mutate netlists. *)
+    not mutate netlists.  Force this {e and}
+    {!shared_netlist_hash} before fanning out with [Pool] — stdlib
+    [Lazy] is not domain-safe. *)
+
+val shared_netlist_hash : unit -> string
+(** Memoized {!Bespoke_netlist.Serial.hash} of {!shared_netlist}
+    (forces the netlist build). *)
+
+val image_hash : Bespoke_isa.Asm.image -> string
+(** Content hash of a binary image (words + entry point) — a flow
+    cache key component. *)
+
+val netlist_hash : Netlist.t -> string
+(** [Serial.hash], short-circuited to the memoized hash when given the
+    (already forced) shared netlist. *)

@@ -162,8 +162,10 @@ let check_benchmark ?engine ?(faults = 8) ?(seed = 1) ?explore_budget b =
   @@ fun () ->
   Obs.Metrics.incr m_campaigns;
   let t0 = now () in
-  (* tailor *)
-  let report, net = Runner.analyze b in
+  (* tailor — through the flow cache, so a campaign that re-verifies a
+     benchmark (or follows an analyze/tailor job for it) reuses the
+     analysis *)
+  let (report, net), _cached = Runner.analyze_cached b in
   let bespoke, stats =
     Cut.tailor net ~possibly_toggled:report.Activity.possibly_toggled
       ~constants:report.Activity.constant_values
@@ -276,9 +278,10 @@ let check_benchmark ?engine ?(faults = 8) ?(seed = 1) ?explore_budget b =
   campaign
 
 let run_campaign ?engine ?faults ?seed ?explore_budget ?jobs benches =
-  (* the stock netlist is shared by every task: force it before the
-     domains fan out (stdlib Lazy is not domain-safe) *)
+  (* the stock netlist and its hash are shared by every task: force
+     both before the domains fan out (stdlib Lazy is not domain-safe) *)
   ignore (Runner.shared_netlist ());
+  ignore (Runner.shared_netlist_hash ());
   Pool.map ?jobs
     (fun b -> check_benchmark ?engine ?faults ?seed ?explore_budget b)
     benches

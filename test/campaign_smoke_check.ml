@@ -1,0 +1,113 @@
+(* Validator behind the @campaign-smoke alias: parse the JSONL stream
+   emitted by `bespoke_cli campaign`, check the schema-versioned
+   header, every per-job record (status, timing, payload/error
+   discipline), the presence of at least one error record (the smoke
+   job list deliberately includes a job that fails — crash isolation
+   must turn it into a record, not a dead campaign), and the trailing
+   summary arithmetic.  Exits non-zero on the first violation. *)
+
+module Obs = Bespoke_obs.Obs
+
+let fail fmt =
+  Printf.ksprintf (fun m -> prerr_endline ("campaign-smoke: " ^ m); exit 1) fmt
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (if String.trim line = "" then acc else line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let mem k j =
+  match Obs.Json.member k j with
+  | Some v -> v
+  | None -> fail "missing field %S" k
+
+let str k j =
+  match mem k j with Obs.Json.Str s -> s | _ -> fail "field %S is not a string" k
+
+let num k j =
+  match mem k j with Obs.Json.Num n -> n | _ -> fail "field %S is not a number" k
+
+let bool_ k j =
+  match mem k j with Obs.Json.Bool b -> b | _ -> fail "field %S is not a bool" k
+
+let kinds = [ "analyze"; "tailor"; "report"; "verify"; "run" ]
+
+(* records stream in completion order, so the job index is not the
+   record position — each index must simply appear exactly once *)
+let check_job total i j =
+  let idx = int_of_float (num "job" j) in
+  if idx < 0 || idx >= total then
+    fail "record %d carries job index %d outside [0, %d)" i idx total;
+  if not (List.mem (str "kind" j) kinds) then
+    fail "record %d: unknown kind %S" i (str "kind" j);
+  if str "bench" j = "" then fail "record %d: empty bench name" i;
+  if num "time_s" j < 0.0 then fail "record %d: negative time_s" i;
+  ignore (bool_ "cached" j);
+  match str "status" j with
+  | "ok" ->
+    (match mem "payload" j with
+    | Obs.Json.Obj [] -> fail "record %d: ok with an empty payload" i
+    | Obs.Json.Obj _ -> ()
+    | _ -> fail "record %d: payload is not an object" i);
+    (idx, `Ok)
+  | "error" ->
+    if str "error" j = "" then fail "record %d: error record with no message" i;
+    (idx, `Error)
+  | s -> fail "record %d: status %S is neither ok nor error" i s
+
+let () =
+  if Array.length Sys.argv <> 2 then fail "usage: campaign_smoke_check FILE.jsonl";
+  let parsed =
+    List.map
+      (fun line ->
+        match Obs.Json.parse line with
+        | Ok j -> j
+        | Error m -> fail "line does not parse: %s (%s)" m line)
+      (read_lines Sys.argv.(1))
+  in
+  match parsed with
+  | [] | [ _ ] | [ _; _ ] -> fail "stream too short: want header, jobs, summary"
+  | header :: rest ->
+    if str "schema" header <> "bespoke-campaign/v1" then
+      fail "unexpected schema tag %S" (str "schema" header);
+    let total = int_of_float (num "total_jobs" header) in
+    if num "jobs" header < 1.0 then fail "header jobs < 1";
+    let records, summary =
+      match List.rev rest with
+      | s :: r -> (List.rev r, s)
+      | [] -> fail "no summary line"
+    in
+    if List.length records <> total then
+      fail "header promises %d jobs, stream carries %d records" total
+        (List.length records);
+    let checked = List.mapi (check_job total) records in
+    let seen = List.sort compare (List.map fst checked) in
+    if seen <> List.init total (fun i -> i) then
+      fail "job indices are not a permutation of 0..%d" (total - 1);
+    let statuses = List.map snd checked in
+    let count s = List.length (List.filter (( = ) s) statuses) in
+    if count `Error < 1 then
+      fail "no error record: the smoke job list includes a failing job, \
+            crash isolation must surface it";
+    if count `Ok < 1 then fail "no job succeeded";
+    if not (bool_ "summary" summary) then fail "last line is not the summary";
+    if int_of_float (num "total" summary) <> total then
+      fail "summary total %g disagrees with header %d" (num "total" summary)
+        total;
+    if num "ok" summary <> float_of_int (count `Ok) then
+      fail "summary ok %g disagrees with the stream (%d)" (num "ok" summary)
+        (count `Ok);
+    if num "failed" summary <> float_of_int (count `Error) then
+      fail "summary failed %g disagrees with the stream (%d)"
+        (num "failed" summary) (count `Error);
+    if num "ok" summary +. num "failed" summary <> num "total" summary then
+      fail "summary ok + failed <> total";
+    if num "wall_s" summary < 0.0 then fail "summary wall_s negative";
+    Printf.printf "campaign-smoke: %d record(s) validated (%d ok, %d error)\n"
+      total (count `Ok) (count `Error)
