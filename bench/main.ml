@@ -877,14 +877,15 @@ let bench_sim_row (b : B.t) : sim_row =
     t_profile;
   }
 
-(* Observability overhead: event-driven cycles/sec on one small
-   benchmark with tracing disabled vs enabled.  The disabled path is
-   the default for every other row in this table, so any regression
-   there shows up directly in event_cps; the enabled slowdown is only
-   paid when --trace/--metrics-out/BESPOKE_TRACE is in effect. *)
+(* Observability overhead: cycles/sec on one small benchmark with
+   tracing disabled vs enabled, measured per engine (the event and
+   compiled engines have different hook densities).  The disabled path
+   is the default for every other row in this table, so any regression
+   there shows up directly in the cps columns; the enabled slowdown is
+   only paid when --trace/--metrics-out/BESPOKE_TRACE is in effect. *)
 let obs_reps = 5
 
-let measure_obs_overhead () =
+let measure_obs_overhead engine =
   let b = B.find "mult" in
   let net = stock () in
   let reps = 40 in
@@ -893,9 +894,7 @@ let measure_obs_overhead () =
     let (), dt =
       time (fun () ->
           for _ = 1 to reps do
-            let o =
-              Runner.run_gate ~engine:Runner.Event ~netlist:net b ~seed:1
-            in
+            let o = Runner.run_gate ~engine ~netlist:net b ~seed:1 in
             cyc := !cyc + o.Runner.sim_cycles
           done)
     in
@@ -916,6 +915,45 @@ let measure_obs_overhead () =
     Obs.Metrics.reset ()
   done;
   (median !disabled, median !enabled)
+
+(* Marginal cost of the background metrics sampler on top of enabled
+   telemetry: the same paired-trial discipline, enabled-only vs
+   enabled-with-a-live-Sampler (ticking into a scratch file at the
+   interval the acceptance flow uses). *)
+let sampler_interval_ms = 100
+
+let measure_sampler_overhead () =
+  let b = B.find "mult" in
+  let net = stock () in
+  let reps = 40 in
+  let run () =
+    let cyc = ref 0 in
+    let (), dt =
+      time (fun () ->
+          for _ = 1 to reps do
+            let o =
+              Runner.run_gate ~engine:Runner.Event ~netlist:net b ~seed:1
+            in
+            cyc := !cyc + o.Runner.sim_cycles
+          done)
+    in
+    float_of_int !cyc /. dt
+  in
+  let path = Filename.temp_file "bespoke_sampler_bench" ".jsonl" in
+  Obs.enable ();
+  ignore (run ());
+  let enabled = ref [] and sampled = ref [] in
+  for _ = 1 to obs_reps do
+    enabled := run () :: !enabled;
+    Obs.Sampler.start ~path ~interval_ms:sampler_interval_ms ();
+    sampled := run () :: !sampled;
+    Obs.Sampler.stop ()
+  done;
+  Obs.disable ();
+  Obs.Trace.clear ();
+  Obs.Metrics.reset ();
+  (try Sys.remove path with Sys_error _ -> ());
+  (median !enabled, median !sampled)
 
 (* One-time program-compilation cost of the compiled engine for the
    stock core, and the per-instance cost of a design-cache hit
@@ -992,6 +1030,30 @@ let measure_campaign () =
   let warm4_s = run_one "warm4" 4 ~cold:false in
   (List.length all_jobs, t_build, oneshot_s, cold1_s, cold4_s, warm4_s)
 
+(* Set by `--history` on the command line: after writing BENCH_sim.json,
+   also append the same payload as one bespoke-bench/v1 line to
+   BENCH_history.jsonl so `stats --compare` has a trail to diff.      *)
+let history_requested = ref false
+
+let append_bench_history buf =
+  let compact = String.map (function '\n' -> ' ' | c -> c) (Buffer.contents buf) in
+  let now = Unix.time () in
+  let tm = Unix.gmtime now in
+  let label =
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_history.jsonl"
+  in
+  Printf.fprintf oc
+    "{\"schema\": \"bespoke-bench/v1\", \"unix_time\": %.0f, \"label\": %S, \
+     \"bench\": %s}\n"
+    now label compact;
+  close_out oc;
+  printf "appended %s entry to BENCH_history.jsonl\n" label
+
 let run_bench_sim () =
   printf "=== simulator throughput: cycles/sec over the profiling workload ===\n";
   printf "%-12s %9s %9s %9s %9s %9s %8s | %8s %6s %8s\n" "Benchmark" "cycles"
@@ -1026,12 +1088,25 @@ let run_bench_sim () =
      (%d hits / %d misses this run)\n"
     compile_cold_s compile_warm_s (Compile.cache_hits ())
     (Compile.cache_misses ());
-  let obs_disabled_cps, obs_enabled_cps = measure_obs_overhead () in
+  let obs_rows =
+    List.map
+      (fun engine ->
+        let d, e = measure_obs_overhead engine in
+        printf
+          "obs overhead (mult, %s engine): disabled %.0f cps, enabled %.0f \
+           cps (%.1f%% slower when tracing)\n"
+          (Runner.engine_to_string engine)
+          d e
+          (100.0 *. (1.0 -. (e /. d)));
+        (Runner.engine_to_string engine, d, e))
+      [ Runner.Event; Runner.Compiled ]
+  in
+  let smp_enabled_cps, smp_sampled_cps = measure_sampler_overhead () in
   printf
-    "obs overhead (mult, event engine): disabled %.0f cps, enabled %.0f cps \
-     (%.1f%% slower when tracing)\n"
-    obs_disabled_cps obs_enabled_cps
-    (100.0 *. (1.0 -. (obs_enabled_cps /. obs_disabled_cps)));
+    "sampler overhead (mult, event engine, %d ms ticks): enabled %.0f cps, \
+     +sampler %.0f cps (%.1f%% slower)\n"
+    sampler_interval_ms smp_enabled_cps smp_sampled_cps
+    (100.0 *. (1.0 -. (smp_sampled_cps /. smp_enabled_cps)));
   let camp_jobs, camp_build_s, camp_oneshot_s, camp_cold1_s, camp_cold4_s,
       camp_warm4_s =
     measure_campaign ()
@@ -1047,8 +1122,8 @@ let run_bench_sim () =
     camp_warm4_s (jps camp_warm4_s)
     (camp_oneshot_s /. camp_cold4_s)
     (camp_cold4_s /. camp_warm4_s);
-  let oc = open_out "BENCH_sim.json" in
-  let out fmt = Printf.fprintf oc fmt in
+  let buf = Buffer.create 8192 in
+  let out fmt = Printf.bprintf buf fmt in
   out "{\n  \"workload\": \"gate-level runs over %d profiling seeds\",\n"
     (List.length profile_seeds);
   out "  \"timing\": {\"reps\": %d, \"statistic\": \"median\", \
@@ -1060,12 +1135,24 @@ let run_bench_sim () =
     \                      \"cache_hits\": %d, \"cache_misses\": %d},\n"
     compile_cold_s compile_warm_s (Compile.cache_hits ())
     (Compile.cache_misses ());
+  out "  \"obs_overhead\": [\n";
+  List.iteri
+    (fun i (eng, d, e) ->
+      out
+        "    {\"benchmark\": \"mult\", \"engine\": %S, \"disabled_cps\": \
+         %.0f, \"enabled_cps\": %.0f, \"enabled_slowdown\": %.4f}%s\n"
+        eng d e
+        (1.0 -. (e /. d))
+        (if i = List.length obs_rows - 1 then "" else ","))
+    obs_rows;
+  out "  ],\n";
   out
-    "  \"obs_overhead\": {\"benchmark\": \"mult\", \"engine\": \"event\",\n\
-    \                   \"disabled_cps\": %.0f, \"enabled_cps\": %.0f,\n\
-    \                   \"enabled_slowdown\": %.4f},\n"
-    obs_disabled_cps obs_enabled_cps
-    (1.0 -. (obs_enabled_cps /. obs_disabled_cps));
+    "  \"sampler_overhead\": {\"benchmark\": \"mult\", \"engine\": \
+     \"event\", \"interval_ms\": %d,\n\
+    \                       \"enabled_cps\": %.0f, \"sampler_cps\": %.0f, \
+     \"sampler_slowdown\": %.4f},\n"
+    sampler_interval_ms smp_enabled_cps smp_sampled_cps
+    (1.0 -. (smp_sampled_cps /. smp_enabled_cps));
   out
     "  \"campaign\": {\"jobs_total\": %d, \"benchmarks\": %d, \"kinds\": \
      [\"analyze\", \"tailor\", \"report\", \"run\"],\n"
@@ -1103,8 +1190,11 @@ let run_bench_sim () =
         (if i = List.length rows - 1 then "" else ","))
     rows;
   out "  ]\n}\n";
+  let oc = open_out "BENCH_sim.json" in
+  output_string oc (Buffer.contents buf);
   close_out oc;
-  printf "wrote BENCH_sim.json\n"
+  printf "wrote BENCH_sim.json\n";
+  if !history_requested then append_bench_history buf
 
 (* ------------------------------------------------------------------ *)
 (* bench-smoke: one tiny benchmark through all four engines, asserting
@@ -1126,10 +1216,15 @@ let validate_bench_sim_artifact () =
   let name = ref "" in
   let camp_cold_speedup = ref None in
   let camp_warm_speedup = ref None in
+  let obs_engines = ref [] in
   (try
      while true do
        let line = String.trim (input_line ic) in
        (try Scanf.sscanf line "{\"name\": %S" (fun n -> name := n)
+        with Scanf.Scan_failure _ | End_of_file -> ());
+       (try
+          Scanf.sscanf line "{\"benchmark\": %S, \"engine\": %S" (fun _ e ->
+              obs_engines := e :: !obs_engines)
         with Scanf.Scan_failure _ | End_of_file -> ());
        (try
           Scanf.sscanf line "\"speedup_cold_jobs4_vs_oneshot\": %f" (fun x ->
@@ -1156,6 +1251,15 @@ let validate_bench_sim_artifact () =
          "bench-smoke: no cycles_per_sec rows with a compiled column in %s \
           (regenerate with --bench-sim)"
          path);
+  List.iter
+    (fun engine ->
+      if not (List.mem engine !obs_engines) then
+        failwith
+          (Printf.sprintf
+             "bench-smoke: no obs_overhead row for the %s engine in %s \
+              (regenerate with --bench-sim)"
+             engine path))
+    [ "event"; "compiled" ];
   List.iter
     (fun (n, event, compiled) ->
       if compiled < event then
@@ -1262,6 +1366,7 @@ let sections : (string * (unit -> unit)) list =
 
 let () =
   let argv = Array.to_list Sys.argv in
+  if List.mem "--history" argv then history_requested := true;
   let only =
     if List.mem "--bench-sim" argv then Some "bench-sim"
     else if List.mem "--bench-smoke" argv then Some "bench-smoke"

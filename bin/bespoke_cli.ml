@@ -39,6 +39,8 @@ module Artifact = Bespoke_report.Artifact
 module Verify = Bespoke_verify.Verify
 module Campaign = Bespoke_campaign.Campaign
 module Pool = Bespoke_core.Pool
+module Flowcache = Bespoke_core.Flowcache
+module Stats = Bespoke_obs.Stats
 
 (* Not used directly here, but referencing them links their
    compilation units so their metrics register and appear in
@@ -163,39 +165,83 @@ let obs_args =
     Arg.(value & opt (some string) None
          & info [ "metrics-out" ] ~docv:"FILE"
              ~doc:"Enable telemetry and write a JSON metrics snapshot \
-                   (counters, gauges, histograms) to $(docv).")
+                   (counters, gauges, histograms) to $(docv).  With \
+                   $(b,--metrics-interval) the file becomes a \
+                   $(b,bespoke-metrics/v1) JSONL time series instead.")
   in
-  Term.(const (fun t m -> (t, m)) $ trace $ metrics)
+  let interval =
+    Arg.(value & opt (some int) None
+         & info [ "metrics-interval" ] ~docv:"MS"
+             ~doc:"Enable telemetry and sample the metrics registry every \
+                   $(docv) milliseconds into a $(b,bespoke-metrics/v1) JSONL \
+                   time series (at $(b,--metrics-out), default \
+                   $(b,bespoke_metrics.jsonl)).")
+  in
+  Term.(const (fun t m i -> (t, m, i)) $ trace $ metrics $ interval)
 
 (* Run [f] with telemetry enabled if requested, then write the
    requested outputs and print the per-phase summary to stderr.
-   Outputs are written even when [f] fails, so a crashed run still
-   leaves its trace behind. *)
-let with_obs (trace, metrics_out) f =
-  if trace <> None || metrics_out <> None then Obs.enable ();
+   [finish] is idempotent and registered at_exit as well as in the
+   protect, so a crashed, interrupted (Sys.Break) or directly-exiting
+   run still leaves its partial trace/metrics behind. *)
+let with_obs (trace, metrics_out, interval) f =
+  if trace <> None || metrics_out <> None || interval <> None then Obs.enable ();
+  (match interval with
+  | Some ms ->
+    let path = Option.value metrics_out ~default:"bespoke_metrics.jsonl" in
+    Obs.Sampler.start ~path ~interval_ms:ms ()
+  | None -> ());
+  let finished = ref false in
   let finish () =
-    if Obs.enabled () then begin
-      Option.iter
-        (fun path ->
-          Obs.Trace.write_jsonl path;
-          Printf.eprintf "wrote trace to %s\n" path)
-        trace;
-      Option.iter
-        (fun path ->
+    if not !finished then begin
+      finished := true;
+      if Obs.enabled () then begin
+        if Obs.Sampler.running () then begin
+          let p = Obs.Sampler.path () in
+          Obs.Sampler.stop ();
+          Option.iter
+            (fun p -> Printf.eprintf "wrote metrics time series to %s\n" p)
+            p
+        end;
+        Option.iter
+          (fun path ->
+            Obs.Trace.write_jsonl path;
+            Printf.eprintf "wrote trace to %s\n" path)
+          trace;
+        (match (metrics_out, interval) with
+        | Some path, None ->
           let oc = open_out path in
           output_string oc (Obs.Metrics.snapshot_json ());
           output_char oc '\n';
           close_out oc;
-          Printf.eprintf "wrote metrics to %s\n" path)
-        metrics_out;
-      let summary = Obs.Trace.summary () in
-      if summary <> "" then prerr_string summary
+          Printf.eprintf "wrote metrics to %s\n" path
+        | _ -> () (* the sampler owns the file when an interval is set *));
+        let summary = Obs.Trace.summary () in
+        if summary <> "" then prerr_string summary
+      end
     end
   in
+  at_exit finish;
   Fun.protect ~finally:finish f
+
+(* --cache-stats: dump the flow-cache registry to stderr at exit (even
+   on failure — the counts explain what the run did or did not pay
+   for). *)
+let cache_stats_arg =
+  Arg.(value & flag
+       & info [ "cache-stats" ]
+           ~doc:"Print per-flowcache hit/miss/eviction counts to stderr when \
+                 the command finishes.")
+
+let with_cache_stats enabled f =
+  Fun.protect
+    ~finally:(fun () ->
+      if enabled then prerr_string (Flowcache.stats_table ()))
+    f
 
 let catching f =
   try f () with
+  | Sys.Break -> Error "interrupted (partial telemetry artifacts flushed)"
   | Asm.Error { line; message } ->
     Error (Printf.sprintf "assembly error, line %d: %s" line message)
   | Activity.Analysis_error m -> Error ("analysis error: " ^ m)
@@ -460,9 +506,10 @@ let cmd_tailor =
                    gates, the typed cut reason and recorded fanin-cone \
                    constants otherwise.  Repeatable.")
   in
-  let run file bench verify save json explain engine jobs obs =
+  let run file bench verify save json explain engine jobs obs cache_stats =
     handle
       (with_obs obs @@ fun () ->
+       with_cache_stats cache_stats @@ fun () ->
        catching (fun () ->
            apply_jobs jobs;
            let* b = load_program file bench in
@@ -538,7 +585,8 @@ let cmd_tailor =
     Term.(
       ret
         (const run $ file_arg $ bench_arg $ verify_arg $ save_arg $ json_arg
-        $ explain_arg $ engine_arg Runner.Event $ jobs_arg $ obs_args))
+        $ explain_arg $ engine_arg Runner.Event $ jobs_arg $ obs_args
+        $ cache_stats_arg))
 
 (* ---- report (savings artifact across benchmarks) ---- *)
 
@@ -606,9 +654,10 @@ let cmd_verify =
          & info [ "explore-budget" ] ~docv:"N"
              ~doc:"Candidate budget for the coverage-directed input search.")
   in
-  let run file bench json faults seed budget engine jobs obs =
+  let run file bench json faults seed budget engine jobs obs cache_stats =
     handle
       (with_obs obs @@ fun () ->
+       with_cache_stats cache_stats @@ fun () ->
        catching (fun () ->
            apply_jobs jobs;
            let* benches =
@@ -665,7 +714,8 @@ let cmd_verify =
     Term.(
       ret
         (const run $ file_arg $ bench_arg $ json_arg $ faults_arg $ seed_arg
-        $ budget_arg $ engine_arg Runner.Compiled $ jobs_arg $ obs_args))
+        $ budget_arg $ engine_arg Runner.Compiled $ jobs_arg $ obs_args
+        $ cache_stats_arg))
 
 (* ---- campaign (batch jobs on the pool, JSONL stream) ---- *)
 
@@ -691,9 +741,17 @@ let cmd_campaign =
              ~doc:"Write the bespoke-campaign/v1 JSONL stream to $(docv) \
                    (default stdout).")
   in
-  let run jobs_file specs out jobs obs =
+  let progress_arg =
+    Arg.(value & flag
+         & info [ "progress" ]
+             ~doc:"Render a live status line (done/running/failed, jobs/s, \
+                   cache hit-rate, ETA) on stderr and interleave \
+                   machine-readable heartbeat records into the JSONL stream.")
+  in
+  let run jobs_file specs out jobs progress obs cache_stats =
     handle
       (with_obs obs @@ fun () ->
+       with_cache_stats cache_stats @@ fun () ->
        catching (fun () ->
            apply_jobs jobs;
            let* from_file =
@@ -734,22 +792,57 @@ let cmd_campaign =
                output_string oc (Campaign.outcome_jsonl o);
                output_char oc '\n';
                flush oc;
-               match o.Campaign.status with
-               | Ok _ ->
-                 Printf.eprintf "job %d %s %s: ok%s (%.3f s)\n%!"
-                   o.Campaign.o_index
-                   (Campaign.kind_to_string o.Campaign.o_job.Campaign.kind)
-                   (Campaign.program_name o.Campaign.o_job.Campaign.program)
-                   (if o.Campaign.cached then " (cached)" else "")
-                   o.Campaign.time_s
-               | Error m ->
-                 Printf.eprintf "job %d %s %s: ERROR %s\n%!"
-                   o.Campaign.o_index
-                   (Campaign.kind_to_string o.Campaign.o_job.Campaign.kind)
-                   (Campaign.program_name o.Campaign.o_job.Campaign.program)
-                   m
+               (* with --progress the status line replaces per-job logs *)
+               if not progress then
+                 match o.Campaign.status with
+                 | Ok _ ->
+                   Printf.eprintf "job %d %s %s: ok%s (%.3f s)\n%!"
+                     o.Campaign.o_index
+                     (Campaign.kind_to_string o.Campaign.o_job.Campaign.kind)
+                     (Campaign.program_name o.Campaign.o_job.Campaign.program)
+                     (if o.Campaign.cached then " (cached)" else "")
+                     o.Campaign.time_s
+                 | Error m ->
+                   Printf.eprintf "job %d %s %s: ERROR %s\n%!"
+                     o.Campaign.o_index
+                     (Campaign.kind_to_string o.Campaign.o_job.Campaign.kind)
+                     (Campaign.program_name o.Campaign.o_job.Campaign.program)
+                     m
              in
-             let _, summary = Campaign.run ~on_outcome:emit js in
+             (* Heartbeats: one every ~1/8 of the campaign (at least one,
+                always one at the end), written after the outcome record
+                that triggered them — the callbacks share the campaign's
+                serialization lock, so the stream never interleaves.  The
+                stderr line is wall-clock throttled instead, to stay
+                readable on fast cache-warm runs. *)
+             let hb_every = max 1 (List.length js / 8) in
+             let hb_seq = ref 0 in
+             let last_render = ref 0.0 in
+             let on_event ev (p : Campaign.progress) =
+               (match ev with
+               | Campaign.Job_finished _
+                 when p.Campaign.p_done mod hb_every = 0
+                      || p.Campaign.p_done = p.Campaign.p_total ->
+                 output_string oc (Campaign.heartbeat_jsonl ~seq:!hb_seq p);
+                 output_char oc '\n';
+                 flush oc;
+                 incr hb_seq
+               | _ -> ());
+               let t = Unix.gettimeofday () in
+               if
+                 t -. !last_render >= 0.1
+                 || p.Campaign.p_done = p.Campaign.p_total
+               then begin
+                 last_render := t;
+                 Printf.eprintf "\r%s%!" (Campaign.progress_line p)
+               end
+             in
+             let _, summary =
+               Campaign.run ~on_outcome:emit
+                 ?on_event:(if progress then Some on_event else None)
+                 js
+             in
+             if progress then prerr_newline ();
              output_string oc (Campaign.summary_jsonl summary);
              output_char oc '\n';
              Printf.eprintf
@@ -773,7 +866,7 @@ let cmd_campaign =
     Term.(
       ret
         (const run $ jobs_file_arg $ job_specs_arg $ out_arg $ jobs_arg
-       $ obs_args))
+       $ progress_arg $ obs_args $ cache_stats_arg))
 
 (* ---- update-check (paper Section 3.5) ---- *)
 
@@ -925,6 +1018,120 @@ let cmd_trace =
     (Cmd.info "trace" ~doc:"Run a program and dump a VCD waveform")
     Term.(ret (const run $ file_arg $ bench_arg $ seed_arg $ out_arg))
 
+(* ---- stats (aggregate telemetry artifacts; regression compare) ---- *)
+
+let cmd_stats =
+  let trace_arg =
+    Arg.(value & opt (some file) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Aggregate a Chrome-trace JSONL file into a per-span \
+                   self-time table.")
+  in
+  let metrics_arg =
+    Arg.(value & opt (some file) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Summarize a $(b,bespoke-metrics/v1) JSONL time series \
+                   (final counters/gauges, histogram p50/p90/p99).")
+  in
+  let campaign_arg =
+    Arg.(value & opt (some file) None
+         & info [ "campaign" ] ~docv:"FILE"
+             ~doc:"Summarize a $(b,bespoke-campaign/v1) JSONL stream \
+                   (outcomes, per-kind time, heartbeats).")
+  in
+  let top_arg =
+    Arg.(value & opt int 15
+         & info [ "top" ] ~docv:"N" ~doc:"Rows in the span table (default 15).")
+  in
+  let compare_arg =
+    Arg.(value & flag
+         & info [ "compare" ]
+             ~doc:"Compare two bench artifacts (positional $(b,OLD NEW): \
+                   BENCH_sim.json or BENCH_history.jsonl, last entry) and \
+                   exit non-zero if any throughput metric regressed beyond \
+                   $(b,--threshold).")
+  in
+  let threshold_arg =
+    Arg.(value & opt float 10.0
+         & info [ "threshold" ] ~docv:"PCT"
+             ~doc:"Regression threshold for --compare, in percent (default \
+                   10: flag metrics that dropped more than 10%).")
+  in
+  let files_arg =
+    Arg.(value & pos_all file []
+         & info [] ~docv:"FILE" ~doc:"For --compare: the OLD and NEW bench \
+                                      artifacts.")
+  in
+  let run trace metrics campaign top compare threshold files =
+    handle
+      (catching (fun () ->
+           let ( let* ) = Result.bind in
+           if compare then
+             match files with
+             | [ old_f; new_f ] ->
+               let* old_e = Stats.load_bench old_f in
+               let* new_e = Stats.load_bench new_f in
+               let threshold = threshold /. 100.0 in
+               let c = Stats.compare_benches ~threshold old_e new_e in
+               print_string (Stats.render_compare ~threshold old_e new_e c);
+               if c.Stats.regressions = [] then Ok ()
+               else
+                 Error
+                   (Printf.sprintf
+                      "%d metric(s) regressed more than %.0f%% (worst: %s, \
+                       %+.1f%%)"
+                      (List.length c.Stats.regressions)
+                      (threshold *. 100.0)
+                      (List.hd c.Stats.regressions).Stats.d_metric
+                      (100.0
+                      *. ((List.hd c.Stats.regressions).Stats.d_ratio -. 1.0)))
+             | _ -> Error "--compare needs exactly two files: OLD NEW"
+           else if trace = None && metrics = None && campaign = None then
+             Error
+               "nothing to do: give --trace, --metrics and/or --campaign, or \
+                --compare OLD NEW"
+           else begin
+             let* () =
+               match trace with
+               | None -> Ok ()
+               | Some path ->
+                 let* spans = Stats.load_trace path in
+                 Printf.printf "spans (%s):\n%s" path
+                   (Stats.render_spans ~top spans);
+                 Ok ()
+             in
+             let* () =
+               match metrics with
+               | None -> Ok ()
+               | Some path ->
+                 let* series = Stats.load_metrics path in
+                 Printf.printf "metrics (%s): %s" path
+                   (Stats.render_series series);
+                 Ok ()
+             in
+             let* () =
+               match campaign with
+               | None -> Ok ()
+               | Some path ->
+                 let* c = Stats.load_campaign path in
+                 Printf.printf "campaign (%s): %s" path
+                   (Stats.render_campaign c);
+                 Ok ()
+             in
+             Ok ()
+           end))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Aggregate flow telemetry artifacts — per-span self-time tables \
+             from traces, metrics time-series summaries, campaign stream \
+             digests — and compare bench artifacts for performance \
+             regressions (non-zero exit when --compare finds one).")
+    Term.(
+      ret
+        (const run $ trace_arg $ metrics_arg $ campaign_arg $ top_arg
+       $ compare_arg $ threshold_arg $ files_arg))
+
 (* ---- bench-list ---- *)
 
 let cmd_bench_list =
@@ -939,6 +1146,9 @@ let cmd_bench_list =
     Term.(ret (const run $ const ()))
 
 let () =
+  (* SIGINT becomes Sys.Break, which [catching] reports after the
+     telemetry finalizers have flushed partial artifacts *)
+  Sys.catch_break true;
   let info =
     Cmd.info "bespoke_cli" ~version:"1.0"
       ~doc:"Bespoke processor tailoring (ISCA 2017 reproduction)"
@@ -948,6 +1158,6 @@ let () =
        (Cmd.group info
           [
             cmd_asm; cmd_run; cmd_analyze; cmd_tailor; cmd_report; cmd_verify;
-            cmd_campaign; cmd_update_check; cmd_export; cmd_trace;
+            cmd_campaign; cmd_stats; cmd_update_check; cmd_export; cmd_trace;
             cmd_bench_list;
           ]))

@@ -245,7 +245,42 @@ type summary = {
   jobs_used : int;
 }
 
-let run ?jobs ?on_outcome (js : job list) =
+(* ---- live progress ---- *)
+
+type event = Job_started of int * job | Job_finished of outcome
+
+type progress = {
+  p_done : int;
+  p_ok : int;
+  p_failed : int;
+  p_cached : int;
+  p_running : int;
+  p_total : int;
+  p_elapsed_s : float;
+}
+
+let jobs_per_sec p =
+  if p.p_elapsed_s > 0.0 && p.p_done > 0 then
+    float_of_int p.p_done /. p.p_elapsed_s
+  else 0.0
+
+let eta_s p =
+  let r = jobs_per_sec p in
+  if r > 0.0 then Some (float_of_int (p.p_total - p.p_done) /. r) else None
+
+let cache_hit_rate p =
+  if p.p_done > 0 then float_of_int p.p_cached /. float_of_int p.p_done
+  else 0.0
+
+let progress_line p =
+  Printf.sprintf
+    "campaign: %d/%d done, %d running, %d failed, %.1f jobs/s, cache %.0f%%, \
+     ETA %s"
+    p.p_done p.p_total p.p_running p.p_failed (jobs_per_sec p)
+    (100.0 *. cache_hit_rate p)
+    (match eta_s p with Some e -> Printf.sprintf "%.0fs" e | None -> "?")
+
+let run ?jobs ?on_outcome ?on_event (js : job list) =
   (* the campaign is CPU-bound, so even an explicit request is capped
      at the hardware's concurrency *)
   let jobs_n =
@@ -264,37 +299,99 @@ let run ?jobs ?on_outcome (js : job list) =
   ignore (Runner.shared_netlist ());
   ignore (Runner.shared_netlist_hash ());
   let t0 = now () in
+  (* One lock serializes progress-state updates AND both callbacks, so
+     a stream writer in the callback sees events in a consistent
+     order with monotonically advancing progress counts. *)
   let cb_lock = Mutex.create () in
-  let emit o =
-    match on_outcome with
-    | None -> ()
-    | Some f ->
-      Mutex.lock cb_lock;
-      (try f o
-       with e ->
-         Printf.eprintf "warning: campaign on_outcome raised: %s\n%!"
-           (Printexc.to_string e));
-      Mutex.unlock cb_lock
+  let st =
+    ref
+      {
+        p_done = 0;
+        p_ok = 0;
+        p_failed = 0;
+        p_cached = 0;
+        p_running = 0;
+        p_total = List.length js;
+        p_elapsed_s = 0.0;
+      }
   in
+  let guard what f =
+    try f ()
+    with e ->
+      Printf.eprintf "warning: campaign %s raised: %s\n%!" what
+        (Printexc.to_string e)
+  in
+  let started i j =
+    if on_event <> None then begin
+      Mutex.lock cb_lock;
+      st :=
+        { !st with p_running = !st.p_running + 1; p_elapsed_s = now () -. t0 };
+      Option.iter
+        (fun f -> guard "on_event" (fun () -> f (Job_started (i, j)) !st))
+        on_event;
+      Mutex.unlock cb_lock
+    end
+  in
+  let emit o =
+    if on_outcome <> None || on_event <> None then begin
+      Mutex.lock cb_lock;
+      let ok = Result.is_ok o.status in
+      st :=
+        {
+          !st with
+          p_done = !st.p_done + 1;
+          p_ok = (!st.p_ok + if ok then 1 else 0);
+          p_failed = (!st.p_failed + if ok then 0 else 1);
+          p_cached = (!st.p_cached + if o.cached then 1 else 0);
+          p_running = max 0 (!st.p_running - 1);
+          p_elapsed_s = now () -. t0;
+        };
+      Option.iter (fun f -> guard "on_outcome" (fun () -> f o)) on_outcome;
+      Option.iter
+        (fun f -> guard "on_event" (fun () -> f (Job_finished o) !st))
+        on_event;
+      Mutex.unlock cb_lock
+    end
+  in
+  (* A Ctrl-C (Sys.Break) is the user killing the campaign, not a job
+     failure: the struck job sets the abort flag and re-raises, jobs
+     not yet started bail out immediately, and the whole run surfaces
+     one Sys.Break (so the CLI flushes partial telemetry on the way
+     out) instead of a Task_errors full of per-job records. *)
+  let aborted = Atomic.make false in
   let outcomes =
-    Pool.map ~jobs:jobs_n
-      (fun (i, j) ->
-        Obs.Metrics.incr m_jobs;
-        let t = now () in
-        let status, cached =
-          match exec_job j with
-          | payload, hit -> (Ok payload, hit)
-          | exception e ->
-            Obs.Metrics.incr m_failures;
-            let m =
-              match e with Failure m -> m | e -> Printexc.to_string e
-            in
-            (Error m, false)
-        in
-        let o = { o_job = j; o_index = i; status; time_s = now () -. t; cached } in
-        emit o;
-        o)
-      (List.mapi (fun i j -> (i, j)) js)
+    try
+      Pool.map ~jobs:jobs_n
+        (fun (i, j) ->
+          if Atomic.get aborted then raise Sys.Break;
+          Obs.Metrics.incr m_jobs;
+          started i j;
+          let t = now () in
+          let status, cached =
+            match exec_job j with
+            | payload, hit -> (Ok payload, hit)
+            | exception Sys.Break ->
+              Atomic.set aborted true;
+              raise Sys.Break
+            | exception e ->
+              Obs.Metrics.incr m_failures;
+              let m =
+                match e with Failure m -> m | e -> Printexc.to_string e
+              in
+              (Error m, false)
+          in
+          let o =
+            { o_job = j; o_index = i; status; time_s = now () -. t; cached }
+          in
+          emit o;
+          o)
+        (List.mapi (fun i j -> (i, j)) js)
+    with
+    | Pool.Task_errors errs
+      when List.exists
+             (fun (_, e) -> match e with Sys.Break -> true | _ -> false)
+             errs ->
+      raise Sys.Break
   in
   let ok = List.length (List.filter (fun o -> Result.is_ok o.status) outcomes) in
   let hits = List.length (List.filter (fun o -> o.cached) outcomes) in
@@ -417,6 +514,26 @@ let outcome_jsonl (o : outcome) =
   | Ok payload ->
     obj (common @ [ ("status", str "ok"); ("payload", obj payload) ])
   | Error m -> obj (common @ [ ("status", str "error"); ("error", str m) ])
+
+(* Heartbeats interleave with outcome records in the stream; readers
+   distinguish them by the ["heartbeat"] field (outcome records have
+   ["job"], the trailer has ["summary"]). *)
+let heartbeat_jsonl ~seq (p : progress) =
+  obj
+    ([
+       ("heartbeat", "true");
+       ("seq", string_of_int seq);
+       ("done", string_of_int p.p_done);
+       ("ok", string_of_int p.p_ok);
+       ("failed", string_of_int p.p_failed);
+       ("cached", string_of_int p.p_cached);
+       ("running", string_of_int p.p_running);
+       ("total", string_of_int p.p_total);
+       ("elapsed_s", num p.p_elapsed_s);
+       ("jobs_per_sec", num (jobs_per_sec p));
+       ("cache_hit_rate", num (cache_hit_rate p));
+     ]
+    @ match eta_s p with Some e -> [ ("eta_s", num e) ] | None -> [])
 
 let summary_jsonl (s : summary) =
   obj

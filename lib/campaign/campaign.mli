@@ -62,19 +62,60 @@ type summary = {
   jobs_used : int;
 }
 
+(** Live campaign events, for progress reporting. *)
+type event =
+  | Job_started of int * job  (** input index, just dequeued *)
+  | Job_finished of outcome
+
+(** A consistent snapshot of campaign progress, passed to the event
+    hook alongside every event. *)
+type progress = {
+  p_done : int;
+  p_ok : int;
+  p_failed : int;
+  p_cached : int;
+  p_running : int;  (** started but not yet finished *)
+  p_total : int;
+  p_elapsed_s : float;
+}
+
+val jobs_per_sec : progress -> float
+(** Completion rate so far; 0 until the first job finishes. *)
+
+val eta_s : progress -> float option
+(** Remaining wall-clock estimate at the current rate; [None] until
+    the first job finishes. *)
+
+val cache_hit_rate : progress -> float
+(** Fraction of finished jobs served from the flow cache, in [0,1]. *)
+
+val progress_line : progress -> string
+(** One-line human status: done/running/failed, jobs/s, cache
+    hit-rate, ETA — what [campaign --progress] renders to stderr. *)
+
 val run :
-  ?jobs:int -> ?on_outcome:(outcome -> unit) -> job list ->
+  ?jobs:int ->
+  ?on_outcome:(outcome -> unit) ->
+  ?on_event:(event -> progress -> unit) ->
+  job list ->
   outcome list * summary
 (** Execute the jobs on the pool ([jobs] defaults to
     {!Bespoke_core.Pool.default_jobs}; either way the count is
     clamped to the hardware's concurrency — the campaign is CPU-bound
     and oversubscribed domains only slow it down).  The count
     actually used is reported as [jobs_used].  [on_outcome] is called as
-    each job finishes (serialized — safe to write a stream from);
-    outcomes are returned in input order regardless.  Each job is
+    each job finishes and [on_event] on every start/finish, with the
+    progress snapshot taken after applying the event; both are
+    serialized under one lock — safe to write a stream from.
+    Outcomes are returned in input order regardless.  Each job is
     memoized by (kind, binary hash, netlist hash, input content,
     params) — the engine is not part of the key, engines are
-    bit-identical. *)
+    bit-identical.
+
+    Exception: [Sys.Break] is {e not} crash-isolated — an interrupt
+    aborts the campaign (pending jobs are skipped, the whole run
+    raises [Sys.Break]) rather than becoming one job's error
+    record. *)
 
 val parse_line : string -> (job option, string) result
 (** One job-list line: [KIND BENCH [seed=N] [faults=N] [engine=E]].
@@ -88,4 +129,9 @@ val schema : string
 
 val header_jsonl : jobs:int -> total:int -> string
 val outcome_jsonl : outcome -> string
+
+val heartbeat_jsonl : seq:int -> progress -> string
+(** A machine-readable progress record interleaved into the stream;
+    distinguished from outcomes by its ["heartbeat"] field. *)
+
 val summary_jsonl : summary -> string

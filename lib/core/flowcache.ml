@@ -32,8 +32,10 @@ type 'v t = {
   capacity : int option;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
   m_hits : Obs.Metrics.counter;
   m_misses : Obs.Metrics.counter;
+  m_evictions : Obs.Metrics.counter;
 }
 
 (* Registry so callers (bench harness, campaign warm/cold timing) can
@@ -55,8 +57,11 @@ let create ?capacity ~name () =
       capacity;
       hits = 0;
       misses = 0;
+      evictions = 0;
       m_hits = Obs.Metrics.counter (Printf.sprintf "flowcache.%s.hits" name);
       m_misses = Obs.Metrics.counter (Printf.sprintf "flowcache.%s.misses" name);
+      m_evictions =
+        Obs.Metrics.counter (Printf.sprintf "flowcache.%s.evictions" name);
     }
   in
   Mutex.lock reg_lock;
@@ -111,7 +116,9 @@ let find_or_compute_report c ~key compute =
         (match c.capacity with
         | Some cap when Hashtbl.length c.tbl > cap ->
           let oldest = Queue.pop c.order in
-          Hashtbl.remove c.tbl oldest
+          Hashtbl.remove c.tbl oldest;
+          c.evictions <- c.evictions + 1;
+          Obs.Metrics.incr c.m_evictions
         | _ -> ());
         v
     in
@@ -146,14 +153,63 @@ let length c =
   Mutex.unlock c.lock;
   n
 
+let evictions c =
+  Mutex.lock c.lock;
+  let e = c.evictions in
+  Mutex.unlock c.lock;
+  e
+
 let clear_all () =
   Mutex.lock reg_lock;
   let cs = !registry in
   Mutex.unlock reg_lock;
   List.iter (fun (Any c) -> clear c) cs
 
+type stats = {
+  s_name : string;
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+  s_entries : int;
+}
+
 let stats_all () =
   Mutex.lock reg_lock;
   let cs = !registry in
   Mutex.unlock reg_lock;
-  List.rev_map (fun (Any c) -> (c.name, hits c, misses c)) cs
+  List.sort
+    (fun a b -> compare a.s_name b.s_name)
+    (List.rev_map
+       (fun (Any c) ->
+         Mutex.lock c.lock;
+         let s =
+           {
+             s_name = c.name;
+             s_hits = c.hits;
+             s_misses = c.misses;
+             s_evictions = c.evictions;
+             s_entries = Hashtbl.length c.tbl;
+           }
+         in
+         Mutex.unlock c.lock;
+         s)
+       cs)
+
+(* Shared by every `--cache-stats` CLI path. *)
+let stats_table () =
+  let stats = stats_all () in
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%-20s %8s %8s %6s %10s %8s\n" "cache" "hits" "misses"
+       "hit%" "evictions" "entries");
+  List.iter
+    (fun s ->
+      let total = s.s_hits + s.s_misses in
+      Buffer.add_string b
+        (Printf.sprintf "%-20s %8d %8d %5.1f%% %10d %8d\n" s.s_name s.s_hits
+           s.s_misses
+           (if total > 0 then 100.0 *. float_of_int s.s_hits /. float_of_int total
+            else 0.0)
+           s.s_evictions s.s_entries))
+    stats;
+  Buffer.contents b

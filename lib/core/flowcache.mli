@@ -36,11 +36,25 @@ val clear : 'v t -> unit
 
 val hits : 'v t -> int
 val misses : 'v t -> int
+val evictions : 'v t -> int
 val length : 'v t -> int
 
 val clear_all : unit -> unit
 (** {!clear} every cache created in this process — used to measure
     cache-cold campaign timings without restarting. *)
 
-val stats_all : unit -> (string * int * int) list
-(** [(name, hits, misses)] for every cache created in this process. *)
+(** One cache's lifetime counters plus its current size. *)
+type stats = {
+  s_name : string;
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+  s_entries : int;
+}
+
+val stats_all : unit -> stats list
+(** Stats for every cache created in this process, sorted by name. *)
+
+val stats_table : unit -> string
+(** {!stats_all} rendered as the table the [--cache-stats] CLI flag
+    prints. *)

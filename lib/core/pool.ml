@@ -27,7 +27,24 @@ module Obs = Bespoke_obs.Obs
 let m_tasks = Obs.Metrics.counter "pool.tasks"
 let m_maps = Obs.Metrics.counter "pool.maps"
 let m_steals = Obs.Metrics.counter "pool.steals"
+let m_steals_failed = Obs.Metrics.counter "pool.steals_failed"
 let m_domains = Obs.Metrics.counter "pool.domains_spawned"
+let g_queue = Obs.Metrics.gauge "pool.queue_depth"
+
+(* Tasks pushed onto some deque and not yet started; the sampler probe
+   publishes it as the pool.queue_depth gauge. *)
+let queued_tasks = Atomic.make 0
+
+let () =
+  Obs.Sampler.add_probe (fun () ->
+      Obs.Metrics.set g_queue (float_of_int (Atomic.get queued_tasks)))
+
+(* Per-slot "tasks run" counter, looked up lazily so the registry only
+   grows names for slots that actually execute work.  Only consulted
+   when collection is on — registration is an idempotent locked lookup,
+   cheap enough for the traced path. *)
+let slot_tasks_counter slot =
+  Obs.Metrics.counter (Printf.sprintf "pool.slot%d.tasks" slot)
 
 exception Task_errors of (int * exn) list
 
@@ -184,19 +201,38 @@ let find_task slot =
   | None ->
     let nw = Atomic.get n_workers in
     let rec scan k =
-      if k > nw then None
+      if k > nw then begin
+        (* a full sweep found nothing: the domain is about to go idle *)
+        Obs.Metrics.incr m_steals_failed;
+        None
+      end
       else if k = slot then scan (k + 1)
       else
         match Deque.steal_front deques.(k) with
         | Some _ as t ->
           Obs.Metrics.incr m_steals;
+          if Obs.enabled () then
+            Obs.Span.instant "pool.steal"
+              ~args:[ ("victim", string_of_int k) ];
           t
         | None -> scan (k + 1)
     in
     scan 0
 
+(* Run one task under the telemetry wrappers: a per-slot busy span and
+   tasks-run counter when collection is on, the bare thunk otherwise. *)
+let exec_task slot task =
+  if Obs.enabled () then begin
+    Obs.Metrics.incr (slot_tasks_counter slot);
+    Obs.Span.with_ ~name:"pool.busy"
+      ~args:[ ("slot", string_of_int slot) ]
+      task
+  end
+  else task ()
+
 let worker_loop slot =
   Domain.DLS.set my_slot slot;
+  Obs.Trace.set_thread_name (Printf.sprintf "worker-%d" slot);
   let rec loop () =
     Mutex.lock pool_lock;
     let g = !wake_gen in
@@ -204,8 +240,13 @@ let worker_loop slot =
     Mutex.unlock pool_lock;
     if not stop then begin
       (match find_task slot with
-      | Some task -> ( try task () with _ -> () (* tasks report their own errors *))
+      | Some task -> (
+        try exec_task slot task
+        with _ -> () (* tasks report their own errors *))
       | None ->
+        Obs.Span.with_ ~name:"pool.idle"
+          ~args:[ ("slot", string_of_int slot) ]
+        @@ fun () ->
         Mutex.lock pool_lock;
         while (not !shutdown) && !wake_gen = g do
           Condition.wait work_cond pool_lock
@@ -267,18 +308,22 @@ let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
       errors := (i, e) :: !errors;
       Mutex.unlock err_lock
   in
-  if jobs <= 1 || n <= 1 then
+  if jobs <= 1 || n <= 1 then begin
+    let slot = Domain.DLS.get my_slot in
     for i = 0 to n - 1 do
-      run_task i
+      exec_task slot (fun () -> run_task i)
     done
+  end
   else begin
     ensure_workers (jobs - 1);
     let remaining = Atomic.make n in
     let slot = Domain.DLS.get my_slot in
     let task i () =
+      Atomic.decr queued_tasks;
       run_task i;
       if Atomic.fetch_and_add remaining (-1) = 1 then signal_work ()
     in
+    ignore (Atomic.fetch_and_add queued_tasks n);
     (* Push in reverse so the owner (popping the back) executes tasks
        in input order while thieves (stealing the front) start from the
        tail — disjoint ends, minimal contention. *)
@@ -297,7 +342,7 @@ let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
         let g = !wake_gen in
         Mutex.unlock pool_lock;
         (match find_task slot with
-        | Some t -> ( try t () with _ -> ())
+        | Some t -> ( try exec_task slot t with _ -> ())
         | None ->
           Mutex.lock pool_lock;
           while Atomic.get remaining > 0 && !wake_gen = g do

@@ -11,6 +11,10 @@ let disable () = Atomic.set on false
 let t0 = Unix.gettimeofday ()
 let now_us () = (Unix.gettimeofday () -. t0) *. 1e6
 
+(* the domain this module was initialised in — named "main" in trace
+   exports unless renamed *)
+let main_tid = (Domain.self () :> int)
+
 (* ------------------------------------------------------------------ *)
 (* JSON emission helpers (no external JSON dependency)                 *)
 
@@ -52,6 +56,7 @@ module Trace = struct
 
   type buf = {
     tid : int;
+    mutable thread_name : string;  (* "" = default naming at export *)
     mutable evs : event array;
     mutable len : int;
     mutable last_ts : float;
@@ -65,6 +70,7 @@ module Trace = struct
         let b =
           {
             tid = (Domain.self () :> int);
+            thread_name = "";
             evs = Array.make 256 dummy;
             len = 0;
             last_ts = 0.0;
@@ -72,6 +78,15 @@ module Trace = struct
         in
         Mutex.protect mu (fun () -> buffers := b :: !buffers);
         b)
+
+  (* Name the current domain's track in trace exports (Chrome-trace
+     thread_name metadata).  Cheap and unconditional — a name set
+     while collection is off still labels later events. *)
+  let set_thread_name name = (Domain.DLS.get key).thread_name <- name
+
+  let thread_names () =
+    Mutex.protect mu (fun () ->
+        List.rev_map (fun b -> (b.tid, b.thread_name)) !buffers)
 
   let emit name ph args =
     let b = Domain.DLS.get key in
@@ -124,14 +139,40 @@ module Trace = struct
     Buffer.add_char b '}';
     Buffer.contents b
 
-  let to_jsonl () =
-    let b = Buffer.create 4096 in
+  (* Chrome-trace metadata ([ph:"M"]) naming the process and one track
+     per domain, so Perfetto shows "pool-worker-N" instead of a bare
+     domain id.  Only emitted when the trace has real events — an
+     empty trace stays empty. *)
+  let metadata_jsonl () =
+    let b = Buffer.create 256 in
+    Buffer.add_string b
+      "{\"name\":\"process_name\",\"cat\":\"bespoke\",\"ph\":\"M\",\"ts\":0,\"pid\":0,\"tid\":0,\"args\":{\"name\":\"bespoke\"}}\n";
     List.iter
-      (fun e ->
-        Buffer.add_string b (event_to_json e);
-        Buffer.add_char b '\n')
-      (events ());
+      (fun (tid, name) ->
+        let name =
+          if name <> "" then name
+          else if tid = main_tid then "main"
+          else Printf.sprintf "domain-%d" tid
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"thread_name\",\"cat\":\"bespoke\",\"ph\":\"M\",\"ts\":0,\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}\n"
+             tid (json_escape name)))
+      (List.sort compare (thread_names ()));
     Buffer.contents b
+
+  let to_jsonl () =
+    match events () with
+    | [] -> ""
+    | evs ->
+      let b = Buffer.create 4096 in
+      Buffer.add_string b (metadata_jsonl ());
+      List.iter
+        (fun e ->
+          Buffer.add_string b (event_to_json e);
+          Buffer.add_char b '\n')
+        evs;
+      Buffer.contents b
 
   let write_jsonl path =
     let oc = open_out path in
@@ -392,6 +433,123 @@ end
 let reset () =
   Trace.clear ();
   Metrics.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Background metrics sampler: a ticker domain that snapshots the
+   whole registry every [interval_ms] into a schema-versioned JSONL
+   time series.  One header line, then one record per sample; the
+   first sample is taken synchronously in [start] and a final one in
+   [stop], so even a short run yields >= 2 snapshots.               *)
+
+module Sampler = struct
+  let schema = "bespoke-metrics/v1"
+
+  (* Probes run just before each snapshot; subsystems register one to
+     refresh gauges whose value is derived state (e.g. the pool's
+     queue depth) rather than written at every change. *)
+  let probes_mu = Mutex.create ()
+  let probes : (unit -> unit) list ref = ref []
+
+  let add_probe f =
+    Mutex.protect probes_mu (fun () -> probes := f :: !probes)
+
+  let run_probes () =
+    let ps = Mutex.protect probes_mu (fun () -> !probes) in
+    List.iter (fun f -> try f () with _ -> ()) ps
+
+  type state = {
+    oc : out_channel;
+    s_path : string;
+    mutable seq : int;
+    stop_flag : bool Atomic.t;
+    mutable ticker : unit Domain.t option;
+    io_lock : Mutex.t;  (* ticker and stop both write *)
+  }
+
+  let mu = Mutex.create ()
+  let current : state option ref = ref None
+
+  let snapshot_line ~seq =
+    Printf.sprintf "{\"seq\":%d,\"ts_us\":%s,\"metrics\":%s}" seq
+      (json_float (now_us ()))
+      (Metrics.snapshot_json ())
+
+  let emit st =
+    run_probes ();
+    Mutex.protect st.io_lock (fun () ->
+        output_string st.oc (snapshot_line ~seq:st.seq);
+        output_char st.oc '\n';
+        flush st.oc;
+        st.seq <- st.seq + 1)
+
+  let running () = Mutex.protect mu (fun () -> Option.is_some !current)
+  let path () = Mutex.protect mu (fun () -> Option.map (fun s -> s.s_path) !current)
+
+  let stop () =
+    let st =
+      Mutex.protect mu (fun () ->
+          let s = !current in
+          current := None;
+          s)
+    in
+    match st with
+    | None -> ()
+    | Some st ->
+      Atomic.set st.stop_flag true;
+      Option.iter Domain.join st.ticker;
+      emit st;
+      close_out st.oc
+
+  let stop_at_exit_registered = Atomic.make false
+
+  let start ?(path = "bespoke_metrics.jsonl") ~interval_ms () =
+    let interval_ms = max 1 interval_ms in
+    enable ();
+    (* a crashed or [exit]ed run still closes the series cleanly *)
+    if not (Atomic.exchange stop_at_exit_registered true) then
+      at_exit (fun () -> try stop () with Sys_error _ -> ());
+    Mutex.protect mu (fun () ->
+        match !current with
+        | Some _ -> ()  (* already sampling; keep the running series *)
+        | None ->
+          let oc = open_out path in
+          Printf.fprintf oc "{\"schema\":\"%s\",\"interval_ms\":%d}\n"
+            (json_escape schema) interval_ms;
+          let st =
+            {
+              oc;
+              s_path = path;
+              seq = 0;
+              stop_flag = Atomic.make false;
+              ticker = None;
+              io_lock = Mutex.create ();
+            }
+          in
+          emit st;
+          let ticker =
+            Domain.spawn (fun () ->
+                let interval_s = float_of_int interval_ms /. 1000.0 in
+                let rec loop () =
+                  (* chunked sleep so [stop] never waits a full
+                     interval to join *)
+                  let slept = ref 0.0 in
+                  while
+                    (not (Atomic.get st.stop_flag)) && !slept < interval_s
+                  do
+                    let chunk = Float.min 0.02 (interval_s -. !slept) in
+                    Unix.sleepf chunk;
+                    slept := !slept +. chunk
+                  done;
+                  if not (Atomic.get st.stop_flag) then begin
+                    emit st;
+                    loop ()
+                  end
+                in
+                loop ())
+          in
+          st.ticker <- Some ticker;
+          current := Some st)
+end
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON reader (for validating exports without a JSON dep)     *)

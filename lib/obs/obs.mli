@@ -98,10 +98,19 @@ module Trace : sig
   val events : unit -> event list
   (** All buffered events, globally sorted by timestamp. *)
 
+  val set_thread_name : string -> unit
+  (** Name the calling domain's track in trace exports.  {!to_jsonl}
+      turns each name into a Chrome-trace [M]-phase [thread_name]
+      metadata event, so Perfetto shows one labelled track per domain.
+      Unnamed domains appear as ["domain-<tid>"] (the main domain as
+      ["main"]). *)
+
   val to_jsonl : unit -> string
-  (** One Chrome-trace event object per line ([ph:"B"/"E"/"i"], [ts]
-      in microseconds).  Wrap the lines in a JSON array (e.g.
-      [jq -s .]) to load the file in a Chrome-trace viewer. *)
+  (** One Chrome-trace event object per line: [M]-phase
+      process/thread-name metadata first, then events
+      ([ph:"B"/"E"/"i"], [ts] in microseconds).  Wrap the lines in a
+      JSON array (e.g. [jq -s .]) to load the file in a Chrome-trace
+      viewer. *)
 
   val write_jsonl : string -> unit
   (** Write {!to_jsonl} to a file. *)
@@ -111,6 +120,37 @@ module Trace : sig
       of completed spans and their cumulative wall time. *)
 
   val clear : unit -> unit
+end
+
+(** Background metrics sampler: a ticker domain snapshots the whole
+    {!Metrics} registry every [interval_ms] into a schema-versioned
+    ([bespoke-metrics/v1]) JSONL time series — a header line
+    [{"schema":...,"interval_ms":N}] followed by
+    [{"seq":N,"ts_us":T,"metrics":{...}}] records.  A snapshot is
+    taken synchronously in {!Sampler.start} and a final one in
+    {!Sampler.stop}, so any sampled run yields at least two. *)
+module Sampler : sig
+  val schema : string
+  (** ["bespoke-metrics/v1"]. *)
+
+  val add_probe : (unit -> unit) -> unit
+  (** Register a callback run just before every snapshot; subsystems
+      use it to refresh gauges derived from live state (e.g. the
+      pool's queue depth).  Exceptions from probes are swallowed. *)
+
+  val start : ?path:string -> interval_ms:int -> unit -> unit
+  (** Open [path] (default ["bespoke_metrics.jsonl"]), write the
+      header and first snapshot, and spawn the ticker domain.  Also
+      calls {!enable}.  No-op if a sampler is already running. *)
+
+  val running : unit -> bool
+
+  val path : unit -> string option
+  (** The output path of the running sampler, if any. *)
+
+  val stop : unit -> unit
+  (** Join the ticker, emit a final snapshot and close the file.
+      Idempotent; also registered [at_exit] by {!start}. *)
 end
 
 (** A minimal JSON reader, used to validate exported traces and

@@ -71,6 +71,31 @@ let () =
         | Error m -> fail "line does not parse: %s (%s)" m line)
       (read_lines Sys.argv.(1))
   in
+  (* heartbeat records (from --progress) interleave with outcomes;
+     validate them separately, then hold the outcome stream to the
+     original discipline *)
+  let is_heartbeat j =
+    match Obs.Json.member "heartbeat" j with
+    | Some (Obs.Json.Bool true) -> true
+    | _ -> false
+  in
+  let heartbeats, parsed = List.partition is_heartbeat parsed in
+  let _ =
+    List.fold_left
+      (fun prev_seq h ->
+        let seq = int_of_float (num "seq" h) in
+        if seq <= prev_seq then
+          fail "heartbeat seq %d not increasing (previous %d)" seq prev_seq;
+        if num "done" h > num "total" h then
+          fail "heartbeat done %g exceeds total %g" (num "done" h)
+            (num "total" h);
+        if num "jobs_per_sec" h < 0.0 then fail "heartbeat jobs_per_sec < 0";
+        let rate = num "cache_hit_rate" h in
+        if rate < 0.0 || rate > 1.0 then
+          fail "heartbeat cache_hit_rate %g outside [0,1]" rate;
+        seq)
+      (-1) heartbeats
+  in
   match parsed with
   | [] | [ _ ] | [ _; _ ] -> fail "stream too short: want header, jobs, summary"
   | header :: rest ->
@@ -109,5 +134,7 @@ let () =
     if num "ok" summary +. num "failed" summary <> num "total" summary then
       fail "summary ok + failed <> total";
     if num "wall_s" summary < 0.0 then fail "summary wall_s negative";
-    Printf.printf "campaign-smoke: %d record(s) validated (%d ok, %d error)\n"
-      total (count `Ok) (count `Error)
+    Printf.printf
+      "campaign-smoke: %d record(s) validated (%d ok, %d error, %d \
+       heartbeat(s))\n"
+      total (count `Ok) (count `Error) (List.length heartbeats)

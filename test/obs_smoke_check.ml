@@ -49,7 +49,7 @@ let check_trace path =
               fail "E %S does not close innermost B %S" (json_str "name" j) top;
             Hashtbl.replace stacks tid rest
           | [] -> fail "E with no open span: %s" line)
-        | "i" -> ()
+        | "i" | "M" -> ()
         | ph -> fail "unexpected ph %S" ph))
     lines;
   Hashtbl.iter

@@ -1,0 +1,213 @@
+(* Validator behind the @stats-smoke alias: given the three artifacts
+   of an instrumented campaign run —
+
+     TRACE     Chrome-trace JSONL from --trace
+     METRICS   bespoke-metrics/v1 time series from --metrics-interval
+     CAMPAIGN  bespoke-campaign/v1 stream from -o (with --progress)
+
+   plus the rendered `bespoke_cli stats` output over all three, check
+   that each artifact has the promised shape: the trace is balanced and
+   carries M-phase track metadata plus pool.busy spans, the metrics
+   series has a schema header and at least two snapshots whose
+   histograms carry p50/p90/p99, the campaign stream contains heartbeat
+   records, and the stats rendering mentions all three sections.
+
+   Deliberately robust to a single-core host: no steal spans and no
+   multiple worker tracks are required — `--jobs 4` clamps to the
+   hardware.  Exits non-zero with a message on the first violation. *)
+
+module Obs = Bespoke_obs.Obs
+
+let fail fmt =
+  Printf.ksprintf (fun m -> prerr_endline ("stats-smoke: " ^ m); exit 1) fmt
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (if String.trim line = "" then acc else line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let parse_line path line =
+  match Obs.Json.parse line with
+  | Ok j -> j
+  | Error m -> fail "%s: line does not parse: %s (%s)" path m line
+
+let mem k j = Obs.Json.member k j
+
+let num k j =
+  match mem k j with
+  | Some (Obs.Json.Num n) -> n
+  | _ -> fail "missing numeric field %S" k
+
+let str k j =
+  match mem k j with
+  | Some (Obs.Json.Str s) -> s
+  | _ -> fail "missing string field %S" k
+
+(* ---- trace ---- *)
+
+let check_trace path =
+  let events = List.map (parse_line path) (read_lines path) in
+  if events = [] then fail "%s: empty trace" path;
+  let stacks : (int, string list) Hashtbl.t = Hashtbl.create 4 in
+  let metadata = ref 0 and busy = ref 0 in
+  List.iter
+    (fun j ->
+      let tid = int_of_float (num "tid" j) in
+      let name = str "name" j in
+      let stack = Option.value ~default:[] (Hashtbl.find_opt stacks tid) in
+      match str "ph" j with
+      | "B" ->
+        if name = "pool.busy" then incr busy;
+        Hashtbl.replace stacks tid (name :: stack)
+      | "E" -> (
+        match stack with
+        | top :: rest ->
+          if top <> name then
+            fail "%s: E %S does not close innermost B %S" path name top;
+          Hashtbl.replace stacks tid rest
+        | [] -> fail "%s: E with no open span" path)
+      | "i" -> ()
+      | "M" ->
+        if name <> "process_name" && name <> "thread_name" then
+          fail "%s: unknown metadata event %S" path name;
+        incr metadata
+      | ph -> fail "%s: unexpected ph %S" path ph)
+    events;
+  Hashtbl.iter
+    (fun tid stack ->
+      if stack <> [] then
+        fail "%s: tid %d ends with %d unclosed spans" path tid
+          (List.length stack))
+    stacks;
+  if !metadata = 0 then
+    fail "%s: no M-phase track metadata — Perfetto tracks would be unnamed"
+      path;
+  if !busy = 0 then fail "%s: no pool.busy spans from the campaign" path;
+  (List.length events, !metadata, !busy)
+
+(* ---- metrics time series ---- *)
+
+let check_metrics path =
+  match List.map (parse_line path) (read_lines path) with
+  | [] -> fail "%s: empty metrics file" path
+  | header :: snaps ->
+    if str "schema" header <> Obs.Sampler.schema then
+      fail "%s: schema %S, want %S" path (str "schema" header)
+        Obs.Sampler.schema;
+    if num "interval_ms" header <= 0.0 then fail "%s: interval_ms <= 0" path;
+    if List.length snaps < 2 then
+      fail "%s: only %d snapshot(s), want >= 2" path (List.length snaps);
+    let check_snapshot (prev_seq, prev_ts) s =
+      let seq = int_of_float (num "seq" s) in
+      let ts = num "ts_us" s in
+      if seq <> prev_seq + 1 then
+        fail "%s: snapshot seq %d after %d" path seq prev_seq;
+      if ts < prev_ts then fail "%s: ts_us goes backwards" path;
+      (match mem "metrics" s with
+      | Some (Obs.Json.Obj _) -> ()
+      | _ -> fail "%s: snapshot %d has no metrics object" path seq);
+      (seq, ts)
+    in
+    ignore (List.fold_left check_snapshot (-1, 0.0) snaps);
+    (* the last snapshot's histograms must carry the percentile spread *)
+    let last = List.nth snaps (List.length snaps - 1) in
+    let metrics = Option.get (mem "metrics" last) in
+    let hists =
+      match mem "histograms" metrics with
+      | Some (Obs.Json.Obj kvs) -> kvs
+      | _ -> fail "%s: last snapshot has no histograms section" path
+    in
+    if hists = [] then fail "%s: histograms section is empty" path;
+    List.iter
+      (fun (hname, h) ->
+        List.iter
+          (fun field ->
+            match mem field h with
+            | Some (Obs.Json.Num _) -> ()
+            | _ -> fail "%s: histogram %S lacks %S" path hname field)
+          [ "count"; "p50"; "p90"; "p99" ])
+      hists;
+    (List.length snaps, List.length hists)
+
+(* ---- campaign stream ---- *)
+
+let check_campaign path =
+  match List.map (parse_line path) (read_lines path) with
+  | [] -> fail "%s: empty campaign stream" path
+  | header :: rest ->
+    if str "schema" header <> "bespoke-campaign/v1" then
+      fail "%s: unexpected schema %S" path (str "schema" header);
+    let total = int_of_float (num "total_jobs" header) in
+    let heartbeats =
+      List.filter
+        (fun j ->
+          match mem "heartbeat" j with
+          | Some (Obs.Json.Bool true) -> true
+          | _ -> false)
+        rest
+    in
+    if heartbeats = [] then
+      fail "%s: no heartbeat records despite --progress" path;
+    List.iter
+      (fun h ->
+        if num "done" h > float_of_int total then
+          fail "%s: heartbeat done exceeds total" path;
+        if num "jobs_per_sec" h < 0.0 then
+          fail "%s: heartbeat jobs_per_sec < 0" path;
+        let r = num "cache_hit_rate" h in
+        if r < 0.0 || r > 1.0 then
+          fail "%s: heartbeat cache_hit_rate outside [0,1]" path)
+      heartbeats;
+    let final = List.nth heartbeats (List.length heartbeats - 1) in
+    if int_of_float (num "done" final) <> total then
+      fail "%s: final heartbeat done %g <> total %d" path (num "done" final)
+        total;
+    (total, List.length heartbeats)
+
+(* ---- rendered stats output ---- *)
+
+let check_stats_output path =
+  let text =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  if String.length text = 0 then fail "%s: stats output is empty" path;
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    if not (go 0) then
+      fail "%s: stats output lacks %S" path needle
+  in
+  (* one marker per aggregated artifact: the span table header, the
+     histogram percentile columns, and the campaign heartbeat count *)
+  contains "self_ms";
+  contains "p50";
+  contains "heartbeat";
+  contains "pool.busy"
+
+let () =
+  match Sys.argv with
+  | [| _; trace; metrics; campaign; stats_out |] ->
+    let n_events, n_meta, n_busy = check_trace trace in
+    let n_snaps, n_hists = check_metrics metrics in
+    let n_jobs, n_beats = check_campaign campaign in
+    check_stats_output stats_out;
+    Printf.printf
+      "stats-smoke: OK (%d trace events, %d track name(s), %d pool.busy \
+       span(s); %d snapshot(s) x %d histogram(s); %d job(s), %d \
+       heartbeat(s))\n"
+      n_events n_meta n_busy n_snaps n_hists n_jobs n_beats
+  | _ ->
+    prerr_endline
+      "usage: stats_smoke_check TRACE.jsonl METRICS.jsonl CAMPAIGN.jsonl \
+       STATS_OUT.txt";
+    exit 2

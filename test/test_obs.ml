@@ -3,10 +3,12 @@
    real tailor run, and the disabled-by-default no-op guarantee. *)
 
 module Obs = Bespoke_obs.Obs
+module Stats = Bespoke_obs.Stats
 module B = Bespoke_programs.Benchmark
 module Activity = Bespoke_analysis.Activity
 module Runner = Bespoke_core.Runner
 module Cut = Bespoke_core.Cut
+module Pool = Bespoke_core.Pool
 
 (* Every test leaves the global collector disabled and empty so test
    order never matters. *)
@@ -132,7 +134,7 @@ let test_jsonl_wellformed () =
                   (json_str "name" j);
                 Hashtbl.replace stacks tid rest
               | [] -> Alcotest.failf "E with no open span: %s" line)
-            | "i" -> ()
+            | "i" | "M" -> ()
             | ph -> Alcotest.failf "unexpected ph %S" ph))
         lines;
       Hashtbl.iter
@@ -177,6 +179,147 @@ let test_histogram_percentiles () =
       Alcotest.(check (float 0.0))
         "single-valued p99 is exact" 42.0
         (Obs.Metrics.percentile d 0.99))
+
+(* Exact percentile values and log-bucket edge behavior.  Bucket b
+   holds values in [2^(b-1), 2^b): 7 is the last value of bucket 3,
+   8 the first of bucket 4.  The representative value is the geometric
+   midpoint 0.75 * 2^b, clamped to the observed [min, max]. *)
+let test_histogram_exact () =
+  with_tracing (fun () ->
+      (* one bucket, midpoint representative: 5,6,7 all in [4,8) *)
+      let h = Obs.Metrics.histogram "test.exact_mid" in
+      List.iter (Obs.Metrics.observe h) [ 5; 6; 7 ];
+      Alcotest.(check (float 0.0))
+        "p50 is the bucket midpoint 6" 6.0
+        (Obs.Metrics.percentile h 0.5);
+      (* bucket-edge pair: 7 -> bucket 3, 8 -> bucket 4; the clamp to
+         [min, max] makes both quantiles exact *)
+      let e = Obs.Metrics.histogram "test.exact_edge" in
+      Obs.Metrics.observe e 7;
+      Obs.Metrics.observe e 8;
+      Alcotest.(check (float 0.0))
+        "p50 clamps up to min 7" 7.0
+        (Obs.Metrics.percentile e 0.5);
+      Alcotest.(check (float 0.0))
+        "p99 clamps down to max 8" 8.0
+        (Obs.Metrics.percentile e 0.99);
+      (* a power of two lands in the bucket above its exponent *)
+      let p = Obs.Metrics.histogram "test.exact_pow2" in
+      Obs.Metrics.observe p 4;
+      Alcotest.(check (float 0.0))
+        "single 2^k value is exact" 4.0
+        (Obs.Metrics.percentile p 0.9);
+      (* zero has its own bucket and a zero representative *)
+      let z = Obs.Metrics.histogram "test.exact_zero" in
+      Obs.Metrics.observe z 0;
+      Alcotest.(check (float 0.0))
+        "all-zero histogram quantile is 0" 0.0
+        (Obs.Metrics.percentile z 0.99);
+      (* empty histogram: quantile defined as 0 *)
+      let n = Obs.Metrics.histogram "test.exact_empty" in
+      Alcotest.(check (float 0.0))
+        "empty histogram quantile is 0" 0.0
+        (Obs.Metrics.percentile n 0.5))
+
+(* Concurrent pool-domain updates must leave the registry exact (no
+   lost increments) and the snapshot deterministic once quiescent. *)
+let test_metrics_concurrent_snapshot () =
+  with_tracing (fun () ->
+      let c = Obs.Metrics.counter "test.conc_counter" in
+      let h = Obs.Metrics.histogram "test.conc_hist" in
+      let n = 400 in
+      Pool.iter ~jobs:4
+        (fun i ->
+          Obs.Metrics.incr c;
+          Obs.Metrics.observe h (1 + (i mod 64)))
+        (List.init n Fun.id);
+      Alcotest.(check int) "no lost counter increments" n
+        (Obs.Metrics.counter_value c);
+      Alcotest.(check int) "no lost observations" n
+        (Obs.Metrics.histogram_count h);
+      let s1 = Obs.Metrics.snapshot_json () in
+      let s2 = Obs.Metrics.snapshot_json () in
+      Alcotest.(check string) "quiescent snapshots identical" s1 s2;
+      match Obs.Json.parse s1 with
+      | Error m -> Alcotest.failf "snapshot does not parse: %s" m
+      | Ok _ -> ())
+
+(* ---- the background sampler ---- *)
+
+let test_sampler_series () =
+  let path = Filename.temp_file "bespoke_test_metrics" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Sampler.stop ();
+      Obs.reset ();
+      Obs.disable ();
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Obs.reset ();
+      Obs.Sampler.start ~path ~interval_ms:40 ();
+      Alcotest.(check bool) "sampler reports running" true
+        (Obs.Sampler.running ());
+      Alcotest.(check (option string)) "sampler reports its path" (Some path)
+        (Obs.Sampler.path ());
+      let c = Obs.Metrics.counter "test.sampler_counter" in
+      Obs.Metrics.incr c;
+      Unix.sleepf 0.12;
+      Obs.Sampler.stop ();
+      Alcotest.(check bool) "sampler stopped" false (Obs.Sampler.running ());
+      match Stats.load_metrics path with
+      | Error m -> Alcotest.failf "sampler output invalid: %s" m
+      | Ok series ->
+        Alcotest.(check int) "declared interval" 40 series.Stats.interval_ms;
+        Alcotest.(check bool)
+          (Printf.sprintf "at least 2 snapshots (got %d)"
+             series.Stats.snapshots)
+          true (series.Stats.snapshots >= 2);
+        Alcotest.(check bool) "series spans real time" true
+          (series.Stats.span_us > 0.0))
+
+(* ---- bench regression comparison ---- *)
+
+let test_stats_compare () =
+  let entry label scale =
+    {
+      Stats.b_label = label;
+      b_metrics =
+        [
+          ("cps/mult/event", 1000.0 *. scale);
+          ("cps/mult/compiled", 5000.0 *. scale);
+          ("campaign/jobs_per_sec/warm_jobs4", 80.0);
+        ];
+    }
+  in
+  let old_e = entry "old" 1.0 in
+  (* self-comparison is clean *)
+  let self = Stats.compare_benches ~threshold:0.1 old_e old_e in
+  Alcotest.(check int) "self-compare has no regressions" 0
+    (List.length self.Stats.regressions);
+  Alcotest.(check int) "self-compare covers all metrics" 3
+    (List.length self.Stats.deltas);
+  (* a uniform 12% throughput drop beyond the 10% threshold *)
+  let slow = entry "new" 0.88 in
+  let cmp = Stats.compare_benches ~threshold:0.1 old_e slow in
+  Alcotest.(check int) "both cps drops flagged" 2
+    (List.length cmp.Stats.regressions);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (d.Stats.d_metric ^ " ratio below 0.9")
+        true (d.Stats.d_ratio < 0.9))
+    cmp.Stats.regressions;
+  (* the same drop under a looser threshold is not a regression *)
+  let loose = Stats.compare_benches ~threshold:0.2 old_e slow in
+  Alcotest.(check int) "20%% threshold tolerates a 12%% drop" 0
+    (List.length loose.Stats.regressions);
+  (* metric-set drift is reported, not silently dropped *)
+  let extra =
+    { old_e with Stats.b_metrics = ("cps/extra/event", 1.0) :: old_e.b_metrics }
+  in
+  let drift = Stats.compare_benches ~threshold:0.1 extra slow in
+  Alcotest.(check (list string)) "vanished metric listed"
+    [ "cps/extra/event" ] drift.Stats.only_old
 
 (* ---- metrics from a real tailor run ---- *)
 
@@ -256,8 +399,21 @@ let () =
         [
           Alcotest.test_case "histogram percentiles" `Quick
             test_histogram_percentiles;
+          Alcotest.test_case "exact percentiles and bucket edges" `Quick
+            test_histogram_exact;
+          Alcotest.test_case "concurrent updates, deterministic snapshot"
+            `Quick test_metrics_concurrent_snapshot;
           Alcotest.test_case "tailor run populates registry" `Quick
             test_tailor_metrics;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "time series lifecycle" `Quick test_sampler_series;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "bench regression comparison" `Quick
+            test_stats_compare;
         ] );
       ( "disabled",
         [ Alcotest.test_case "hooks are no-ops" `Quick test_disabled_noop ] );
