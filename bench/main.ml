@@ -31,6 +31,7 @@ module Compile = Bespoke_sim.Compile
 module Pool = Bespoke_core.Pool
 module Flowcache = Bespoke_core.Flowcache
 module Campaign = Bespoke_campaign.Campaign
+module Guard = Bespoke_guard.Guard
 module Obs = Bespoke_obs.Obs
 
 let freq_hz = 1e8
@@ -955,6 +956,57 @@ let measure_sampler_overhead () =
   (try Sys.remove path with Sys_error _ -> ());
   (median !enabled, median !sampled)
 
+(* Marginal cost of the zero-hardware guard: the same paired-trial
+   discipline as the obs/sampler rows, plain bespoke runs vs runs with
+   the cut-assumption shadow watcher attached (`run --guard`'s hot
+   path).  The watcher recomputes every monitored cut function at each
+   committed cycle, so its cost scales with the monitor count — the
+   artifact records both. *)
+let guard_plan_of (b : B.t) =
+  let report, net = Runner.analyze b in
+  let bespoke, _, prov =
+    Cut.tailor_explained net
+      ~possibly_toggled:report.Activity.possibly_toggled
+      ~constants:report.Activity.constant_values
+  in
+  ( Guard.plan ~original:net ~bespoke ~prov
+      ~possibly_toggled:report.Activity.possibly_toggled
+      ~constants:report.Activity.constant_values,
+    bespoke )
+
+let measure_guard_overhead () =
+  let b = B.find "mult" in
+  let plan, bespoke = guard_plan_of b in
+  let reps = 40 in
+  let run ~watch () =
+    let cyc = ref 0 in
+    let (), dt =
+      time (fun () ->
+          for _ = 1 to reps do
+            let o =
+              if watch then (
+                (* violations are sticky per watcher: a fresh one per
+                   run keeps every rep on the same (clean) fast path *)
+                let w = Guard.watch_bespoke plan in
+                Runner.run_gate ~engine:Runner.Event
+                  ~attach:(Guard.attach w) ~netlist:bespoke b ~seed:1)
+              else
+                Runner.run_gate ~engine:Runner.Event ~netlist:bespoke b
+                  ~seed:1
+            in
+            cyc := !cyc + o.Runner.sim_cycles
+          done)
+    in
+    float_of_int !cyc /. dt
+  in
+  ignore (run ~watch:false ());
+  let plain = ref [] and watched = ref [] in
+  for _ = 1 to obs_reps do
+    plain := run ~watch:false () :: !plain;
+    watched := run ~watch:true () :: !watched
+  done;
+  (List.length plan.Guard.p_monitors, median !plain, median !watched)
+
 (* One-time program-compilation cost of the compiled engine for the
    stock core, and the per-instance cost of a design-cache hit
    (dominated by the netlist hash).  Reported separately from the
@@ -1107,6 +1159,14 @@ let run_bench_sim () =
      +sampler %.0f cps (%.1f%% slower)\n"
     sampler_interval_ms smp_enabled_cps smp_sampled_cps
     (100.0 *. (1.0 -. (smp_sampled_cps /. smp_enabled_cps)));
+  let guard_monitors, guard_plain_cps, guard_watched_cps =
+    measure_guard_overhead ()
+  in
+  printf
+    "guard overhead (mult, event engine, %d monitor(s)): plain %.0f cps, \
+     +watcher %.0f cps (%.1f%% slower in shadow mode)\n"
+    guard_monitors guard_plain_cps guard_watched_cps
+    (100.0 *. (1.0 -. (guard_watched_cps /. guard_plain_cps)));
   let camp_jobs, camp_build_s, camp_oneshot_s, camp_cold1_s, camp_cold4_s,
       camp_warm4_s =
     measure_campaign ()
@@ -1154,6 +1214,13 @@ let run_bench_sim () =
     sampler_interval_ms smp_enabled_cps smp_sampled_cps
     (1.0 -. (smp_sampled_cps /. smp_enabled_cps));
   out
+    "  \"guard_overhead\": {\"benchmark\": \"mult\", \"engine\": \"event\", \
+     \"monitors\": %d,\n\
+    \                     \"plain_cps\": %.0f, \"watched_cps\": %.0f, \
+     \"watch_slowdown\": %.4f},\n"
+    guard_monitors guard_plain_cps guard_watched_cps
+    (1.0 -. (guard_watched_cps /. guard_plain_cps));
+  out
     "  \"campaign\": {\"jobs_total\": %d, \"benchmarks\": %d, \"kinds\": \
      [\"analyze\", \"tailor\", \"report\", \"run\"],\n"
     camp_jobs (List.length B.table1);
@@ -1197,6 +1264,48 @@ let run_bench_sim () =
   if !history_requested then append_bench_history buf
 
 (* ------------------------------------------------------------------ *)
+(* guard-table: hardware cost of the deployment guard per benchmark —
+   the EXPERIMENTS.md "cut-assumption monitors" table.  Every area and
+   leakage figure comes from the same Report instruments that measure
+   the tailoring savings the guard protects.                           *)
+
+let run_guard_table () =
+  printf "=== deployment guard: per-benchmark hardware overhead ===\n";
+  printf "%-12s %8s %8s %8s %7s %6s %8s %7s %8s %8s\n" "Benchmark" "assume"
+    "monitor" "implied" "unmon" "cov%" "+gates" "+dffs" "area+%" "leak+%";
+  let cov_acc = ref [] and area_acc = ref [] and leak_acc = ref [] in
+  List.iter
+    (fun (b : B.t) ->
+      let plan, _ = guard_plan_of b in
+      let inst = Guard.instrument plan in
+      let hw = Guard.hw_stats plan inst in
+      let assumptions = List.length plan.Guard.p_assumptions in
+      (* monitored or statically implied: the fraction of assumptions
+         the shipped hardware actually accounts for *)
+      let cov =
+        if assumptions = 0 then 100.0
+        else
+          100.0
+          *. float_of_int (hw.Guard.h_monitors + hw.Guard.h_implied)
+          /. float_of_int assumptions
+      in
+      cov_acc := cov :: !cov_acc;
+      area_acc := hw.Guard.h_area_pct :: !area_acc;
+      leak_acc := hw.Guard.h_leakage_pct :: !leak_acc;
+      printf "%-12s %8d %8d %8d %7d %6.1f %8d %7d %8.1f %8.1f\n" b.B.name
+        assumptions hw.Guard.h_monitors hw.Guard.h_implied
+        hw.Guard.h_unmonitorable cov hw.Guard.h_added_gates
+        hw.Guard.h_added_dffs hw.Guard.h_area_pct hw.Guard.h_leakage_pct)
+    B.table1;
+  let avg l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+  printf "%-12s %8s %8s %8s %7s %6.1f %8s %7s %8.1f %8.1f   (average)\n"
+    "(average)" "" "" "" "" (avg !cov_acc) "" "" (avg !area_acc)
+    (avg !leak_acc);
+  printf
+    "(overhead is relative to the bespoke design; the shadow watcher covers \
+     the same monitors at zero hardware)\n"
+
+(* ------------------------------------------------------------------ *)
 (* bench-smoke: one tiny benchmark through all four engines, asserting
    bit-identical outcomes, plus a validation pass over the recorded
    BENCH_sim.json artifact.  Wired into `dune runtest` via the
@@ -1217,6 +1326,7 @@ let validate_bench_sim_artifact () =
   let camp_cold_speedup = ref None in
   let camp_warm_speedup = ref None in
   let obs_engines = ref [] in
+  let guard_monitors = ref None in
   (try
      while true do
        let line = String.trim (input_line ic) in
@@ -1229,6 +1339,11 @@ let validate_bench_sim_artifact () =
        (try
           Scanf.sscanf line "\"speedup_cold_jobs4_vs_oneshot\": %f" (fun x ->
               camp_cold_speedup := Some x)
+        with Scanf.Scan_failure _ | End_of_file -> ());
+       (try
+          Scanf.sscanf line
+            "\"guard_overhead\": {\"benchmark\": %S, \"engine\": %S, \
+             \"monitors\": %d," (fun _ _ m -> guard_monitors := Some m)
         with Scanf.Scan_failure _ | End_of_file -> ());
        (try
           Scanf.sscanf line "\"speedup_warm_vs_cold\": %f" (fun x ->
@@ -1303,10 +1418,27 @@ let validate_bench_sim_artifact () =
          "bench-smoke: campaign warm-cache speedup %.2fx < 5x cold in %s — \
           flow cache regression"
          warm path);
+  let guard_mons =
+    match !guard_monitors with
+    | Some m -> m
+    | None ->
+      failwith
+        (Printf.sprintf
+           "bench-smoke: no guard_overhead block in %s (regenerate with \
+            --bench-sim)"
+           path)
+  in
+  if guard_mons < 1 then
+    failwith
+      (Printf.sprintf
+         "bench-smoke: guard_overhead in %s records no monitors — the \
+          shadow watcher measured nothing"
+         path);
   printf
     "bench-smoke: BENCH_sim.json valid (%d benchmarks, compiled >= event on \
-     all; campaign %.2fx vs one-shot cold, %.1fx warm vs cold)\n"
-    (List.length !rows) cold warm
+     all; campaign %.2fx vs one-shot cold, %.1fx warm vs cold; guard \
+     watcher measured over %d monitor(s))\n"
+    (List.length !rows) cold warm guard_mons
 
 let run_bench_smoke () =
   let b = B.find "mult" in
@@ -1360,6 +1492,7 @@ let sections : (string * (unit -> unit)) list =
     ("table6", run_table6);
     ("ablation", run_ablation);
     ("bechamel", run_bechamel);
+    ("guard-table", run_guard_table);
     ("bench-sim", run_bench_sim);
     ("bench-smoke", run_bench_smoke);
   ]

@@ -41,6 +41,8 @@ module Campaign = Bespoke_campaign.Campaign
 module Pool = Bespoke_core.Pool
 module Flowcache = Bespoke_core.Flowcache
 module Stats = Bespoke_obs.Stats
+module Guard = Bespoke_guard.Guard
+module Mutation = Bespoke_mutation.Mutation
 
 (* Not used directly here, but referencing them links their
    compilation units so their metrics register and appear in
@@ -185,6 +187,12 @@ let obs_args =
    protect, so a crashed, interrupted (Sys.Break) or directly-exiting
    run still leaves its partial trace/metrics behind. *)
 let with_obs (trace, metrics_out, interval) f =
+  match interval with
+  | Some ms when ms <= 0 ->
+    (* the sampler itself clamps to 1 ms, but an explicit request for a
+       zero or negative period is a typo worth stopping on *)
+    Error (Printf.sprintf "--metrics-interval must be at least 1 ms (got %d)" ms)
+  | _ ->
   if trace <> None || metrics_out <> None || interval <> None then Obs.enable ();
   (match interval with
   | Some ms ->
@@ -385,12 +393,77 @@ let cmd_run =
          & info [ "netlist" ] ~docv:"FILE"
              ~doc:"Run on a saved (bespoke) netlist instead of the stock core.")
   in
-  let run file bench gpio seed netlist_file engine jobs obs =
+  let guard_flag =
+    Arg.(value & flag
+         & info [ "guard" ]
+             ~doc:"Tailor the benchmark and run it with the shadow guard \
+                   watcher attached: every hardware-checkable cut assumption \
+                   is re-checked at each committed cycle.  Exits non-zero if \
+                   any assumption is violated (on the program the design was \
+                   tailored to, it never is).")
+  in
+  let guard_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "guard-out" ] ~docv:"FILE"
+             ~doc:"With $(b,--guard): write the bespoke-guard/v1 JSONL \
+                   violation stream to $(docv).")
+  in
+  let run file bench gpio seed netlist_file engine jobs guard guard_out obs =
     handle
       (with_obs obs @@ fun () ->
        catching (fun () ->
            apply_jobs jobs;
            let* b = load_program file bench in
+           if guard then begin
+             if netlist_file <> None then
+               Error
+                 "--guard tailors the benchmark itself and cannot rebuild the \
+                  cut provenance of a saved netlist; drop --netlist"
+             else begin
+               require_scalar "run" engine;
+               let report, net = Runner.analyze b in
+               let bespoke, _, prov =
+                 Cut.tailor_explained net
+                   ~possibly_toggled:report.Activity.possibly_toggled
+                   ~constants:report.Activity.constant_values
+               in
+               let plan =
+                 Guard.plan ~original:net ~bespoke ~prov
+                   ~possibly_toggled:report.Activity.possibly_toggled
+                   ~constants:report.Activity.constant_values
+               in
+               let w = Guard.watch_bespoke plan in
+               let o =
+                 Runner.check_equivalence ~engine ~attach:(Guard.attach w)
+                   ~netlist:bespoke b ~seed
+               in
+               Printf.printf
+                 "ran %d instructions, %d cycles (gate level verified against \
+                  the ISS)\n"
+                 o.Runner.instructions o.Runner.cycles;
+               Printf.printf "guard: %d monitor(s) over %d cycle(s): %s\n"
+                 (List.length plan.Guard.p_monitors)
+                 (Guard.cycles_checked w)
+                 (if Guard.clean w then "clean" else "VIOLATED");
+               List.iter
+                 (fun v -> Format.printf "%a@." (Guard.pp_violation plan) v)
+                 (Guard.violations w);
+               (match guard_out with
+               | None -> ()
+               | Some path ->
+                 let oc = open_out path in
+                 Guard.write_stream oc plan ~design:b.B.name
+                   ~workload:b.B.name ~mode:"shadow" w;
+                 close_out oc;
+                 Printf.eprintf "wrote guard stream to %s\n" path);
+               if Guard.clean w then Ok ()
+               else
+                 Error
+                   (Printf.sprintf "%d cut-assumption violation(s)"
+                      (Guard.total_violations w))
+             end
+           end
+           else begin
            let netlist = Option.map Bespoke_netlist.Serial.load netlist_file in
            let o =
              if b.B.gen_inputs seed = ([], 0) && gpio <> 0 then begin
@@ -417,14 +490,16 @@ let cmd_run =
                o.Runner.results;
              Printf.printf "gpio_out = 0x%04x\n" o.Runner.gpio_out
            | None -> ());
-           Ok ()))
+           Ok ()
+           end))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a program on the ISS and the gate-level core")
     Term.(
       ret
         (const run $ file_arg $ bench_arg $ gpio_arg $ seed_arg $ netlist_arg
-        $ engine_arg Runner.Compiled $ jobs_arg $ obs_args))
+        $ engine_arg Runner.Compiled $ jobs_arg $ guard_flag $ guard_out_arg
+        $ obs_args))
 
 (* ---- analyze ---- *)
 
@@ -506,7 +581,18 @@ let cmd_tailor =
                    gates, the typed cut reason and recorded fanin-cone \
                    constants otherwise.  Repeatable.")
   in
-  let run file bench verify save json explain engine jobs obs cache_stats =
+  let instrument_arg =
+    Arg.(value & flag
+         & info [ "instrument" ]
+             ~doc:"Add deployment guards to the bespoke design: one \
+                   comparator + sticky violation DFF per checkable cut \
+                   assumption, OR-reduced into a 1-bit \
+                   $(b,guard_violation) output port.  Reports the guard's \
+                   own area/power overhead; with $(b,--save) the saved \
+                   netlist is the instrumented one.")
+  in
+  let run file bench verify save json explain instrument engine jobs obs
+      cache_stats =
     handle
       (with_obs obs @@ fun () ->
        with_cache_stats cache_stats @@ fun () ->
@@ -520,9 +606,26 @@ let cmd_tailor =
                ~possibly_toggled:report.Activity.possibly_toggled
                ~constants:report.Activity.constant_values
            in
+           let guarded =
+             if not instrument then None
+             else begin
+               let plan =
+                 Guard.plan ~original:net ~bespoke ~prov
+                   ~possibly_toggled:report.Activity.possibly_toggled
+                   ~constants:report.Activity.constant_values
+               in
+               let inst = Guard.instrument plan in
+               Some (plan, inst)
+             end
+           in
            let oc = if json then stderr else stdout in
            let ff = Format.formatter_of_out_channel oc in
            Format.fprintf ff "%a@." Cut.pp_stats stats;
+           Option.iter
+             (fun (plan, inst) ->
+               Format.fprintf ff "guard: %a@." Guard.pp_hw_stats
+                 (Guard.hw_stats plan inst))
+             guarded;
            let sta0 = Sta.analyze net and sta1 = Sta.analyze bespoke in
            let vmin =
              Voltage.vmin ~critical_path_ps:sta1.Sta.critical_path_ps
@@ -567,13 +670,19 @@ let cmd_tailor =
            (match save with
            | None -> ()
            | Some path ->
-             Bespoke_netlist.Serial.save path bespoke;
+             let saved =
+               match guarded with
+               | Some (_, inst) -> inst.Guard.i_design
+               | None -> bespoke
+             in
+             Bespoke_netlist.Serial.save path saved;
              (* the usable-gate set over the original design enables
                 later in-field update checks *)
              Bespoke_netlist.Serial.save_gate_set (path ^ ".gates")
                report.Activity.possibly_toggled;
-             Printf.fprintf oc "saved bespoke netlist to %s (+ %s.gates)\n" path
-               path);
+             Printf.fprintf oc "saved %s netlist to %s (+ %s.gates)\n"
+               (if guarded = None then "bespoke" else "instrumented bespoke")
+               path path);
            if json then
              print_string
                (Artifact.to_json
@@ -585,8 +694,8 @@ let cmd_tailor =
     Term.(
       ret
         (const run $ file_arg $ bench_arg $ verify_arg $ save_arg $ json_arg
-        $ explain_arg $ engine_arg Runner.Event $ jobs_arg $ obs_args
-        $ cache_stats_arg))
+        $ explain_arg $ instrument_arg $ engine_arg Runner.Event $ jobs_arg
+        $ obs_args $ cache_stats_arg))
 
 (* ---- report (savings artifact across benchmarks) ---- *)
 
@@ -724,9 +833,9 @@ let cmd_campaign =
     Arg.(value & opt (some file) None
          & info [ "file" ] ~docv:"JOBS.TXT"
              ~doc:"Job-list file: one $(b,KIND BENCH [seed=N] [faults=N] \
-                   [engine=E]) per line, where KIND is analyze, tailor, \
-                   report, verify or run; blank lines and # comments are \
-                   skipped.")
+                   [mutant=N] [engine=E]) per line, where KIND is analyze, \
+                   tailor, report, verify, run or guard; blank lines and # \
+                   comments are skipped.")
   in
   let job_specs_arg =
     Arg.(value & pos_all string []
@@ -858,15 +967,185 @@ let cmd_campaign =
   in
   Cmd.v
     (Cmd.info "campaign"
-       ~doc:"Run a batch of flow jobs (analyze/tailor/report/verify/run) \
-             across the domain pool, memoized by the content-addressed flow \
-             cache, streaming schema-versioned bespoke-campaign/v1 JSONL.  A \
-             job that fails yields an error record; the campaign always \
-             completes.")
+       ~doc:"Run a batch of flow jobs (analyze/tailor/report/verify/run/\
+             guard) across the domain pool, memoized by the content-addressed \
+             flow cache, streaming schema-versioned bespoke-campaign/v1 \
+             JSONL.  A job that fails yields an error record; the campaign \
+             always completes.")
     Term.(
       ret
         (const run $ jobs_file_arg $ job_specs_arg $ out_arg $ jobs_arg
        $ progress_arg $ obs_args $ cache_stats_arg))
+
+(* ---- guard (deployment-guard replay; paper Section 5.3 risk) ---- *)
+
+let cmd_guard =
+  let mutant_arg =
+    Arg.(value & opt (some int) None
+         & info [ "mutant" ] ~docv:"ID"
+             ~doc:"Replay mutant $(docv) of the program (a one-instruction \
+                   bug-fix update; see $(b,--list)) instead of the program \
+                   itself — the paper's Section 5.3 in-field-update risk, \
+                   made observable.")
+  in
+  let list_arg =
+    Arg.(value & flag
+         & info [ "list" ]
+             ~doc:"List the program's mutants (id, type, line, change) and \
+                   exit.")
+  in
+  let mode_arg =
+    Arg.(value
+         & opt (enum [ ("hw", `Hw); ("shadow", `Shadow); ("original", `Original) ])
+             `Hw
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"What watches the replay: $(b,hw) (default) runs the \
+                   instrumented design — the synthesized guard logic drives \
+                   the $(b,guard_violation) port and the shadow watcher \
+                   cross-checks it; $(b,shadow) runs the plain bespoke design \
+                   with only the zero-hardware watcher; $(b,original) replays \
+                   on the original core, where every assumption (including \
+                   unmonitorable ones) is checkable.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the bespoke-guard/v1 JSONL stream (header, one \
+                   record per violated assumption with its cut provenance, \
+                   summary) to $(docv).")
+  in
+  let max_cycles_arg =
+    Arg.(value & opt int 300_000
+         & info [ "max-cycles" ] ~docv:"N"
+             ~doc:"Replay deadline in cycles (default 300000) — a workload \
+                   the design was not tailored for may never halt; the \
+                   violations seen before the deadline are the point.")
+  in
+  let run file bench mutant list_only mode out seed max_cycles engine jobs obs
+      cache_stats =
+    handle
+      (with_obs obs @@ fun () ->
+       with_cache_stats cache_stats @@ fun () ->
+       catching (fun () ->
+           apply_jobs jobs;
+           let* b = load_program file bench in
+           if list_only then begin
+             List.iter
+               (fun (m : Mutation.mutant) ->
+                 Printf.printf "%4d  %-20s line %-3d %s -> %s\n" m.Mutation.id
+                   (Mutation.type_name m.Mutation.mtype)
+                   m.Mutation.line m.Mutation.original m.Mutation.replacement)
+               (Mutation.mutants b);
+             Ok ()
+           end
+           else begin
+             require_scalar "guard" engine;
+             let* workload =
+               match mutant with
+               | None -> Ok b
+               | Some id -> (
+                 let ms = Mutation.mutants b in
+                 match
+                   List.find_opt (fun m -> m.Mutation.id = id) ms
+                 with
+                 | Some m -> Ok (Mutation.to_benchmark b m)
+                 | None ->
+                   Error
+                     (Printf.sprintf
+                        "no mutant %d of %s (%d mutant(s); see guard --list)"
+                        id b.B.name (List.length ms)))
+             in
+             let report, net = Runner.analyze b in
+             let bespoke, _, prov =
+               Cut.tailor_explained net
+                 ~possibly_toggled:report.Activity.possibly_toggled
+                 ~constants:report.Activity.constant_values
+             in
+             let plan =
+               Guard.plan ~original:net ~bespoke ~prov
+                 ~possibly_toggled:report.Activity.possibly_toggled
+                 ~constants:report.Activity.constant_values
+             in
+             let mode_s =
+               match mode with
+               | `Hw -> "hw"
+               | `Shadow -> "shadow"
+               | `Original -> "original"
+             in
+             let watcher, netlist =
+               match mode with
+               | `Hw ->
+                 let inst = Guard.instrument plan in
+                 Printf.printf "guard hardware: %s\n"
+                   (Format.asprintf "%a" Guard.pp_hw_stats
+                      (Guard.hw_stats plan inst));
+                 (Guard.watch_bespoke plan, inst.Guard.i_design)
+               | `Shadow -> (Guard.watch_bespoke plan, bespoke)
+               | `Original -> (Guard.watch_original plan, net)
+             in
+             Printf.printf
+               "replaying %s on %s's %s design: %d assumption(s), %d \
+                monitor(s) (%d implied, %d unmonitorable)\n%!"
+               workload.B.name b.B.name
+               (if mode = `Original then "original" else "bespoke")
+               (List.length plan.Guard.p_assumptions)
+               (List.length plan.Guard.p_monitors)
+               plan.Guard.p_implied plan.Guard.p_unmonitorable;
+             let rp =
+               Guard.replay ~engine ~max_cycles watcher ~netlist workload ~seed
+             in
+             (match rp.Guard.rp_result with
+             | Ok o -> Printf.printf "halted after %d cycle(s)\n" o.Runner.g_cycles
+             | Error m -> Printf.printf "replay did not complete: %s\n" m);
+             let vs = Guard.violations watcher in
+             List.iteri
+               (fun i v ->
+                 if i < 20 then
+                   Format.printf "%a@." (Guard.pp_violation plan) v)
+               vs;
+             if List.length vs > 20 then
+               Printf.printf "... and %d more violating gate(s)\n"
+                 (List.length vs - 20);
+             (match rp.Guard.rp_hw_violation with
+             | Some bit ->
+               Printf.printf "guard_violation port = %c\n" (Bit.to_char bit)
+             | None -> ());
+             (match out with
+             | None -> ()
+             | Some path ->
+               let oc = open_out path in
+               Guard.write_stream oc plan ~design:b.B.name
+                 ~workload:workload.B.name ~mode:mode_s watcher;
+               close_out oc;
+               Printf.eprintf "wrote guard stream to %s\n" path);
+             let hw_hit = rp.Guard.rp_hw_violation = Some Bit.One in
+             if Guard.clean watcher && not hw_hit then begin
+               Printf.printf "clean: every cut assumption held\n";
+               Ok ()
+             end
+             else
+               Error
+                 (Printf.sprintf
+                    "%d cut-assumption violation(s) on %d gate(s)%s"
+                    (Guard.total_violations watcher)
+                    (List.length vs)
+                    (if hw_hit then "; guard_violation=1" else ""))
+           end))
+  in
+  Cmd.v
+    (Cmd.info "guard"
+       ~doc:"Replay a workload (the program itself, or one of its \
+             single-instruction mutants) against the program's tailored \
+             design with the deployment guards watching: synthesized \
+             cut-assumption monitors in hardware mode, the zero-overhead \
+             shadow watcher otherwise.  Streams bespoke-guard/v1 JSONL with \
+             cut/keep provenance per violation and exits non-zero when any \
+             assumption is violated.")
+    Term.(
+      ret
+        (const run $ file_arg $ bench_arg $ mutant_arg $ list_arg $ mode_arg
+        $ out_arg $ seed_arg $ max_cycles_arg $ engine_arg Runner.Compiled
+        $ jobs_arg $ obs_args $ cache_stats_arg))
 
 (* ---- update-check (paper Section 3.5) ---- *)
 
@@ -1039,6 +1318,12 @@ let cmd_stats =
              ~doc:"Summarize a $(b,bespoke-campaign/v1) JSONL stream \
                    (outcomes, per-kind time, heartbeats).")
   in
+  let guard_arg =
+    Arg.(value & opt (some file) None
+         & info [ "guard" ] ~docv:"FILE"
+             ~doc:"Summarize a $(b,bespoke-guard/v1) JSONL stream (monitor \
+                   coverage, violation verdict, cut-reason histogram).")
+  in
   let top_arg =
     Arg.(value & opt int 15
          & info [ "top" ] ~docv:"N" ~doc:"Rows in the span table (default 15).")
@@ -1062,7 +1347,7 @@ let cmd_stats =
          & info [] ~docv:"FILE" ~doc:"For --compare: the OLD and NEW bench \
                                       artifacts.")
   in
-  let run trace metrics campaign top compare threshold files =
+  let run trace metrics campaign guard top compare threshold files =
     handle
       (catching (fun () ->
            let ( let* ) = Result.bind in
@@ -1086,10 +1371,12 @@ let cmd_stats =
                       (100.0
                       *. ((List.hd c.Stats.regressions).Stats.d_ratio -. 1.0)))
              | _ -> Error "--compare needs exactly two files: OLD NEW"
-           else if trace = None && metrics = None && campaign = None then
+           else if
+             trace = None && metrics = None && campaign = None && guard = None
+           then
              Error
-               "nothing to do: give --trace, --metrics and/or --campaign, or \
-                --compare OLD NEW"
+               "nothing to do: give --trace, --metrics, --campaign and/or \
+                --guard, or --compare OLD NEW"
            else begin
              let* () =
                match trace with
@@ -1118,6 +1405,14 @@ let cmd_stats =
                    (Stats.render_campaign c);
                  Ok ()
              in
+             let* () =
+               match guard with
+               | None -> Ok ()
+               | Some path ->
+                 let* g = Stats.load_guard path in
+                 Printf.printf "guard (%s): %s" path (Stats.render_guard g);
+                 Ok ()
+             in
              Ok ()
            end))
   in
@@ -1129,8 +1424,8 @@ let cmd_stats =
              regressions (non-zero exit when --compare finds one).")
     Term.(
       ret
-        (const run $ trace_arg $ metrics_arg $ campaign_arg $ top_arg
-       $ compare_arg $ threshold_arg $ files_arg))
+        (const run $ trace_arg $ metrics_arg $ campaign_arg $ guard_arg
+       $ top_arg $ compare_arg $ threshold_arg $ files_arg))
 
 (* ---- bench-list ---- *)
 
@@ -1158,6 +1453,6 @@ let () =
        (Cmd.group info
           [
             cmd_asm; cmd_run; cmd_analyze; cmd_tailor; cmd_report; cmd_verify;
-            cmd_campaign; cmd_stats; cmd_update_check; cmd_export; cmd_trace;
-            cmd_bench_list;
+            cmd_campaign; cmd_guard; cmd_stats; cmd_update_check; cmd_export;
+            cmd_trace; cmd_bench_list;
           ]))

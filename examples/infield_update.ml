@@ -2,9 +2,11 @@
 
    1. check whether a bug-fix "update" (a mutant of the shipped binary)
       happens to run on the already-tailored part;
-   2. harden a design against a class of bug fixes by co-analyzing the
+   2. see the deployment guard catch an unsupported update at runtime,
+      naming the cut decision it violates;
+   3. harden a design against a class of bug fixes by co-analyzing the
       mutants at tailoring time;
-   3. keep full updateability with a Turing-complete subneg fallback.
+   4. keep full updateability with a Turing-complete subneg fallback.
 
    Run with: dune exec examples/infield_update.exe *)
 
@@ -15,12 +17,14 @@ module Activity = Bespoke_analysis.Activity
 module Cut = Bespoke_core.Cut
 module Multi = Bespoke_core.Multi
 module Mutation = Bespoke_mutation.Mutation
+module Guard = Bespoke_guard.Guard
 
 let () =
   let base = B.find "rle" in
   let r_base, net = Runner.analyze base in
-  let _, stats_base =
-    Cut.tailor net ~possibly_toggled:r_base.Activity.possibly_toggled
+  let bespoke, stats_base, prov =
+    Cut.tailor_explained net
+      ~possibly_toggled:r_base.Activity.possibly_toggled
       ~constants:r_base.Activity.constant_values
   in
   Format.printf "shipped design for %s: %d gates@." base.B.name
@@ -50,7 +54,63 @@ let () =
           (Mutation.type_name m.Mutation.mtype))
     unsupported;
 
-  (* 2. harden: tailor to base + all mutants *)
+  (* 2. deploy an unsupported update anyway: the guard's shadow
+     watcher replays it on the shipped design and reports which cut
+     assumption broke — the same monitors `tailor --instrument` puts
+     in silicon as the guard_violation status bit *)
+  let plan =
+    Guard.plan ~original:net ~bespoke ~prov
+      ~possibly_toggled:r_base.Activity.possibly_toggled
+      ~constants:r_base.Activity.constant_values
+  in
+  Format.printf
+    "guard plan: %d assumption(s) = %d monitor(s) + %d implied + %d \
+     unmonitorable@."
+    (List.length plan.Guard.p_assumptions)
+    (List.length plan.Guard.p_monitors)
+    plan.Guard.p_implied plan.Guard.p_unmonitorable;
+  let silent = ref 0 in
+  let caught =
+    List.find_map
+      (fun (m : Mutation.mutant) ->
+        let w = Guard.watch_bespoke plan in
+        let rp =
+          Guard.replay w ~netlist:bespoke
+            (Mutation.to_benchmark base m)
+            ~seed:1
+        in
+        match Guard.violations w with
+        | [] ->
+          (* a broken update can also fail outside the monitors' reach
+             (e.g. only in swept dead logic) — silence here is why the
+             shipped part still needs the offline supported-check *)
+          incr silent;
+          None
+        | v :: _ -> Some (m, rp, w, v))
+      unsupported
+  in
+  (match caught with
+  | None ->
+    Format.printf
+      "no unsupported update tripped a monitor (%d replayed silently)@."
+      !silent
+  | Some (m, rp, w, v) ->
+    Format.printf
+      "deploying unsupported update (line %d, %s -> %s) on the shipped \
+       part: %s@."
+      m.Mutation.line m.Mutation.original m.Mutation.replacement
+      (match rp.Guard.rp_result with
+      | Ok _ -> "halted"
+      | Error e -> e);
+    Format.printf
+      "  guard caught %d violation(s) on %d gate(s) (%d earlier update(s) \
+       broke silently); first:@."
+      (Guard.total_violations w)
+      (List.length (Guard.violations w))
+      !silent;
+    Format.printf "    %a@." (Guard.pp_violation plan) v);
+
+  (* 3. harden: tailor to base + all mutants *)
   let reports =
     (r_base.Activity.possibly_toggled, r_base.Activity.constant_values)
     :: List.filter_map
@@ -68,7 +128,7 @@ let () =
     stats_hard.Cut.bespoke_gates
     (stats_hard.Cut.bespoke_gates - stats_base.Cut.bespoke_gates);
 
-  (* 3. Turing-complete fallback: co-analyze the subneg interpreter *)
+  (* 4. Turing-complete fallback: co-analyze the subneg interpreter *)
   let r_sub, _ = Runner.analyze Subneg.characterization in
   let _, stats_tc =
     Multi.tailor_multi net

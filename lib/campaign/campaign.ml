@@ -23,6 +23,8 @@ module Pool = Bespoke_core.Pool
 module Flowcache = Bespoke_core.Flowcache
 module Report = Bespoke_power.Report
 module Verify = Bespoke_verify.Verify
+module Guard = Bespoke_guard.Guard
+module Mutation = Bespoke_mutation.Mutation
 module Obs = Bespoke_obs.Obs
 
 let m_jobs = Obs.Metrics.counter "campaign.jobs"
@@ -30,7 +32,7 @@ let m_failures = Obs.Metrics.counter "campaign.failures"
 
 let now = Unix.gettimeofday
 
-type kind = Analyze | Tailor | Report | Verify | Run
+type kind = Analyze | Tailor | Report | Verify | Run | Guard
 
 let kind_to_string = function
   | Analyze -> "analyze"
@@ -38,6 +40,7 @@ let kind_to_string = function
   | Report -> "report"
   | Verify -> "verify"
   | Run -> "run"
+  | Guard -> "guard"
 
 let kind_of_string = function
   | "analyze" -> Some Analyze
@@ -45,6 +48,7 @@ let kind_of_string = function
   | "report" -> Some Report
   | "verify" -> Some Verify
   | "run" -> Some Run
+  | "guard" -> Some Guard
   | _ -> None
 
 type program = Named of string | Inline of B.t
@@ -54,12 +58,13 @@ type job = {
   program : program;
   seed : int;
   faults : int;
+  mutant : int;
   engine : Runner.engine;
 }
 
-let job ?(kind = Analyze) ?(seed = 1) ?(faults = 3)
+let job ?(kind = Analyze) ?(seed = 1) ?(faults = 3) ?(mutant = -1)
     ?(engine = Runner.Compiled) program =
-  { kind; program; seed; faults; engine }
+  { kind; program; seed; faults; mutant; engine }
 
 let program_name = function Named n -> n | Inline b -> b.B.name
 
@@ -93,6 +98,23 @@ let num f =
   if not (Float.is_finite f) then "0"
   else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.6g" f
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = "\"" ^ json_escape s ^ "\""
 
 let count_toggled a =
   Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a
@@ -178,6 +200,51 @@ let exec_kind (j : job) (b : B.t) : (string * string) list =
       ("instructions", string_of_int iss.Runner.instructions);
       ("equivalent", "true");
     ]
+  | Guard ->
+    (* deployment-guard replay: the bespoke design tailored to [b],
+       watched by the shadow cut-assumption monitors, running either
+       [b] itself (mutant < 0) or one of its single-instruction
+       mutants — the in-field-update risk as a campaign job *)
+    let (report, net), _ = Runner.analyze_cached b in
+    let bespoke, _, prov =
+      Cut.tailor_explained net
+        ~possibly_toggled:report.Activity.possibly_toggled
+        ~constants:report.Activity.constant_values
+    in
+    let plan =
+      Guard.plan ~original:net ~bespoke ~prov
+        ~possibly_toggled:report.Activity.possibly_toggled
+        ~constants:report.Activity.constant_values
+    in
+    let workload =
+      if j.mutant < 0 then b
+      else
+        match
+          List.find_opt
+            (fun m -> m.Mutation.id = j.mutant)
+            (Mutation.mutants b)
+        with
+        | Some m -> Mutation.to_benchmark b m
+        | None ->
+          failwith
+            (Printf.sprintf "no mutant %d of %s (see `bespoke guard --list`)"
+               j.mutant b.B.name)
+    in
+    let w = Guard.watch_bespoke plan in
+    let rp = Guard.replay ~engine:j.engine w ~netlist:bespoke workload ~seed:j.seed in
+    [
+      ("workload", json_str workload.B.name);
+      ("assumptions", string_of_int (List.length plan.Guard.p_assumptions));
+      ("monitors", string_of_int (List.length plan.Guard.p_monitors));
+      ("implied", string_of_int plan.Guard.p_implied);
+      ("unmonitorable", string_of_int plan.Guard.p_unmonitorable);
+      ("halted", if Result.is_ok rp.Guard.rp_result then "true" else "false");
+      ("cycles_checked", string_of_int (Guard.cycles_checked w));
+      ("violations", string_of_int (Guard.total_violations w));
+      ( "violating_gates",
+        string_of_int (List.length (Guard.violations w)) );
+      ("clean", if Guard.clean w then "true" else "false");
+    ]
 
 (* The part of a benchmark's input content the image hash cannot see:
    the analysis X-ranges, and for concrete runs the generated RAM
@@ -193,7 +260,7 @@ let inputs_fingerprint (j : job) (b : B.t) =
   in
   match j.kind with
   | Analyze | Tailor -> Printf.sprintf "ranges=%s;irq=%b" ranges b.B.uses_irq
-  | Report | Run | Verify ->
+  | Report | Run | Verify | Guard ->
     let writes, gpio = b.B.gen_inputs j.seed in
     let irqs = if b.B.uses_irq then b.B.irq_pulses j.seed else [] in
     let buf = Buffer.create 64 in
@@ -212,6 +279,7 @@ let exec_job (j : job) : (string * string) list * bool =
     | Analyze | Tailor -> ""
     | Report | Run -> Printf.sprintf "seed=%d" j.seed
     | Verify -> Printf.sprintf "seed=%d;faults=%d" j.seed j.faults
+    | Guard -> Printf.sprintf "seed=%d;mutant=%d" j.seed j.mutant
   in
   let key =
     Flowcache.digest
@@ -440,6 +508,10 @@ let parse_line line =
             match int_of_string_opt v with
             | Some f -> j := { !j with faults = f }
             | None -> bad := Some (Printf.sprintf "bad faults %S" v))
+          | [ "mutant"; v ] -> (
+            match int_of_string_opt v with
+            | Some m -> j := { !j with mutant = m }
+            | None -> bad := Some (Printf.sprintf "bad mutant %S" v))
           | [ "engine"; v ] -> (
             match Runner.engine_of_string v with
             | Some e -> j := { !j with engine = e }
@@ -466,23 +538,7 @@ let parse_file path =
 (* ---- the bespoke-campaign/v1 JSONL stream ---- *)
 
 let schema = "bespoke-campaign/v1"
-
-let escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let str s = "\"" ^ escape s ^ "\""
+let str = json_str
 
 let obj fields =
   "{"
@@ -505,6 +561,7 @@ let outcome_jsonl (o : outcome) =
       ("bench", str (program_name o.o_job.program));
       ("seed", string_of_int o.o_job.seed);
       ("faults", string_of_int o.o_job.faults);
+      ("mutant", string_of_int o.o_job.mutant);
       ("engine", str (Runner.engine_to_string o.o_job.engine));
       ("cached", if o.cached then "true" else "false");
       ("time_s", num o.time_s);

@@ -16,6 +16,11 @@ type kind =
   | Report  (** tailor + representative run + area/power report *)
   | Verify  (** the three-layer verification campaign *)
   | Run  (** concrete ISS/gate run with equivalence check *)
+  | Guard
+      (** deployment-guard replay: the benchmark (or its mutant
+          [mutant], when >= 0) runs on the bespoke design with the
+          {!Bespoke_guard.Guard} shadow watcher attached; the payload
+          carries monitor coverage and the violation verdict *)
 
 val kind_to_string : kind -> string
 val kind_of_string : string -> kind option
@@ -31,15 +36,16 @@ type program =
 type job = {
   kind : kind;
   program : program;
-  seed : int;  (** concrete-input seed for report/run/verify *)
+  seed : int;  (** concrete-input seed for report/run/verify/guard *)
   faults : int;  (** injected faults for verify *)
+  mutant : int;  (** guard workload: mutant id, or < 0 for the program *)
   engine : Runner.engine;
 }
 
 val job :
-  ?kind:kind -> ?seed:int -> ?faults:int -> ?engine:Runner.engine ->
-  program -> job
-(** Defaults: [Analyze], seed 1, 3 faults, [Compiled]. *)
+  ?kind:kind -> ?seed:int -> ?faults:int -> ?mutant:int ->
+  ?engine:Runner.engine -> program -> job
+(** Defaults: [Analyze], seed 1, 3 faults, mutant -1, [Compiled]. *)
 
 val program_name : program -> string
 
@@ -118,7 +124,8 @@ val run :
     record. *)
 
 val parse_line : string -> (job option, string) result
-(** One job-list line: [KIND BENCH [seed=N] [faults=N] [engine=E]].
+(** One job-list line:
+    [KIND BENCH [seed=N] [faults=N] [mutant=N] [engine=E]].
     Blank lines and [#] comments are [Ok None]. *)
 
 val parse_file : string -> (job list, string) result

@@ -34,6 +34,28 @@ let cut_and_stitch net ~possibly_toggled ~constants =
             fanin = [||];
           })
 
+type assumption = { a_gate : int; a_const : Bit.t }
+
+let assumptions net ~possibly_toggled ~constants =
+  if
+    Array.length possibly_toggled <> Netlist.gate_count net
+    || Array.length constants <> Netlist.gate_count net
+  then invalid_arg "Cut.assumptions: report size mismatch";
+  let acc = ref [] in
+  for id = Netlist.gate_count net - 1 downto 0 do
+    let g = net.Netlist.gates.(id) in
+    match g.Gate.op with
+    | Gate.Input | Gate.Const _ -> ()
+    | _ ->
+      if not possibly_toggled.(id) then
+        (* An X "constant" cannot happen here — X counts as a possible
+           toggle — but guard against a hand-built report anyway. *)
+        match constants.(id) with
+        | Bit.X -> ()
+        | c -> acc := { a_gate = id; a_const = c } :: !acc
+  done;
+  !acc
+
 let count_cut net ~possibly_toggled =
   let n = ref 0 in
   Array.iteri

@@ -16,6 +16,23 @@ type stats = {
   bespoke_area : float;
 }
 
+type assumption = {
+  a_gate : int;  (** original-design gate id of a cut (never-toggled) gate *)
+  a_const : Bespoke_logic.Bit.t;
+      (** the constant it was stitched to — what deployment assumes *)
+}
+
+val assumptions :
+  Netlist.t ->
+  possibly_toggled:bool array ->
+  constants:Bespoke_logic.Bit.t array ->
+  assumption list
+(** The boundary assumptions a tailoring makes: every cut gate paired
+    with the constant it was assumed stuck at, in ascending gate-id
+    order.  This is exactly the set {!cut_and_stitch} ties off; the
+    guard subsystem monitors it (in hardware on the instrumented
+    design, or in shadow during simulation). *)
+
 val cut_and_stitch :
   Netlist.t ->
   possibly_toggled:bool array ->

@@ -134,8 +134,8 @@ let load_ram_word sys addr v =
   let ram = System.ram sys in
   Memory.load_int ram ((addr lsr 1) land 0x7ff) v
 
-let run_gate_scalar ~mode ?netlist ?(max_cycles = 3_000_000) (b : Benchmark.t)
-    ~seed =
+let run_gate_scalar ~mode ?attach ?netlist ?(max_cycles = 3_000_000)
+    (b : Benchmark.t) ~seed =
   Obs.Span.with_ ~name:"runner.run_gate"
     ~args:[ ("benchmark", b.Benchmark.name); ("seed", string_of_int seed) ]
   @@ fun () ->
@@ -146,6 +146,7 @@ let run_gate_scalar ~mode ?netlist ?(max_cycles = 3_000_000) (b : Benchmark.t)
     | Some n -> System.create ~mode ~netlist:n img
     | None -> System.create ~mode ~netlist:(shared_netlist ()) img
   in
+  (match attach with None -> () | Some f -> f (System.engine sys));
   System.reset sys;
   let ram_writes, gpio = b.Benchmark.gen_inputs seed in
   List.iter (fun (a, v) -> load_ram_word sys a v) ram_writes;
@@ -192,7 +193,8 @@ let run_gate_scalar ~mode ?netlist ?(max_cycles = 3_000_000) (b : Benchmark.t)
    and lanes leave the active set when (and only when) the scalar loop
    would have exited, so every lane's toggle counts are bit-identical
    to its scalar run. *)
-let run_packed_chunk ~netlist ~max_cycles (b : Benchmark.t) (seeds : int array) =
+let run_packed_chunk ?attach64 ~netlist ~max_cycles (b : Benchmark.t)
+    (seeds : int array) =
   Obs.Span.with_ ~name:"runner.run_gate_packed"
     ~args:
       [
@@ -203,6 +205,7 @@ let run_packed_chunk ~netlist ~max_cycles (b : Benchmark.t) (seeds : int array) 
   let lanes = Array.length seeds in
   let img = Benchmark.image b in
   let sys = System64.create ~lanes ~netlist img in
+  (match attach64 with None -> () | Some f -> f (System64.engine sys));
   System64.reset sys;
   Array.iteri
     (fun lane seed ->
@@ -278,8 +281,8 @@ let run_packed_chunk ~netlist ~max_cycles (b : Benchmark.t) (seeds : int array) 
            } ))
        seeds)
 
-let run_gate_packed ?netlist ?(max_cycles = 3_000_000) (b : Benchmark.t)
-    ~seeds =
+let run_gate_packed ?attach64 ?netlist ?(max_cycles = 3_000_000)
+    (b : Benchmark.t) ~seeds =
   let net = match netlist with Some n -> n | None -> shared_netlist () in
   let rec chunk acc = function
     | [] -> List.concat (List.rev acc)
@@ -287,21 +290,25 @@ let run_gate_packed ?netlist ?(max_cycles = 3_000_000) (b : Benchmark.t)
       let n = min (List.length rest) Engine64.max_lanes in
       let head = Array.of_list (List.filteri (fun i _ -> i < n) rest) in
       let tail = List.filteri (fun i _ -> i >= n) rest in
-      chunk (run_packed_chunk ~netlist:net ~max_cycles b head :: acc) tail
+      chunk
+        (run_packed_chunk ?attach64 ~netlist:net ~max_cycles b head :: acc)
+        tail
   in
   chunk [] seeds
 
 (* The selector entry point.  [Packed] runs a one-lane Engine64
    simulation, so every engine answers the same single-seed question
    with bit-identical results. *)
-let run_gate ?(engine = Compiled) ?netlist ?max_cycles (b : Benchmark.t) ~seed
-    =
+let run_gate ?(engine = Compiled) ?attach ?attach64 ?netlist ?max_cycles
+    (b : Benchmark.t) ~seed =
   match engine with
   | Packed -> (
-    match run_gate_packed ?netlist ?max_cycles b ~seeds:[ seed ] with
+    match run_gate_packed ?attach64 ?netlist ?max_cycles b ~seeds:[ seed ] with
     | [ (_, o) ] -> o
     | _ -> assert false)
-  | e -> run_gate_scalar ~mode:(mode_of_engine e) ?netlist ?max_cycles b ~seed
+  | e ->
+    run_gate_scalar ~mode:(mode_of_engine e) ?attach ?netlist ?max_cycles b
+      ~seed
 
 let co_simulate ?(engine = Compiled) ?netlist ?x_dont_care (b : Benchmark.t)
     ~seed =
@@ -317,9 +324,10 @@ let co_simulate ?(engine = Compiled) ?netlist ?x_dont_care (b : Benchmark.t)
   Bespoke_cpu.Lockstep.run_result ~mode:(mode_of_engine engine) ~netlist
     ~gpio_in:gpio ~ram_writes ~irq_pulse_at ?x_dont_care img
 
-let check_equivalence ?engine ?netlist (b : Benchmark.t) ~seed =
+let check_equivalence ?engine ?attach ?attach64 ?netlist (b : Benchmark.t)
+    ~seed =
   let iss = run_iss b ~seed in
-  let gate = run_gate ?engine ?netlist b ~seed in
+  let gate = run_gate ?engine ?attach ?attach64 ?netlist b ~seed in
   List.iter2
     (fun (a, expect) (a', got) ->
       assert (a = a');

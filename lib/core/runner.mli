@@ -45,14 +45,21 @@ type gate_outcome = {
 
 val run_gate :
   ?engine:engine ->
+  ?attach:(Bespoke_sim.Engine.t -> unit) ->
+  ?attach64:(Bespoke_sim.Engine64.t -> unit) ->
   ?netlist:Netlist.t -> ?max_cycles:int -> Benchmark.t -> seed:int ->
   gate_outcome
 (** Runs on a fresh system unless [netlist] is given (e.g. a bespoke
     design).  IRQ pulses are applied at the benchmark's instruction
     indices.  [engine] selects the gate-evaluation strategy (default
-    [Compiled]; [Packed] runs a one-lane packed simulation). *)
+    [Compiled]; [Packed] runs a one-lane packed simulation).
+    [attach] ([attach64] for [Packed]) is called on the freshly
+    created engine before the run — probe hook-up point for guard
+    shadow watchers ({!Bespoke_sim.Engine.set_cycle_hook}) without
+    this module depending on them. *)
 
 val run_gate_packed :
+  ?attach64:(Bespoke_sim.Engine64.t -> unit) ->
   ?netlist:Netlist.t -> ?max_cycles:int -> Benchmark.t -> seeds:int list ->
   (int * gate_outcome) list
 (** Run one gate-level execution per seed, packed into the lanes of a
@@ -80,10 +87,14 @@ val co_simulate :
 exception Mismatch of string
 
 val check_equivalence :
-  ?engine:engine -> ?netlist:Netlist.t -> Benchmark.t -> seed:int ->
+  ?engine:engine ->
+  ?attach:(Bespoke_sim.Engine.t -> unit) ->
+  ?attach64:(Bespoke_sim.Engine64.t -> unit) ->
+  ?netlist:Netlist.t -> Benchmark.t -> seed:int ->
   iss_outcome
 (** Run both models and require identical results, GPIO and cycle
-    counts.  Returns the ISS outcome.  @raise Mismatch. *)
+    counts.  Returns the ISS outcome.  [attach]/[attach64] as in
+    {!run_gate}.  @raise Mismatch. *)
 
 val analyze :
   ?config:Activity.config -> ?engine:engine -> ?netlist:Netlist.t ->

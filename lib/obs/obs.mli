@@ -141,7 +141,10 @@ module Sampler : sig
   val start : ?path:string -> interval_ms:int -> unit -> unit
   (** Open [path] (default ["bespoke_metrics.jsonl"]), write the
       header and first snapshot, and spawn the ticker domain.  Also
-      calls {!enable}.  No-op if a sampler is already running. *)
+      calls {!enable}.  No-op if a sampler is already running.
+      [interval_ms] is clamped to at least 1 ms (a zero or negative
+      interval would spin the ticker); the clamped value is what the
+      header records. *)
 
   val running : unit -> bool
 

@@ -20,6 +20,13 @@ let read_lines path =
   in
   go []
 
+(* A live JSONL stream can end mid-record (crash, kill -9, full disk):
+   a malformed line is fatal anywhere except at the very end of the
+   file, where it is a truncated tail — skipped with a warning so the
+   records written before the cut still aggregate. *)
+let skip_truncated path m =
+  Printf.eprintf "warning: %s: skipping truncated final line (%s)\n%!" path m
+
 let mem_num name j =
   match J.member name j with
   | Some (J.Num f) -> Some f
@@ -83,10 +90,12 @@ let load_trace path : (span_stat list, string) result =
       s := !s +. self
     in
     let bad = ref None in
+    let last = List.length lines - 1 in
     List.iteri
       (fun i line ->
         if !bad = None then
           match J.parse line with
+          | Error m when i = last -> skip_truncated path m
           | Error m -> bad := Some (Printf.sprintf "line %d: %s" (i + 1) m)
           | Ok j -> (
             let tid =
@@ -183,6 +192,9 @@ let load_metrics path : (series, string) result =
           | [] -> Ok (List.rev acc)
           | l :: tl -> (
             match parse_snap i l with
+            | Error m when tl = [] ->
+              skip_truncated path m;
+              Ok (List.rev acc)
             | Error m -> Error m
             | Ok s -> go (i + 1) (s :: acc) tl)
         in
@@ -270,10 +282,12 @@ let load_campaign path : (campaign_stat, string) result =
           Hashtbl.create 8
         in
         let bad = ref None in
+        let last = List.length rest - 1 in
         List.iteri
           (fun i line ->
             if !bad = None then
               match J.parse line with
+              | Error m when i = last -> skip_truncated path m
               | Error m ->
                 bad := Some (Printf.sprintf "line %d: %s" (i + 2) m)
               | Ok j ->
@@ -343,6 +357,119 @@ let render_campaign (c : campaign_stat) =
       (fun (k, n, t) ->
         Buffer.add_string b (Printf.sprintf "%-10s %8d %12.3f\n" k n t))
       c.c_kinds
+  end;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Guard streams (bespoke-guard/v1): one header describing the plan's
+   monitor coverage, one record per assumption violation (carrying the
+   cut-reason provenance), one trailing summary. *)
+
+type guard_stat = {
+  g_design : string;
+  g_workload : string;
+  g_mode : string;
+  g_assumptions : int;
+  g_monitors : int;
+  g_implied : int;
+  g_unmonitorable : int;
+  g_cycles : int;
+  g_violations : int;
+  g_violating_gates : int;
+  g_clean : bool;
+  g_reasons : (string * int) list;
+}
+
+let load_guard path : (guard_stat, string) result =
+  match read_lines path with
+  | exception Sys_error m -> Error m
+  | [] -> Error (path ^ ": empty guard stream")
+  | header :: rest -> (
+    match J.parse header with
+    | Error m -> Error ("header: " ^ m)
+    | Ok h -> (
+      match mem_str "schema" h with
+      | Some "bespoke-guard/v1" -> (
+        let int_of name j =
+          int_of_float (Option.value ~default:0.0 (mem_num name j))
+        in
+        let sfield name = Option.value ~default:"?" (mem_str name h) in
+        let cycles = ref 0 and violations = ref 0 and gates = ref 0 in
+        let clean = ref true and saw_summary = ref false in
+        let reasons : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+        let bad = ref None in
+        let last = List.length rest - 1 in
+        List.iteri
+          (fun i line ->
+            if !bad = None then
+              match J.parse line with
+              | Error m when i = last -> skip_truncated path m
+              | Error m ->
+                bad := Some (Printf.sprintf "line %d: %s" (i + 2) m)
+              | Ok j ->
+                if J.member "summary" j <> None then begin
+                  saw_summary := true;
+                  cycles := int_of "cycles" j;
+                  violations := int_of "violations" j;
+                  gates := int_of "violating_gates" j;
+                  clean := mem_bool "clean" j = Some true
+                end
+                else
+                  match mem_str "reason" j with
+                  | None -> ()
+                  | Some r ->
+                    clean := false;
+                    incr gates;
+                    (match Hashtbl.find_opt reasons r with
+                    | Some c -> incr c
+                    | None -> Hashtbl.add reasons r (ref 1)))
+          rest;
+        match !bad with
+        | Some m -> Error m
+        | None ->
+          (* without the trailing summary (truncated stream) the
+             per-violation records still give a lower bound *)
+          if not !saw_summary then violations := !gates;
+          Ok
+            {
+              g_design = sfield "design";
+              g_workload = sfield "workload";
+              g_mode = sfield "mode";
+              g_assumptions = int_of "assumptions" h;
+              g_monitors = int_of "monitors" h;
+              g_implied = int_of "implied" h;
+              g_unmonitorable = int_of "unmonitorable" h;
+              g_cycles = !cycles;
+              g_violations = !violations;
+              g_violating_gates = !gates;
+              g_clean = !clean;
+              g_reasons =
+                List.sort compare
+                  (Hashtbl.fold (fun k c acc -> (k, !c) :: acc) reasons []);
+            })
+      | Some s -> Error (Printf.sprintf "unexpected schema %S" s)
+      | None -> Error "guard header is missing a schema field"))
+
+let render_guard (g : guard_stat) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "workload %s on the %s design (%s mode): %d assumption(s) = %d \
+        monitor(s) + %d implied + %d unmonitorable\n"
+       g.g_workload g.g_design g.g_mode g.g_assumptions g.g_monitors
+       g.g_implied g.g_unmonitorable);
+  Buffer.add_string b
+    (Printf.sprintf "%d cycle(s) checked: %s (%d violation(s) on %d gate(s))\n"
+       g.g_cycles
+       (if g.g_clean then "CLEAN" else "VIOLATED")
+       g.g_violations g.g_violating_gates);
+  if g.g_reasons <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "%-16s %8s\n" "cut reason" "gates");
+    List.iter
+      (fun (r, n) ->
+        Buffer.add_string b (Printf.sprintf "%-16s %8d\n" r n))
+      g.g_reasons
   end;
   Buffer.contents b
 

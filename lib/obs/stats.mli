@@ -3,7 +3,12 @@
     streams, and bench artifacts (BENCH_sim.json /
     BENCH_history.jsonl) with threshold-based regression comparison.
     Backs the [stats] CLI subcommand; parsing uses {!Obs.Json}, so no
-    external JSON dependency. *)
+    external JSON dependency.
+
+    All JSONL loaders tolerate a truncated {e final} line (a live
+    stream cut mid-record by a crash or a full disk): the tail is
+    skipped with a warning on stderr and the records before it still
+    aggregate.  A malformed line anywhere else is an error. *)
 
 (** Per-span aggregate over a trace: [self_us] is [total_us] minus the
     time spent in directly nested child spans — summing self times
@@ -51,6 +56,29 @@ type campaign_stat = {
 
 val load_campaign : string -> (campaign_stat, string) result
 val render_campaign : campaign_stat -> string
+
+(** Aggregate over a [bespoke-guard/v1] stream (see
+    {!Bespoke_guard.Guard}): the plan's monitor coverage from the
+    header, the violation verdict from the trailing summary, and a
+    cut-reason histogram over the violation records. *)
+type guard_stat = {
+  g_design : string;
+  g_workload : string;
+  g_mode : string;  (** [hw], [shadow] or [original] *)
+  g_assumptions : int;
+  g_monitors : int;
+  g_implied : int;
+  g_unmonitorable : int;
+  g_cycles : int;
+  g_violations : int;
+  g_violating_gates : int;
+  g_clean : bool;
+  g_reasons : (string * int) list;
+      (** violated cut-reason label -> violating gates *)
+}
+
+val load_guard : string -> (guard_stat, string) result
+val render_guard : guard_stat -> string
 
 val history_schema : string
 (** ["bespoke-bench/v1"] — the schema of BENCH_history.jsonl lines,

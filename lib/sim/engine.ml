@@ -69,6 +69,9 @@ type t = {
   mutable on_first_possibly : (int -> unit) option;
       (* provenance hook: called once per gate, when it is first
          marked possibly-toggled *)
+  mutable on_cycle : (int -> unit) option;
+      (* probe hook: called after every [commit_cycle] with the new
+         committed count, in every mode (guard shadow watchers) *)
 }
 
 type cone = int array  (* gate ids in topological order, excluding sources *)
@@ -105,6 +108,7 @@ let create_compiled net mode =
     in_touched = Bytes.empty;
     full_commit = true;
     on_first_possibly = None;
+    on_cycle = None;
   }
 
 let create ?(mode = Event) net =
@@ -224,6 +228,7 @@ let create ?(mode = Event) net =
       in_touched = Bytes.make ng '\000';
       full_commit = true;
       on_first_possibly = None;
+      on_cycle = None;
     }
   in
   (* Nothing is settled yet: schedule every combinational gate so the
@@ -487,7 +492,8 @@ let commit_cycle t =
     done
   end;
   clear_touched t;
-  t.committed <- t.committed + 1
+  t.committed <- t.committed + 1;
+  match t.on_cycle with None -> () | Some f -> f t.committed
 
 let cycles_committed t = t.committed
 let toggle_counts t = Array.copy t.toggles
@@ -600,7 +606,15 @@ let eval_cone t cone =
 let step t = match t.comp with Some c -> Compile.step c | None -> step t
 
 let commit_cycle t =
-  match t.comp with Some c -> Compile.commit_cycle c | None -> commit_cycle t
+  match t.comp with
+  | Some c -> (
+      Compile.commit_cycle c;
+      match t.on_cycle with
+      | None -> ()
+      | Some f -> f (Compile.cycles_committed c))
+  | None -> commit_cycle t
+
+let set_cycle_hook t f = t.on_cycle <- f
 
 let cycles_committed t =
   match t.comp with

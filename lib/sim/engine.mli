@@ -119,6 +119,12 @@ val set_first_possibly_hook : t -> (int -> unit) option -> unit
     when unset.  Gate activity analysis uses it to attribute each
     gate's first toggle to an execution-tree node / cycle / PC. *)
 
+val set_cycle_hook : t -> (int -> unit) option -> unit
+(** Probe hook: [f n] is called at the end of every {!commit_cycle}
+    with the new committed-cycle count [n], in every mode (including
+    [Compiled]).  Zero cost when unset.  The guard shadow watcher uses
+    it to check cut-boundary assumptions against live values. *)
+
 val sync_prev : t -> unit
 (** Make the current settled values the activity baseline without
     charging toggles.  Called after restoring an execution-tree

@@ -8,6 +8,7 @@ module Runner = Bespoke_core.Runner
 module Cut = Bespoke_core.Cut
 module Pool = Bespoke_core.Pool
 module Coverage = Bespoke_coverage.Coverage
+module Guard = Bespoke_guard.Guard
 module Obs = Bespoke_obs.Obs
 
 (* campaign telemetry, in the flow-wide verify.* group *)
@@ -44,6 +45,18 @@ type fault_result = {
   fr_time_s : float;
 }
 
+(* Deployment-guard shadow check of the unfaulted design: the
+   benchmark replayed on its own bespoke design with the
+   cut-assumption watcher attached — it must stay silent. *)
+type guard_check = {
+  gc_assumptions : int;
+  gc_monitors : int;
+  gc_implied : int;
+  gc_unmonitorable : int;
+  gc_cycles : int;
+  gc_violations : int;
+}
+
 type campaign = {
   benchmark : string;
   gates_original : int;
@@ -55,6 +68,7 @@ type campaign = {
   equivalent : bool;
   repro : Shrink.repro option;
   faults : fault_result list;
+  guard : guard_check;
   total_time_s : float;
 }
 
@@ -166,8 +180,9 @@ let check_benchmark ?engine ?(faults = 8) ?(seed = 1) ?explore_budget b =
      benchmark (or follows an analyze/tailor job for it) reuses the
      analysis *)
   let (report, net), _cached = Runner.analyze_cached b in
-  let bespoke, stats =
-    Cut.tailor net ~possibly_toggled:report.Activity.possibly_toggled
+  let bespoke, stats, prov =
+    Cut.tailor_explained net
+      ~possibly_toggled:report.Activity.possibly_toggled
       ~constants:report.Activity.constant_values
   in
   (* layer 1a: coverage-directed input-based co-simulation *)
@@ -217,6 +232,28 @@ let check_benchmark ?engine ?(faults = 8) ?(seed = 1) ?explore_budget b =
   in
   (* layer 1b: symbolic state-trace comparison *)
   let symbolic = symbolic_check ~original:net ~shadow_net:bespoke b in
+  (* deployment-guard shadow check: replay the benchmark itself on the
+     bespoke design with the cut-assumption watcher attached — on the
+     application the design was tailored to, the guard must stay
+     silent, so a violation here is a checker-level red flag on the
+     tailoring, independent of the equivalence layers *)
+  let guard =
+    let gplan =
+      Guard.plan ~original:net ~bespoke ~prov
+        ~possibly_toggled:report.Activity.possibly_toggled
+        ~constants:report.Activity.constant_values
+    in
+    let gw = Guard.watch_bespoke gplan in
+    let _ = Guard.replay ?engine gw ~netlist:bespoke b ~seed in
+    {
+      gc_assumptions = List.length gplan.Guard.p_assumptions;
+      gc_monitors = List.length gplan.Guard.p_monitors;
+      gc_implied = gplan.Guard.p_implied;
+      gc_unmonitorable = gplan.Guard.p_unmonitorable;
+      gc_cycles = Guard.cycles_checked gw;
+      gc_violations = Guard.total_violations gw;
+    }
+  in
   (* layer 2: adversarial fault injection, each fault checked by the
      input layer first and the symbolic layer as a fallback; layer 3
      shrinks every diverging case before it is recorded *)
@@ -270,6 +307,7 @@ let check_benchmark ?engine ?(faults = 8) ?(seed = 1) ?explore_budget b =
       equivalent = inputs_ok && symbolic.sym_ok;
       repro;
       faults = fault_results;
+      guard;
       total_time_s = now () -. t0;
     }
   in
@@ -406,6 +444,17 @@ let campaign_json c =
               ("detectable_score_pct", num (detectable_score_pct s));
               ("faults", arr (List.map fault_json c.faults));
             ] )
+     :: ( "guard",
+          obj
+            [
+              ("assumptions", int_ c.guard.gc_assumptions);
+              ("monitors", int_ c.guard.gc_monitors);
+              ("implied", int_ c.guard.gc_implied);
+              ("unmonitorable", int_ c.guard.gc_unmonitorable);
+              ("cycles", int_ c.guard.gc_cycles);
+              ("violations", int_ c.guard.gc_violations);
+              ("clean", bool_ (c.guard.gc_violations = 0));
+            ] )
      :: ("time_s", num c.total_time_s)
      ::
      (match c.repro with
@@ -461,5 +510,13 @@ let pp_text ppf campaigns =
             | Killed_input r -> Format.asprintf "killed (%a)" Shrink.pp_repro r
             | Killed_symbolic m -> "killed symbolically: " ^ m
             | Survived -> "SURVIVED"))
-        c.faults)
+        c.faults;
+      let g = c.guard in
+      Format.fprintf ppf
+        "  guard: %d monitor(s) over %d assumption(s) (%d implied, %d \
+         unmonitorable), %d cycle(s), %s@."
+        g.gc_monitors g.gc_assumptions g.gc_implied g.gc_unmonitorable
+        g.gc_cycles
+        (if g.gc_violations = 0 then "clean"
+         else Printf.sprintf "%d VIOLATION(S)" g.gc_violations))
     campaigns

@@ -53,6 +53,21 @@ type fault_result = {
   fr_time_s : float;
 }
 
+type guard_check = {
+  gc_assumptions : int;  (** cut assumptions recorded by the tailoring *)
+  gc_monitors : int;  (** assumptions with a live boundary monitor *)
+  gc_implied : int;  (** interior assumptions implied by the monitors *)
+  gc_unmonitorable : int;  (** swept with the dead logic — unmappable *)
+  gc_cycles : int;  (** cycles the shadow watcher checked *)
+  gc_violations : int;  (** must be 0: the design's own application *)
+}
+(** Deployment-guard shadow check (the fourth, free, layer): the
+    benchmark replayed on its own bespoke design with the
+    {!Bespoke_guard.Guard} cut-assumption watcher attached.  Tailoring
+    is only sound for the application it was derived from, so this
+    replay must be silent; a violation here is a tailoring bug even if
+    every equivalence layer passed. *)
+
 type campaign = {
   benchmark : string;
   gates_original : int;
@@ -67,6 +82,7 @@ type campaign = {
   repro : Shrink.repro option;
       (** shrunk repro when [not equivalent] via inputs *)
   faults : fault_result list;
+  guard : guard_check;  (** cut-assumption shadow replay, must be clean *)
   total_time_s : float;
 }
 

@@ -36,7 +36,7 @@ let num k j =
 let bool_ k j =
   match mem k j with Obs.Json.Bool b -> b | _ -> fail "field %S is not a bool" k
 
-let kinds = [ "analyze"; "tailor"; "report"; "verify"; "run" ]
+let kinds = [ "analyze"; "tailor"; "report"; "verify"; "run"; "guard" ]
 
 (* records stream in completion order, so the job index is not the
    record position — each index must simply appear exactly once *)

@@ -1,0 +1,123 @@
+(* Validator behind the @guard-smoke alias: parse two bespoke-guard/v1
+   JSONL streams — the clean case (a benchmark replayed on its own
+   instrumented bespoke design, which must be silent) and the
+   violation case (an unsupported mutant on the tailored design, which
+   must trip at least one monitor with cut provenance) — and check the
+   schema, the coverage arithmetic, every violation record, and the
+   summary discipline.  Exits non-zero on the first problem. *)
+
+module Obs = Bespoke_obs.Obs
+
+let fail fmt =
+  Printf.ksprintf (fun m -> prerr_endline ("guard-smoke: " ^ m); exit 1) fmt
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (if String.trim line = "" then acc else line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let mem k j =
+  match Obs.Json.member k j with
+  | Some v -> v
+  | None -> fail "missing field %S" k
+
+let str k j =
+  match mem k j with Obs.Json.Str s -> s | _ -> fail "field %S is not a string" k
+
+let int_ k j =
+  match mem k j with
+  | Obs.Json.Num n -> int_of_float n
+  | _ -> fail "field %S is not a number" k
+
+let bool_ k j =
+  match mem k j with Obs.Json.Bool b -> b | _ -> fail "field %S is not a bool" k
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* Returns (violation records, summary violations) so the caller can
+   assert the clean/violated expectation. *)
+let check_stream ~label path =
+  let parsed =
+    List.map
+      (fun line ->
+        match Obs.Json.parse line with
+        | Ok j -> j
+        | Error m -> fail "%s: line does not parse: %s (%s)" label m line)
+      (read_lines path)
+  in
+  match parsed with
+  | [] | [ _ ] -> fail "%s: stream too short: want header and summary" label
+  | header :: rest ->
+    if str "schema" header <> "bespoke-guard/v1" then
+      fail "%s: unexpected schema tag %S" label (str "schema" header);
+    if str "design" header = "" then fail "%s: empty design name" label;
+    if str "workload" header = "" then fail "%s: empty workload name" label;
+    let mode = str "mode" header in
+    if not (List.mem mode [ "hw"; "shadow"; "original" ]) then
+      fail "%s: unknown mode %S" label mode;
+    let assumptions = int_ "assumptions" header in
+    let monitors = int_ "monitors" header in
+    let implied = int_ "implied" header in
+    let unmonitorable = int_ "unmonitorable" header in
+    if monitors < 1 then fail "%s: no monitors in the plan" label;
+    if monitors + implied + unmonitorable <> assumptions then
+      fail "%s: coverage split %d + %d + %d <> %d assumption(s)" label monitors
+        implied unmonitorable assumptions;
+    let violations, summary =
+      match List.rev rest with
+      | s :: r -> (List.rev r, s)
+      | [] -> fail "%s: no summary line" label
+    in
+    if not (bool_ "summary" summary) then
+      fail "%s: last line is not the summary" label;
+    List.iteri
+      (fun i v ->
+        if int_ "cycle" v < 0 then fail "%s: record %d: negative cycle" label i;
+        if int_ "gate" v < 0 then fail "%s: record %d: negative gate" label i;
+        let a = str "assumed" v and o = str "observed" v in
+        if a = o then
+          fail "%s: record %d: assumed %S equals observed — not a violation"
+            label i a;
+        if str "reason" v = "" then fail "%s: record %d: empty reason" label i;
+        if not (contains ~needle:"cut" (str "detail" v)) then
+          fail "%s: record %d: detail %S carries no cut provenance" label i
+            (str "detail" v))
+      violations;
+    if int_ "cycles" summary < 1 then fail "%s: summary checked no cycles" label;
+    let total = int_ "violations" summary in
+    let gates = int_ "violating_gates" summary in
+    if gates <> List.length violations then
+      fail "%s: summary names %d violating gate(s), stream carries %d record(s)"
+        label gates (List.length violations);
+    if total < gates then
+      fail "%s: summary violations %d below its %d violating gate(s)" label
+        total gates;
+    if bool_ "clean" summary <> (total = 0) then
+      fail "%s: summary clean flag disagrees with %d violation(s)" label total;
+    (List.length violations, total)
+
+let () =
+  if Array.length Sys.argv <> 3 then
+    fail "usage: guard_smoke_check CLEAN.jsonl VIOLATED.jsonl";
+  let clean_records, clean_total = check_stream ~label:"clean" Sys.argv.(1) in
+  if clean_records <> 0 || clean_total <> 0 then
+    fail "clean stream reports %d violation(s) — the design's own benchmark \
+          must satisfy every cut assumption"
+      clean_total;
+  let viol_records, viol_total = check_stream ~label:"violated" Sys.argv.(2) in
+  if viol_records < 1 || viol_total < 1 then
+    fail "violated stream is silent — the unsupported mutant must trip a \
+          monitor";
+  Printf.printf
+    "guard-smoke: clean stream silent; mutant stream carries %d violation(s) \
+     on %d gate(s) with cut provenance\n"
+    viol_total viol_records

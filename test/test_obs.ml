@@ -321,6 +321,115 @@ let test_stats_compare () =
   Alcotest.(check (list string)) "vanished metric listed"
     [ "cps/extra/event" ] drift.Stats.only_old
 
+(* ---- sampler interval edge cases ---- *)
+
+(* Zero or negative intervals would spin the ticker thread; the
+   sampler clamps to 1 ms and the header records the clamped value
+   (the CLI additionally rejects them with a usage error). *)
+let test_sampler_interval_clamp () =
+  let probe interval_ms =
+    let path = Filename.temp_file "bespoke_test_metrics" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Sampler.stop ();
+        Obs.reset ();
+        Obs.disable ();
+        if Sys.file_exists path then Sys.remove path)
+      (fun () ->
+        Obs.reset ();
+        Obs.Sampler.start ~path ~interval_ms ();
+        Unix.sleepf 0.05;
+        Obs.Sampler.stop ();
+        match Stats.load_metrics path with
+        | Error m ->
+          Alcotest.failf "sampler output for interval %d invalid: %s"
+            interval_ms m
+        | Ok series ->
+          Alcotest.(check int)
+            (Printf.sprintf "interval %d clamped to 1 ms in the header"
+               interval_ms)
+            1 series.Stats.interval_ms;
+          Alcotest.(check bool) "clamped sampler still snapshots" true
+            (series.Stats.snapshots >= 1))
+  in
+  probe 0;
+  probe (-25)
+
+(* ---- truncated-stream tolerance in the stats loaders ---- *)
+
+(* A live JSONL stream can end mid-record (crash, kill -9, full disk).
+   Every loader must skip a malformed FINAL line and aggregate what
+   came before — and must stay fatal on corruption anywhere else. *)
+let test_truncated_loaders () =
+  let tmp lines f =
+    let path = Filename.temp_file "bespoke_test_stats" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+      (fun () ->
+        let oc = open_out_bin path in
+        List.iter
+          (fun l ->
+            output_string oc l;
+            output_char oc '\n')
+          lines;
+        close_out oc;
+        f path)
+  in
+  let cut = {|{"cycle":12,"ga|} in
+  (* trace *)
+  let b = {|{"ph":"B","name":"work","ts":1.0,"tid":0,"pid":1}|} in
+  let e = {|{"ph":"E","name":"work","ts":5.0,"tid":0,"pid":1}|} in
+  (match tmp [ b; e; cut ] Stats.load_trace with
+  | Error m -> Alcotest.failf "trace with truncated tail rejected: %s" m
+  | Ok [ s ] ->
+    Alcotest.(check string) "span survives the cut" "work" s.Stats.span_name;
+    Alcotest.(check int) "span count" 1 s.Stats.count
+  | Ok l -> Alcotest.failf "expected 1 span, got %d" (List.length l));
+  (match tmp [ b; cut; e ] Stats.load_trace with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mid-stream trace corruption must stay fatal");
+  (* metrics *)
+  let mh = Printf.sprintf {|{"schema":%S,"interval_ms":40}|} Obs.Sampler.schema in
+  let snap ts = Printf.sprintf {|{"ts_us":%.1f,"metrics":{}}|} ts in
+  (match tmp [ mh; snap 1.0; snap 2.0; cut ] Stats.load_metrics with
+  | Error m -> Alcotest.failf "metrics with truncated tail rejected: %s" m
+  | Ok series ->
+    Alcotest.(check int) "snapshots before the cut kept" 2
+      series.Stats.snapshots);
+  (match tmp [ mh; snap 1.0; cut; snap 2.0 ] Stats.load_metrics with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mid-stream metrics corruption must stay fatal");
+  (* campaign *)
+  let ch = {|{"schema":"bespoke-campaign/v1","jobs":2,"total_jobs":2}|} in
+  let job =
+    {|{"job":0,"kind":"analyze","bench":"mult","status":"ok","cached":false,"time_s":0.1,"payload":{}}|}
+  in
+  (match tmp [ ch; job; cut ] Stats.load_campaign with
+  | Error m -> Alcotest.failf "campaign with truncated tail rejected: %s" m
+  | Ok c ->
+    Alcotest.(check int) "job before the cut kept" 1 c.Stats.c_ok;
+    Alcotest.(check int) "no summary: total from records" 1 c.Stats.c_total);
+  (match tmp [ ch; job; cut; job ] Stats.load_campaign with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mid-stream campaign corruption must stay fatal");
+  (* guard *)
+  let gh =
+    {|{"schema":"bespoke-guard/v1","design":"mult","workload":"mult","mode":"shadow","assumptions":10,"monitors":4,"implied":5,"unmonitorable":1}|}
+  in
+  let viol =
+    {|{"cycle":3,"gate":7,"assumed":0,"observed":1,"reason":"cut: never toggles"}|}
+  in
+  match tmp [ gh; viol; cut ] Stats.load_guard with
+  | Error m -> Alcotest.failf "guard with truncated tail rejected: %s" m
+  | Ok g ->
+    Alcotest.(check bool) "violation before the cut kept" false g.Stats.g_clean;
+    Alcotest.(check int) "truncated stream: lower-bound violations" 1
+      g.Stats.g_violations;
+    Alcotest.(check (list (pair string int)))
+      "cut-reason provenance aggregated"
+      [ ("cut: never toggles", 1) ]
+      g.Stats.g_reasons
+
 (* ---- metrics from a real tailor run ---- *)
 
 let test_tailor_metrics () =
@@ -409,11 +518,15 @@ let () =
       ( "sampler",
         [
           Alcotest.test_case "time series lifecycle" `Quick test_sampler_series;
+          Alcotest.test_case "zero/negative interval clamped" `Quick
+            test_sampler_interval_clamp;
         ] );
       ( "stats",
         [
           Alcotest.test_case "bench regression comparison" `Quick
             test_stats_compare;
+          Alcotest.test_case "truncated final line tolerated" `Quick
+            test_truncated_loaders;
         ] );
       ( "disabled",
         [ Alcotest.test_case "hooks are no-ops" `Quick test_disabled_noop ] );
