@@ -37,6 +37,11 @@ module Obs = Bespoke_obs.Obs
 let freq_hz = 1e8
 let profile_seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
 
+(* The paper's evaluation targets the MSP430; every table and figure
+   below runs the flow against that core.  The bench-sim section also
+   records per-core throughput rows for the other registered cores. *)
+let core = Bespoke_cpu.Msp430.core
+
 let printf = Printf.printf
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -56,12 +61,12 @@ type ctx = {
   bespoke_profile : Profiling.t Lazy.t;
 }
 
-let stock () = Runner.shared_netlist ()
+let stock () = Runner.shared_netlist core
 
 let ctx_cache : (string, ctx) Hashtbl.t = Hashtbl.create 32
 
 let compute_ctx (b : B.t) : ctx =
-  let (report, net), analysis_seconds = time (fun () -> Runner.analyze b) in
+  let (report, net), analysis_seconds = time (fun () -> Runner.analyze ~core b) in
   let bespoke, stats =
     Cut.tailor net ~possibly_toggled:report.Activity.possibly_toggled
       ~constants:report.Activity.constant_values
@@ -73,9 +78,9 @@ let compute_ctx (b : B.t) : ctx =
     bespoke;
     stats;
     baseline_profile =
-      lazy (Profiling.profile ~netlist:net ~seeds:profile_seeds b);
+      lazy (Profiling.profile ~core ~netlist:net ~seeds:profile_seeds b);
     bespoke_profile =
-      lazy (Profiling.profile ~netlist:bespoke ~seeds:profile_seeds b);
+      lazy (Profiling.profile ~core ~netlist:bespoke ~seeds:profile_seeds b);
   }
 
 let ctx_of (b : B.t) : ctx =
@@ -126,7 +131,7 @@ let run_table1 () =
       let worst =
         List.fold_left
           (fun acc seed ->
-            let o = Runner.run_iss b ~seed in
+            let o = Runner.run_iss ~core b ~seed in
             max acc o.Runner.cycles)
           0 [ 1; 2; 3; 4; 5 ]
       in
@@ -144,7 +149,7 @@ let run_fig2 () =
   printf "%-18s %8s %8s %12s\n" "Benchmark" "min" "max" "all-inputs";
   List.iter
     (fun (b : B.t) ->
-      let p = Profiling.profile ~netlist:(stock ()) ~seeds:profile_seeds b in
+      let p = Profiling.profile ~core ~netlist:(stock ()) ~seeds:profile_seeds b in
       let mn, mx, inter = Profiling.untoggled_fraction_range (stock ()) p in
       printf "%-18s %8.1f %8.1f %12.1f\n" b.B.name (pct mn) (pct mx) (pct inter))
     B.table1
@@ -155,8 +160,8 @@ let run_fig2 () =
 let diff_table name_a name_b (a : B.t) (b : B.t) ~same_inputs =
   let seeds_a = profile_seeds in
   let seeds_b = if same_inputs then profile_seeds else profile_seeds in
-  let pa = Profiling.profile ~netlist:(stock ()) ~seeds:seeds_a a in
-  let pb = Profiling.profile ~netlist:(stock ()) ~seeds:seeds_b b in
+  let pa = Profiling.profile ~core ~netlist:(stock ()) ~seeds:seeds_a a in
+  let pb = Profiling.profile ~core ~netlist:(stock ()) ~seeds:seeds_b b in
   let d =
     Usage.compare_unused (stock ()) pa.Profiling.union_toggled
       pb.Profiling.union_toggled
@@ -269,7 +274,7 @@ let run_fig12 () =
           ~possibly_toggled:c.report.Activity.possibly_toggled
           ~constants:c.report.Activity.constant_values
       in
-      let coarse_profile = Profiling.profile ~netlist:coarse ~seeds:profile_seeds b in
+      let coarse_profile = Profiling.profile ~core ~netlist:coarse ~seeds:profile_seeds b in
       let p_coarse =
         Report.power ~freq_hz ~toggles:coarse_profile.Profiling.total_toggles
           ~cycles:coarse_profile.Profiling.total_cycles coarse
@@ -332,13 +337,13 @@ let run_table3 () =
   List.iter
     (fun (b : B.t) ->
       let c = ctx_of b in
-      let cov = Coverage.explore b in
+      let cov = Coverage.explore ~core b in
       let _, input_time =
-        time (fun () -> ignore (Runner.run_gate ~netlist:c.bespoke b ~seed:1))
+        time (fun () -> ignore (Runner.run_gate ~core ~netlist:c.bespoke b ~seed:1))
       in
       (* gate coverage of the bespoke design under the kept inputs *)
       let p =
-        Profiling.profile ~netlist:c.bespoke ~seeds:cov.Coverage.kept_seeds b
+        Profiling.profile ~core ~netlist:c.bespoke ~seeds:cov.Coverage.kept_seeds b
       in
       let covered = Usage.usable_fraction c.bespoke p.Profiling.union_toggled in
       printf "%-18s %8.2f %8.2f %6d %6d %7.0f %7.0f %7.0f %6.0f\n" b.B.name
@@ -400,7 +405,7 @@ let run_fig13 () =
     let cycles = ref 0 in
     List.iter
       (fun i ->
-        let o = Runner.run_gate ~netlist:design benches.(i) ~seed:1 in
+        let o = Runner.run_gate ~core ~netlist:design benches.(i) ~seed:1 in
         Array.iteri (fun k t -> toggles.(k) <- toggles.(k) + t) o.Runner.toggles;
         cycles := !cycles + o.Runner.sim_cycles)
       members;
@@ -451,7 +456,7 @@ let mutant_reports name =
       Pool.map
         (fun m ->
           let mb = Mutation.to_benchmark b m in
-          match Runner.analyze mb with
+          match Runner.analyze ~core mb with
           | rep, _ -> (m, Some rep.Activity.possibly_toggled)
           | exception Activity.Analysis_error _ -> (m, None))
         ms
@@ -541,7 +546,7 @@ let run_fig14 () =
              (mutant_reports name)
       in
       let design, stats = Multi.tailor_multi (stock ()) ~reports in
-      let p = Profiling.profile ~netlist:design ~seeds:[ 1; 2; 3 ] b in
+      let p = Profiling.profile ~core ~netlist:design ~seeds:[ 1; 2; 3 ] b in
       let pw =
         Report.power ~freq_hz ~toggles:p.Profiling.total_toggles
           ~cycles:p.Profiling.total_cycles design
@@ -559,7 +564,7 @@ let run_fig14 () =
 
 let run_subneg () =
   printf "=== Section 5.3: subneg-enhanced bespoke processors ===\n";
-  let sub_report, _ = Runner.analyze Subneg.characterization in
+  let sub_report, _ = Runner.analyze ~core Subneg.characterization in
   printf "subneg interpreter alone: %.1f%% of gates usable\n"
     (pct (Usage.usable_fraction (stock ()) sub_report.Activity.possibly_toggled));
   printf "%-18s %12s %12s %12s %12s\n" "Benchmark" "area-ovh%%" "power-ovh%%"
@@ -576,7 +581,7 @@ let run_subneg () =
               (sub_report.Activity.possibly_toggled, sub_report.Activity.constant_values);
             ]
       in
-      let p = Profiling.profile ~netlist:design ~seeds:[ 1; 2; 3 ] b in
+      let p = Profiling.profile ~core ~netlist:design ~seeds:[ 1; 2; 3 ] b in
       let pw =
         Report.power ~freq_hz ~toggles:p.Profiling.total_toggles
           ~cycles:p.Profiling.total_cycles design
@@ -605,7 +610,7 @@ let run_subneg () =
 
 let run_rtos () =
   printf "=== Section 5.4: system code (RTOS kernel) ===\n";
-  let r, net = Runner.analyze Rtos.kernel in
+  let r, net = Runner.analyze ~core Rtos.kernel in
   let kernel_set = r.Activity.possibly_toggled in
   printf "RTOS kernel alone: %.1f%% of gates unused (paper FreeRTOS: 57%%)\n"
     (pct (1.0 -. Usage.usable_fraction net kernel_set));
@@ -634,7 +639,7 @@ let run_fig15 () =
   List.iter
     (fun (b : B.t) ->
       let c = ctx_of b in
-      let pg = Power_gating.evaluate ~netlist:(stock ()) b in
+      let pg = Power_gating.evaluate ~core ~netlist:(stock ()) b in
       let bespoke_sav =
         saving (bespoke_power c).Report.total_nw (baseline_power c).Report.total_nw
       in
@@ -678,7 +683,7 @@ let run_ablation () =
         max_paths = 100_000;
       }
     in
-    match time (fun () -> Runner.analyze ~config b) with
+    match time (fun () -> Runner.analyze ~core ~config b) with
     | (r, net), dt ->
       Printf.sprintf "%4.0f%% %5dp %5.1fs"
         (pct (Usage.usable_fraction net r.Activity.possibly_toggled))
@@ -730,7 +735,7 @@ let run_ablation () =
         max_total_cycles = 30_000_000;
       }
     in
-    match time (fun () -> Runner.analyze ~config b) with
+    match time (fun () -> Runner.analyze ~core ~config b) with
     | (r, net), dt ->
       Printf.sprintf "%4.0f%% %5dp %2de %5.1fs"
         (pct (Usage.usable_fraction net r.Activity.possibly_toggled))
@@ -812,6 +817,7 @@ let median xs =
 let median_of_reps f = median (List.init timing_reps (fun _ -> f ()))
 
 type sim_row = {
+  sr_core : string;  (** {!Bespoke_cores.Cores} registry name *)
   sr_name : string;
   sr_sim_cycles : int;  (** total simulated cycles (all profiling seeds) *)
   full_cps : float;
@@ -823,8 +829,8 @@ type sim_row = {
   t_profile : float;
 }
 
-let bench_sim_row (b : B.t) : sim_row =
-  let net = stock () in
+let bench_sim_row ~core (b : B.t) : sim_row =
+  let net = Runner.shared_netlist core in
   let sim_cycles = ref 0 in
   let run_engine engine =
     median_of_reps (fun () ->
@@ -833,7 +839,7 @@ let bench_sim_row (b : B.t) : sim_row =
           time (fun () ->
               List.iter
                 (fun seed ->
-                  let o = Runner.run_gate ~engine ~netlist:net b ~seed in
+                  let o = Runner.run_gate ~core ~engine ~netlist:net b ~seed in
                   cyc := !cyc + o.Runner.sim_cycles)
                 profile_seeds)
         in
@@ -851,12 +857,12 @@ let bench_sim_row (b : B.t) : sim_row =
               List.iter
                 (fun (_, (o : Runner.gate_outcome)) ->
                   cyc := !cyc + o.Runner.sim_cycles)
-                (Runner.run_gate_packed ~netlist:net b ~seeds:profile_seeds))
+                (Runner.run_gate_packed ~core ~netlist:net b ~seeds:profile_seeds))
         in
         float_of_int !cyc /. dt)
   in
   let sim_cycles = !sim_cycles in
-  let (report, anet), t_analysis = time (fun () -> Runner.analyze b) in
+  let (report, anet), t_analysis = time (fun () -> Runner.analyze ~core b) in
   let _, t_cut =
     time (fun () ->
         ignore
@@ -864,9 +870,10 @@ let bench_sim_row (b : B.t) : sim_row =
              ~constants:report.Activity.constant_values))
   in
   let _, t_profile =
-    time (fun () -> ignore (Profiling.profile ~netlist:net ~seeds:profile_seeds b))
+    time (fun () -> ignore (Profiling.profile ~core ~netlist:net ~seeds:profile_seeds b))
   in
   {
+    sr_core = core.Bespoke_coreapi.Coredef.name;
     sr_name = b.B.name;
     sr_sim_cycles = sim_cycles;
     full_cps;
@@ -895,7 +902,7 @@ let measure_obs_overhead engine =
     let (), dt =
       time (fun () ->
           for _ = 1 to reps do
-            let o = Runner.run_gate ~engine ~netlist:net b ~seed:1 in
+            let o = Runner.run_gate ~core ~engine ~netlist:net b ~seed:1 in
             cyc := !cyc + o.Runner.sim_cycles
           done)
     in
@@ -933,7 +940,7 @@ let measure_sampler_overhead () =
       time (fun () ->
           for _ = 1 to reps do
             let o =
-              Runner.run_gate ~engine:Runner.Event ~netlist:net b ~seed:1
+              Runner.run_gate ~core ~engine:Runner.Event ~netlist:net b ~seed:1
             in
             cyc := !cyc + o.Runner.sim_cycles
           done)
@@ -963,7 +970,7 @@ let measure_sampler_overhead () =
    committed cycle, so its cost scales with the monitor count — the
    artifact records both. *)
 let guard_plan_of (b : B.t) =
-  let report, net = Runner.analyze b in
+  let report, net = Runner.analyze ~core b in
   let bespoke, _, prov =
     Cut.tailor_explained net
       ~possibly_toggled:report.Activity.possibly_toggled
@@ -988,10 +995,10 @@ let measure_guard_overhead () =
                 (* violations are sticky per watcher: a fresh one per
                    run keeps every rep on the same (clean) fast path *)
                 let w = Guard.watch_bespoke plan in
-                Runner.run_gate ~engine:Runner.Event
+                Runner.run_gate ~core ~engine:Runner.Event
                   ~attach:(Guard.attach w) ~netlist:bespoke b ~seed:1)
               else
-                Runner.run_gate ~engine:Runner.Event ~netlist:bespoke b
+                Runner.run_gate ~core ~engine:Runner.Event ~netlist:bespoke b
                   ~seed:1
             in
             cyc := !cyc + o.Runner.sim_cycles
@@ -1108,32 +1115,57 @@ let append_bench_history buf =
 
 let run_bench_sim () =
   printf "=== simulator throughput: cycles/sec over the profiling workload ===\n";
-  printf "%-12s %9s %9s %9s %9s %9s %8s | %8s %6s %8s\n" "Benchmark" "cycles"
-    "full" "event" "packed" "compiled" "speedup" "analy(s)" "cut(s)" "prof(s)";
+  printf "%-8s %-12s %9s %9s %9s %9s %9s %8s | %8s %6s %8s\n" "Core"
+    "Benchmark" "cycles" "full" "event" "packed" "compiled" "speedup"
+    "analy(s)" "cut(s)" "prof(s)";
+  (* per-core rows: the MSP430 suite the paper evaluates, plus every
+     other registered core's benchmarks — same engines, same netlist
+     memoization, so the artifact records cross-ISA throughput too *)
+  let per_core =
+    (core, B.table1)
+    :: List.filter_map
+         (fun (e : Bespoke_cores.Cores.entry) ->
+           let c = e.Bespoke_cores.Cores.core in
+           if c.Bespoke_coreapi.Coredef.name = core.Bespoke_coreapi.Coredef.name
+           then None
+           else Some (c, e.Bespoke_cores.Cores.benchmarks))
+         Bespoke_cores.Cores.all
+  in
   let rows =
-    List.map
-      (fun b ->
-        let r = bench_sim_row b in
-        printf
-          "%-12s %9d %9.0f %9.0f %9.0f %9.0f %7.1fx | %8.2f %6.2f %8.2f\n"
-          r.sr_name r.sr_sim_cycles r.full_cps r.event_cps r.packed_cps
-          r.compiled_cps
-          (r.compiled_cps /. r.full_cps)
-          r.t_analysis r.t_cut r.t_profile;
-        r)
-      B.table1
+    List.concat_map
+      (fun (c, benches) ->
+        List.map
+          (fun b ->
+            let r = bench_sim_row ~core:c b in
+            printf
+              "%-8s %-12s %9d %9.0f %9.0f %9.0f %9.0f %7.1fx | %8.2f %6.2f \
+               %8.2f\n"
+              r.sr_core r.sr_name r.sr_sim_cycles r.full_cps r.event_cps
+              r.packed_cps r.compiled_cps
+              (r.compiled_cps /. r.full_cps)
+              r.t_analysis r.t_cut r.t_profile;
+            r)
+          benches)
+      per_core
   in
-  let geomean f =
-    exp
-      (List.fold_left (fun acc r -> acc +. log (f r)) 0.0 rows
-      /. float_of_int (List.length rows))
-  in
-  printf
-    "geomean cycles/sec: full %.0f, event %.0f, packed %.0f, compiled %.0f\n"
-    (geomean (fun r -> r.full_cps))
-    (geomean (fun r -> r.event_cps))
-    (geomean (fun r -> r.packed_cps))
-    (geomean (fun r -> r.compiled_cps));
+  List.iter
+    (fun (c, _) ->
+      let cname = c.Bespoke_coreapi.Coredef.name in
+      let crows = List.filter (fun r -> r.sr_core = cname) rows in
+      let geomean f =
+        exp
+          (List.fold_left (fun acc r -> acc +. log (f r)) 0.0 crows
+          /. float_of_int (List.length crows))
+      in
+      printf
+        "geomean cycles/sec (%s): full %.0f, event %.0f, packed %.0f, \
+         compiled %.0f\n"
+        cname
+        (geomean (fun r -> r.full_cps))
+        (geomean (fun r -> r.event_cps))
+        (geomean (fun r -> r.packed_cps))
+        (geomean (fun r -> r.compiled_cps)))
+    per_core;
   let compile_cold_s, compile_warm_s = measure_compile_cost () in
   printf
     "compiled engine: program build %.3f s (cache miss), cached create %.4f s \
@@ -1241,14 +1273,14 @@ let run_bench_sim () =
   List.iteri
     (fun i r ->
       out
-        "    {\"name\": %S, \"sim_cycles\": %d,\n\
+        "    {\"name\": %S, \"core\": %S, \"sim_cycles\": %d,\n\
         \     \"cycles_per_sec\": {\"full\": %.0f, \"event\": %.0f, \
          \"packed\": %.0f, \"compiled\": %.0f},\n\
         \     \"speedup_vs_full\": {\"event\": %.2f, \"packed\": %.2f, \
          \"compiled\": %.2f},\n\
         \     \"phase_seconds\": {\"analysis\": %.3f, \"cut\": %.3f, \
          \"profile\": %.3f}}%s\n"
-        r.sr_name r.sr_sim_cycles r.full_cps r.event_cps r.packed_cps
+        r.sr_name r.sr_core r.sr_sim_cycles r.full_cps r.event_cps r.packed_cps
         r.compiled_cps
         (r.event_cps /. r.full_cps)
         (r.packed_cps /. r.full_cps)
@@ -1445,12 +1477,12 @@ let run_bench_smoke () =
   let net = stock () in
   let seeds = [ 1; 2; 3 ] in
   let run engine =
-    List.map (fun s -> Runner.run_gate ~engine ~netlist:net b ~seed:s) seeds
+    List.map (fun s -> Runner.run_gate ~core ~engine ~netlist:net b ~seed:s) seeds
   in
   let full = run Runner.Full in
   let event = run Runner.Event in
   let compiled = run Runner.Compiled in
-  let packed = List.map snd (Runner.run_gate_packed ~netlist:net b ~seeds) in
+  let packed = List.map snd (Runner.run_gate_packed ~core ~netlist:net b ~seeds) in
   let check tag (a : Runner.gate_outcome) (c : Runner.gate_outcome) =
     if
       a.Runner.g_results <> c.Runner.g_results

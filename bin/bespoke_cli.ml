@@ -9,19 +9,19 @@
                                      fault injection + shrunk repros
    bespoke_cli bench-list            list the built-in benchmark programs
 
-   Programs are MSP430-class assembly (see lib/isa/asm.mli for the
-   dialect); `--bench NAME` uses a built-in benchmark instead of a
-   file. *)
+   Programs are assembly for the selected core (`--core msp430`, the
+   default, or `--core rv32`; see lib/isa/asm.mli and lib/rv32/asm.ml
+   for the dialects); `--bench NAME` uses a built-in benchmark of that
+   core instead of a file. *)
 
 open Cmdliner
 
 module Asm = Bespoke_isa.Asm
-module Isa = Bespoke_isa.Isa
-module Iss = Bespoke_isa.Iss
-module Memmap = Bespoke_isa.Memmap
+module Coredef = Bespoke_coreapi.Coredef
+module Cores = Bespoke_cores.Cores
 module Netlist = Bespoke_netlist.Netlist
-module System = Bespoke_cpu.System
-module Lockstep = Bespoke_cpu.Lockstep
+module System = Bespoke_coreapi.System
+module Lockstep = Bespoke_coreapi.Lockstep
 module Activity = Bespoke_analysis.Activity
 module B = Bespoke_programs.Benchmark
 module Runner = Bespoke_core.Runner
@@ -61,6 +61,25 @@ let file_arg =
 let bench_arg =
   Arg.(value & opt (some string) None
        & info [ "bench" ] ~docv:"NAME" ~doc:"Use a built-in benchmark instead of a file.")
+
+let core_arg =
+  Arg.(value
+       & opt string Cores.default.Cores.core.Coredef.name
+       & info [ "core" ] ~docv:"CORE"
+           ~doc:(Printf.sprintf
+                   "Target core: %s (default %s).  Every flow stage — \
+                    assembly, analysis, tailoring, verification, guards — \
+                    runs against this core's descriptor."
+                   (String.concat ", " Cores.names)
+                   Cores.default.Cores.core.Coredef.name))
+
+let resolve_core name : (Cores.entry, string) result =
+  match Cores.find name with
+  | Some e -> Ok e
+  | None ->
+    Error
+      (Printf.sprintf "unknown core %S; try: %s" name
+         (String.concat ", " Cores.names))
 
 let gpio_arg =
   Arg.(value & opt int 0 & info [ "gpio" ] ~docv:"N" ~doc:"GPIO input value for concrete runs.")
@@ -120,15 +139,17 @@ let require_scalar cmd engine =
       (cmd
      ^ ": --engine packed is seed-parallel; choose full, event or compiled")
 
-let load_program file bench : (B.t, string) result =
+let load_program (entry : Cores.entry) file bench : (B.t, string) result =
   match bench, file with
   | Some name, _ -> (
-    match B.find name with
-    | b -> Ok b
-    | exception Not_found ->
+    match Cores.benchmark entry name with
+    | Some b -> Ok b
+    | None ->
       Error
-        (Printf.sprintf "unknown benchmark %S; try: %s" name
-           (String.concat ", " (List.map (fun b -> b.B.name) B.all))))
+        (Printf.sprintf "unknown benchmark %S on core %s; try: %s" name
+           entry.Cores.core.Coredef.name
+           (String.concat ", "
+              (List.map (fun b -> b.B.name) entry.Cores.benchmarks))))
   | None, Some path -> (
     try
       let ic = open_in path in
@@ -144,10 +165,24 @@ let load_program file bench : (B.t, string) result =
           gen_inputs = (fun _ -> ([], 0));
           uses_irq = false;
           irq_pulses = (fun _ -> []);
-          result_addrs = [ B.output_base ];
+          result_addrs =
+            (* raw files have no declared result words outside the
+               default core's convention *)
+            (if entry.Cores.core.Coredef.name
+                = Cores.default.Cores.core.Coredef.name
+             then [ B.output_base ]
+             else []);
         }
     with Sys_error m -> Error m)
   | None, None -> Error "provide a source file or --bench NAME"
+
+(* Default benchmark suite of a core, for suite-wide subcommands
+   (report, verify): the plain benchmarks — the RTOS kernel and SUBNEG
+   characterization stay opt-in via --bench. *)
+let suite (entry : Cores.entry) =
+  if entry.Cores.core.Coredef.name = Cores.default.Cores.core.Coredef.name
+  then B.all
+  else entry.Cores.benchmarks
 
 let handle = function
   | Ok () -> `Ok ()
@@ -252,6 +287,7 @@ let catching f =
   | Sys.Break -> Error "interrupted (partial telemetry artifacts flushed)"
   | Asm.Error { line; message } ->
     Error (Printf.sprintf "assembly error, line %d: %s" line message)
+  | Bespoke_rv32.Asm.Error m -> Error ("assembly error: " ^ m)
   | Activity.Analysis_error m -> Error ("analysis error: " ^ m)
   | Runner.Mismatch m -> Error ("verification mismatch: " ^ m)
   | Pool.Task_errors errs ->
@@ -374,16 +410,17 @@ let explain_gate oc net (report : Activity.report) (prov : Provenance.t) id =
 (* ---- asm ---- *)
 
 let cmd_asm =
-  let run file bench =
+  let run file bench core_name =
     handle
       (catching (fun () ->
-           let* b = load_program file bench in
-           let img = Asm.assemble b.B.source in
-           print_string (Bespoke_isa.Disasm.listing img);
+           let* entry = resolve_core core_name in
+           let* b = load_program entry file bench in
+           let img = entry.Cores.core.Coredef.assemble b.B.source in
+           print_string (img.Coredef.listing ());
            Ok ()))
   in
   Cmd.v (Cmd.info "asm" ~doc:"Assemble a program and print its listing")
-    Term.(ret (const run $ file_arg $ bench_arg))
+    Term.(ret (const run $ file_arg $ bench_arg $ core_arg))
 
 (* ---- run ---- *)
 
@@ -408,12 +445,15 @@ let cmd_run =
              ~doc:"With $(b,--guard): write the bespoke-guard/v1 JSONL \
                    violation stream to $(docv).")
   in
-  let run file bench gpio seed netlist_file engine jobs guard guard_out obs =
+  let run file bench core_name gpio seed netlist_file engine jobs guard
+      guard_out obs =
     handle
       (with_obs obs @@ fun () ->
        catching (fun () ->
            apply_jobs jobs;
-           let* b = load_program file bench in
+           let* entry = resolve_core core_name in
+           let core = entry.Cores.core in
+           let* b = load_program entry file bench in
            if guard then begin
              if netlist_file <> None then
                Error
@@ -421,7 +461,7 @@ let cmd_run =
                   cut provenance of a saved netlist; drop --netlist"
              else begin
                require_scalar "run" engine;
-               let report, net = Runner.analyze b in
+               let report, net = Runner.analyze ~core b in
                let bespoke, _, prov =
                  Cut.tailor_explained net
                    ~possibly_toggled:report.Activity.possibly_toggled
@@ -435,7 +475,7 @@ let cmd_run =
                let w = Guard.watch_bespoke plan in
                let o =
                  Runner.check_equivalence ~engine ~attach:(Guard.attach w)
-                   ~netlist:bespoke b ~seed
+                   ~netlist:bespoke ~core b ~seed
                in
                Printf.printf
                  "ran %d instructions, %d cycles (gate level verified against \
@@ -452,8 +492,8 @@ let cmd_run =
                | None -> ()
                | Some path ->
                  let oc = open_out path in
-                 Guard.write_stream oc plan ~design:b.B.name
-                   ~workload:b.B.name ~mode:"shadow" w;
+                 Guard.write_stream oc plan ~core:core.Coredef.name
+                   ~design:b.B.name ~workload:b.B.name ~mode:"shadow" w;
                  close_out oc;
                  Printf.eprintf "wrote guard stream to %s\n" path);
                if Guard.clean w then Ok ()
@@ -469,16 +509,17 @@ let cmd_run =
              if b.B.gen_inputs seed = ([], 0) && gpio <> 0 then begin
                (* raw program: run via lockstep with the given gpio *)
                require_scalar "run" engine;
-               let img = Asm.assemble b.B.source in
+               let img = core.Coredef.assemble b.B.source in
                let r =
                  Lockstep.run ~mode:(Runner.mode_of_engine engine) ?netlist
-                   ~gpio_in:gpio img
+                   ~gpio_in:gpio ~core img
                in
-               Printf.printf "ran %d instructions, %d cycles, gpio_out=0x%04x\n"
-                 r.Lockstep.instructions r.Lockstep.cycles r.Lockstep.gpio_final;
+               Printf.printf "ran %d instructions, %d cycles, gpio_out=0x%0*x\n"
+                 r.Lockstep.instructions r.Lockstep.cycles
+                 (Coredef.hex_digits core) r.Lockstep.gpio_final;
                None
              end
-             else Some (Runner.check_equivalence ~engine ?netlist b ~seed)
+             else Some (Runner.check_equivalence ~engine ?netlist ~core b ~seed)
            in
            (match o with
            | Some o ->
@@ -497,9 +538,9 @@ let cmd_run =
     (Cmd.info "run" ~doc:"Run a program on the ISS and the gate-level core")
     Term.(
       ret
-        (const run $ file_arg $ bench_arg $ gpio_arg $ seed_arg $ netlist_arg
-        $ engine_arg Runner.Compiled $ jobs_arg $ guard_flag $ guard_out_arg
-        $ obs_args))
+        (const run $ file_arg $ bench_arg $ core_arg $ gpio_arg $ seed_arg
+        $ netlist_arg $ engine_arg Runner.Compiled $ jobs_arg $ guard_flag
+        $ guard_out_arg $ obs_args))
 
 (* ---- analyze ---- *)
 
@@ -510,14 +551,16 @@ let cmd_analyze =
              ~doc:"Write the explored symbolic execution tree as a Graphviz \
                    digraph to $(docv) (nodes colored by how each path ended).")
   in
-  let run file bench json tree_dot engine jobs obs =
+  let run file bench core_name json tree_dot engine jobs obs =
     handle
       (with_obs obs @@ fun () ->
        catching (fun () ->
            apply_jobs jobs;
-           let* b = load_program file bench in
+           let* entry = resolve_core core_name in
+           let core = entry.Cores.core in
+           let* b = load_program entry file bench in
            require_scalar "analyze" engine;
-           let report, net = Runner.analyze ~engine b in
+           let report, net = Runner.analyze ~engine ~core b in
            let oc = if json then stderr else stdout in
            Printf.fprintf oc
              "explored %d paths (%d merges, %d prunes, %d escapes), %d cycles\n"
@@ -556,7 +599,7 @@ let cmd_analyze =
        ~doc:"Input-independent gate activity analysis of a program")
     Term.(
       ret
-        (const run $ file_arg $ bench_arg $ json_arg $ tree_dot_arg
+        (const run $ file_arg $ bench_arg $ core_arg $ json_arg $ tree_dot_arg
         $ engine_arg Runner.Event $ jobs_arg $ obs_args))
 
 (* ---- tailor ---- *)
@@ -591,16 +634,18 @@ let cmd_tailor =
                    own area/power overhead; with $(b,--save) the saved \
                    netlist is the instrumented one.")
   in
-  let run file bench verify save json explain instrument engine jobs obs
-      cache_stats =
+  let run file bench core_name verify save json explain instrument engine jobs
+      obs cache_stats =
     handle
       (with_obs obs @@ fun () ->
        with_cache_stats cache_stats @@ fun () ->
        catching (fun () ->
            apply_jobs jobs;
-           let* b = load_program file bench in
+           let* entry = resolve_core core_name in
+           let core = entry.Cores.core in
+           let* b = load_program entry file bench in
            require_scalar "tailor" engine;
-           let report, net = Runner.analyze ~engine b in
+           let report, net = Runner.analyze ~engine ~core b in
            let bespoke, stats, prov =
              Cut.tailor_explained net
                ~possibly_toggled:report.Activity.possibly_toggled
@@ -652,10 +697,12 @@ let cmd_tailor =
              List.iter
                (fun seed ->
                  ignore
-                   (Runner.check_equivalence ~engine ~netlist:bespoke b ~seed))
+                   (Runner.check_equivalence ~engine ~netlist:bespoke ~core b
+                      ~seed))
                [ 1; 2; 3 ];
-             let sys = System.create (B.image b) in
-             let sh = System.create ~netlist:bespoke (B.image b) in
+             let img = Runner.image ~core b in
+             let sys = System.create ~core img in
+             let sh = System.create ~netlist:bespoke ~core img in
              let config =
                {
                  Activity.default_config with
@@ -693,9 +740,9 @@ let cmd_tailor =
     (Cmd.info "tailor" ~doc:"Produce and report the bespoke design for a program")
     Term.(
       ret
-        (const run $ file_arg $ bench_arg $ verify_arg $ save_arg $ json_arg
-        $ explain_arg $ instrument_arg $ engine_arg Runner.Event $ jobs_arg
-        $ obs_args $ cache_stats_arg))
+        (const run $ file_arg $ bench_arg $ core_arg $ verify_arg $ save_arg
+        $ json_arg $ explain_arg $ instrument_arg $ engine_arg Runner.Event
+        $ jobs_arg $ obs_args $ cache_stats_arg))
 
 (* ---- report (savings artifact across benchmarks) ---- *)
 
@@ -704,22 +751,24 @@ let cmd_report =
     Arg.(value & opt (some string) None
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
   in
-  let run bench json out obs =
+  let run bench core_name json out obs =
     handle
       (with_obs obs @@ fun () ->
        catching (fun () ->
+           let* entry = resolve_core core_name in
+           let core = entry.Cores.core in
            let* benches =
              match bench with
-             | None -> Ok B.all
+             | None -> Ok (suite entry)
              | Some name ->
-               let* b = load_program None (Some name) in
+               let* b = load_program entry None (Some name) in
                Ok [ b ]
            in
            let entries =
              List.map
                (fun (b : B.t) ->
                  Printf.eprintf "tailoring %-18s ...\n%!" b.B.name;
-                 let report, net = Runner.analyze b in
+                 let report, net = Runner.analyze ~core b in
                  let bespoke, stats, prov =
                    Cut.tailor_explained net
                      ~possibly_toggled:report.Activity.possibly_toggled
@@ -747,7 +796,7 @@ let cmd_report =
        ~doc:"Tailor one or all benchmarks and emit the savings report \
              (human-readable text, or a schema-versioned JSON artifact with \
              per-module attribution and cut-reason histograms)")
-    Term.(ret (const run $ bench_arg $ json_arg $ out_arg $ obs_args))
+    Term.(ret (const run $ bench_arg $ core_arg $ json_arg $ out_arg $ obs_args))
 
 (* ---- verify (paper Section 5.1 / Table 3 campaign) ---- *)
 
@@ -763,17 +812,20 @@ let cmd_verify =
          & info [ "explore-budget" ] ~docv:"N"
              ~doc:"Candidate budget for the coverage-directed input search.")
   in
-  let run file bench json faults seed budget engine jobs obs cache_stats =
+  let run file bench core_name json faults seed budget engine jobs obs
+      cache_stats =
     handle
       (with_obs obs @@ fun () ->
        with_cache_stats cache_stats @@ fun () ->
        catching (fun () ->
            apply_jobs jobs;
+           let* entry = resolve_core core_name in
+           let core = entry.Cores.core in
            let* benches =
              match bench, file with
-             | None, None -> Ok B.all
+             | None, None -> Ok (suite entry)
              | _ ->
-               let* b = load_program file bench in
+               let* b = load_program entry file bench in
                Ok [ b ]
            in
            require_scalar "verify" engine;
@@ -783,7 +835,7 @@ let cmd_verify =
              benches;
            let campaigns =
              Verify.run_campaign ~engine ~faults ~seed ?explore_budget:budget
-               benches
+               ~core benches
            in
            let oc = if json then stderr else stdout in
            let ff = Format.formatter_of_out_channel oc in
@@ -822,9 +874,9 @@ let cmd_verify =
              design is non-equivalent or any detectable fault survives.")
     Term.(
       ret
-        (const run $ file_arg $ bench_arg $ json_arg $ faults_arg $ seed_arg
-        $ budget_arg $ engine_arg Runner.Compiled $ jobs_arg $ obs_args
-        $ cache_stats_arg))
+        (const run $ file_arg $ bench_arg $ core_arg $ json_arg $ faults_arg
+        $ seed_arg $ budget_arg $ engine_arg Runner.Compiled $ jobs_arg
+        $ obs_args $ cache_stats_arg))
 
 (* ---- campaign (batch jobs on the pool, JSONL stream) ---- *)
 
@@ -832,17 +884,17 @@ let cmd_campaign =
   let jobs_file_arg =
     Arg.(value & opt (some file) None
          & info [ "file" ] ~docv:"JOBS.TXT"
-             ~doc:"Job-list file: one $(b,KIND BENCH [seed=N] [faults=N] \
-                   [mutant=N] [engine=E]) per line, where KIND is analyze, \
-                   tailor, report, verify, run or guard; blank lines and # \
-                   comments are skipped.")
+             ~doc:"Job-list file: one $(b,KIND BENCH [core=NAME] [seed=N] \
+                   [faults=N] [mutant=N] [engine=E]) per line, where KIND is \
+                   analyze, tailor, report, verify, run or guard; blank lines \
+                   and # comments are skipped.")
   in
   let job_specs_arg =
     Arg.(value & pos_all string []
          & info [] ~docv:"JOB"
              ~doc:"Inline job specs, colon-separated: \
-                   $(b,KIND:BENCH[:seed=N][:faults=N][:engine=E]), e.g. \
-                   $(b,verify:mult:faults=4).")
+                   $(b,KIND:BENCH[:core=NAME][:seed=N][:faults=N][:engine=E]), \
+                   e.g. $(b,verify:mult:core=rv32:faults=4).")
   in
   let out_arg =
     Arg.(value & opt (some string) None
@@ -894,8 +946,13 @@ let cmd_campaign =
              in
              Fun.protect ~finally:close @@ fun () ->
              let jobs_n = Pool.default_jobs () in
+             let cores =
+               List.sort_uniq compare
+                 (List.map (fun j -> j.Campaign.core) js)
+             in
              output_string oc
-               (Campaign.header_jsonl ~jobs:jobs_n ~total:(List.length js));
+               (Campaign.header_jsonl ~jobs:jobs_n ~cores
+                  ~total:(List.length js));
              output_char oc '\n';
              let emit o =
                output_string oc (Campaign.outcome_jsonl o);
@@ -1021,14 +1078,28 @@ let cmd_guard =
                    the design was not tailored for may never halt; the \
                    violations seen before the deadline are the point.")
   in
-  let run file bench mutant list_only mode out seed max_cycles engine jobs obs
-      cache_stats =
+  let run file bench core_name mutant list_only mode out seed max_cycles engine
+      jobs obs cache_stats =
     handle
       (with_obs obs @@ fun () ->
        with_cache_stats cache_stats @@ fun () ->
        catching (fun () ->
            apply_jobs jobs;
-           let* b = load_program file bench in
+           let* entry = resolve_core core_name in
+           let core = entry.Cores.core in
+           let msp430 =
+             core.Coredef.name = Cores.default.Cores.core.Coredef.name
+           in
+           let* () =
+             if (mutant <> None || list_only) && not msp430 then
+               Error
+                 (Printf.sprintf
+                    "guard mutants are not available on core %s (the mutation \
+                     catalog rewrites %s assembly)"
+                    core.Coredef.name Cores.default.Cores.core.Coredef.name)
+             else Ok ()
+           in
+           let* b = load_program entry file bench in
            if list_only then begin
              List.iter
                (fun (m : Mutation.mutant) ->
@@ -1055,7 +1126,7 @@ let cmd_guard =
                         "no mutant %d of %s (%d mutant(s); see guard --list)"
                         id b.B.name (List.length ms)))
              in
-             let report, net = Runner.analyze b in
+             let report, net = Runner.analyze ~core b in
              let bespoke, _, prov =
                Cut.tailor_explained net
                  ~possibly_toggled:report.Activity.possibly_toggled
@@ -1092,7 +1163,8 @@ let cmd_guard =
                (List.length plan.Guard.p_monitors)
                plan.Guard.p_implied plan.Guard.p_unmonitorable;
              let rp =
-               Guard.replay ~engine ~max_cycles watcher ~netlist workload ~seed
+               Guard.replay ~engine ~max_cycles watcher ~core ~netlist workload
+                 ~seed
              in
              (match rp.Guard.rp_result with
              | Ok o -> Printf.printf "halted after %d cycle(s)\n" o.Runner.g_cycles
@@ -1114,8 +1186,9 @@ let cmd_guard =
              | None -> ()
              | Some path ->
                let oc = open_out path in
-               Guard.write_stream oc plan ~design:b.B.name
-                 ~workload:workload.B.name ~mode:mode_s watcher;
+               Guard.write_stream oc plan ~core:core.Coredef.name
+                 ~design:b.B.name ~workload:workload.B.name ~mode:mode_s
+                 watcher;
                close_out oc;
                Printf.eprintf "wrote guard stream to %s\n" path);
              let hw_hit = rp.Guard.rp_hw_violation = Some Bit.One in
@@ -1143,9 +1216,9 @@ let cmd_guard =
              assumption is violated.")
     Term.(
       ret
-        (const run $ file_arg $ bench_arg $ mutant_arg $ list_arg $ mode_arg
-        $ out_arg $ seed_arg $ max_cycles_arg $ engine_arg Runner.Compiled
-        $ jobs_arg $ obs_args $ cache_stats_arg))
+        (const run $ file_arg $ bench_arg $ core_arg $ mutant_arg $ list_arg
+        $ mode_arg $ out_arg $ seed_arg $ max_cycles_arg
+        $ engine_arg Runner.Compiled $ jobs_arg $ obs_args $ cache_stats_arg))
 
 (* ---- update-check (paper Section 3.5) ---- *)
 
@@ -1155,12 +1228,14 @@ let cmd_update_check =
          & info [ "design-set" ] ~docv:"FILE.gates"
              ~doc:"Usable-gate set saved by 'tailor --save'.")
   in
-  let run file bench set_file =
+  let run file bench core_name set_file =
     handle
       (catching (fun () ->
-           let* b = load_program file bench in
+           let* entry = resolve_core core_name in
+           let core = entry.Cores.core in
+           let* b = load_program entry file bench in
            let design_set = Bespoke_netlist.Serial.load_gate_set set_file in
-           let report, _ = Runner.analyze b in
+           let report, _ = Runner.analyze ~core b in
            let needed = report.Activity.possibly_toggled in
            if Array.length needed <> Array.length design_set then
              Error "gate set does not match this core (size mismatch)"
@@ -1186,7 +1261,7 @@ let cmd_update_check =
   Cmd.v
     (Cmd.info "update-check"
        ~doc:"Check whether a new binary runs on an existing bespoke design")
-    Term.(ret (const run $ file_arg $ bench_arg $ set_arg))
+    Term.(ret (const run $ file_arg $ bench_arg $ core_arg $ set_arg))
 
 (* ---- export ---- *)
 
@@ -1209,13 +1284,15 @@ let cmd_export =
     Arg.(value & opt (some string) None
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
   in
-  let run file bench fmt bespoke out =
+  let run file bench core_name fmt bespoke out =
     handle
       (catching (fun () ->
-           let* b = load_program file bench in
+           let* entry = resolve_core core_name in
+           let core = entry.Cores.core in
+           let* b = load_program entry file bench in
            let net =
              if bespoke then begin
-               let report, net = Runner.analyze b in
+               let report, net = Runner.analyze ~core b in
                let design, _ =
                  Cut.tailor net
                    ~possibly_toggled:report.Activity.possibly_toggled
@@ -1223,14 +1300,19 @@ let cmd_export =
                in
                design
              end
-             else Runner.shared_netlist ()
+             else Runner.shared_netlist core
            in
            let text =
              match fmt with
              | `Verilog ->
                Bespoke_netlist.Export.to_verilog
                  ~module_name:
-                   (if bespoke then "bespoke_" ^ b.B.name else "openmcu")
+                   (if bespoke then "bespoke_" ^ b.B.name
+                    else if
+                      core.Coredef.name
+                      = Cores.default.Cores.core.Coredef.name
+                    then "openmcu"
+                    else core.Coredef.name)
                  net
              | `Dot_modules -> Bespoke_netlist.Export.module_graph_dot net
              | `Dot_gates ->
@@ -1249,7 +1331,10 @@ let cmd_export =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Export a design as structural Verilog or a Graphviz graph")
-    Term.(ret (const run $ file_arg $ bench_arg $ fmt_arg $ bespoke_arg $ out_arg))
+    Term.(
+      ret
+        (const run $ file_arg $ bench_arg $ core_arg $ fmt_arg $ bespoke_arg
+       $ out_arg))
 
 (* ---- trace (VCD) ---- *)
 
@@ -1258,26 +1343,25 @@ let cmd_trace =
     Arg.(required & opt (some string) None
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"VCD output file.")
   in
-  let run file bench seed out =
+  let run file bench core_name seed out =
     handle
       (catching (fun () ->
-           let* b = load_program file bench in
-           let sys = System.create ~netlist:(Runner.shared_netlist ()) (B.image b) in
+           let* entry = resolve_core core_name in
+           let core = entry.Cores.core in
+           let* b = load_program entry file bench in
+           let sys =
+             System.create ~netlist:(Runner.shared_netlist core) ~core
+               (Runner.image ~core b)
+           in
            System.reset sys;
            let ram_writes, gpio = b.B.gen_inputs seed in
-           List.iter
-             (fun (a, v) ->
-               Bespoke_sim.Memory.load_int (System.ram sys)
-                 ((a lsr 1) land 0x7ff) v)
-             ram_writes;
+           List.iter (fun (a, v) -> System.load_ram_word sys a v) ram_writes;
            System.set_gpio_in_int sys gpio;
            System.set_irq sys Bespoke_logic.Bit.Zero;
            let buf = Buffer.create (1 lsl 16) in
            let vcd =
              Bespoke_sim.Vcd.create buf (System.engine sys)
-               ~signals:
-                 [ "pc"; "state"; "ir"; "sp"; "sr"; "pmem_addr"; "dmem_addr";
-                   "dmem_wdata"; "dmem_wen"; "gpio_out"; "halted" ]
+               ~signals:core.Coredef.trace_signals
            in
            let cycles = ref 0 in
            while (not (System.halted sys)) && !cycles < 100_000 do
@@ -1295,7 +1379,7 @@ let cmd_trace =
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Run a program and dump a VCD waveform")
-    Term.(ret (const run $ file_arg $ bench_arg $ seed_arg $ out_arg))
+    Term.(ret (const run $ file_arg $ bench_arg $ core_arg $ seed_arg $ out_arg))
 
 (* ---- stats (aggregate telemetry artifacts; regression compare) ---- *)
 
@@ -1430,15 +1514,36 @@ let cmd_stats =
 (* ---- bench-list ---- *)
 
 let cmd_bench_list =
-  let run () =
-    List.iter
-      (fun (b : B.t) -> Printf.printf "%-18s %s\n" b.B.name b.B.description)
-      (B.all
-      @ [ Bespoke_programs.Rtos.kernel; Bespoke_programs.Subneg.characterization ]);
-    `Ok ()
+  let core_filter_arg =
+    Arg.(value
+         & opt (some string) None
+         & info [ "core" ] ~docv:"CORE"
+             ~doc:(Printf.sprintf "Only list one core's suite: %s."
+                     (String.concat ", " Cores.names)))
   in
-  Cmd.v (Cmd.info "bench-list" ~doc:"List the built-in benchmark programs")
-    Term.(ret (const run $ const ()))
+  let run core_filter =
+    let list_entry (entry : Cores.entry) =
+      Printf.printf "core %s:\n" entry.Cores.core.Coredef.name;
+      List.iter
+        (fun (b : B.t) ->
+          Printf.printf "  %-18s %s\n" b.B.name b.B.description)
+        entry.Cores.benchmarks
+    in
+    match core_filter with
+    | None ->
+      List.iter list_entry Cores.all;
+      `Ok ()
+    | Some name -> (
+      match resolve_core name with
+      | Ok entry ->
+        list_entry entry;
+        `Ok ()
+      | Error m -> `Error (false, m))
+  in
+  Cmd.v
+    (Cmd.info "bench-list"
+       ~doc:"List the built-in benchmark programs, per core")
+    Term.(ret (const run $ core_filter_arg))
 
 let () =
   (* SIGINT becomes Sys.Break, which [catching] reports after the

@@ -17,6 +17,8 @@ module Runner = Bespoke_core.Runner
 module Cut = Bespoke_core.Cut
 module Activity = Bespoke_analysis.Activity
 
+let core = Bespoke_cpu.Msp430.core
+
 let dir = "_handoff"
 let path name = Filename.concat dir name
 
@@ -30,7 +32,7 @@ let () =
   (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
   let bench = B.find "tea8" in
   Format.printf "tailoring %s...@." bench.B.name;
-  let report, net = Runner.analyze bench in
+  let report, net = Runner.analyze ~core bench in
   let bespoke, stats =
     Cut.tailor net ~possibly_toggled:report.Activity.possibly_toggled
       ~constants:report.Activity.constant_values
@@ -46,7 +48,7 @@ let () =
 
   (* 4. prove the reloaded artifact is the design we tailored *)
   let reloaded = Serial.load (path "tea8.netlist") in
-  ignore (Runner.check_equivalence ~netlist:reloaded bench ~seed:7);
+  ignore (Runner.check_equivalence ~netlist:reloaded ~core bench ~seed:7);
   Format.printf "reloaded netlist verified against the golden ISS@.";
 
   (* 5. a waveform of the firmware booting on the bespoke core *)

@@ -19,9 +19,11 @@ module Multi = Bespoke_core.Multi
 module Mutation = Bespoke_mutation.Mutation
 module Guard = Bespoke_guard.Guard
 
+let core = Bespoke_cpu.Msp430.core
+
 let () =
   let base = B.find "rle" in
-  let r_base, net = Runner.analyze base in
+  let r_base, net = Runner.analyze ~core base in
   let bespoke, stats_base, prov =
     Cut.tailor_explained net
       ~possibly_toggled:r_base.Activity.possibly_toggled
@@ -37,7 +39,7 @@ let () =
   let supported, unsupported =
     List.partition
       (fun m ->
-        match Runner.analyze (Mutation.to_benchmark base m) with
+        match Runner.analyze ~core (Mutation.to_benchmark base m) with
         | r, _ ->
           Multi.supported ~design_toggled:r_base.Activity.possibly_toggled
             ~app_toggled:r.Activity.possibly_toggled
@@ -75,7 +77,7 @@ let () =
       (fun (m : Mutation.mutant) ->
         let w = Guard.watch_bespoke plan in
         let rp =
-          Guard.replay w ~netlist:bespoke
+          Guard.replay w ~core ~netlist:bespoke
             (Mutation.to_benchmark base m)
             ~seed:1
         in
@@ -115,7 +117,7 @@ let () =
     (r_base.Activity.possibly_toggled, r_base.Activity.constant_values)
     :: List.filter_map
          (fun m ->
-           match Runner.analyze (Mutation.to_benchmark base m) with
+           match Runner.analyze ~core (Mutation.to_benchmark base m) with
            | r, _ ->
              Some
                (r.Activity.possibly_toggled, r_base.Activity.constant_values)
@@ -129,7 +131,7 @@ let () =
     (stats_hard.Cut.bespoke_gates - stats_base.Cut.bespoke_gates);
 
   (* 4. Turing-complete fallback: co-analyze the subneg interpreter *)
-  let r_sub, _ = Runner.analyze Subneg.characterization in
+  let r_sub, _ = Runner.analyze ~core Subneg.characterization in
   let _, stats_tc =
     Multi.tailor_multi net
       ~reports:

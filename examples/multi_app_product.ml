@@ -13,15 +13,17 @@ module Multi = Bespoke_core.Multi
 module Report = Bespoke_power.Report
 module Netlist = Bespoke_netlist.Netlist
 
+let core = Bespoke_cpu.Msp430.core
+
 let apps = [ "intFilt"; "convEn"; "tea8" ]
 
 let () =
-  let net = Runner.shared_netlist () in
+  let net = Runner.shared_netlist core in
   let reports =
     List.map
       (fun name ->
         let b = B.find name in
-        let r, _ = Runner.analyze b in
+        let r, _ = Runner.analyze ~core b in
         Format.printf "%-10s needs %5d gates on its own@." name
           (Multi.usable_gate_count net r.Activity.possibly_toggled);
         (b, r))
@@ -54,7 +56,7 @@ let () =
     (fun (b, _) ->
       List.iter
         (fun seed ->
-          ignore (Runner.check_equivalence ~netlist:design b ~seed))
+          ignore (Runner.check_equivalence ~netlist:design ~core b ~seed))
         [ 1; 2 ];
       Format.printf "%-10s verified on the shared bespoke design@." b.B.name)
     reports;

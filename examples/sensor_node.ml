@@ -19,11 +19,13 @@ module Report = Bespoke_power.Report
 module Sta = Bespoke_power.Sta
 module Voltage = Bespoke_power.Voltage
 
+let core = Bespoke_cpu.Msp430.core
+
 let () =
   let bench = B.find "tHold" in
   Format.printf "firmware: %s — %s@." bench.B.name bench.B.description;
   (* what can the firmware ever toggle? *)
-  let report, net = Runner.analyze bench in
+  let report, net = Runner.analyze ~core bench in
   Format.printf "@.per-module usability (symbolic, all inputs):@.%a"
     Usage.pp_per_module
     (Usage.per_module net report.Activity.possibly_toggled);
@@ -34,8 +36,8 @@ let () =
   in
   Format.printf "@.%a@." Cut.pp_stats stats;
   (* power at the nominal point *)
-  let prof_base = Profiling.profile ~netlist:net bench in
-  let prof_besp = Profiling.profile ~netlist:bespoke bench in
+  let prof_base = Profiling.profile ~netlist:net ~core bench in
+  let prof_besp = Profiling.profile ~netlist:bespoke ~core bench in
   let p_base =
     Report.power ~freq_hz:1e8 ~toggles:prof_base.Profiling.total_toggles
       ~cycles:prof_base.Profiling.total_cycles net
@@ -61,6 +63,6 @@ let () =
     (100.0 *. (1.0 -. (p_scaled.Report.total_nw /. p_base.Report.total_nw)));
   (* and the firmware still runs, verified against the golden model *)
   List.iter
-    (fun seed -> ignore (Runner.check_equivalence ~netlist:bespoke bench ~seed))
+    (fun seed -> ignore (Runner.check_equivalence ~netlist:bespoke ~core bench ~seed))
     [ 1; 2; 3 ];
   Format.printf "firmware verified on the bespoke part for 3 input sets@."

@@ -4,10 +4,8 @@ module Gate = Bespoke_netlist.Gate
 module Netlist = Bespoke_netlist.Netlist
 module Engine = Bespoke_sim.Engine
 module Memory = Bespoke_sim.Memory
-module Isa = Bespoke_isa.Isa
-module Asm = Bespoke_isa.Asm
-module Memmap = Bespoke_isa.Memmap
-module System = Bespoke_cpu.System
+module Coredef = Bespoke_coreapi.Coredef
+module System = Bespoke_coreapi.System
 module Obs = Bespoke_obs.Obs
 
 (* Execution-tree telemetry (no-ops unless Obs is enabled), flushed
@@ -102,29 +100,28 @@ type entry = {
   node : tree_node;  (* execution-tree node this entry continues *)
 }
 
-let is_control_insn (i : Isa.t) =
-  match i with
-  | Isa.Jump _ -> true
-  | Isa.One { op = Isa.CALL | Isa.RETI; _ } -> true
-  | Isa.One { op = Isa.RRC | Isa.RRA | Isa.SWPB | Isa.SXT; dst = Isa.Sreg 0; _ }
-    -> true
-  | Isa.One _ -> false
-  | Isa.Two { dst = Isa.Dreg 0; _ } -> true
-  | Isa.Two _ -> false
-
-let arch_regs = [ 0; 1; 2; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ]
-
 let analyze_impl ?(config = default_config) ?shadow sys =
   let net = System.netlist sys in
   let eng = System.engine sys in
+  let core = System.core sys in
   let image = System.image sys in
-  let rom = Asm.image_rom image in
+  let rom = image.Coredef.rom in
   let rom_word a =
-    if Memmap.in_rom a then rom.((a - Memmap.rom_base) / 2) else 0
+    if Coredef.in_rom core a then rom.((a - core.Coredef.rom_base) lsr core.Coredef.addr_shift)
+    else 0
+  in
+  let classify ~pc =
+    try core.Coredef.classify ~rom_word ~pc with Failure m -> fail "%s" m
   in
   let pc_pos = dff_positions sys net "pc" in
+  let pc_width = Array.length pc_pos in
   let ifg0_pos = lazy (dff_positions sys net "irq_flag").(0) in
-  let gie_pos = lazy (dff_positions sys net "sr").(Isa.flag_gie) in
+  let gie_pos =
+    lazy
+      (match core.Coredef.gie_bit with
+      | Some (hook, bit) -> (dff_positions sys net hook).(bit)
+      | None -> -1)
+  in
   let pc_pos_sh =
     lazy
       (match shadow with
@@ -139,9 +136,10 @@ let analyze_impl ?(config = default_config) ?shadow sys =
   in
   let gie_pos_sh =
     lazy
-      (match shadow with
-      | Some sh -> (dff_positions sh (System.netlist sh) "sr").(Isa.flag_gie)
-      | None -> -1)
+      (match shadow, core.Coredef.gie_bit with
+      | Some sh, Some (hook, bit) ->
+        (dff_positions sh (System.netlist sh) hook).(bit)
+      | _ -> -1)
   in
   let ie0_pos = lazy (dff_positions sys net "irq_enable").(0) in
   let ie0_pos_sh =
@@ -155,7 +153,7 @@ let analyze_impl ?(config = default_config) ?shadow sys =
      reachable boundaries of any concrete execution). *)
   let insn_starts =
     let tbl = Hashtbl.create 256 in
-    List.iter (fun a -> Hashtbl.replace tbl a ()) (Asm.instruction_addrs image);
+    List.iter (fun a -> Hashtbl.replace tbl a ()) image.Coredef.insn_addrs;
     tbl
   in
   let merges = ref 0 in
@@ -206,7 +204,7 @@ let analyze_impl ?(config = default_config) ?shadow sys =
   (* -- initialization -- *)
   let init_system s =
     System.reset s;
-    if config.gpio_x then System.set_gpio_in s (Bvec.all_x 16)
+    if config.gpio_x then System.set_gpio_in_x s
     else System.set_gpio_in_int s 0;
     System.set_irq s (if config.irq_x then Bit.X else Bit.Zero);
     List.iter
@@ -231,41 +229,35 @@ let analyze_impl ?(config = default_config) ?shadow sys =
     Hashtbl.create 256
   in
   let sp_bucket () =
-    match Bvec.to_int (Array.sub (System.reg sys 1) 4 12) with
-    | Some v -> v
-    | None -> -1
+    match core.Coredef.sp_reg with
+    | None -> 0
+    | Some sp -> (
+      let v = System.reg sys sp in
+      match Bvec.to_int (Array.sub v 4 (Array.length v - 4)) with
+      | Some b -> b
+      | None -> -1)
   in
-  (* For instructions that load PC from the stack (RETI, RET), the
-     return context — the stack-top words — is part of the key:
-     states returning to different places are never merged, so each
-     continues to its concrete target instead of producing an X
-     program counter. *)
-  let ret_context (insn : Isa.t) =
-    let stack_word off =
-      match Bvec.to_int (System.reg sys 1) with
-      | None -> -1
-      | Some sp -> (
-        if not (Memmap.in_ram sp) then -1
-        else
-          match Bvec.to_int (System.read_ram_word sys (sp + off)) with
-          | Some v -> v
-          | None -> -1)
-    in
-    match insn with
-    | Isa.One { op = Isa.RETI; _ } -> (stack_word 0, stack_word 2)
-    | Isa.Two { dst = Isa.Dreg 0; src = Isa.Sinc 1 | Isa.Sind 1; _ } ->
-      (stack_word 0, 0)
-    | _ -> (0, 0)
+  let gie_value () =
+    match core.Coredef.gie_bit with
+    | Some (hook, bit) -> Bit.to_int (System.read_hook sys hook).(bit)
+    | None -> 0
   in
-  let table_key pcv insn =
+  (* For instructions that load PC from memory (returns), the return
+     context — the core-defined key words, e.g. the stack top — is
+     part of the key: states returning to different places are never
+     merged, so each continues to its concrete target instead of
+     producing an X program counter. *)
+  let ret_context pcv =
+    core.Coredef.ret_context ~rom_word
+      ~read_reg:(fun r -> Bvec.to_int (System.reg sys r))
+      ~read_ram_word:(fun a -> Bvec.to_int (System.read_ram_word sys a))
+      ~pc:pcv
+  in
+  let table_key pcv =
     match config.key_refinement with
     | `Pc_only -> (pcv, 0, 0, (0, 0))
-    | `Pc_gie -> (pcv, Bit.to_int (System.reg sys 2).(Isa.flag_gie), 0, (0, 0))
-    | `Full ->
-      ( pcv,
-        Bit.to_int (System.reg sys 2).(Isa.flag_gie),
-        sp_bucket (),
-        ret_context insn )
+    | `Pc_gie -> (pcv, gie_value (), 0, (0, 0))
+    | `Full -> (pcv, gie_value (), sp_bucket (), ret_context pcv)
   in
   let stack : entry Stack.t = Stack.create () in
   let log fmt =
@@ -290,9 +282,9 @@ let analyze_impl ?(config = default_config) ?shadow sys =
         (fun r ->
           let a = System.reg sys r and b = System.reg sh r in
           if not (consistent a b) then
-            mismatch "%s: r%d differs: original %s, bespoke %s" context r
-              (Bvec.to_string a) (Bvec.to_string b))
-        arch_regs;
+            mismatch "%s: %s differs: original %s, bespoke %s" context
+              (core.Coredef.reg_name r) (Bvec.to_string a) (Bvec.to_string b))
+        core.Coredef.arch_regs;
       if System.halted sys <> System.halted sh then
         mismatch "%s: halt state differs" context
   in
@@ -420,7 +412,8 @@ let analyze_impl ?(config = default_config) ?shadow sys =
                     (fun v ->
                       let a = Bvec.to_int_exn v in
                       if
-                        a land 1 = 0 && Memmap.in_rom a
+                        a land (core.Coredef.insn_align - 1) = 0
+                        && Coredef.in_rom core a
                         && Hashtbl.mem insn_starts a
                       then Some a
                       else None)
@@ -430,7 +423,7 @@ let analyze_impl ?(config = default_config) ?shadow sys =
                     (fun a () acc ->
                       if
                         Bvec.subsumes ~general:pcv
-                          ~specific:(Bvec.of_int ~width:16 a)
+                          ~specific:(Bvec.of_int ~width:(Array.length pcv) a)
                       then a :: acc
                       else acc)
                     insn_starts []
@@ -445,7 +438,7 @@ let analyze_impl ?(config = default_config) ?shadow sys =
             (fun t ->
               let s, s_sh =
                 force_both snap ~pos:pc_pos ~pos_sh:(Lazy.force pc_pos_sh)
-                  (Bvec.of_int ~width:16 t)
+                  (Bvec.of_int ~width:pc_width t)
               in
               let edge = Printf.sprintf "pc=0x%04x" t in
               (* prune eagerly if the table already covers this child *)
@@ -476,7 +469,8 @@ let analyze_impl ?(config = default_config) ?shadow sys =
           finish "forked";
           finished := true
         | Some pcv when
-            (not (Memmap.in_rom pcv)) || not (Hashtbl.mem insn_starts pcv) ->
+            (not (Coredef.in_rom core pcv)) || not (Hashtbl.mem insn_starts pcv)
+          ->
           (* Only an over-approximate merged superstate can compute a
              PC outside the program (e.g. a spurious enumeration child
              that unwinds an empty stack).  No concrete execution of
@@ -489,19 +483,13 @@ let analyze_impl ?(config = default_config) ?shadow sys =
           finished := true
         | Some pcv ->
           cur_pc := pcv;
-          let insn =
-            try
-              fst
-                (Isa.decode (rom_word pcv)
-                   [ rom_word (pcv + 2); rom_word (pcv + 4) ])
-            with Isa.Decode_error m -> fail "decode at %04x: %s" pcv m
-          in
+          let info = classify ~pc:pcv in
           let pending = (System.read_hook sys "irq_pending").(0) in
           let is_ctl =
-            is_control_insn insn || not (Bit.equal pending Bit.Zero)
+            info.Coredef.ci_control || not (Bit.equal pending Bit.Zero)
           in
           if is_ctl && not !skip_table then begin
-            let key = table_key pcv insn in
+            let key = table_key pcv in
             let s = snapshot_both () in
             match Hashtbl.find_opt table key with
             | Some (c, _)
@@ -533,15 +521,19 @@ let analyze_impl ?(config = default_config) ?shadow sys =
             (match pending with
             | Bit.X ->
               let s = snapshot_both () in
+              let gie_source =
+                match core.Coredef.gie_bit with
+                | Some (hook, bit) ->
+                  [ ((System.read_hook sys hook).(bit),
+                     Lazy.force gie_pos, Lazy.force gie_pos_sh) ]
+                | None -> []
+              in
               let sources =
-                [
-                  ((System.read_hook sys "irq_flag").(0),
-                   Lazy.force ifg0_pos, Lazy.force ifg0_pos_sh);
-                  ((System.reg sys 2).(Isa.flag_gie),
-                   Lazy.force gie_pos, Lazy.force gie_pos_sh);
-                  ((System.read_hook sys "irq_enable").(0),
-                   Lazy.force ie0_pos, Lazy.force ie0_pos_sh);
-                ]
+                ((System.read_hook sys "irq_flag").(0),
+                 Lazy.force ifg0_pos, Lazy.force ifg0_pos_sh)
+                :: gie_source
+                @ [ ((System.read_hook sys "irq_enable").(0),
+                     Lazy.force ie0_pos, Lazy.force ie0_pos_sh) ]
               in
               let unknown =
                 List.filter (fun (v, _, _) -> not (Bit.is_known v)) sources

@@ -22,7 +22,7 @@
     others. *)
 
 module Bit := Bespoke_logic.Bit
-module System := Bespoke_cpu.System
+module System := Bespoke_coreapi.System
 
 type config = {
   gpio_x : bool;  (** drive the GPIO input port with X (default true) *)

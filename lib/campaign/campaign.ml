@@ -13,8 +13,8 @@
    field is the input index), one trailing summary line. *)
 
 module B = Bespoke_programs.Benchmark
-module Rtos = Bespoke_programs.Rtos
-module Subneg = Bespoke_programs.Subneg
+module Coredef = Bespoke_coreapi.Coredef
+module Cores = Bespoke_cores.Cores
 module Activity = Bespoke_analysis.Activity
 module Netlist = Bespoke_netlist.Netlist
 module Runner = Bespoke_core.Runner
@@ -55,6 +55,7 @@ type program = Named of string | Inline of B.t
 
 type job = {
   kind : kind;
+  core : string;  (* registry name of the target core *)
   program : program;
   seed : int;
   faults : int;
@@ -62,25 +63,33 @@ type job = {
   engine : Runner.engine;
 }
 
-let job ?(kind = Analyze) ?(seed = 1) ?(faults = 3) ?(mutant = -1)
+let job ?(kind = Analyze) ?core ?(seed = 1) ?(faults = 3) ?(mutant = -1)
     ?(engine = Runner.Compiled) program =
-  { kind; program; seed; faults; mutant; engine }
+  let core =
+    match core with
+    | Some c -> c
+    | None -> Cores.default.Cores.core.Coredef.name
+  in
+  { kind; core; program; seed; faults; mutant; engine }
 
 let program_name = function Named n -> n | Inline b -> b.B.name
 
-(* Benchmarks are resolved at execution time, inside the per-job
-   exception fence — an unknown name becomes that job's error record,
-   never a dead campaign. *)
-let known_benchmarks () = B.all @ [ Rtos.kernel; Subneg.characterization ]
+(* Cores and benchmarks are resolved at execution time, inside the
+   per-job exception fence — an unknown name becomes that job's error
+   record, never a dead campaign.  Benchmark registries are per-core:
+   the same name ("mult", ...) may resolve to a different port on each
+   core. *)
+let resolve_core name = Cores.find_exn name
 
-let resolve_program = function
+let resolve_program (entry : Cores.entry) = function
   | Inline b -> b
   | Named name -> (
-    match List.find_opt (fun b -> b.B.name = name) (known_benchmarks ()) with
+    match Cores.benchmark entry name with
     | Some b -> b
     | None ->
       failwith
-        (Printf.sprintf "unknown benchmark %S (see `bespoke bench-list`)" name))
+        (Printf.sprintf "unknown benchmark %S on core %s (see `bespoke bench-list`)"
+           name entry.Cores.core.Coredef.name))
 
 (* ------------------------------------------------------------------ *)
 (* Job execution.  Every kind goes through the campaign job cache —
@@ -133,20 +142,21 @@ let analyze_payload (report : Activity.report) =
 let tailor_cache : (Activity.report * Netlist.t * Cut.stats) Flowcache.t =
   Flowcache.create ~name:"campaign.tailor" ()
 
-let tailored b =
+let tailored ~core b =
   let key =
     Flowcache.digest
       [
         "campaign.tailor";
-        Runner.image_hash (B.image b);
-        Runner.shared_netlist_hash ();
+        Coredef.fingerprint core;
+        Runner.image_hash (Runner.image ~core b);
+        Runner.shared_netlist_hash core;
         String.concat ","
           (List.map (fun (a, z) -> Printf.sprintf "%x-%x" a z) b.B.input_ranges);
         string_of_bool b.B.uses_irq;
       ]
   in
   Flowcache.find_or_compute tailor_cache ~key (fun () ->
-      let (report, net), _ = Runner.analyze_cached b in
+      let (report, net), _ = Runner.analyze_cached ~core b in
       let bespoke, stats =
         Cut.tailor net ~possibly_toggled:report.Activity.possibly_toggled
           ~constants:report.Activity.constant_values
@@ -161,17 +171,19 @@ let stats_payload (stats : Cut.stats) =
     ("area_ratio", num (stats.Cut.bespoke_area /. stats.Cut.original_area));
   ]
 
-let exec_kind (j : job) (b : B.t) : (string * string) list =
+let exec_kind (j : job) ~(core : Coredef.t) (b : B.t) : (string * string) list =
   match j.kind with
   | Analyze ->
-    let (report, _), _ = Runner.analyze_cached b in
+    let (report, _), _ = Runner.analyze_cached ~core b in
     analyze_payload report
   | Tailor ->
-    let _, _, stats = tailored b in
+    let _, _, stats = tailored ~core b in
     stats_payload stats
   | Report ->
-    let _, bespoke, stats = tailored b in
-    let o = Runner.run_gate ~engine:j.engine ~netlist:bespoke b ~seed:j.seed in
+    let _, bespoke, stats = tailored ~core b in
+    let o =
+      Runner.run_gate ~engine:j.engine ~netlist:bespoke ~core b ~seed:j.seed
+    in
     let p =
       Report.power ~freq_hz ~toggles:o.Runner.toggles
         ~cycles:o.Runner.sim_cycles bespoke
@@ -184,7 +196,8 @@ let exec_kind (j : job) (b : B.t) : (string * string) list =
       ]
   | Verify ->
     let c =
-      Verify.check_benchmark ~engine:j.engine ~faults:j.faults ~seed:j.seed b
+      Verify.check_benchmark ~engine:j.engine ~faults:j.faults ~seed:j.seed
+        ~core b
     in
     let score = Verify.kill_stats c in
     [
@@ -194,7 +207,7 @@ let exec_kind (j : job) (b : B.t) : (string * string) list =
       ("kill_score_pct", num (Verify.kill_score_pct score));
     ]
   | Run ->
-    let iss = Runner.check_equivalence ~engine:j.engine b ~seed:j.seed in
+    let iss = Runner.check_equivalence ~engine:j.engine ~core b ~seed:j.seed in
     [
       ("cycles", string_of_int iss.Runner.cycles);
       ("instructions", string_of_int iss.Runner.instructions);
@@ -205,7 +218,7 @@ let exec_kind (j : job) (b : B.t) : (string * string) list =
        watched by the shadow cut-assumption monitors, running either
        [b] itself (mutant < 0) or one of its single-instruction
        mutants — the in-field-update risk as a campaign job *)
-    let (report, net), _ = Runner.analyze_cached b in
+    let (report, net), _ = Runner.analyze_cached ~core b in
     let bespoke, _, prov =
       Cut.tailor_explained net
         ~possibly_toggled:report.Activity.possibly_toggled
@@ -218,6 +231,12 @@ let exec_kind (j : job) (b : B.t) : (string * string) list =
     in
     let workload =
       if j.mutant < 0 then b
+      else if core.Coredef.name <> Cores.default.Cores.core.Coredef.name then
+        (* the mutation catalog rewrites MSP430 assembly; other cores
+           replay their pristine workload only *)
+        failwith
+          (Printf.sprintf "guard mutants are not available on core %s"
+             core.Coredef.name)
       else
         match
           List.find_opt
@@ -231,7 +250,10 @@ let exec_kind (j : job) (b : B.t) : (string * string) list =
                j.mutant b.B.name)
     in
     let w = Guard.watch_bespoke plan in
-    let rp = Guard.replay ~engine:j.engine w ~netlist:bespoke workload ~seed:j.seed in
+    let rp =
+      Guard.replay ~engine:j.engine w ~core ~netlist:bespoke workload
+        ~seed:j.seed
+    in
     [
       ("workload", json_str workload.B.name);
       ("assumptions", string_of_int (List.length plan.Guard.p_assumptions));
@@ -273,7 +295,9 @@ let inputs_fingerprint (j : job) (b : B.t) =
       (String.concat "," (List.map string_of_int irqs))
 
 let exec_job (j : job) : (string * string) list * bool =
-  let b = resolve_program j.program in
+  let entry = resolve_core j.core in
+  let core = entry.Cores.core in
+  let b = resolve_program entry j.program in
   let params =
     match j.kind with
     | Analyze | Tailor -> ""
@@ -286,13 +310,15 @@ let exec_job (j : job) : (string * string) list * bool =
       [
         "campaign";
         kind_to_string j.kind;
-        Runner.image_hash (B.image b);
-        Runner.shared_netlist_hash ();
+        Coredef.fingerprint core;
+        Runner.image_hash (Runner.image ~core b);
+        Runner.shared_netlist_hash core;
         inputs_fingerprint j b;
         params;
       ]
   in
-  Flowcache.find_or_compute_report jobs_cache ~key (fun () -> exec_kind j b)
+  Flowcache.find_or_compute_report jobs_cache ~key (fun () ->
+      exec_kind j ~core b)
 
 (* ------------------------------------------------------------------ *)
 
@@ -363,9 +389,18 @@ let run ?jobs ?on_outcome ?on_event (js : job list) =
         ("tasks", string_of_int (List.length js));
       ]
   @@ fun () ->
-  (* shared lazies, forced before the domains fan out *)
-  ignore (Runner.shared_netlist ());
-  ignore (Runner.shared_netlist_hash ());
+  (* shared memos, forced once per distinct core before the domains
+     fan out (the memo tables are not domain-safe).  An unresolvable
+     core name is skipped here — it becomes that job's error record
+     inside the execution fence. *)
+  List.iter
+    (fun name ->
+      match Cores.find name with
+      | Some e ->
+        ignore (Runner.shared_netlist e.Cores.core);
+        ignore (Runner.shared_netlist_hash e.Cores.core)
+      | None -> ())
+    (List.sort_uniq compare (List.map (fun j -> j.core) js));
   let t0 = now () in
   (* One lock serializes progress-state updates AND both callbacks, so
      a stream writer in the callback sees events in a consistent
@@ -476,9 +511,11 @@ let run ?jobs ?on_outcome ?on_event (js : job list) =
   (outcomes, summary)
 
 (* ------------------------------------------------------------------ *)
-(* Job-list parsing: one job per line, `KIND BENCH [seed=N] [faults=N]
-   [engine=E]`; blank lines and #-comments are skipped.  A malformed
-   line is a campaign-level error (the file is wrong, not a job). *)
+(* Job-list parsing: one job per line, `KIND BENCH [core=NAME] [seed=N]
+   [faults=N] [engine=E]`; blank lines and #-comments are skipped.  A
+   malformed line is a campaign-level error (the file is wrong, not a
+   job); an unknown core or benchmark NAME is a job-level error,
+   surfaced when the job runs. *)
 
 let parse_line line =
   let line =
@@ -500,6 +537,7 @@ let parse_line line =
       List.iter
         (fun opt ->
           match String.split_on_char '=' opt with
+          | [ "core"; v ] -> j := { !j with core = v }
           | [ "seed"; v ] -> (
             match int_of_string_opt v with
             | Some s -> j := { !j with seed = s }
@@ -545,12 +583,13 @@ let obj fields =
   ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields)
   ^ "}"
 
-let header_jsonl ~jobs ~total =
+let header_jsonl ~jobs ~cores ~total =
   obj
     [
       ("schema", str schema);
       ("total_jobs", string_of_int total);
       ("jobs", string_of_int jobs);
+      ("cores", "[" ^ String.concat "," (List.map str cores) ^ "]");
     ]
 
 let outcome_jsonl (o : outcome) =
@@ -558,6 +597,7 @@ let outcome_jsonl (o : outcome) =
     [
       ("job", string_of_int o.o_index);
       ("kind", str (kind_to_string o.o_job.kind));
+      ("core", str o.o_job.core);
       ("bench", str (program_name o.o_job.program));
       ("seed", string_of_int o.o_job.seed);
       ("faults", string_of_int o.o_job.faults);

@@ -27,14 +27,15 @@ val kind_of_string : string -> kind option
 
 type program =
   | Named of string
-      (** resolved against the benchmark suite (plus the RTOS kernel
-          and SUBNEG characterization) at {e execution} time, so an
-          unknown name is that job's error record, not a campaign
-          failure *)
+      (** resolved against the job's core's benchmark registry
+          ({!Bespoke_cores.Cores}) at {e execution} time, so an
+          unknown name — or an unknown core — is that job's error
+          record, not a campaign failure *)
   | Inline of B.t
 
 type job = {
   kind : kind;
+  core : string;  (** {!Bespoke_cores.Cores} registry name *)
   program : program;
   seed : int;  (** concrete-input seed for report/run/verify/guard *)
   faults : int;  (** injected faults for verify *)
@@ -43,9 +44,10 @@ type job = {
 }
 
 val job :
-  ?kind:kind -> ?seed:int -> ?faults:int -> ?mutant:int ->
+  ?kind:kind -> ?core:string -> ?seed:int -> ?faults:int -> ?mutant:int ->
   ?engine:Runner.engine -> program -> job
-(** Defaults: [Analyze], seed 1, 3 faults, mutant -1, [Compiled]. *)
+(** Defaults: [Analyze], the default core ([msp430]), seed 1, 3
+    faults, mutant -1, [Compiled]. *)
 
 val program_name : program -> string
 
@@ -125,7 +127,7 @@ val run :
 
 val parse_line : string -> (job option, string) result
 (** One job-list line:
-    [KIND BENCH [seed=N] [faults=N] [mutant=N] [engine=E]].
+    [KIND BENCH [core=NAME] [seed=N] [faults=N] [mutant=N] [engine=E]].
     Blank lines and [#] comments are [Ok None]. *)
 
 val parse_file : string -> (job list, string) result
@@ -134,7 +136,10 @@ val parse_file : string -> (job list, string) result
 val schema : string
 (** ["bespoke-campaign/v1"]. *)
 
-val header_jsonl : jobs:int -> total:int -> string
+val header_jsonl : jobs:int -> cores:string list -> total:int -> string
+(** [cores] is the distinct core names the campaign targets — an
+    additive field of the [bespoke-campaign/v1] header. *)
+
 val outcome_jsonl : outcome -> string
 
 val heartbeat_jsonl : seq:int -> progress -> string

@@ -3,7 +3,7 @@ module Gate = Bespoke_netlist.Gate
 module Netlist = Bespoke_netlist.Netlist
 module Engine = Bespoke_sim.Engine
 module Memory = Bespoke_sim.Memory
-module System = Bespoke_cpu.System
+module System = Bespoke_coreapi.System
 module Cells = Bespoke_cells.Cells
 module Report = Bespoke_power.Report
 module Benchmark = Bespoke_programs.Benchmark
@@ -13,9 +13,9 @@ type t = {
   power_saving_fraction : float;
 }
 
-let evaluate ?netlist ?(seed = 1) (b : Benchmark.t) =
+let evaluate ?netlist ?(seed = 1) ~core (b : Benchmark.t) =
   let net =
-    match netlist with Some n -> n | None -> Runner.shared_netlist ()
+    match netlist with Some n -> n | None -> Runner.shared_netlist core
   in
   let ng = Netlist.gate_count net in
   let module_of = Array.init ng (fun id -> Netlist.module_of net id) in
@@ -24,13 +24,10 @@ let evaluate ?netlist ?(seed = 1) (b : Benchmark.t) =
   List.iteri (fun i m -> Hashtbl.replace midx m i) modules;
   let nmod = List.length modules in
   let idle = Array.make nmod 0 in
-  let sys = System.create ~netlist:net (Benchmark.image b) in
+  let sys = System.create ~netlist:net ~core (Runner.image ~core b) in
   System.reset sys;
   let ram_writes, gpio = b.Benchmark.gen_inputs seed in
-  List.iter
-    (fun (a, v) ->
-      Memory.load_int (System.ram sys) ((a lsr 1) land 0x7ff) v)
-    ram_writes;
+  List.iter (fun (a, v) -> System.load_ram_word sys a v) ram_writes;
   System.set_gpio_in_int sys gpio;
   System.set_irq sys Bit.Zero;
   let eng = System.engine sys in

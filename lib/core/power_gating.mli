@@ -17,4 +17,6 @@ type t = {
           baseline design's power *)
 }
 
-val evaluate : ?netlist:Netlist.t -> ?seed:int -> Benchmark.t -> t
+val evaluate :
+  ?netlist:Netlist.t -> ?seed:int -> core:Bespoke_coreapi.Coredef.t ->
+  Benchmark.t -> t

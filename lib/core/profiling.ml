@@ -15,12 +15,12 @@ type t = {
 }
 
 let profile ?netlist ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ])
-    ?(engine = Runner.Packed) b =
+    ?(engine = Runner.Packed) ~core b =
   Obs.Span.with_ ~name:"profiling.profile"
     ~args:[ ("benchmark", b.Benchmark.name) ]
     (fun () ->
   let net =
-    match netlist with Some n -> n | None -> Runner.shared_netlist ()
+    match netlist with Some n -> n | None -> Runner.shared_netlist core
   in
   let ng = Netlist.gate_count net in
   let union = Array.make ng false in
@@ -35,11 +35,11 @@ let profile ?netlist ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ])
     match engine with
     | Runner.Packed when List.length seeds > 1 ->
       Obs.Metrics.add m_lanes_packed (List.length seeds);
-      Runner.run_gate_packed ~netlist:net b ~seeds
+      Runner.run_gate_packed ~netlist:net ~core b ~seeds
     | e ->
       let e = if e = Runner.Packed then Runner.Compiled else e in
       Pool.map
-        (fun seed -> (seed, Runner.run_gate ~engine:e ~netlist:net b ~seed))
+        (fun seed -> (seed, Runner.run_gate ~engine:e ~netlist:net ~core b ~seed))
         seeds
   in
   let per_seed =

@@ -19,7 +19,7 @@ type t = {
 
 val profile :
   ?netlist:Netlist.t -> ?seeds:int list -> ?engine:Runner.engine ->
-  Benchmark.t -> t
+  core:Bespoke_coreapi.Coredef.t -> Benchmark.t -> t
 (** Default seeds: 1..8.  [engine] (default [Packed]) selects the
     simulation engine: [Packed] runs all seeds in one bit-parallel
     {!Bespoke_sim.Engine64} simulation, the scalar engines run one

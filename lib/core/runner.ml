@@ -2,14 +2,12 @@ module Bit = Bespoke_logic.Bit
 module Bvec = Bespoke_logic.Bvec
 module Netlist = Bespoke_netlist.Netlist
 module Serial = Bespoke_netlist.Serial
-module Asm = Bespoke_isa.Asm
 module Engine = Bespoke_sim.Engine
-module Memory = Bespoke_sim.Memory
-module Iss = Bespoke_isa.Iss
-module System = Bespoke_cpu.System
-module System64 = Bespoke_cpu.System64
 module Engine64 = Bespoke_sim.Engine64
-module Cpu = Bespoke_cpu.Cpu
+module Coredef = Bespoke_coreapi.Coredef
+module System = Bespoke_coreapi.System
+module System64 = Bespoke_coreapi.System64
+module Lockstep = Bespoke_coreapi.Lockstep
 module Activity = Bespoke_analysis.Activity
 module Benchmark = Bespoke_programs.Benchmark
 module Obs = Bespoke_obs.Obs
@@ -60,30 +58,51 @@ type gate_outcome = {
 
 exception Mismatch of string
 
-let the_netlist = lazy (Cpu.build ())
-let shared_netlist () = Lazy.force the_netlist
+(* ------------------------------------------------------------------ *)
+(* Per-core memoization.  One stock netlist (and its Serial hash) per
+   core descriptor, keyed by core name; one assembled image per
+   (core, source digest), so re-assembly of mutant sources never
+   collides with the pristine benchmark.  As with the old lazy cell:
+   force these in the parent before fanning out with [Pool] — the
+   tables are not domain-safe. *)
+
+let netlist_table : (string, Netlist.t * string) Hashtbl.t = Hashtbl.create 4
+
+let shared_netlist_entry (core : Coredef.t) =
+  match Hashtbl.find_opt netlist_table core.Coredef.name with
+  | Some e -> e
+  | None ->
+    let net = core.Coredef.build () in
+    let e = (net, Serial.hash net) in
+    Hashtbl.replace netlist_table core.Coredef.name e;
+    e
+
+let shared_netlist core = fst (shared_netlist_entry core)
+let shared_netlist_hash core = snd (shared_netlist_entry core)
+
+let netlist_hash ~core net =
+  match Hashtbl.find_opt netlist_table core.Coredef.name with
+  | Some (n, h) when n == net -> h
+  | _ -> Serial.hash net
+
+let image_table : (string, Coredef.image) Hashtbl.t = Hashtbl.create 64
+
+let image ~core (b : Benchmark.t) =
+  let key = core.Coredef.name ^ "/" ^ Digest.to_hex (Digest.string b.Benchmark.source) in
+  match Hashtbl.find_opt image_table key with
+  | Some img -> img
+  | None ->
+    let img = core.Coredef.assemble b.Benchmark.source in
+    Hashtbl.replace image_table key img;
+    img
 
 (* ------------------------------------------------------------------ *)
 (* Content-addressed keys for the flow cache: a binary-image hash, a
-   netlist hash (memoized for the shared stock netlist — [Serial.hash]
-   is ~2 ms) and a config fingerprint covering every field that can
-   change the analysis result. *)
+   netlist hash and a config fingerprint covering every field that can
+   change the analysis result.  The core fingerprint is a separate key
+   component wherever these are combined. *)
 
-let image_hash (img : Asm.image) =
-  let b = Buffer.create 256 in
-  List.iter
-    (fun (a, w) -> Buffer.add_string b (Printf.sprintf "%x:%x;" a w))
-    img.Asm.words;
-  Buffer.add_string b (Printf.sprintf "@%x" img.Asm.entry);
-  Digest.to_hex (Digest.string (Buffer.contents b))
-
-let the_netlist_hash = lazy (Serial.hash (Lazy.force the_netlist))
-let shared_netlist_hash () = Lazy.force the_netlist_hash
-
-let netlist_hash net =
-  if Lazy.is_val the_netlist && Lazy.force the_netlist == net then
-    Lazy.force the_netlist_hash
-  else Serial.hash net
+let image_hash = Coredef.image_hash
 
 let config_fingerprint (c : Activity.config) =
   (* [verbose] only changes logging and [probe] bypasses the cache
@@ -105,51 +124,44 @@ let config_fingerprint (c : Activity.config) =
     | `Pc_gie -> "pc_gie"
     | `Full -> "full")
 
-let run_iss (b : Benchmark.t) ~seed =
-  let img = Benchmark.image b in
-  let t = Iss.create img in
-  Iss.reset t;
+let run_iss ~core (b : Benchmark.t) ~seed =
+  let img = image ~core b in
+  let t = img.Coredef.mk_iss () in
+  t.Coredef.reset ();
   let ram_writes, gpio = b.Benchmark.gen_inputs seed in
-  List.iter (fun (a, v) -> Iss.write_ram_word t a v) ram_writes;
-  Iss.set_gpio_in t gpio;
+  List.iter (fun (a, v) -> t.Coredef.write_ram_word a v) ram_writes;
+  t.Coredef.set_gpio_in gpio;
   let pulses = if b.Benchmark.uses_irq then b.Benchmark.irq_pulses seed else [] in
   let limit = 2_000_000 in
   let n = ref 0 in
-  while (not (Iss.halted t)) && !n < limit do
-    Iss.set_irq_line t (List.mem (Iss.instructions_retired t) pulses);
-    Iss.step t;
+  while (not (t.Coredef.halted ())) && !n < limit do
+    t.Coredef.set_irq_line (List.mem (t.Coredef.retired ()) pulses);
+    t.Coredef.step ();
     incr n
   done;
-  if not (Iss.halted t) then
+  if not (t.Coredef.halted ()) then
     failwith (Printf.sprintf "Runner.run_iss %s: did not halt" b.Benchmark.name);
   {
     results =
-      List.map (fun a -> (a, Iss.read_ram_word t a)) b.Benchmark.result_addrs;
-    cycles = Iss.cycles t;
-    instructions = Iss.instructions_retired t;
-    gpio_out = Iss.gpio_out t;
+      List.map (fun a -> (a, t.Coredef.read_ram_word a)) b.Benchmark.result_addrs;
+    cycles = t.Coredef.cycles ();
+    instructions = t.Coredef.retired ();
+    gpio_out = t.Coredef.gpio_out ();
   }
 
-let load_ram_word sys addr v =
-  let ram = System.ram sys in
-  Memory.load_int ram ((addr lsr 1) land 0x7ff) v
-
-let run_gate_scalar ~mode ?attach ?netlist ?(max_cycles = 3_000_000)
+let run_gate_scalar ~mode ?attach ?netlist ?(max_cycles = 3_000_000) ~core
     (b : Benchmark.t) ~seed =
   Obs.Span.with_ ~name:"runner.run_gate"
     ~args:[ ("benchmark", b.Benchmark.name); ("seed", string_of_int seed) ]
   @@ fun () ->
   Obs.Metrics.incr m_gate_runs;
-  let img = Benchmark.image b in
-  let sys =
-    match netlist with
-    | Some n -> System.create ~mode ~netlist:n img
-    | None -> System.create ~mode ~netlist:(shared_netlist ()) img
-  in
+  let img = image ~core b in
+  let net = match netlist with Some n -> n | None -> shared_netlist core in
+  let sys = System.create ~mode ~netlist:net ~core img in
   (match attach with None -> () | Some f -> f (System.engine sys));
   System.reset sys;
   let ram_writes, gpio = b.Benchmark.gen_inputs seed in
-  List.iter (fun (a, v) -> load_ram_word sys a v) ram_writes;
+  List.iter (fun (a, v) -> System.load_ram_word sys a v) ram_writes;
   System.set_gpio_in_int sys gpio;
   System.set_irq sys Bit.Zero;
   let pulses = if b.Benchmark.uses_irq then b.Benchmark.irq_pulses seed else [] in
@@ -193,7 +205,7 @@ let run_gate_scalar ~mode ?attach ?netlist ?(max_cycles = 3_000_000)
    and lanes leave the active set when (and only when) the scalar loop
    would have exited, so every lane's toggle counts are bit-identical
    to its scalar run. *)
-let run_packed_chunk ?attach64 ~netlist ~max_cycles (b : Benchmark.t)
+let run_packed_chunk ?attach64 ~netlist ~max_cycles ~core (b : Benchmark.t)
     (seeds : int array) =
   Obs.Span.with_ ~name:"runner.run_gate_packed"
     ~args:
@@ -203,15 +215,15 @@ let run_packed_chunk ?attach64 ~netlist ~max_cycles (b : Benchmark.t)
       ]
   @@ fun () ->
   let lanes = Array.length seeds in
-  let img = Benchmark.image b in
-  let sys = System64.create ~lanes ~netlist img in
+  let img = image ~core b in
+  let sys = System64.create ~lanes ~netlist ~core img in
   (match attach64 with None -> () | Some f -> f (System64.engine sys));
   System64.reset sys;
   Array.iteri
     (fun lane seed ->
       let ram_writes, gpio = b.Benchmark.gen_inputs seed in
       List.iter (fun (a, v) -> System64.load_ram_word sys lane a v) ram_writes;
-      System64.set_gpio_in_lane sys lane (Bvec.of_int ~width:16 gpio))
+      System64.set_gpio_in_lane_int sys lane gpio)
     seeds;
   System64.set_irq_lanes sys (Array.make lanes Bit.Zero);
   let pulses =
@@ -281,9 +293,9 @@ let run_packed_chunk ?attach64 ~netlist ~max_cycles (b : Benchmark.t)
            } ))
        seeds)
 
-let run_gate_packed ?attach64 ?netlist ?(max_cycles = 3_000_000)
+let run_gate_packed ?attach64 ?netlist ?(max_cycles = 3_000_000) ~core
     (b : Benchmark.t) ~seeds =
-  let net = match netlist with Some n -> n | None -> shared_netlist () in
+  let net = match netlist with Some n -> n | None -> shared_netlist core in
   let rec chunk acc = function
     | [] -> List.concat (List.rev acc)
     | rest ->
@@ -291,7 +303,8 @@ let run_gate_packed ?attach64 ?netlist ?(max_cycles = 3_000_000)
       let head = Array.of_list (List.filteri (fun i _ -> i < n) rest) in
       let tail = List.filteri (fun i _ -> i >= n) rest in
       chunk
-        (run_packed_chunk ?attach64 ~netlist:net ~max_cycles b head :: acc)
+        (run_packed_chunk ?attach64 ~netlist:net ~max_cycles ~core b head
+         :: acc)
         tail
   in
   chunk [] seeds
@@ -299,35 +312,37 @@ let run_gate_packed ?attach64 ?netlist ?(max_cycles = 3_000_000)
 (* The selector entry point.  [Packed] runs a one-lane Engine64
    simulation, so every engine answers the same single-seed question
    with bit-identical results. *)
-let run_gate ?(engine = Compiled) ?attach ?attach64 ?netlist ?max_cycles
+let run_gate ?(engine = Compiled) ?attach ?attach64 ?netlist ?max_cycles ~core
     (b : Benchmark.t) ~seed =
   match engine with
   | Packed -> (
-    match run_gate_packed ?attach64 ?netlist ?max_cycles b ~seeds:[ seed ] with
+    match
+      run_gate_packed ?attach64 ?netlist ?max_cycles ~core b ~seeds:[ seed ]
+    with
     | [ (_, o) ] -> o
     | _ -> assert false)
   | e ->
-    run_gate_scalar ~mode:(mode_of_engine e) ?attach ?netlist ?max_cycles b
-      ~seed
+    run_gate_scalar ~mode:(mode_of_engine e) ?attach ?netlist ?max_cycles ~core
+      b ~seed
 
-let co_simulate ?(engine = Compiled) ?netlist ?x_dont_care (b : Benchmark.t)
-    ~seed =
+let co_simulate ?(engine = Compiled) ?netlist ?x_dont_care ~core
+    (b : Benchmark.t) ~seed =
   Obs.Span.with_ ~name:"runner.co_simulate"
     ~args:[ ("benchmark", b.Benchmark.name); ("seed", string_of_int seed) ]
   @@ fun () ->
-  let img = Benchmark.image b in
+  let img = image ~core b in
   let ram_writes, gpio = b.Benchmark.gen_inputs seed in
   let irq_pulse_at =
     if b.Benchmark.uses_irq then b.Benchmark.irq_pulses seed else []
   in
-  let netlist = match netlist with Some n -> n | None -> shared_netlist () in
-  Bespoke_cpu.Lockstep.run_result ~mode:(mode_of_engine engine) ~netlist
-    ~gpio_in:gpio ~ram_writes ~irq_pulse_at ?x_dont_care img
+  let netlist = match netlist with Some n -> n | None -> shared_netlist core in
+  Lockstep.run_result ~mode:(mode_of_engine engine) ~netlist ~gpio_in:gpio
+    ~ram_writes ~irq_pulse_at ?x_dont_care ~core img
 
-let check_equivalence ?engine ?attach ?attach64 ?netlist (b : Benchmark.t)
+let check_equivalence ?engine ?attach ?attach64 ?netlist ~core (b : Benchmark.t)
     ~seed =
-  let iss = run_iss b ~seed in
-  let gate = run_gate ?engine ?attach ?attach64 ?netlist b ~seed in
+  let iss = run_iss ~core b ~seed in
+  let gate = run_gate ?engine ?attach ?attach64 ?netlist ~core b ~seed in
   List.iter2
     (fun (a, expect) (a', got) ->
       assert (a = a');
@@ -349,12 +364,13 @@ let check_equivalence ?engine ?attach ?attach64 ?netlist (b : Benchmark.t)
   | _ ->
     raise
       (Mismatch (Printf.sprintf "%s seed %d: gpio mismatch" b.Benchmark.name seed)));
-  (* gate-level includes the reset cycle *)
-  if gate.g_cycles <> iss.cycles + 1 then
+  (* gate-level includes the reset cycle(s) *)
+  if gate.g_cycles <> iss.cycles + core.Coredef.reset_extra_cycles then
     raise
       (Mismatch
-         (Printf.sprintf "%s seed %d: cycles ISS %d+1 vs gate %d"
-            b.Benchmark.name seed iss.cycles gate.g_cycles));
+         (Printf.sprintf "%s seed %d: cycles ISS %d+%d vs gate %d"
+            b.Benchmark.name seed iss.cycles core.Coredef.reset_extra_cycles
+            gate.g_cycles));
   iss
 
 let resolve_analysis_config ?config (b : Benchmark.t) =
@@ -367,7 +383,7 @@ let resolve_analysis_config ?config (b : Benchmark.t) =
       irq_x = b.Benchmark.uses_irq;
     }
 
-let analyze ?config ?(engine = Event) ?netlist (b : Benchmark.t) =
+let analyze ?config ?(engine = Event) ?netlist ~core (b : Benchmark.t) =
   Obs.Span.with_ ~name:"runner.analyze"
     ~args:[ ("benchmark", b.Benchmark.name) ]
   @@ fun () ->
@@ -376,10 +392,10 @@ let analyze ?config ?(engine = Event) ?netlist (b : Benchmark.t) =
     invalid_arg
       "Runner.analyze: packed is seed-parallel; use full, event or compiled"
   | _ -> ());
-  let net = match netlist with Some n -> n | None -> shared_netlist () in
+  let net = match netlist with Some n -> n | None -> shared_netlist core in
   let sys =
-    System.create ~mode:(mode_of_engine engine) ~netlist:net
-      (Benchmark.image b)
+    System.create ~mode:(mode_of_engine engine) ~netlist:net ~core
+      (image ~core b)
   in
   let config = resolve_analysis_config ?config b in
   (Activity.analyze ~config sys, net)
@@ -387,25 +403,26 @@ let analyze ?config ?(engine = Event) ?netlist (b : Benchmark.t) =
 let analysis_cache : (Activity.report * Netlist.t) Flowcache.t =
   Flowcache.create ~name:"analysis" ()
 
-let analyze_cached ?config ?engine ?netlist (b : Benchmark.t) =
+let analyze_cached ?config ?engine ?netlist ~core (b : Benchmark.t) =
   let rc = resolve_analysis_config ?config b in
   if rc.Activity.probe <> None || rc.Activity.verbose then
     (* a probe observes every simulated cycle and verbose logs as it
        explores — a cache hit would silently skip both *)
-    (analyze ~config:rc ?engine ?netlist b, false)
+    (analyze ~config:rc ?engine ?netlist ~core b, false)
   else begin
-    let net = match netlist with Some n -> n | None -> shared_netlist () in
+    let net = match netlist with Some n -> n | None -> shared_netlist core in
     let key =
       Flowcache.digest
         [
           "analysis";
-          image_hash (Benchmark.image b);
-          netlist_hash net;
+          Coredef.fingerprint core;
+          image_hash (image ~core b);
+          netlist_hash ~core net;
           config_fingerprint rc;
         ]
     in
     (* the engine is not part of the key: all engines are bit-identical,
        so the report is engine-independent *)
     Flowcache.find_or_compute_report analysis_cache ~key (fun () ->
-        analyze ~config:rc ?engine ~netlist:net b)
+        analyze ~config:rc ?engine ~netlist:net ~core b)
   end

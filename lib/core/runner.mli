@@ -1,11 +1,17 @@
-(** Drives a benchmark through the ISS and/or the gate-level system:
-    loads generated inputs into RAM, applies the GPIO value and IRQ
-    pulse schedule, runs to the halt port, and harvests results and
-    switching activity. *)
+(** Drives a benchmark through a core's ISS and/or the gate-level
+    system: loads generated inputs into RAM, applies the GPIO value
+    and IRQ pulse schedule, runs to the halt port, and harvests
+    results and switching activity.
+
+    Every entry point takes the target core as an explicit
+    {!Bespoke_coreapi.Coredef} descriptor; nothing in this module is
+    tied to a concrete ISA. *)
 
 module Benchmark := Bespoke_programs.Benchmark
 module Netlist := Bespoke_netlist.Netlist
 module Activity := Bespoke_analysis.Activity
+module Coredef := Bespoke_coreapi.Coredef
+module Lockstep := Bespoke_coreapi.Lockstep
 
 type engine = Full | Event | Packed | Compiled
 (** Uniform gate-simulation engine selector, shared by the library
@@ -32,7 +38,7 @@ type iss_outcome = {
   gpio_out : int;
 }
 
-val run_iss : Benchmark.t -> seed:int -> iss_outcome
+val run_iss : core:Coredef.t -> Benchmark.t -> seed:int -> iss_outcome
 
 type gate_outcome = {
   g_results : (int * int option) list;
@@ -47,7 +53,8 @@ val run_gate :
   ?engine:engine ->
   ?attach:(Bespoke_sim.Engine.t -> unit) ->
   ?attach64:(Bespoke_sim.Engine64.t -> unit) ->
-  ?netlist:Netlist.t -> ?max_cycles:int -> Benchmark.t -> seed:int ->
+  ?netlist:Netlist.t -> ?max_cycles:int -> core:Coredef.t ->
+  Benchmark.t -> seed:int ->
   gate_outcome
 (** Runs on a fresh system unless [netlist] is given (e.g. a bespoke
     design).  IRQ pulses are applied at the benchmark's instruction
@@ -60,7 +67,8 @@ val run_gate :
 
 val run_gate_packed :
   ?attach64:(Bespoke_sim.Engine64.t -> unit) ->
-  ?netlist:Netlist.t -> ?max_cycles:int -> Benchmark.t -> seeds:int list ->
+  ?netlist:Netlist.t -> ?max_cycles:int -> core:Coredef.t ->
+  Benchmark.t -> seeds:int list ->
   (int * gate_outcome) list
 (** Run one gate-level execution per seed, packed into the lanes of a
     single bit-parallel {!Bespoke_sim.Engine64} simulation (chunks of
@@ -69,20 +77,19 @@ val run_gate_packed :
 
 val co_simulate :
   ?engine:engine -> ?netlist:Netlist.t -> ?x_dont_care:bool ->
-  Benchmark.t -> seed:int ->
-  (Bespoke_cpu.Lockstep.result, Bespoke_cpu.Lockstep.divergence_info)
-  Stdlib.result
+  core:Coredef.t -> Benchmark.t -> seed:int ->
+  (Lockstep.result, Lockstep.divergence_info) Stdlib.result
 (** Input-based co-simulation (paper Section 5.1): run the benchmark's
     generated inputs for [seed] through the gate-level design (stock,
     or [netlist] for a bespoke/faulty variant) in full lockstep with
-    the ISS — every architectural register at every instruction
+    the core's ISS — every architectural register at every instruction
     boundary, exact cycle counts, final RAM and GPIO.  Never raises on
     divergence; the structured first mismatch is returned so the
     verification campaign can shrink and report it.  [engine] (default
     [Compiled]) selects the scalar gate-level engine;
     @raise Invalid_argument on [Packed].  [x_dont_care]
-    (for tailored designs, see {!Bespoke_cpu.Lockstep.run}) requires
-    only the concrete gate-level bits to match. *)
+    (for tailored designs, see {!Bespoke_coreapi.Lockstep.run})
+    requires only the concrete gate-level bits to match. *)
 
 exception Mismatch of string
 
@@ -90,7 +97,7 @@ val check_equivalence :
   ?engine:engine ->
   ?attach:(Bespoke_sim.Engine.t -> unit) ->
   ?attach64:(Bespoke_sim.Engine64.t -> unit) ->
-  ?netlist:Netlist.t -> Benchmark.t -> seed:int ->
+  ?netlist:Netlist.t -> core:Coredef.t -> Benchmark.t -> seed:int ->
   iss_outcome
 (** Run both models and require identical results, GPIO and cycle
     counts.  Returns the ISS outcome.  [attach]/[attach64] as in
@@ -98,7 +105,7 @@ val check_equivalence :
 
 val analyze :
   ?config:Activity.config -> ?engine:engine -> ?netlist:Netlist.t ->
-  Benchmark.t -> Activity.report * Netlist.t
+  core:Coredef.t -> Benchmark.t -> Activity.report * Netlist.t
 (** Input-independent analysis of the benchmark (inputs per its
     [input_ranges]; GPIO X; IRQ X only if the benchmark uses it).
     Returns the report and the netlist analyzed.  [engine] (default
@@ -113,28 +120,34 @@ val resolve_analysis_config :
 
 val analyze_cached :
   ?config:Activity.config -> ?engine:engine -> ?netlist:Netlist.t ->
-  Benchmark.t -> (Activity.report * Netlist.t) * bool
+  core:Coredef.t -> Benchmark.t -> (Activity.report * Netlist.t) * bool
 (** {!analyze} through the content-addressed flow cache: keyed by
-    (binary image hash, netlist hash, config fingerprint), so a repeat
-    analysis of the same triple returns the memoized report.  The
-    returned flag is [true] on a cache hit.  [engine] is not part of
-    the key (all engines are bit-identical).  Bypasses the cache (and
-    reports a miss) when the config carries a [probe] or [verbose]. *)
+    (core fingerprint, binary image hash, netlist hash, config
+    fingerprint), so a repeat analysis of the same tuple returns the
+    memoized report.  The returned flag is [true] on a cache hit.
+    [engine] is not part of the key (all engines are bit-identical).
+    Bypasses the cache (and reports a miss) when the config carries a
+    [probe] or [verbose]. *)
 
-val shared_netlist : unit -> Netlist.t
-(** One lazily built copy of the stock CPU, shared by callers that do
-    not mutate netlists.  Force this {e and}
-    {!shared_netlist_hash} before fanning out with [Pool] — stdlib
-    [Lazy] is not domain-safe. *)
+val image : core:Coredef.t -> Benchmark.t -> Coredef.image
+(** Assemble the benchmark's source with the core's assembler,
+    memoized per (core, source digest) — so mutated sources never
+    collide with the pristine benchmark. *)
 
-val shared_netlist_hash : unit -> string
+val shared_netlist : Coredef.t -> Netlist.t
+(** One memoized copy of the core's stock netlist, shared by callers
+    that do not mutate netlists.  Force this {e and}
+    {!shared_netlist_hash} in the parent before fanning out with
+    [Pool] — the memo table is not domain-safe. *)
+
+val shared_netlist_hash : Coredef.t -> string
 (** Memoized {!Bespoke_netlist.Serial.hash} of {!shared_netlist}
     (forces the netlist build). *)
 
-val image_hash : Bespoke_isa.Asm.image -> string
-(** Content hash of a binary image (words + entry point) — a flow
+val image_hash : Coredef.image -> string
+(** Content hash of a binary image (ROM words + entry point) — a flow
     cache key component. *)
 
-val netlist_hash : Netlist.t -> string
+val netlist_hash : core:Coredef.t -> Netlist.t -> string
 (** [Serial.hash], short-circuited to the memoized hash when given the
-    (already forced) shared netlist. *)
+    core's (already forced) shared netlist. *)

@@ -1,0 +1,42 @@
+module Coredef = Bespoke_coreapi.Coredef
+module B = Bespoke_programs.Benchmark
+
+(* The core registry: every supported core descriptor paired with its
+   benchmark suite.  This is the only module that knows all concrete
+   cores; the flow layers (analysis, tailoring, verification, guards,
+   campaigns) work from whichever {!Coredef.t} they are handed.
+   Adding a third core means adding one entry here. *)
+
+type entry = {
+  core : Coredef.t;
+  benchmarks : B.t list;  (* the per-core tailoring suite *)
+}
+
+let msp430 =
+  {
+    core = Bespoke_cpu.Msp430.core;
+    benchmarks =
+      B.all
+      @ [ Bespoke_programs.Rtos.kernel;
+          Bespoke_programs.Subneg.characterization ];
+  }
+
+let rv32 = { core = Bespoke_rv32.Rv32.core; benchmarks = Bespoke_rv32.Bench.all }
+
+let all = [ msp430; rv32 ]
+let names = List.map (fun e -> e.core.Coredef.name) all
+let default = msp430
+
+let find name =
+  List.find_opt (fun e -> e.core.Coredef.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some e -> e
+  | None ->
+    failwith
+      (Printf.sprintf "unknown core %S (known: %s)" name
+         (String.concat ", " names))
+
+let benchmark entry name =
+  List.find_opt (fun b -> b.B.name = name) entry.benchmarks

@@ -1,6 +1,5 @@
-module Isa = Bespoke_isa.Isa
-module Asm = Bespoke_isa.Asm
-module Iss = Bespoke_isa.Iss
+module Coredef = Bespoke_coreapi.Coredef
+module Runner = Bespoke_core.Runner
 module Benchmark = Bespoke_programs.Benchmark
 module Obs = Bespoke_obs.Obs
 
@@ -31,60 +30,71 @@ let record_stats s =
     Obs.Metrics.set g_branch_dir_pct s.branch_dir_pct
   end
 
+let rom_word_of ~core (img : Coredef.image) a =
+  if Coredef.in_rom core a then
+    img.Coredef.rom.((a - core.Coredef.rom_base) lsr core.Coredef.addr_shift)
+  else 0
+
+(* Classification of the instruction at [a], or [None] when the word
+   does not decode (data in the instruction stream). *)
+let classify_opt ~core img a =
+  match core.Coredef.classify ~rom_word:(rom_word_of ~core img) ~pc:a with
+  | info -> Some info
+  | exception Failure _ -> None
+
 (* Static program structure: instruction starts and conditional
    branches. *)
-let program_shape (img : Asm.image) =
-  let rom = Asm.image_rom img in
-  let starts = Asm.instruction_addrs img in
+let program_shape ~core (img : Coredef.image) =
+  let starts = img.Coredef.insn_addrs in
   let branches =
     List.filter
       (fun a ->
-        let w = rom.((a - Bespoke_isa.Memmap.rom_base) / 2) in
-        match Isa.decode w [ 0; 0 ] with
-        | Isa.Jump { cond; _ }, _ -> cond <> Isa.JMP
-        | _ -> false
-        | exception Isa.Decode_error _ -> false)
+        match classify_opt ~core img a with
+        | Some info -> info.Coredef.ci_cond_branch
+        | None -> false)
       starts
   in
   (starts, branches)
 
 (* One concrete ISS run recording executed addresses and branch
    directions. *)
-let trace_run (b : Benchmark.t) ~seed ~executed ~taken ~not_taken =
+let trace_run ~core (b : Benchmark.t) ~seed ~executed ~taken ~not_taken =
   Obs.Metrics.incr m_trace_runs;
-  let img = Benchmark.image b in
-  let t = Iss.create img in
-  Iss.reset t;
+  let img = Runner.image ~core b in
+  let t = img.Coredef.mk_iss () in
+  t.Coredef.reset ();
   let ram_writes, gpio = b.Benchmark.gen_inputs seed in
-  List.iter (fun (a, v) -> Iss.write_ram_word t a v) ram_writes;
-  Iss.set_gpio_in t gpio;
+  List.iter (fun (a, v) -> t.Coredef.write_ram_word a v) ram_writes;
+  t.Coredef.set_gpio_in gpio;
   let pulses = if b.Benchmark.uses_irq then b.Benchmark.irq_pulses seed else [] in
   let steps = ref 0 in
-  while (not (Iss.halted t)) && !steps < 500_000 do
-    Iss.set_irq_line t (List.mem (Iss.instructions_retired t) pulses);
-    let pc0 = Iss.pc t in
-    let insn = try Some (Iss.current_insn t) with Isa.Decode_error _ -> None in
-    Iss.step t;
+  while (not (t.Coredef.halted ())) && !steps < 500_000 do
+    t.Coredef.set_irq_line (List.mem (t.Coredef.retired ()) pulses);
+    let pc0 = t.Coredef.pc () in
+    let info = classify_opt ~core img pc0 in
+    t.Coredef.step ();
     incr steps;
     Hashtbl.replace executed pc0 ();
-    (match insn with
-    | Some (Isa.Jump { cond; _ }) when cond <> Isa.JMP ->
-      (* took the branch iff PC is not sequential *)
-      if Iss.pc t = (pc0 + 2) land 0xffff then Hashtbl.replace not_taken pc0 ()
-      else if Iss.pc t <> Iss.read_word t Bespoke_isa.Memmap.irq_vector then
+    (match info with
+    | Some i when i.Coredef.ci_cond_branch ->
+      (* took the branch iff PC is not sequential (and the step was
+         not pre-empted by an interrupt entry) *)
+      if t.Coredef.pc () = i.Coredef.ci_next then
+        Hashtbl.replace not_taken pc0 ()
+      else if t.Coredef.pc () <> t.Coredef.irq_entry () then
         Hashtbl.replace taken pc0 ()
     | _ -> ())
   done;
-  Iss.halted t
+  t.Coredef.halted ()
 
-let coverage_of (b : Benchmark.t) seeds =
-  let img = Benchmark.image b in
-  let starts, branches = program_shape img in
+let coverage_of ~core (b : Benchmark.t) seeds =
+  let img = Runner.image ~core b in
+  let starts, branches = program_shape ~core img in
   let executed = Hashtbl.create 128 in
   let taken = Hashtbl.create 32 in
   let not_taken = Hashtbl.create 32 in
   List.iter
-    (fun seed -> ignore (trace_run b ~seed ~executed ~taken ~not_taken))
+    (fun seed -> ignore (trace_run ~core b ~seed ~executed ~taken ~not_taken))
     seeds;
   let lines_total = List.length starts in
   let branches_total = List.length branches in
@@ -112,14 +122,14 @@ let coverage_of (b : Benchmark.t) seeds =
     branches_total;
   }
 
-let measure b ~seeds =
-  let s = coverage_of b seeds in
+let measure ~core b ~seeds =
+  let s = coverage_of ~core b seeds in
   record_stats s;
   s
 
 let score s = s.line_pct +. s.branch_dir_pct
 
-let explore ?(initial = 2) ?(budget = 40) b =
+let explore ?(initial = 2) ?(budget = 40) ~core b =
   Obs.Span.with_ ~name:"coverage.explore"
     ~args:
       [
@@ -129,14 +139,14 @@ let explore ?(initial = 2) ?(budget = 40) b =
       ]
   @@ fun () ->
   let seeds = ref (List.init initial (fun i -> i + 1)) in
-  let best = ref (coverage_of b !seeds) in
+  let best = ref (coverage_of ~core b !seeds) in
   let candidate = ref (initial + 1) in
   let stale = ref 0 in
   while !stale < 10 && !candidate <= initial + budget
         && score !best < 200.0 -. 1e-9 do
     let trial = !seeds @ [ !candidate ] in
     Obs.Metrics.incr m_candidates;
-    let s = coverage_of b trial in
+    let s = coverage_of ~core b trial in
     if score s > score !best +. 1e-9 then begin
       seeds := trial;
       best := s;

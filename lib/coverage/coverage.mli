@@ -4,7 +4,7 @@
     Inputs are drawn from each benchmark's generator under different
     seeds; a greedy search keeps a seed only if it increases line or
     branch-direction coverage, and stops when a run of candidates adds
-    nothing.  Coverage is measured on the ISS:
+    nothing.  Coverage is measured on the core's ISS:
 
     - {e line} coverage: fraction of instruction start addresses
       executed;
@@ -23,7 +23,7 @@ type stats = {
   branches_total : int;
 }
 
-val measure : Benchmark.t -> seeds:int list -> stats
+val measure : core:Bespoke_coreapi.Coredef.t -> Benchmark.t -> seeds:int list -> stats
 (** Coverage of a fixed input set (all seeds kept). *)
 
 val score : stats -> float
@@ -31,7 +31,9 @@ val score : stats -> float
     (so full coverage scores 200).  Exposed for the verification
     campaign and for determinism regression tests. *)
 
-val explore : ?initial:int -> ?budget:int -> Benchmark.t -> stats
+val explore :
+  ?initial:int -> ?budget:int -> core:Bespoke_coreapi.Coredef.t ->
+  Benchmark.t -> stats
 (** Greedy search: start with [initial] seeds (default 2), then try up
     to [budget] further candidates (default 40), keeping those that
     improve coverage. *)

@@ -1,172 +1,16 @@
-module Bit = Bespoke_logic.Bit
-module Bvec = Bespoke_logic.Bvec
-module Iss = Bespoke_isa.Iss
-module Asm = Bespoke_isa.Asm
-module Memmap = Bespoke_isa.Memmap
-module Memory = Bespoke_sim.Memory
-module Engine = Bespoke_sim.Engine
+(* Back-compat facade over the core-generic lockstep runner
+   {!Bespoke_coreapi.Lockstep}, fixed to the {!Msp430} descriptor. *)
 
-type result = {
-  instructions : int;
-  cycles : int;
-  gpio_final : int;
-  outputs : int list;
-  toggles : int array;
-}
+include Bespoke_coreapi.Lockstep
 
-type divergence_info = {
-  at_insn : int;
-  at_pc : int;
-  what : string;
-  detail : string;
-}
-
-exception Divergence of string
-
-(* internal: carries the structured record out of the comparators *)
-exception Diverged of divergence_info
-
-let fail ?(at_insn = -1) ?(at_pc = -1) ~what fmt =
-  Printf.ksprintf
-    (fun detail -> raise (Diverged { at_insn; at_pc; what; detail }))
-    fmt
-
-(* Every concrete bit of [got] agrees with [expected]; X bits pass.
-   Used by the [x_dont_care] mode: a tailored design holds const-X
-   ties on state the application provably never observes, so only the
-   bits the gate level actually knows are required to match. *)
-let concrete_bits_match expected (got : Bvec.t) =
-  let ok = ref true in
-  Array.iteri
-    (fun i b ->
-      match b with
-      | Bit.Zero -> if (expected lsr i) land 1 <> 0 then ok := false
-      | Bit.One -> if (expected lsr i) land 1 <> 1 then ok := false
-      | Bit.X -> ())
-    got;
-  !ok
-
-let compare_boundary ~x_dont_care ~insn_idx sys iss =
-  let at_pc = Iss.pc iss in
-  let check name expected (got : Bvec.t) =
-    match Bvec.to_int got with
-    | Some v when v = expected -> ()
-    | Some v ->
-      fail ~at_insn:insn_idx ~at_pc ~what:name
-        "insn %d: %s mismatch: ISS %04x, CPU %04x (iss pc %04x)" insn_idx
-        name expected v (Iss.pc iss)
-    | None when x_dont_care && concrete_bits_match expected got -> ()
-    | None ->
-      fail ~at_insn:insn_idx ~at_pc ~what:name
-        "insn %d: %s is unknown in CPU: %s (ISS %04x)" insn_idx name
-        (Bvec.to_string got) expected
-  in
-  for r = 0 to 15 do
-    if r <> 3 then
-      check (Printf.sprintf "r%d" r) (Iss.reg iss r) (System.reg sys r)
-  done;
-  (* Cycle agreement: the CPU spends one extra cycle in RESET. *)
-  let cpu_cycles = System.cycles sys in
-  let iss_cycles = Iss.cycles iss in
-  if cpu_cycles <> iss_cycles + 1 then
-    fail ~at_insn:insn_idx ~at_pc ~what:"cycles"
-      "insn %d (pc %04x): cycle mismatch: ISS %d (+1 reset), CPU %d"
-      insn_idx (Iss.pc iss) iss_cycles cpu_cycles
-
-let compare_final ~x_dont_care ~insn_idx sys iss =
-  let at_pc = Iss.pc iss in
-  (* data RAM *)
-  for w = 0 to Memmap.ram_words - 1 do
-    let addr = Memmap.ram_base + (2 * w) in
-    let cpu_v = System.read_ram_word sys addr in
-    let iss_v = Iss.read_ram_word iss addr in
-    let what = Printf.sprintf "ram[%04x]" addr in
-    match Bvec.to_int cpu_v with
-    | Some v when v = iss_v -> ()
-    | Some v ->
-      fail ~at_insn:insn_idx ~at_pc ~what "ram[%04x]: ISS %04x, CPU %04x" addr
-        iss_v v
-    | None when x_dont_care && concrete_bits_match iss_v cpu_v -> ()
-    | None ->
-      fail ~at_insn:insn_idx ~at_pc ~what "ram[%04x]: unknown in CPU (%s)" addr
-        (Bvec.to_string cpu_v)
-  done;
-  let gpio = System.gpio_out sys in
-  match Bvec.to_int gpio with
-  | Some v when v = Iss.gpio_out iss -> ()
-  | Some v ->
-    fail ~at_insn:insn_idx ~at_pc ~what:"gpio_out" "gpio_out: ISS %04x, CPU %04x"
-      (Iss.gpio_out iss) v
-  | None when x_dont_care && concrete_bits_match (Iss.gpio_out iss) gpio -> ()
-  | None -> fail ~at_insn:insn_idx ~at_pc ~what:"gpio_out" "gpio_out unknown in CPU"
-
-let run_result ?mode ?netlist ?(gpio_in = 0) ?(ram_writes = [])
-    ?(irq_pulse_at = []) ?(max_insns = 200_000) ?(x_dont_care = false) image =
-  try
-    let iss = Iss.create image in
-    Iss.reset iss;
-    Iss.set_gpio_in iss gpio_in;
-    List.iter (fun (a, v) -> Iss.write_ram_word iss a v) ram_writes;
-    let sys = System.create ?mode ?netlist image in
-    System.reset sys;
-    System.set_gpio_in_int sys gpio_in;
-    List.iter
-      (fun (a, v) -> Memory.load_int (System.ram sys) ((a lsr 1) land 0x7ff) v)
-      ram_writes;
-    (* consume the reset-vector cycle so both models sit at the first
-       instruction boundary *)
-    (match System.run_to_boundary ~max_cycles:4 sys with
-    | `Fetch -> ()
-    | `Halted | `Unknown ->
-      fail ~what:"reset" "did not reach the first fetch");
-    let insn_idx = ref 0 in
-    let finished = ref false in
-    while not !finished do
-      if !insn_idx > max_insns then
-        fail ~at_insn:!insn_idx ~what:"limit" "instruction limit exceeded";
-      let line = List.mem !insn_idx irq_pulse_at in
-      Iss.set_irq_line iss line;
-      System.set_irq sys (Bit.of_bool line);
-      (* Advance the CPU to its next instruction boundary (or halt). *)
-      (match System.run_to_boundary ~max_cycles:100 sys with
-      | `Fetch | `Halted -> ()
-      | `Unknown ->
-        fail ~at_insn:!insn_idx ~at_pc:(Iss.pc iss) ~what:"control"
-          "CPU control state became unknown");
-      (* Advance the ISS to match: one instruction, or one interrupt
-         entry (which the CPU's IRQ sequence mirrors cycle for cycle). *)
-      if System.halted sys then begin
-        Iss.step iss;  (* the halting instruction *)
-        if not (Iss.halted iss) then
-          fail ~at_insn:!insn_idx ~at_pc:(Iss.pc iss) ~what:"halt"
-            "CPU halted but ISS did not";
-        compare_final ~x_dont_care ~insn_idx:!insn_idx sys iss;
-        finished := true
-      end
-      else begin
-        Iss.step iss;
-        incr insn_idx;
-        if Iss.halted iss then
-          fail ~at_insn:!insn_idx ~at_pc:(Iss.pc iss) ~what:"halt"
-            "ISS halted but CPU did not"
-        else compare_boundary ~x_dont_care ~insn_idx:!insn_idx sys iss
-      end
-    done;
-    Ok
-      {
-        instructions = Iss.instructions_retired iss;
-        cycles = System.cycles sys;
-        gpio_final = Iss.gpio_out iss;
-        outputs = List.map snd (Iss.output_trace iss);
-        toggles = Engine.toggle_counts (System.engine sys);
-      }
-  with Diverged info -> Error info
+let run_result ?mode ?netlist ?gpio_in ?ram_writes ?irq_pulse_at ?max_insns
+    ?x_dont_care (image : Bespoke_isa.Asm.image) =
+  Bespoke_coreapi.Lockstep.run_result ?mode ?netlist ?gpio_in ?ram_writes
+    ?irq_pulse_at ?max_insns ?x_dont_care ~core:Msp430.core
+    (Msp430.coreimage image)
 
 let run ?mode ?netlist ?gpio_in ?ram_writes ?irq_pulse_at ?max_insns
-    ?x_dont_care image =
-  match
-    run_result ?mode ?netlist ?gpio_in ?ram_writes ?irq_pulse_at ?max_insns
-      ?x_dont_care image
-  with
-  | Ok r -> r
-  | Error info -> raise (Divergence info.detail)
+    ?x_dont_care (image : Bespoke_isa.Asm.image) =
+  Bespoke_coreapi.Lockstep.run ?mode ?netlist ?gpio_in ?ram_writes
+    ?irq_pulse_at ?max_insns ?x_dont_care ~core:Msp430.core
+    (Msp430.coreimage image)

@@ -1,0 +1,262 @@
+module Isa = Bespoke_isa.Isa
+module Asm = Bespoke_isa.Asm
+module Iss = Bespoke_isa.Iss
+module Memmap = Bespoke_isa.Memmap
+module Disasm = Bespoke_isa.Disasm
+module Coredef = Bespoke_coreapi.Coredef
+
+(* The MSP430-class core as a {!Bespoke_coreapi.Coredef} descriptor:
+   the original target of the flow, now one core among several.  All
+   MSP430 specifics the analysis/verification layers used to hardcode
+   (geometry, register hook names, control-instruction shapes, the
+   return-context refinement, the fuzz-program menu) live here. *)
+
+(* ---- golden model -------------------------------------------------- *)
+
+let coreiss (img : Asm.image) () : Coredef.iss =
+  let t = Iss.create img in
+  {
+    Coredef.reset = (fun () -> Iss.reset t);
+    step = (fun () -> Iss.step t);
+    halted = (fun () -> Iss.halted t);
+    pc = (fun () -> Iss.pc t);
+    reg = (fun r -> Iss.reg t r);
+    cycles = (fun () -> Iss.cycles t);
+    retired = (fun () -> Iss.instructions_retired t);
+    read_ram_word = (fun a -> Iss.read_ram_word t a);
+    write_ram_word = (fun a v -> Iss.write_ram_word t a v);
+    set_gpio_in = (fun v -> Iss.set_gpio_in t v);
+    gpio_out = (fun () -> Iss.gpio_out t);
+    output_trace = (fun () -> Iss.output_trace t);
+    set_irq_line = (fun b -> Iss.set_irq_line t b);
+    irq_entry = (fun () -> Iss.read_word t Memmap.irq_vector);
+    current_insn =
+      (fun () -> try Isa.to_string (Iss.current_insn t) with _ -> "?");
+  }
+
+let coreimage (img : Asm.image) : Coredef.image =
+  {
+    Coredef.rom = Asm.image_rom img;
+    entry = img.Asm.entry;
+    insn_addrs = Asm.instruction_addrs img;
+    listing = (fun () -> Disasm.listing img);
+    mk_iss = coreiss img;
+  }
+
+(* ---- static instruction classification ----------------------------- *)
+
+let is_control_insn (i : Isa.t) =
+  match i with
+  | Isa.Jump _ -> true
+  | Isa.One { op = Isa.CALL | Isa.RETI; _ } -> true
+  | Isa.One { op = Isa.RRC | Isa.RRA | Isa.SWPB | Isa.SXT; dst = Isa.Sreg 0; _ }
+    -> true
+  | Isa.One _ -> false
+  | Isa.Two { dst = Isa.Dreg 0; _ } -> true
+  | Isa.Two _ -> false
+
+let decode_at ~rom_word ~pc =
+  try Isa.decode (rom_word pc) [ rom_word (pc + 2); rom_word (pc + 4) ]
+  with Isa.Decode_error m -> failwith (Printf.sprintf "decode at %04x: %s" pc m)
+
+let classify ~rom_word ~pc =
+  let insn, n = decode_at ~rom_word ~pc in
+  {
+    Coredef.ci_control = is_control_insn insn;
+    ci_cond_branch =
+      (match insn with
+      | Isa.Jump { cond; _ } -> cond <> Isa.JMP
+      | _ -> false);
+    ci_next = pc + (2 * n);
+  }
+
+(* For instructions that load PC from the stack (RETI, RET), the
+   return context — the stack-top words — refines the analyzer's merge
+   key: states returning to different places are never merged, so each
+   continues to its concrete target instead of producing an X program
+   counter. *)
+let ret_context ~rom_word ~read_reg ~read_ram_word ~pc =
+  let insn = fst (decode_at ~rom_word ~pc) in
+  let stack_word off =
+    match read_reg 1 with
+    | None -> -1
+    | Some sp -> (
+      if not (Memmap.in_ram sp) then -1
+      else match read_ram_word (sp + off) with Some v -> v | None -> -1)
+  in
+  match insn with
+  | Isa.One { op = Isa.RETI; _ } -> (stack_word 0, stack_word 2)
+  | Isa.Two { dst = Isa.Dreg 0; src = Isa.Sinc 1 | Isa.Sind 1; _ } ->
+    (stack_word 0, 0)
+  | _ -> (0, 0)
+
+(* ---- fuzz-program generator ----------------------------------------
+
+   Generated programs exercise arbitrary mixes of the ISA (all
+   two-op/one-op instructions, byte/word, every addressing mode,
+   bounded loops, forward branches, stack traffic, multiplier and GPIO
+   access) and always terminate.  The same seed always yields the same
+   program, so any failure is reproducible from the seed alone. *)
+
+module Fuzz = struct
+  let scratch = 0x0300  (* 32-word scratch window the programs write *)
+
+  (* deterministic PRNG so failures are reproducible from the seed *)
+  type rng = { mutable s : int }
+
+  let next r =
+    r.s <- ((r.s * 1103515245) + 12345) land 0x3FFFFFFF;
+    (r.s lsr 7) land 0xFFFFFF
+
+  let pick r l = List.nth l (next r mod List.length l)
+  let chance r pct = next r mod 100 < pct
+
+  let reg r = pick r [ "r4"; "r5"; "r6"; "r7"; "r8"; "r9"; "r10"; "r11" ]
+
+  let imm r =
+    pick r
+      [ "#0"; "#1"; "#2"; "#4"; "#8";
+        Printf.sprintf "#%d" (next r land 0xffff) ]
+
+  let scratch_abs r = Printf.sprintf "&0x%04x" (scratch + (next r land 0x3e))
+  let scratch_idx r = Printf.sprintf "%d(r14)" (next r land 0x3e)
+
+  let src r =
+    match next r mod 6 with
+    | 0 -> reg r
+    | 1 | 2 -> imm r
+    | 3 -> scratch_abs r
+    | 4 -> scratch_idx r
+    | _ -> "@r14"
+
+  let dst r =
+    match next r mod 4 with
+    | 0 | 1 -> reg r
+    | 2 -> scratch_abs r
+    | _ -> scratch_idx r
+
+  let two_op r =
+    pick r
+      [ "mov"; "add"; "addc"; "sub"; "subc"; "cmp"; "dadd"; "bit"; "bic";
+        "bis"; "xor"; "and" ]
+
+  let size_suffix r = if chance r 25 then ".b" else ""
+
+  let gen_instr r buf label_counter =
+    match next r mod 12 with
+    | 0 | 1 | 2 | 3 | 4 ->
+      Buffer.add_string buf
+        (Printf.sprintf "        %s%s %s, %s\n" (two_op r) (size_suffix r)
+           (src r) (dst r))
+    | 5 ->
+      let op = pick r [ "rrc"; "rra" ] in
+      Buffer.add_string buf
+        (Printf.sprintf "        %s%s %s\n" op (size_suffix r) (reg r))
+    | 6 ->
+      let op = pick r [ "swpb"; "sxt" ] in
+      Buffer.add_string buf (Printf.sprintf "        %s %s\n" op (reg r))
+    | 7 ->
+      (* balanced stack traffic *)
+      Buffer.add_string buf
+        (Printf.sprintf "        push %s\n        pop %s\n" (src r) (reg r))
+    | 8 ->
+      (* forward conditional skip *)
+      incr label_counter;
+      let l = Printf.sprintf "fl%d" !label_counter in
+      let cond = pick r [ "jz"; "jnz"; "jc"; "jnc"; "jn"; "jge"; "jl" ] in
+      Buffer.add_string buf
+        (Printf.sprintf "        %s %s\n        %s %s, %s\n%s:\n" cond l
+           (two_op r) (src r) (dst r) l)
+    | 9 ->
+      (* bounded loop *)
+      incr label_counter;
+      let l = Printf.sprintf "lp%d" !label_counter in
+      let n = 1 + (next r mod 6) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "        mov #%d, r12\n\
+            %s:\n\
+           \        %s %s, %s\n\
+           \        dec r12\n\
+           \        jnz %s\n"
+           n l (two_op r) (src r) (reg r) l)
+    | 10 ->
+      (* hardware multiplier *)
+      Buffer.add_string buf
+        (Printf.sprintf
+           "        mov %s, &0x0130\n\
+           \        mov %s, &0x0138\n\
+           \        mov &0x013a, %s\n"
+           (src r) (src r) (reg r))
+    | _ ->
+      (* GPIO *)
+      if chance r 50 then
+        Buffer.add_string buf
+          (Printf.sprintf "        mov &0x0010, %s\n" (reg r))
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "        mov %s, &0x0012\n" (src r))
+
+  let program ~seed =
+    let r = { s = (seed * 2654435761) lor 1 } in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "start:  mov #0x0400, sp\n";
+    Buffer.add_string buf (Printf.sprintf "        mov #0x%04x, r14\n" scratch);
+    (* seed some registers and scratch *)
+    for i = 4 to 11 do
+      Buffer.add_string buf
+        (Printf.sprintf "        mov #0x%04x, r%d\n" (next r land 0xffff) i)
+    done;
+    for i = 0 to 7 do
+      Buffer.add_string buf
+        (Printf.sprintf "        mov #0x%04x, &0x%04x\n" (next r land 0xffff)
+           (scratch + (2 * i)))
+    done;
+    let label_counter = ref 0 in
+    let n = 12 + (next r mod 25) in
+    for _ = 1 to n do
+      gen_instr r buf label_counter
+    done;
+    (* publish a checksum so divergence is observable even in registers
+       we never compare *)
+    Buffer.add_string buf "        mov r4, &0x0380\n";
+    Buffer.add_string buf "        halt\n";
+    Buffer.contents buf
+end
+
+(* ---- the descriptor ------------------------------------------------ *)
+
+let core : Coredef.t =
+  {
+    Coredef.name = "msp430";
+    word_bits = 16;
+    addr_shift = 1;
+    insn_align = 2;
+    mem_words = 2048;
+    rom_base = Memmap.rom_base;
+    rom_words = Memmap.rom_words;
+    ram_base = Memmap.ram_base;
+    ram_words = Memmap.ram_words;
+    reset_extra_cycles = 1;
+    arch_regs = [ 0; 1; 2; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ];
+    reg_name = (fun r -> Printf.sprintf "r%d" r);
+    reg_hook =
+      (fun r ->
+        match r with
+        | 0 -> Some "pc"
+        | 1 -> Some "sp"
+        | 2 -> Some "sr"
+        | 3 -> None  (* constant generator: reads as 0 *)
+        | _ -> Some (Printf.sprintf "r%d" r));
+    sp_reg = Some 1;
+    has_irq = true;
+    gie_bit = Some ("sr", Isa.flag_gie);
+    trace_signals =
+      [ "pc"; "state"; "ir"; "sp"; "sr"; "pmem_addr"; "dmem_addr";
+        "dmem_wdata"; "dmem_wen"; "gpio_out"; "halted" ];
+    build = Cpu.build;
+    assemble = (fun src -> coreimage (Asm.assemble src));
+    classify;
+    ret_context;
+    fuzz_program = (fun ~seed -> Fuzz.program ~seed);
+  }

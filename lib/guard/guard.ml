@@ -367,8 +367,8 @@ type replay = {
   rp_hw_violation : Bit.t option;
 }
 
-let replay ?(engine = Runner.Compiled) ?(max_cycles = 300_000) w ~netlist b
-    ~seed =
+let replay ?(engine = Runner.Compiled) ?(max_cycles = 300_000) w ~core ~netlist
+    b ~seed =
   let eng = ref None in
   let result =
     try
@@ -378,7 +378,7 @@ let replay ?(engine = Runner.Compiled) ?(max_cycles = 300_000) w ~netlist b
              eng := Some e;
              attach w e)
            ~attach64:(fun e -> attach64 w ~lane:0 e)
-           ~netlist ~max_cycles b ~seed)
+           ~netlist ~max_cycles ~core b ~seed)
     with Failure msg -> Error msg
   in
   let hw_violation =
@@ -412,10 +412,10 @@ let escape s =
 
 let str s = "\"" ^ escape s ^ "\""
 
-let header_jsonl plan ~design ~workload ~mode =
+let header_jsonl plan ~core ~design ~workload ~mode =
   Printf.sprintf
-    "{\"schema\":%s,\"design\":%s,\"workload\":%s,\"mode\":%s,\"assumptions\":%d,\"monitors\":%d,\"implied\":%d,\"unmonitorable\":%d}"
-    (str schema) (str design) (str workload) (str mode)
+    "{\"schema\":%s,\"core\":%s,\"design\":%s,\"workload\":%s,\"mode\":%s,\"assumptions\":%d,\"monitors\":%d,\"implied\":%d,\"unmonitorable\":%d}"
+    (str schema) (str core) (str design) (str workload) (str mode)
     (List.length plan.p_assumptions)
     (List.length plan.p_monitors)
     plan.p_implied plan.p_unmonitorable
@@ -444,8 +444,8 @@ let summary_jsonl w =
     "{\"summary\":true,\"cycles\":%d,\"violations\":%d,\"violating_gates\":%d,\"clean\":%b}"
     w.cycles w.total (violating_gates w) (clean w)
 
-let write_stream oc plan ~design ~workload ~mode w =
-  output_string oc (header_jsonl plan ~design ~workload ~mode);
+let write_stream oc plan ~core ~design ~workload ~mode w =
+  output_string oc (header_jsonl plan ~core ~design ~workload ~mode);
   output_char oc '\n';
   List.iter
     (fun v ->

@@ -164,6 +164,7 @@ val replay :
   ?engine:Runner.engine ->
   ?max_cycles:int ->
   watcher ->
+  core:Bespoke_coreapi.Coredef.t ->
   netlist:Netlist.t ->
   Benchmark.t ->
   seed:int ->
@@ -179,7 +180,11 @@ val schema : string
 (** ["bespoke-guard/v1"]. *)
 
 val header_jsonl :
-  plan -> design:string -> workload:string -> mode:string -> string
+  plan -> core:string -> design:string -> workload:string -> mode:string ->
+  string
+(** [core] is the descriptor name the design was tailored for
+    ({!Bespoke_coreapi.Coredef.t.name}) — an additive [core] field in
+    the [bespoke-guard/v1] header. *)
 
 val violation_jsonl : plan -> violation -> string
 (** Carries the provenance chain: the violated gate's names, module,
@@ -190,6 +195,7 @@ val summary_jsonl : watcher -> string
 val write_stream :
   out_channel ->
   plan ->
+  core:string ->
   design:string ->
   workload:string ->
   mode:string ->

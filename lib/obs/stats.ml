@@ -477,9 +477,10 @@ let render_guard (g : guard_stat) =
 (* Bench artifacts and regression comparison.
 
    A bench entry is a flat (metric -> value) map where every metric is
-   throughput-like (higher is better): cps/<bench>/<engine> from the
-   per-benchmark rows and campaign/jobs_per_sec/<mode> from the
-   campaign block.  Sources: BENCH_sim.json (one pretty-printed JSON
+   throughput-like (higher is better): cps/<core>/<bench>/<engine>
+   from the per-benchmark rows (the core segment is dropped for rows
+   that predate the core field, keeping old artifacts comparable) and
+   campaign/jobs_per_sec/<mode> from the campaign block.  Sources: BENCH_sim.json (one pretty-printed JSON
    value) or a BENCH_history.jsonl line (schema bespoke-bench/v1, the
    same value nested under "bench" with a timestamp and label); given
    a .jsonl file the LAST entry is used. *)
@@ -503,6 +504,11 @@ let entry_of_json ~label j : bench_entry =
       (fun row ->
         match (mem_str "name" row, J.member "cycles_per_sec" row) with
         | Some name, Some (J.Obj engines) ->
+          let name =
+            match mem_str "core" row with
+            | Some core -> core ^ "/" ^ name
+            | None -> name
+          in
           List.iter
             (fun (engine, v) ->
               match v with

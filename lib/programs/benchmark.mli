@@ -43,6 +43,19 @@ val rand16 : state:int ref -> int
 val words : state:int ref -> base:int -> count:int -> ?mask:int -> unit ->
   (int * int) list
 
+val mk :
+  ?group:group ->
+  ?input_ranges:(int * int) list ->
+  ?gen_inputs:(int -> (int * int) list * int) ->
+  ?uses_irq:bool ->
+  ?irq_pulses:(int -> int list) ->
+  ?result_addrs:int list ->
+  string -> string -> string -> t
+(** [mk name description source] — constructor for benchmark records,
+    exported so other cores' suites (e.g. the RV32 ports) share the
+    defaults.  [result_addrs] defaults to the MSP430 [output_base];
+    pass it explicitly for any other core. *)
+
 (** {1 The suite} *)
 
 val bin_search : t

@@ -1,0 +1,322 @@
+(* Two-pass assembler for the RV32 subset.
+
+   Syntax: one instruction per line, [label:] prefixes, [#] or [;]
+   comments, [.equ NAME, value] constants (define before use — [li]
+   chooses its expansion while sizes are being laid out).  Registers
+   are [x0]-[x31] or the standard ABI names.  Pseudo-instructions:
+   [li], [mv], [not], [j], [jal target], [jalr rs], [ret], [nop], and
+   [halt] (a store to the halt port).  Programs are placed at
+   [Defs.rom_base], which is also the entry point. *)
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let abi_names =
+  [ ("zero", 0); ("ra", 1); ("sp", 2); ("gp", 3); ("tp", 4);
+    ("t0", 5); ("t1", 6); ("t2", 7); ("s0", 8); ("fp", 8); ("s1", 9);
+    ("a0", 10); ("a1", 11); ("a2", 12); ("a3", 13); ("a4", 14); ("a5", 15);
+    ("a6", 16); ("a7", 17); ("s2", 18); ("s3", 19); ("s4", 20); ("s5", 21);
+    ("s6", 22); ("s7", 23); ("s8", 24); ("s9", 25); ("s10", 26); ("s11", 27);
+    ("t3", 28); ("t4", 29); ("t5", 30); ("t6", 31) ]
+
+let parse_reg s =
+  let s = String.lowercase_ascii (String.trim s) in
+  match List.assoc_opt s abi_names with
+  | Some r -> r
+  | None ->
+    if String.length s >= 2 && s.[0] = 'x' then
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some r when r >= 0 && r <= 31 -> r
+      | _ -> err "bad register %S" s
+    else err "bad register %S" s
+
+(* Operand expressions: literals and symbols joined by + and -. *)
+let eval_expr ~symbols s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n = 0 then err "empty operand";
+  let term t =
+    let t = String.trim t in
+    if t = "" then err "empty term in %S" s
+    else
+      match int_of_string_opt t with
+      | Some v -> v
+      | None -> (
+        match Hashtbl.find_opt symbols t with
+        | Some v -> v
+        | None -> err "undefined symbol %S" t)
+  in
+  let buf = Buffer.create 16 in
+  let acc = ref 0 and sign = ref 1 and started = ref false in
+  let flush () =
+    acc := !acc + (!sign * term (Buffer.contents buf));
+    Buffer.clear buf
+  in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '+' when !started -> flush (); sign := 1
+      | '-' when !started && Buffer.length buf > 0 -> flush (); sign := -1
+      | c ->
+        Buffer.add_char buf c;
+        if c <> ' ' && c <> '-' then started := true;
+        ignore i)
+    s;
+  flush ();
+  !acc
+
+(* mem operand: "off(rs1)" with off optional *)
+let parse_mem ~symbols s =
+  let s = String.trim s in
+  match String.index_opt s '(' with
+  | None -> err "expected off(reg), got %S" s
+  | Some i ->
+    let close =
+      match String.rindex_opt s ')' with
+      | Some j when j > i -> j
+      | _ -> err "unbalanced parens in %S" s
+    in
+    let off_s = String.trim (String.sub s 0 i) in
+    let off = if off_s = "" then 0 else eval_expr ~symbols off_s in
+    (off, parse_reg (String.sub s (i + 1) (close - i - 1)))
+
+let split_operands s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+(* An instruction slot after layout: either fully resolved or a
+   control transfer waiting for its label. *)
+type slot =
+  | Done of Isa.t
+  | Br of { cond : Isa.cond; rs1 : int; rs2 : int; target : string }
+  | Jump of { rd : int; target : string }
+
+let li_insns rd imm =
+  let imm = imm land 0xFFFFFFFF in
+  let simm = Isa.sext ~bits:32 imm in
+  if simm >= -2048 && simm <= 2047 then
+    [ Isa.Opimm { op = Isa.Add; rd; rs1 = 0; imm = simm } ]
+  else
+    let hi = (imm + 0x800) land 0xFFFFF000 in
+    let lo = Isa.sext ~bits:12 imm in
+    if lo = 0 then [ Isa.Lui { rd; imm = hi } ]
+    else [ Isa.Lui { rd; imm = hi }; Isa.Opimm { op = Isa.Add; rd; rs1 = rd; imm = lo } ]
+
+let assemble source =
+  let symbols = Hashtbl.create 32 in
+  let labels = Hashtbl.create 32 in
+  let slots = ref [] (* (addr, lineno, line, slot), reversed *) in
+  let pc = ref Defs.rom_base in
+  let emit lineno line s =
+    slots := (!pc, lineno, line, s) :: !slots;
+    pc := !pc + 4
+  in
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun lineno0 raw ->
+      let lineno = lineno0 + 1 in
+      let line =
+        let cut c s =
+          match String.index_opt s c with
+          | Some i -> String.sub s 0 i
+          | None -> s
+        in
+        String.trim (cut '#' (cut ';' raw))
+      in
+      let line =
+        match String.index_opt line ':' with
+        | Some i
+          when (not (String.contains line ' ')
+               && i = String.length line - 1)
+               || i < (match String.index_opt line ' ' with
+                       | Some s -> s
+                       | None -> max_int) ->
+          let lbl = String.trim (String.sub line 0 i) in
+          if lbl = "" then err "line %d: empty label" lineno;
+          if Hashtbl.mem labels lbl then
+            err "line %d: duplicate label %S" lineno lbl;
+          Hashtbl.replace labels lbl !pc;
+          String.trim (String.sub line (i + 1) (String.length line - i - 1))
+        | _ -> line
+      in
+      if line <> "" then begin
+        let mnem, rest =
+          match String.index_opt line ' ' with
+          | Some i ->
+            ( String.lowercase_ascii (String.sub line 0 i),
+              String.trim (String.sub line i (String.length line - i)) )
+          | None -> (String.lowercase_ascii line, "")
+        in
+        let ops = split_operands rest in
+        let reg n = parse_reg (List.nth ops n) in
+        let expr n = eval_expr ~symbols (List.nth ops n) in
+        let arity n =
+          if List.length ops <> n then
+            err "line %d: %s expects %d operands, got %d" lineno mnem n
+              (List.length ops)
+        in
+        let wrap f = try f () with Error m -> err "line %d: %s" lineno m in
+        wrap (fun () ->
+            match mnem with
+            | ".equ" ->
+              arity 2;
+              Hashtbl.replace symbols (List.nth ops 0) (expr 1)
+            | ".org" | ".entry" -> err ".org/.entry not supported"
+            | "lui" ->
+              arity 2;
+              emit lineno line (Done (Isa.Lui { rd = reg 0; imm = expr 1 lsl 12 }))
+            | "auipc" ->
+              arity 2;
+              emit lineno line
+                (Done (Isa.Auipc { rd = reg 0; imm = expr 1 lsl 12 }))
+            | "jal" ->
+              if List.length ops = 1 then
+                emit lineno line (Jump { rd = 1; target = List.nth ops 0 })
+              else begin
+                arity 2;
+                emit lineno line (Jump { rd = reg 0; target = List.nth ops 1 })
+              end
+            | "j" ->
+              arity 1;
+              emit lineno line (Jump { rd = 0; target = List.nth ops 0 })
+            | "jalr" ->
+              if List.length ops = 1 && not (String.contains rest '(') then
+                emit lineno line
+                  (Done (Isa.Jalr { rd = 1; rs1 = reg 0; imm = 0 }))
+              else begin
+                arity 2;
+                let imm, rs1 = parse_mem ~symbols (List.nth ops 1) in
+                emit lineno line (Done (Isa.Jalr { rd = reg 0; rs1; imm }))
+              end
+            | "ret" ->
+              arity 0;
+              emit lineno line (Done (Isa.Jalr { rd = 0; rs1 = 1; imm = 0 }))
+            | "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" ->
+              arity 3;
+              let cond =
+                match mnem with
+                | "beq" -> Isa.Beq | "bne" -> Isa.Bne | "blt" -> Isa.Blt
+                | "bge" -> Isa.Bge | "bltu" -> Isa.Bltu | _ -> Isa.Bgeu
+              in
+              emit lineno line
+                (Br { cond; rs1 = reg 0; rs2 = reg 1; target = List.nth ops 2 })
+            | "lb" | "lh" | "lw" | "lbu" | "lhu" ->
+              arity 2;
+              let width =
+                match mnem with
+                | "lb" -> Isa.Lb | "lh" -> Isa.Lh | "lw" -> Isa.Lw
+                | "lbu" -> Isa.Lbu | _ -> Isa.Lhu
+              in
+              let imm, rs1 = parse_mem ~symbols (List.nth ops 1) in
+              emit lineno line (Done (Isa.Load { width; rd = reg 0; rs1; imm }))
+            | "sb" | "sh" | "sw" ->
+              arity 2;
+              let width =
+                match mnem with "sb" -> Isa.Sb | "sh" -> Isa.Sh | _ -> Isa.Sw
+              in
+              let imm, rs1 = parse_mem ~symbols (List.nth ops 1) in
+              emit lineno line
+                (Done (Isa.Store { width; rs2 = reg 0; rs1; imm }))
+            | "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" | "slli"
+            | "srli" | "srai" ->
+              arity 3;
+              let op =
+                match mnem with
+                | "addi" -> Isa.Add | "slti" -> Isa.Slt | "sltiu" -> Isa.Sltu
+                | "xori" -> Isa.Xor | "ori" -> Isa.Or | "andi" -> Isa.And
+                | "slli" -> Isa.Sll | "srli" -> Isa.Srl | _ -> Isa.Sra
+              in
+              let imm = expr 2 in
+              (match op with
+              | Isa.Sll | Isa.Srl | Isa.Sra ->
+                if imm < 0 || imm > 31 then err "shift amount %d out of range" imm
+              | _ ->
+                if imm < -2048 || imm > 2047 then
+                  err "immediate %d out of range" imm);
+              emit lineno line
+                (Done (Isa.Opimm { op; rd = reg 0; rs1 = reg 1; imm }))
+            | "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra"
+            | "or" | "and" ->
+              arity 3;
+              let op =
+                match mnem with
+                | "add" -> Isa.Add | "sub" -> Isa.Sub | "sll" -> Isa.Sll
+                | "slt" -> Isa.Slt | "sltu" -> Isa.Sltu | "xor" -> Isa.Xor
+                | "srl" -> Isa.Srl | "sra" -> Isa.Sra | "or" -> Isa.Or
+                | _ -> Isa.And
+              in
+              emit lineno line
+                (Done (Isa.Op { op; rd = reg 0; rs1 = reg 1; rs2 = reg 2 }))
+            | "li" ->
+              arity 2;
+              List.iter (fun i -> emit lineno line (Done i)) (li_insns (reg 0) (expr 1))
+            | "mv" ->
+              arity 2;
+              emit lineno line
+                (Done (Isa.Opimm { op = Isa.Add; rd = reg 0; rs1 = reg 1; imm = 0 }))
+            | "not" ->
+              arity 2;
+              emit lineno line
+                (Done (Isa.Opimm { op = Isa.Xor; rd = reg 0; rs1 = reg 1; imm = -1 }))
+            | "nop" ->
+              arity 0;
+              emit lineno line
+                (Done (Isa.Opimm { op = Isa.Add; rd = 0; rs1 = 0; imm = 0 }))
+            | "halt" ->
+              arity 0;
+              emit lineno line
+                (Done
+                   (Isa.Store
+                      { width = Isa.Sw; rs2 = 0; rs1 = 0; imm = Defs.halt_addr }))
+            | m -> err "unknown mnemonic %S" m)
+      end)
+    lines;
+  let slots = List.rev !slots in
+  if List.length slots > Defs.rom_words then
+    err "program too large: %d instructions" (List.length slots);
+  let resolve lineno target =
+    match Hashtbl.find_opt labels target with
+    | Some a -> a
+    | None -> err "line %d: undefined label %S" lineno target
+  in
+  let resolved =
+    List.map
+      (fun (addr, lineno, line, slot) ->
+        let insn =
+          match slot with
+          | Done i -> i
+          | Br { cond; rs1; rs2; target } ->
+            let off = resolve lineno target - addr in
+            if off < -4096 || off > 4094 then
+              err "line %d: branch target out of range" lineno;
+            Isa.Branch { cond; rs1; rs2; off }
+          | Jump { rd; target } ->
+            let off = resolve lineno target - addr in
+            if off < -1048576 || off > 1048574 then
+              err "line %d: jump target out of range" lineno;
+            Isa.Jal { rd; off }
+        in
+        (addr, line, insn))
+      slots
+  in
+  let rom = Array.make Defs.rom_words 0 in
+  List.iter
+    (fun (addr, _, insn) ->
+      rom.((addr - Defs.rom_base) lsr 2) <- Isa.encode insn)
+    resolved;
+  let listing () =
+    String.concat "\n"
+      (List.map
+         (fun (addr, _, insn) ->
+           Printf.sprintf "%04x: %08x  %s" addr (Isa.encode insn)
+             (Isa.to_string insn))
+         resolved)
+  in
+  {
+    Bespoke_coreapi.Coredef.rom;
+    entry = Defs.rom_base;
+    insn_addrs = List.map (fun (a, _, _) -> a) resolved;
+    listing;
+    mk_iss = (fun () -> Iss.coredef_iss (Iss.create rom));
+  }

@@ -1,0 +1,229 @@
+module B = Bespoke_programs.Benchmark
+
+(* RV32 ports of the sensor benchmark suite.  Same algorithms and
+   input distributions as the MSP430 versions, re-expressed for the
+   RV32 subset's memory map (word-addressed I/O windows at
+   [Defs.input_base]/[Defs.output_base], GPIO by absolute address,
+   software shift-add multiply instead of the hardware MAC). *)
+
+let input_base = Defs.input_base
+let output_base = Defs.output_base
+
+let rand16 ~state =
+  state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+  (!state lsr 7) land 0xFFFF
+
+let words ~state ~base ~count ?(mask = 0xFFFF) () =
+  List.init count (fun i -> (base + (4 * i), rand16 ~state land mask))
+
+let prologue =
+  Printf.sprintf
+    {|
+        .equ IN, 0x%04x
+        .equ OUT, 0x%04x
+        .equ GPIO_IN, 0x%04x
+        .equ GPIO_OUT, 0x%04x
+|}
+    input_base output_base Defs.gpio_in_addr Defs.gpio_out_addr
+
+let src body = prologue ^ body
+
+let mult =
+  B.mk "mult" "Unsigned 16x16 multiply of two inputs (software shift-add)"
+    ~input_ranges:[ (input_base, input_base + 7) ]
+    ~gen_inputs:(fun seed ->
+      let state = ref (seed + 23) in
+      ([ (input_base, rand16 ~state); (input_base + 4, rand16 ~state) ], 0))
+    ~result_addrs:[ output_base ]
+    (src
+       {|
+start:  li s0, IN
+        lw a0, 0(s0)         ; multiplicand
+        lw a1, 4(s0)         ; multiplier
+        li a2, 0             ; product
+        li a3, 16
+mloop:  andi a4, a1, 1
+        beq a4, x0, mnext
+        add a2, a2, a0
+mnext:  slli a0, a0, 1
+        srli a1, a1, 1
+        addi a3, a3, -1
+        bne a3, x0, mloop
+        li s1, OUT
+        sw a2, 0(s1)
+        sw a2, GPIO_OUT(x0)
+        halt
+|})
+
+let bin_search =
+  B.mk "binSearch" "Binary search over a 16-word sorted input table"
+    ~input_ranges:[ (input_base, input_base + 67) ]
+    ~gen_inputs:(fun seed ->
+      let state = ref (seed + 17) in
+      let tbl =
+        List.init 16 (fun _ -> rand16 ~state land 0x0FFF)
+        |> List.sort Int.compare
+      in
+      let key =
+        if seed land 1 = 0 then List.nth tbl (seed mod 16)
+        else rand16 ~state land 0x0FFF
+      in
+      ( List.mapi (fun i v -> (input_base + (4 * i), v)) tbl
+        @ [ (input_base + 64, key) ],
+        0 ))
+    ~result_addrs:[ output_base ]
+    (src
+       {|
+start:  li s0, IN
+        lw a0, 64(s0)        ; key
+        li t0, 0             ; lo (word index)
+        li t1, 16            ; hi (exclusive)
+        li a1, -1            ; result: not found
+loop:   bgeu t0, t1, done
+        add t2, t0, t1
+        srli t2, t2, 1       ; mid
+        slli t3, t2, 2
+        andi t3, t3, 0x3c    ; bound the table index
+        add t4, s0, t3
+        lw t5, 0(t4)
+        beq t5, a0, found
+        bltu t5, a0, less
+        mv t1, t2            ; hi = mid
+        j loop
+less:   addi t0, t2, 1       ; lo = mid + 1
+        j loop
+found:  mv a1, t2
+done:   li t6, OUT
+        sw a1, 0(t6)
+        sw a1, GPIO_OUT(x0)
+        halt
+|})
+
+let in_sort =
+  B.mk "inSort" "In-place insertion sort of 8 input words"
+    ~input_ranges:[ (input_base, input_base + 31) ]
+    ~gen_inputs:(fun seed ->
+      let state = ref (seed + 3) in
+      (words ~state ~base:input_base ~count:8 (), 0))
+    ~result_addrs:[ output_base ]
+    (src
+       {|
+start:  li s0, IN
+        li t0, 4             ; i (byte offset)
+        li t6, 32
+outer:  bgeu t0, t6, sorted
+        andi t5, t0, 0x1c
+        add t5, t5, s0
+        lw a0, 0(t5)         ; key
+        mv t1, t0            ; j
+inner:  beq t1, x0, insert
+        addi t2, t1, -4
+        andi t2, t2, 0x1c    ; bound the load index
+        add t3, t2, s0
+        lw a1, 0(t3)         ; a[j-1]
+        bgeu a0, a1, insert  ; key >= a[j-1]
+        andi t4, t1, 0x1c    ; bound the store index
+        add t4, t4, s0
+        sw a1, 0(t4)         ; a[j] = a[j-1]
+        addi t1, t1, -4
+        j inner
+insert: andi t4, t1, 0x1c
+        add t4, t4, s0
+        sw a0, 0(t4)
+        addi t0, t0, 4
+        j outer
+sorted: li a2, 0             ; checksum the sorted array
+        li t1, 0
+cksum:  andi t2, t1, 0x1c
+        add t3, t2, s0
+        lw a1, 0(t3)
+        add a2, a2, a1
+        addi t1, t1, 4
+        bltu t1, t6, cksum
+        li t6, OUT
+        sw a2, 0(t6)
+        sw a2, GPIO_OUT(x0)
+        halt
+|})
+
+let int_avg =
+  B.mk "intAVG" "Signed average of 16 input samples"
+    ~input_ranges:[ (input_base, input_base + 63) ]
+    ~gen_inputs:(fun seed ->
+      let state = ref (seed + 7) in
+      (words ~state ~base:input_base ~count:16 ~mask:0x0FFF (), 0))
+    ~result_addrs:[ output_base ]
+    (src
+       {|
+start:  li s0, IN
+        li a0, 0             ; sum
+        li t0, 0             ; index (bytes)
+        li t6, 64
+aloop:  andi t1, t0, 0x3c
+        add t2, t1, s0
+        lw a1, 0(t2)
+        add a0, a0, a1
+        addi t0, t0, 4
+        bltu t0, t6, aloop
+        srai a0, a0, 4       ; /16 (arithmetic)
+        li t6, OUT
+        sw a0, 0(t6)
+        sw a0, GPIO_OUT(x0)
+        halt
+|})
+
+let rle =
+  B.mk "rle" "Run-length encoder over 16 input bytes"
+    ~input_ranges:[ (input_base, input_base + 15) ]
+    ~gen_inputs:(fun seed ->
+      let state = ref (seed + 5) in
+      (* runs are likely: draw from a 4-symbol alphabet *)
+      ( List.init 4 (fun i ->
+            let w =
+              (rand16 ~state land 0x0303)
+              lor ((rand16 ~state land 0x0303) lsl 16)
+            in
+            (input_base + (4 * i), w)),
+        0 ))
+    ~result_addrs:[ output_base; output_base + 4 ]
+    (src
+       {|
+start:  li s0, IN
+        li s1, OUT
+        li t0, 1             ; input byte index
+        lbu a0, 0(s0)        ; current symbol
+        li a1, 1             ; run length
+        li t2, 0             ; output byte offset
+        li t6, 16
+rloop:  bgeu t0, t6, rdone
+        andi t3, t0, 0xf
+        add t4, t3, s0
+        lbu a2, 0(t4)
+        addi t0, t0, 1
+        bne a2, a0, rflush
+        addi a1, a1, 1
+        j rloop
+rflush: andi t5, t2, 0x1e    ; bound the output pointer
+        add t4, t5, s1
+        sb a0, 0(t4)
+        addi t5, t5, 1
+        andi t5, t5, 0x1f
+        add t4, t5, s1
+        sb a1, 0(t4)
+        addi t2, t2, 2
+        mv a0, a2
+        li a1, 1
+        j rloop
+rdone:  andi t5, t2, 0x1e
+        add t4, t5, s1
+        sb a0, 0(t4)
+        addi t5, t5, 1
+        andi t5, t5, 0x1f
+        add t4, t5, s1
+        sb a1, 0(t4)
+        addi t2, t2, 2
+        sw t2, GPIO_OUT(x0)  ; encoded length (bytes)
+        halt
+|})
+
+let all = [ mult; bin_search; in_sort; int_avg; rle ]

@@ -1,0 +1,354 @@
+open Bespoke_rtl.Rtl
+
+(* Gate-level RV32 subset core: a 3-stage FSM (fetch / execute /
+   write-back, 3 cycles per instruction) over a 32-bit datapath with
+   16-bit addresses.  Implements RV32I minus FENCE/ECALL/EBREAK/CSR.
+
+   The core follows the {!Bespoke_coreapi.Coredef} hook contract:
+   word memories on [pmem]/[dmem] ports, exact-address peripherals
+   (halt port, GPIO), and the analysis hook nets ([pc], [state],
+   [insn_boundary], [exec_jump], [branch_*], ...).  It has no
+   interrupt machinery; the [irq_*] hooks are tied to constant 0 so
+   the analyzer's interrupt forking is inert. *)
+
+let st_fetch = 0
+let st_exec = 1
+let st_wb = 2
+let st_reset = 3
+
+let build () =
+  let b = create_builder () in
+  let c16 v = constant ~width:16 v in
+
+  let pmem_rdata = input b "pmem_rdata" 32 in
+  let dmem_rdata = input b "dmem_rdata" 32 in
+  let gpio_in = input b "gpio_in" 32 in
+  (* No interrupts: the port exists per the hook contract, unused. *)
+  let _irq = input b "irq" 1 in
+
+  let state = wire 2 in
+  let pc = wire 16 in
+  let ir = wire 32 in
+  let halted = wire 1 in
+
+  let in_state s = state ==: constant ~width:2 s in
+  let s_fetch = in_state st_fetch in
+  let s_exec = in_state st_exec in
+  let s_wb = in_state st_wb in
+
+  (* ---------------- control ---------------- *)
+  in_scope b "control" (fun () ->
+      let state_next =
+        mux state
+          [
+            constant ~width:2 st_exec;  (* fetch -> exec *)
+            constant ~width:2 st_wb;  (* exec -> wb *)
+            constant ~width:2 st_fetch;  (* wb -> fetch *)
+            constant ~width:2 st_fetch;  (* reset -> fetch *)
+          ]
+      in
+      state <== reg b ~enable:~:halted ~init:st_reset state_next;
+      ir <== reg b ~enable:s_fetch ~init:0 pmem_rdata);
+
+  (* ---------------- decode (combinational, from ir) ---------------- *)
+  let d =
+    in_scope b "decode" (fun () ->
+        let opc = select ir ~hi:6 ~lo:0 in
+        let is op = eq_const opc op in
+        object
+          method rd = select ir ~hi:11 ~lo:7
+          method f3 = select ir ~hi:14 ~lo:12
+          method rs1 = select ir ~hi:19 ~lo:15
+          method rs2 = select ir ~hi:24 ~lo:20
+          method bit30 = bit ir 30
+          method is_lui = is 0x37
+          method is_auipc = is 0x17
+          method is_jal = is 0x6F
+          method is_jalr = is 0x67
+          method is_branch = is 0x63
+          method is_load = is 0x03
+          method is_store = is 0x23
+          method is_opimm = is 0x13
+          method is_op = is 0x33
+
+          method imm_i = sresize (select ir ~hi:31 ~lo:20) 32
+
+          method imm_s =
+            sresize
+              (concat [ select ir ~hi:11 ~lo:7; select ir ~hi:31 ~lo:25 ])
+              32
+
+          method imm_b =
+            sresize
+              (concat
+                 [ gnd; select ir ~hi:11 ~lo:8; select ir ~hi:30 ~lo:25;
+                   bit ir 7; bit ir 31 ])
+              32
+
+          method imm_u = concat [ zero 12; select ir ~hi:31 ~lo:12 ]
+
+          method imm_j =
+            sresize
+              (concat
+                 [ gnd; select ir ~hi:30 ~lo:21; bit ir 20;
+                   select ir ~hi:19 ~lo:12; bit ir 31 ])
+              32
+        end)
+  in
+
+  (* ---------------- register file ---------------- *)
+  let exec_rd = wire 5 in
+  let exec_has_rd = wire 1 in
+  let wb_value = wire 32 in
+  let regs =
+    in_scope b "register_file" (fun () ->
+        let wr = s_wb &: exec_has_rd in
+        List.init 31 (fun i ->
+            let n = i + 1 in
+            let en = wr &: eq_const exec_rd n in
+            let q = reg b ~enable:en ~init:0 wb_value in
+            name_net b (Printf.sprintf "x%d" n) q;
+            q))
+  in
+  let read_port sel = mux sel (zero 32 :: regs) in
+  let rs1_val = in_scope b "register_file" (fun () -> read_port d#rs1) in
+  let rs2_val = in_scope b "register_file" (fun () -> read_port d#rs2) in
+
+  (* ---------------- execute ---------------- *)
+  let ex =
+    in_scope b "execute" (fun () ->
+        let a = rs1_val in
+        let is_imm_alu = d#is_opimm in
+        let bv = mux2 is_imm_alu rs2_val d#imm_i in
+        let sh = select bv ~hi:4 ~lo:0 in
+
+        (* ALU *)
+        let alu =
+          in_scope b "alu" (fun () ->
+              let add_r = add a bv in
+              let sub_r = sub a bv in
+              (* f7 bit 30 selects sub only for register-register ops
+                 (ADDI has no subtract form). *)
+              let add_sub = mux2 (d#is_op &: d#bit30) add_r sub_r in
+              let barrel shift x =
+                let rec go x i =
+                  if i = 5 then x
+                  else go (mux2 (bit sh i) x (shift x (1 lsl i))) (i + 1)
+                in
+                go x 0
+              in
+              let sll_r = barrel (fun x k -> sll_const x k) a in
+              let srl_r = barrel (fun x k -> srl_const x k) a in
+              let sra_r =
+                let sign = msb a in
+                barrel
+                  (fun x k ->
+                    concat [ select x ~hi:31 ~lo:k; repeat sign k ])
+                  a
+              in
+              let shr = mux2 d#bit30 srl_r sra_r in
+              let ltu = a <: bv in
+              let lts = ltu ^: msb a ^: msb bv in
+              let slt_r = uresize lts 32 in
+              let sltu_r = uresize ltu 32 in
+              let out =
+                mux d#f3
+                  [
+                    add_sub; sll_r; slt_r; sltu_r; a ^: bv; shr; a |: bv;
+                    a &: bv;
+                  ]
+              in
+              object
+                method out = out
+                method eq = a ==: rs2_val
+                method lts = (a <: rs2_val) ^: msb a ^: msb rs2_val
+                method ltu = a <: rs2_val
+              end)
+        in
+
+        (* branch condition *)
+        let cond =
+          mux d#f3
+            [ alu#eq; ~:(alu#eq); gnd; gnd; alu#lts; ~:(alu#lts); alu#ltu;
+              ~:(alu#ltu) ]
+        in
+
+        (* next-pc selection (16-bit address arithmetic) *)
+        let pc_plus4 = add pc (c16 4) in
+        let br_target = add pc (select d#imm_b ~hi:15 ~lo:0) in
+        let jal_target = add pc (select d#imm_j ~hi:15 ~lo:0) in
+        let jalr_sum = add (select rs1_val ~hi:15 ~lo:0) (select d#imm_i ~hi:15 ~lo:0) in
+        let jalr_target = concat [ zero 2; select jalr_sum ~hi:15 ~lo:2 ] in
+        let jump_target =
+          mux2 d#is_jalr (mux2 d#is_jal br_target jal_target) jalr_target
+        in
+        let take_jump =
+          d#is_jal |: d#is_jalr |: (d#is_branch &: cond)
+        in
+        let next_pc = mux2 take_jump pc_plus4 jump_target in
+
+        (* write-back value for non-load instructions *)
+        let link = uresize pc_plus4 32 in
+        let auipc_r = add (uresize pc 32) d#imm_u in
+        let result =
+          onehot_select
+            [
+              (d#is_lui, d#imm_u);
+              (d#is_auipc, auipc_r);
+              (d#is_jal |: d#is_jalr, link);
+            ]
+            ~default:alu#out
+        in
+
+        (* effective address and store lanes *)
+        let ea =
+          add (select rs1_val ~hi:15 ~lo:0)
+            (select (mux2 d#is_store d#imm_i d#imm_s) ~hi:15 ~lo:0)
+        in
+        let lo8 = select rs2_val ~hi:7 ~lo:0 in
+        let lo16 = select rs2_val ~hi:15 ~lo:0 in
+        let sdata =
+          mux2 (bit d#f3 1) (* sw? *)
+            (mux2 (bit d#f3 0) (* sh vs sb *)
+               (repeat lo8 4)
+               (concat [ lo16; lo16 ]))
+            rs2_val
+        in
+        let ben =
+          mux2 (bit d#f3 1)
+            (mux2 (bit d#f3 0)
+               (mux (select ea ~hi:1 ~lo:0)
+                  [ constant ~width:4 1; constant ~width:4 2;
+                    constant ~width:4 4; constant ~width:4 8 ])
+               (mux2 (bit ea 1) (constant ~width:4 0x3)
+                  (constant ~width:4 0xC)))
+            (constant ~width:4 0xF)
+        in
+        let has_rd =
+          d#is_lui |: d#is_auipc |: d#is_jal |: d#is_jalr |: d#is_load
+          |: d#is_opimm |: d#is_op
+        in
+        let latch s = reg b ~enable:s_exec ~init:0 s in
+        let l_next_pc = latch next_pc in
+        let l_value = latch result in
+        let l_ea = latch ea in
+        let l_sdata = latch sdata in
+        let l_ben = latch ben in
+        let l_f3 = latch d#f3 in
+        let l_is_load = latch d#is_load in
+        let l_is_store = latch d#is_store in
+        let l_has_rd = latch has_rd in
+        let l_rd = latch d#rd in
+        let e_jump = s_exec &: (d#is_jal |: d#is_jalr |: d#is_branch) in
+        let b_taken = mux2 d#is_branch vdd cond in
+        object
+          method next_pc = l_next_pc
+          method value = l_value
+          method ea = l_ea
+          method sdata = l_sdata
+          method ben = l_ben
+          method f3 = l_f3
+          method is_load = l_is_load
+          method is_store = l_is_store
+          method has_rd = l_has_rd
+          method rd = l_rd
+          method exec_jump = e_jump
+          method branch_taken = b_taken
+          method branch_target = jump_target
+          method branch_fallthrough = pc_plus4
+        end)
+  in
+  exec_rd <== ex#rd;
+  exec_has_rd <== ex#has_rd;
+
+  (* pc: updated at write-back; frozen once halted *)
+  in_scope b "control" (fun () ->
+      pc <== reg b ~enable:(s_wb &: ~:halted) ~init:Defs.rom_base ex#next_pc);
+
+  (* ---------------- memory backbone & peripherals ---------------- *)
+  let periph =
+    in_scope b "mem_backbone" (fun () ->
+        let ea = ex#ea in
+        let is_halt = ea ==: c16 Defs.halt_addr in
+        let is_gpio_out = ea ==: c16 Defs.gpio_out_addr in
+        let is_gpio_in = ea ==: c16 Defs.gpio_in_addr in
+        let is_periph = is_halt |: is_gpio_out |: is_gpio_in in
+        output b "pmem_addr" pc;
+        output b "dmem_addr" ea;
+        output b "dmem_wdata" ex#sdata;
+        output b "dmem_ben" ex#ben;
+        output b "dmem_wen" (s_wb &: ex#is_store &: ~:is_periph);
+        output b "dmem_ren" (s_wb &: ex#is_load &: ~:is_periph);
+        object
+          method is_halt = is_halt
+          method is_gpio_out = is_gpio_out
+          method is_gpio_in = is_gpio_in
+        end)
+  in
+
+  let gpio_reg =
+    in_scope b "peripherals" (fun () ->
+        let gpio_wr = s_wb &: ex#is_store &: periph#is_gpio_out in
+        let q = wire 32 in
+        let merged =
+          concat
+            (List.init 4 (fun l ->
+                 mux2 (bit ex#ben l)
+                   (select q ~hi:((8 * l) + 7) ~lo:(8 * l))
+                   (select ex#sdata ~hi:((8 * l) + 7) ~lo:(8 * l))))
+        in
+        q <== reg b ~enable:gpio_wr ~init:0 merged;
+        output b "gpio_out" q;
+        name_net b "gpio_wr" gpio_wr;
+        let halt_trigger = s_wb &: ex#is_store &: periph#is_halt in
+        halted <== reg b ~init:0 (halted |: halt_trigger);
+        output b "halt" halted;
+        q)
+  in
+
+  (* ---------------- write-back ---------------- *)
+  in_scope b "writeback" (fun () ->
+      let word =
+        onehot_select
+          [ (periph#is_gpio_in, gpio_in); (periph#is_gpio_out, gpio_reg) ]
+          ~default:dmem_rdata
+      in
+      let ea = ex#ea in
+      let byte =
+        mux (select ea ~hi:1 ~lo:0)
+          (List.init 4 (fun l -> select word ~hi:((8 * l) + 7) ~lo:(8 * l)))
+      in
+      let half =
+        mux2 (bit ea 1) (select word ~hi:15 ~lo:0) (select word ~hi:31 ~lo:16)
+      in
+      let lval =
+        mux ex#f3
+          [
+            sresize byte 32;  (* lb *)
+            sresize half 32;  (* lh *)
+            word;  (* lw *)
+            word;
+            uresize byte 32;  (* lbu *)
+            uresize half 32;  (* lhu *)
+            word;
+            word;
+          ]
+      in
+      wb_value <== mux2 ex#is_load ex#value lval);
+
+  (* ---------------- analysis hooks ---------------- *)
+  name_net b "pc" pc;
+  name_net b "state" state;
+  name_net b "ir" ir;
+  name_net b "fetching" s_fetch;
+  name_net b "insn_boundary" s_fetch;
+  name_net b "halted" halted;
+  name_net b "exec_jump" ex#exec_jump;
+  name_net b "branch_taken" ex#branch_taken;
+  name_net b "branch_target" ex#branch_target;
+  name_net b "branch_fallthrough" ex#branch_fallthrough;
+  (* no interrupts: inert constant hooks *)
+  name_net b "irq_pending" gnd;
+  name_net b "irq_flag" gnd;
+  name_net b "irq_enable" gnd;
+  synthesize b

@@ -1,0 +1,25 @@
+(* Memory map and geometry of the RV32 subset core.
+
+   Addresses are 16 bits wide (the datapath registers are 32 bits, but
+   the address space is small, as befits an ultra-low-area target).
+   ROM and RAM are word (32-bit) memories; the harness feeds each from
+   its own array indexed by address bits [12:2], so the bases are
+   chosen to wrap to index 0. *)
+
+let rom_base = 0x2000
+let rom_words = 2048 (* 8 KiB of code *)
+let ram_base = 0x8000
+let ram_words = 2048 (* 8 KiB of data *)
+let mem_words = 2048
+
+(* Memory-mapped peripherals, decoded by exact address match. *)
+let halt_addr = 0x0008 (* any store halts the core *)
+let gpio_out_addr = 0x000C (* 32-bit output register, lane-writable *)
+let gpio_in_addr = 0x0010 (* 32-bit input port *)
+
+(* Benchmark I/O convention (mirrors the MSP430 suite's layout). *)
+let input_base = 0x8100
+let output_base = 0x8180
+
+(* Uniform timing contract: fetch / execute / write-back. *)
+let cycles_per_insn = 3

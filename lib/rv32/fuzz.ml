@@ -1,0 +1,121 @@
+(* Seed-replayable random-program generator for the RV32 subset.
+
+   Generated programs exercise arbitrary instruction mixes (every ALU
+   op, all load/store widths, forward branches, bounded loops, calls,
+   GPIO access) and always terminate with a halt store.  The same seed
+   always yields the same program, so any divergence is reproducible
+   from the seed alone. *)
+
+let scratch = Defs.ram_base (* 32-word scratch window the programs write *)
+
+type rng = { mutable s : int }
+
+let next r =
+  r.s <- ((r.s * 1103515245) + 12345) land 0x3FFFFFFF;
+  (r.s lsr 7) land 0xFFFFFF
+
+let pick r l = List.nth l (next r mod List.length l)
+let chance r pct = next r mod 100 < pct
+
+(* working registers; x14 holds the scratch base, x15 the GPIO word *)
+let reg r = pick r [ "x4"; "x5"; "x6"; "x7"; "x8"; "x9"; "x10"; "x11" ]
+let imm12 r = (next r land 0xFFF) - 2048
+
+let alu_rr r =
+  pick r [ "add"; "sub"; "sll"; "slt"; "sltu"; "xor"; "srl"; "sra"; "or"; "and" ]
+
+let alu_ri r =
+  pick r [ "addi"; "slti"; "sltiu"; "xori"; "ori"; "andi" ]
+
+let word_off r = next r land 0x7C (* word-aligned scratch offset *)
+
+let gen_instr r buf label_counter =
+  let adds = Buffer.add_string buf in
+  match next r mod 12 with
+  | 0 | 1 | 2 ->
+    adds
+      (Printf.sprintf "        %s %s, %s, %s\n" (alu_rr r) (reg r) (reg r)
+         (reg r))
+  | 3 | 4 ->
+    adds (Printf.sprintf "        %s %s, %s, %d\n" (alu_ri r) (reg r) (reg r) (imm12 r))
+  | 5 ->
+    let op = pick r [ "slli"; "srli"; "srai" ] in
+    adds (Printf.sprintf "        %s %s, %s, %d\n" op (reg r) (reg r) (next r land 31))
+  | 6 ->
+    adds (Printf.sprintf "        li %s, %d\n" (reg r) (next r land 0xFFFFFF))
+  | 7 ->
+    (* scratch traffic, all widths: stores then a load back *)
+    let off = word_off r in
+    let w = pick r [ ("sw", "lw"); ("sh", "lh"); ("sb", "lbu") ] in
+    adds (Printf.sprintf "        %s %s, %d(x14)\n" (fst w) (reg r) off);
+    adds (Printf.sprintf "        %s %s, %d(x14)\n" (snd w) (reg r) off)
+  | 8 ->
+    (* forward conditional skip *)
+    incr label_counter;
+    let l = Printf.sprintf "fl%d" !label_counter in
+    let cond = pick r [ "beq"; "bne"; "blt"; "bge"; "bltu"; "bgeu" ] in
+    adds
+      (Printf.sprintf "        %s %s, %s, %s\n        %s %s, %s, %s\n%s:\n"
+         cond (reg r) (reg r) l (alu_rr r) (reg r) (reg r) (reg r) l)
+  | 9 ->
+    (* bounded count-down loop *)
+    incr label_counter;
+    let l = Printf.sprintf "lp%d" !label_counter in
+    let n = 1 + (next r mod 6) in
+    adds
+      (Printf.sprintf
+         "        li x12, %d\n\
+          %s:\n\
+         \        %s %s, %s, %s\n\
+         \        addi x12, x12, -1\n\
+         \        bne x12, x0, %s\n"
+         n l (alu_rr r) (reg r) (reg r) (reg r) l)
+  | 10 ->
+    (* call / return through ra *)
+    incr label_counter;
+    let f = Printf.sprintf "fn%d" !label_counter in
+    let k = Printf.sprintf "fk%d" !label_counter in
+    adds
+      (Printf.sprintf
+         "        jal ra, %s\n\
+         \        j %s\n\
+          %s:\n\
+         \        %s %s, %s, %s\n\
+         \        ret\n\
+          %s:\n"
+         f k f (alu_rr r) (reg r) (reg r) (reg r) k)
+  | _ ->
+    if chance r 50 then
+      adds (Printf.sprintf "        lw %s, %d(x0)\n" (reg r) Defs.gpio_in_addr)
+    else
+      adds (Printf.sprintf "        sw %s, %d(x0)\n" (reg r) Defs.gpio_out_addr)
+
+let program ~seed =
+  let r = { s = (seed * 2654435761) lor 1 } in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "start:  li x14, 0x%04x\n" scratch);
+  (* seed some registers and scratch *)
+  for i = 4 to 11 do
+    Buffer.add_string buf
+      (Printf.sprintf "        li x%d, 0x%x\n" i (next r land 0xFFFFFF))
+  done;
+  for i = 0 to 7 do
+    Buffer.add_string buf
+      (Printf.sprintf "        li x13, 0x%x\n        sw x13, %d(x14)\n"
+         (next r land 0xFFFFFF) (4 * i))
+  done;
+  let label_counter = ref 0 in
+  let n = 12 + (next r mod 25) in
+  for _ = 1 to n do
+    gen_instr r buf label_counter
+  done;
+  (* publish a checksum so divergence is observable even in state the
+     final comparison would otherwise miss *)
+  Buffer.add_string buf
+    (Printf.sprintf "        li x13, 0x%04x\n" Defs.output_base);
+  Buffer.add_string buf "        sw x4, 0(x13)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "        sw x4, %d(x0)\n" Defs.gpio_out_addr);
+  Buffer.add_string buf "        halt\n";
+  Buffer.contents buf

@@ -1,0 +1,220 @@
+(* The RV32I subset: the 37 user-level integer instructions minus
+   FENCE / ECALL / EBREAK / CSR.  Standard RISC-V encodings, so any
+   off-the-shelf toolchain's output for this subset runs unmodified
+   (within the 16-bit address space). *)
+
+type cond = Beq | Bne | Blt | Bge | Bltu | Bgeu
+type aluop = Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And
+type lwidth = Lb | Lh | Lw | Lbu | Lhu
+type swidth = Sb | Sh | Sw
+
+type t =
+  | Lui of { rd : int; imm : int }  (* imm: upper 20 bits, pre-shifted *)
+  | Auipc of { rd : int; imm : int }
+  | Jal of { rd : int; off : int }
+  | Jalr of { rd : int; rs1 : int; imm : int }
+  | Branch of { cond : cond; rs1 : int; rs2 : int; off : int }
+  | Load of { width : lwidth; rd : int; rs1 : int; imm : int }
+  | Store of { width : swidth; rs1 : int; rs2 : int; imm : int }
+  | Opimm of { op : aluop; rd : int; rs1 : int; imm : int }
+  | Op of { op : aluop; rd : int; rs1 : int; rs2 : int }
+
+exception Decode_error of string
+
+let mask32 = 0xFFFFFFFF
+let sext ~bits v =
+  let m = 1 lsl (bits - 1) in
+  ((v land ((1 lsl bits) - 1)) lxor m) - m
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+
+let cond_f3 = function
+  | Beq -> 0 | Bne -> 1 | Blt -> 4 | Bge -> 5 | Bltu -> 6 | Bgeu -> 7
+
+let lwidth_f3 = function Lb -> 0 | Lh -> 1 | Lw -> 2 | Lbu -> 4 | Lhu -> 5
+let swidth_f3 = function Sb -> 0 | Sh -> 1 | Sw -> 2
+
+let aluop_f3 = function
+  | Add | Sub -> 0 | Sll -> 1 | Slt -> 2 | Sltu -> 3 | Xor -> 4
+  | Srl | Sra -> 5 | Or -> 6 | And -> 7
+
+let r_type ~f7 ~rs2 ~rs1 ~f3 ~rd ~opc =
+  (f7 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (f3 lsl 12)
+  lor (rd lsl 7) lor opc
+
+let i_type ~imm ~rs1 ~f3 ~rd ~opc =
+  ((imm land 0xFFF) lsl 20) lor (rs1 lsl 15) lor (f3 lsl 12) lor (rd lsl 7)
+  lor opc
+
+let s_type ~imm ~rs2 ~rs1 ~f3 ~opc =
+  let imm = imm land 0xFFF in
+  ((imm lsr 5) lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (f3 lsl 12)
+  lor ((imm land 0x1F) lsl 7) lor opc
+
+let b_type ~off ~rs2 ~rs1 ~f3 ~opc =
+  let o = off land 0x1FFF in
+  (((o lsr 12) land 1) lsl 31)
+  lor (((o lsr 5) land 0x3F) lsl 25)
+  lor (rs2 lsl 20) lor (rs1 lsl 15) lor (f3 lsl 12)
+  lor (((o lsr 1) land 0xF) lsl 8)
+  lor (((o lsr 11) land 1) lsl 7)
+  lor opc
+
+let u_type ~imm ~rd ~opc = (imm land 0xFFFFF000) lor (rd lsl 7) lor opc
+
+let j_type ~off ~rd ~opc =
+  let o = off land 0x1FFFFF in
+  (((o lsr 20) land 1) lsl 31)
+  lor (((o lsr 1) land 0x3FF) lsl 21)
+  lor (((o lsr 11) land 1) lsl 20)
+  lor (((o lsr 12) land 0xFF) lsl 12)
+  lor (rd lsl 7) lor opc
+
+let encode = function
+  | Lui { rd; imm } -> u_type ~imm ~rd ~opc:0x37
+  | Auipc { rd; imm } -> u_type ~imm ~rd ~opc:0x17
+  | Jal { rd; off } -> j_type ~off ~rd ~opc:0x6F
+  | Jalr { rd; rs1; imm } -> i_type ~imm ~rs1 ~f3:0 ~rd ~opc:0x67
+  | Branch { cond; rs1; rs2; off } ->
+    b_type ~off ~rs2 ~rs1 ~f3:(cond_f3 cond) ~opc:0x63
+  | Load { width; rd; rs1; imm } ->
+    i_type ~imm ~rs1 ~f3:(lwidth_f3 width) ~rd ~opc:0x03
+  | Store { width; rs1; rs2; imm } ->
+    s_type ~imm ~rs2 ~rs1 ~f3:(swidth_f3 width) ~opc:0x23
+  | Opimm { op; rd; rs1; imm } -> (
+    match op with
+    | Sll -> r_type ~f7:0 ~rs2:(imm land 0x1F) ~rs1 ~f3:1 ~rd ~opc:0x13
+    | Srl -> r_type ~f7:0 ~rs2:(imm land 0x1F) ~rs1 ~f3:5 ~rd ~opc:0x13
+    | Sra -> r_type ~f7:0x20 ~rs2:(imm land 0x1F) ~rs1 ~f3:5 ~rd ~opc:0x13
+    | Sub -> invalid_arg "Isa.encode: subi does not exist"
+    | op -> i_type ~imm ~rs1 ~f3:(aluop_f3 op) ~rd ~opc:0x13)
+  | Op { op; rd; rs1; rs2 } ->
+    let f7 = match op with Sub | Sra -> 0x20 | _ -> 0 in
+    r_type ~f7 ~rs2 ~rs1 ~f3:(aluop_f3 op) ~rd ~opc:0x33
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+
+let imm_i w = sext ~bits:12 (w lsr 20)
+let imm_s w = sext ~bits:12 (((w lsr 25) lsl 5) lor ((w lsr 7) land 0x1F))
+
+let imm_b w =
+  sext ~bits:13
+    ((((w lsr 31) land 1) lsl 12)
+    lor (((w lsr 7) land 1) lsl 11)
+    lor (((w lsr 25) land 0x3F) lsl 5)
+    lor (((w lsr 8) land 0xF) lsl 1))
+
+let imm_u w = w land 0xFFFFF000
+
+let imm_j w =
+  sext ~bits:21
+    ((((w lsr 31) land 1) lsl 20)
+    lor (((w lsr 12) land 0xFF) lsl 12)
+    lor (((w lsr 20) land 1) lsl 11)
+    lor (((w lsr 21) land 0x3FF) lsl 1))
+
+let decode w =
+  let w = w land mask32 in
+  let opc = w land 0x7F in
+  let rd = (w lsr 7) land 0x1F in
+  let f3 = (w lsr 12) land 0x7 in
+  let rs1 = (w lsr 15) land 0x1F in
+  let rs2 = (w lsr 20) land 0x1F in
+  let f7 = (w lsr 25) land 0x7F in
+  let bad what = raise (Decode_error (Printf.sprintf "%s in %08x" what w)) in
+  match opc with
+  | 0x37 -> Lui { rd; imm = imm_u w }
+  | 0x17 -> Auipc { rd; imm = imm_u w }
+  | 0x6F -> Jal { rd; off = imm_j w }
+  | 0x67 -> if f3 = 0 then Jalr { rd; rs1; imm = imm_i w } else bad "jalr f3"
+  | 0x63 ->
+    let cond =
+      match f3 with
+      | 0 -> Beq | 1 -> Bne | 4 -> Blt | 5 -> Bge | 6 -> Bltu | 7 -> Bgeu
+      | _ -> bad "branch f3"
+    in
+    Branch { cond; rs1; rs2; off = imm_b w }
+  | 0x03 ->
+    let width =
+      match f3 with
+      | 0 -> Lb | 1 -> Lh | 2 -> Lw | 4 -> Lbu | 5 -> Lhu
+      | _ -> bad "load f3"
+    in
+    Load { width; rd; rs1; imm = imm_i w }
+  | 0x23 ->
+    let width =
+      match f3 with 0 -> Sb | 1 -> Sh | 2 -> Sw | _ -> bad "store f3"
+    in
+    Store { width; rs1; rs2; imm = imm_s w }
+  | 0x13 -> (
+    match f3 with
+    | 0 -> Opimm { op = Add; rd; rs1; imm = imm_i w }
+    | 1 ->
+      if f7 = 0 then Opimm { op = Sll; rd; rs1; imm = rs2 }
+      else bad "slli f7"
+    | 2 -> Opimm { op = Slt; rd; rs1; imm = imm_i w }
+    | 3 -> Opimm { op = Sltu; rd; rs1; imm = imm_i w }
+    | 4 -> Opimm { op = Xor; rd; rs1; imm = imm_i w }
+    | 5 ->
+      if f7 = 0 then Opimm { op = Srl; rd; rs1; imm = rs2 }
+      else if f7 = 0x20 then Opimm { op = Sra; rd; rs1; imm = rs2 }
+      else bad "shift f7"
+    | 6 -> Opimm { op = Or; rd; rs1; imm = imm_i w }
+    | _ -> Opimm { op = And; rd; rs1; imm = imm_i w })
+  | 0x33 ->
+    let op =
+      match (f3, f7) with
+      | 0, 0 -> Add | 0, 0x20 -> Sub
+      | 1, 0 -> Sll | 2, 0 -> Slt | 3, 0 -> Sltu | 4, 0 -> Xor
+      | 5, 0 -> Srl | 5, 0x20 -> Sra
+      | 6, 0 -> Or | 7, 0 -> And
+      | _ -> bad "op f3/f7"
+    in
+    Op { op; rd; rs1; rs2 }
+  | _ -> bad "opcode"
+
+(* ------------------------------------------------------------------ *)
+(* Disassembly                                                         *)
+
+let reg_str r = "x" ^ string_of_int r
+
+let cond_str = function
+  | Beq -> "beq" | Bne -> "bne" | Blt -> "blt" | Bge -> "bge"
+  | Bltu -> "bltu" | Bgeu -> "bgeu"
+
+let lwidth_str = function
+  | Lb -> "lb" | Lh -> "lh" | Lw -> "lw" | Lbu -> "lbu" | Lhu -> "lhu"
+
+let swidth_str = function Sb -> "sb" | Sh -> "sh" | Sw -> "sw"
+
+let aluop_str = function
+  | Add -> "add" | Sub -> "sub" | Sll -> "sll" | Slt -> "slt"
+  | Sltu -> "sltu" | Xor -> "xor" | Srl -> "srl" | Sra -> "sra"
+  | Or -> "or" | And -> "and"
+
+let to_string = function
+  | Lui { rd; imm } -> Printf.sprintf "lui %s, 0x%x" (reg_str rd) (imm lsr 12)
+  | Auipc { rd; imm } ->
+    Printf.sprintf "auipc %s, 0x%x" (reg_str rd) (imm lsr 12)
+  | Jal { rd; off } -> Printf.sprintf "jal %s, %d" (reg_str rd) off
+  | Jalr { rd; rs1; imm } ->
+    Printf.sprintf "jalr %s, %d(%s)" (reg_str rd) imm (reg_str rs1)
+  | Branch { cond; rs1; rs2; off } ->
+    Printf.sprintf "%s %s, %s, %d" (cond_str cond) (reg_str rs1) (reg_str rs2)
+      off
+  | Load { width; rd; rs1; imm } ->
+    Printf.sprintf "%s %s, %d(%s)" (lwidth_str width) (reg_str rd) imm
+      (reg_str rs1)
+  | Store { width; rs1; rs2; imm } ->
+    Printf.sprintf "%s %s, %d(%s)" (swidth_str width) (reg_str rs2) imm
+      (reg_str rs1)
+  | Opimm { op = Add; rd; rs1 = 0; imm } ->
+    Printf.sprintf "li %s, %d" (reg_str rd) imm
+  | Opimm { op; rd; rs1; imm } ->
+    Printf.sprintf "%si %s, %s, %d" (aluop_str op) (reg_str rd) (reg_str rs1)
+      imm
+  | Op { op; rd; rs1; rs2 } ->
+    Printf.sprintf "%s %s, %s, %s" (aluop_str op) (reg_str rd) (reg_str rs1)
+      (reg_str rs2)

@@ -1,0 +1,199 @@
+(* Instruction-set simulator for the RV32 subset: the golden model the
+   gate-level core is verified against.  Semantics mirror the RTL
+   bit-for-bit, including the small-address-space quirks: 16-bit pc
+   and effective addresses, peripheral decode by exact address match,
+   and RAM indexing that wraps modulo the harness array size. *)
+
+let mask32 = 0xFFFFFFFF
+let mask16 = 0xFFFF
+let sext32 v = Isa.sext ~bits:32 v
+
+type t = {
+  rom : int array;
+  regs : int array;  (* x1..x31 at indices 1..31; index 0 unused *)
+  ram : int array;  (* Defs.mem_words words *)
+  mutable pc : int;
+  mutable halted : bool;
+  mutable cycles : int;
+  mutable retired : int;
+  mutable gpio_in : int;
+  mutable gpio_reg : int;
+  mutable trace : (int * int) list;  (* newest first *)
+}
+
+let create rom =
+  {
+    rom;
+    regs = Array.make 32 0;
+    ram = Array.make Defs.mem_words 0;
+    pc = Defs.rom_base;
+    halted = false;
+    cycles = 0;
+    retired = 0;
+    gpio_in = 0;
+    gpio_reg = 0;
+    trace = [];
+  }
+
+let reset t =
+  Array.fill t.regs 0 32 0;
+  Array.fill t.ram 0 Defs.mem_words 0;
+  t.pc <- Defs.rom_base;
+  t.halted <- false;
+  t.cycles <- 0;
+  t.retired <- 0;
+  t.gpio_reg <- 0;
+  t.trace <- []
+
+let pc t = t.pc
+let halted t = t.halted
+let cycles t = t.cycles
+let retired t = t.retired
+let gpio_out t = t.gpio_reg
+let set_gpio_in t v = t.gpio_in <- v land mask32
+let output_trace t = List.rev t.trace
+
+let reg t r = if r = 0 then 0 else t.regs.(r) land mask32
+let set_reg t r v = if r <> 0 then t.regs.(r) <- v land mask32
+
+let ram_idx a = (a lsr 2) land (Defs.mem_words - 1)
+let read_ram_word t a = t.ram.(ram_idx a)
+let write_ram_word t a v = t.ram.(ram_idx a) <- v land mask32
+
+let fetch_word t = t.rom.(ram_idx t.pc)
+
+let current_insn t =
+  match Isa.decode (fetch_word t) with
+  | i -> Isa.to_string i
+  | exception Isa.Decode_error m -> Printf.sprintf "<%s>" m
+
+let alu op a b =
+  let a = a land mask32 and b = b land mask32 in
+  match op with
+  | Isa.Add -> (a + b) land mask32
+  | Isa.Sub -> (a - b) land mask32
+  | Isa.Sll -> (a lsl (b land 31)) land mask32
+  | Isa.Slt -> if sext32 a < sext32 b then 1 else 0
+  | Isa.Sltu -> if a < b then 1 else 0
+  | Isa.Xor -> a lxor b
+  | Isa.Srl -> a lsr (b land 31)
+  | Isa.Sra -> sext32 a asr (b land 31) land mask32
+  | Isa.Or -> a lor b
+  | Isa.And -> a land b
+
+let cond_holds cond a b =
+  let a = a land mask32 and b = b land mask32 in
+  match cond with
+  | Isa.Beq -> a = b
+  | Isa.Bne -> a <> b
+  | Isa.Blt -> sext32 a < sext32 b
+  | Isa.Bge -> sext32 a >= sext32 b
+  | Isa.Bltu -> a < b
+  | Isa.Bgeu -> a >= b
+
+(* The load path: select the addressed word (peripheral or RAM), then
+   the byte/halfword lane by the low effective-address bits. *)
+let load_word t ea =
+  if ea = Defs.gpio_in_addr then t.gpio_in
+  else if ea = Defs.gpio_out_addr then t.gpio_reg
+  else read_ram_word t ea
+
+let load_value width word ea =
+  match width with
+  | Isa.Lw -> word
+  | Isa.Lh | Isa.Lhu ->
+    let half = (word lsr (16 * ((ea lsr 1) land 1))) land 0xFFFF in
+    if width = Isa.Lh then Isa.sext ~bits:16 half land mask32 else half
+  | Isa.Lb | Isa.Lbu ->
+    let byte = (word lsr (8 * (ea land 3))) land 0xFF in
+    if width = Isa.Lb then Isa.sext ~bits:8 byte land mask32 else byte
+
+(* The store path: replicated data lanes plus a byte-enable mask, as
+   on the gate-level write port. *)
+let store_lanes width data ea =
+  match width with
+  | Isa.Sw -> (data land mask32, 0xF)
+  | Isa.Sh ->
+    let h = data land 0xFFFF in
+    ((h lsl 16) lor h, 0x3 lsl (ea land 2))
+  | Isa.Sb ->
+    let b = data land 0xFF in
+    ((b lsl 24) lor (b lsl 16) lor (b lsl 8) lor b, 1 lsl (ea land 3))
+
+let merge_word old data ben =
+  let m = ref 0 in
+  for l = 0 to 3 do
+    if (ben lsr l) land 1 = 1 then m := !m lor (0xFF lsl (8 * l))
+  done;
+  (old land lnot !m) lor (data land !m) land mask32
+
+let step t =
+  if not t.halted then begin
+    let insn = Isa.decode (fetch_word t) in
+    let pc = t.pc in
+    let next = (pc + 4) land mask16 in
+    let wr rd v = set_reg t rd v in
+    let new_pc = ref next in
+    (match insn with
+    | Isa.Lui { rd; imm } -> wr rd imm
+    | Isa.Auipc { rd; imm } -> wr rd (pc + imm)
+    | Isa.Jal { rd; off } ->
+      wr rd next;
+      new_pc := (pc + off) land mask16
+    | Isa.Jalr { rd; rs1; imm } ->
+      let target = (reg t rs1 + imm) land 0xFFFC in
+      wr rd next;
+      new_pc := target
+    | Isa.Branch { cond; rs1; rs2; off } ->
+      if cond_holds cond (reg t rs1) (reg t rs2) then
+        new_pc := (pc + off) land mask16
+    | Isa.Load { width; rd; rs1; imm } ->
+      let ea = (reg t rs1 + imm) land mask16 in
+      wr rd (load_value width (load_word t ea) ea)
+    | Isa.Store { width; rs1; rs2; imm } ->
+      let ea = (reg t rs1 + imm) land mask16 in
+      let data, ben = store_lanes width (reg t rs2) ea in
+      if ea = Defs.halt_addr then t.halted <- true
+      else if ea = Defs.gpio_out_addr then begin
+        t.gpio_reg <- merge_word t.gpio_reg data ben;
+        t.trace <- (t.cycles + Defs.cycles_per_insn, t.gpio_reg) :: t.trace
+      end
+      else
+        let i = ram_idx ea in
+        t.ram.(i) <- merge_word t.ram.(i) data ben
+    | Isa.Opimm { op; rd; rs1; imm } -> wr rd (alu op (reg t rs1) imm)
+    | Isa.Op { op; rd; rs1; rs2 } -> wr rd (alu op (reg t rs1) (reg t rs2)));
+    t.pc <- !new_pc;
+    t.retired <- t.retired + 1;
+    t.cycles <- t.cycles + Defs.cycles_per_insn
+  end
+
+let run ?(max_insns = 1_000_000) t =
+  let n = ref 0 in
+  while (not t.halted) && !n < max_insns do
+    step t;
+    incr n
+  done;
+  if not t.halted then failwith "Rv32.Iss.run: instruction limit exceeded"
+
+(* The descriptor's record-of-closures view.  Register index 32 is the
+   pc (so the lockstep comparator checks it like any register); index
+   0 is the hard-wired zero. *)
+let coredef_iss t =
+  {
+    Bespoke_coreapi.Coredef.reset = (fun () -> reset t);
+    step = (fun () -> step t);
+    halted = (fun () -> halted t);
+    pc = (fun () -> pc t);
+    reg = (fun r -> if r = 32 then t.pc else reg t r);
+    cycles = (fun () -> cycles t);
+    retired = (fun () -> retired t);
+    read_ram_word = (fun a -> read_ram_word t a);
+    write_ram_word = (fun a v -> write_ram_word t a v);
+    set_gpio_in = (fun v -> set_gpio_in t v);
+    gpio_out = (fun () -> gpio_out t);
+    output_trace = (fun () -> output_trace t);
+    set_irq_line = (fun _ -> ());
+    irq_entry = (fun () -> -1);
+    current_insn = (fun () -> current_insn t);
+  }

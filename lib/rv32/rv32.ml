@@ -1,0 +1,69 @@
+module Coredef = Bespoke_coreapi.Coredef
+
+(* The RV32 subset's {!Coredef} descriptor: the one value that plugs
+   the core into the whole tailoring flow.  Everything core-specific
+   (netlist builder, ISS, assembler, instruction classification,
+   return-context refinement, the fuzz-program menu) lives in the
+   sibling modules; this file only bundles them. *)
+
+let mask16 = 0xFFFF
+
+let classify ~rom_word ~pc =
+  match Isa.decode (rom_word pc) with
+  | exception Isa.Decode_error m -> failwith ("rv32 classify: " ^ m)
+  | i ->
+    let control =
+      match i with Isa.Jal _ | Isa.Jalr _ | Isa.Branch _ -> true | _ -> false
+    in
+    let cond = match i with Isa.Branch _ -> true | _ -> false in
+    {
+      Coredef.ci_control = control;
+      ci_cond_branch = cond;
+      ci_next = (pc + 4) land mask16;
+    }
+
+(* A JALR takes its target from a register: report the value the next
+   pc will be computed from, so the analyzer can key its merge table
+   on the actual return target. *)
+let ret_context ~rom_word ~read_reg ~read_ram_word:_ ~pc =
+  match Isa.decode (rom_word pc) with
+  | Isa.Jalr { rs1; imm; _ } -> (
+    match read_reg rs1 with
+    | Some v -> ((v + imm) land 0xFFFC, 0)
+    | None -> (-1, 0))
+  | _ -> (0, 0)
+  | exception Isa.Decode_error _ -> (0, 0)
+
+let core : Coredef.t =
+  {
+    Coredef.name = "rv32";
+    word_bits = 32;
+    addr_shift = 2;
+    insn_align = 4;
+    mem_words = Defs.mem_words;
+    rom_base = Defs.rom_base;
+    rom_words = Defs.rom_words;
+    ram_base = Defs.ram_base;
+    ram_words = Defs.ram_words;
+    reset_extra_cycles = 1;
+    (* index 32 is the pc, checked like any register; x0 is omitted
+       (it reads as constant zero on both models by construction) *)
+    arch_regs = 32 :: List.init 31 (fun i -> i + 1);
+    reg_name = (fun r -> if r = 32 then "pc" else Printf.sprintf "x%d" r);
+    reg_hook =
+      (fun r ->
+        if r = 0 then None
+        else if r = 32 then Some "pc"
+        else Some (Printf.sprintf "x%d" r));
+    sp_reg = Some 2;
+    has_irq = false;
+    gie_bit = None;
+    trace_signals =
+      [ "pc"; "state"; "ir"; "pmem_addr"; "dmem_addr"; "dmem_wdata";
+        "dmem_wen"; "gpio_out"; "halted" ];
+    build = Cpu.build;
+    assemble = Asm.assemble;
+    classify;
+    ret_context;
+    fuzz_program = (fun ~seed -> Fuzz.program ~seed);
+  }

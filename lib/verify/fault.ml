@@ -100,15 +100,17 @@ let shuffle rng a =
   a
 
 (* The nets the lockstep comparator reads at every instruction
-   boundary (System.reg): a toggling DFF behind one of these holds
-   each of its values across at least one boundary (architectural
-   registers only change at instruction writes, and the PC feeds every
-   fetch), so a stuck-at there is both activated and propagated —
-   detectable by construction. *)
-let observed_nets =
-  "pc" :: "sp" :: "sr" :: List.init 12 (fun i -> Printf.sprintf "r%d" (i + 4))
+   boundary (System.reg over the core's architectural registers): a
+   toggling DFF behind one of these holds each of its values across at
+   least one boundary (architectural registers only change at
+   instruction writes, and the PC feeds every fetch), so a stuck-at
+   there is both activated and propagated — detectable by
+   construction. *)
+let observed_nets (core : Bespoke_coreapi.Coredef.t) =
+  List.filter_map core.Bespoke_coreapi.Coredef.reg_hook
+    core.Bespoke_coreapi.Coredef.arch_regs
 
-let observed_dffs net =
+let observed_dffs ~core net =
   let set = Hashtbl.create 64 in
   List.iter
     (fun name ->
@@ -119,13 +121,13 @@ let observed_dffs net =
             | Gate.Dff _ -> Hashtbl.replace set id ()
             | _ -> ())
           (Netlist.find_name net name))
-    observed_nets;
+    (observed_nets core);
   set
 
-let generate ?(seed = 1) ~n ~toggles net =
+let generate ?(seed = 1) ~core ~n ~toggles net =
   let rng = ref (lcg ((seed * 2654435761) lor 1)) in
   let exercised id = id < Array.length toggles && toggles.(id) > 0 in
-  let observed = observed_dffs net in
+  let observed = observed_dffs ~core net in
   let arch = ref [] in
   let stuck = ref [] and ties = ref [] and drops = ref [] and swaps = ref [] in
   Array.iteri

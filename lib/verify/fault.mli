@@ -16,7 +16,8 @@
 
     A fault is {e detectable} when it is a stuck-at on an exercised
     (positive toggle count) DFF behind a net the lockstep comparator
-    observes at every instruction boundary (PC, SP, SR, R4-R15): the
+    observes at every instruction boundary (the core's hooked
+    architectural registers — PC, SP, SR, R4-R15 on MSP430): the
     fault-free run holds each value of such a state bit across at
     least one boundary, so the stuck value is both activated and
     propagated to a compared net.  The campaign asserts a 100% kill
@@ -52,9 +53,12 @@ val inject : Netlist.t -> t -> Netlist.t
     The result still validates. *)
 
 val generate :
-  ?seed:int -> n:int -> toggles:int array -> Netlist.t -> t list
+  ?seed:int -> core:Bespoke_coreapi.Coredef.t -> n:int ->
+  toggles:int array -> Netlist.t -> t list
 (** Up to [n] faults, deterministically drawn (PRNG [seed], default 1)
     from the candidate sites of every kind, stuck-at sites first.
-    [toggles] are per-gate toggle counts from a fault-free co-simulated
-    run of the same netlist; stuck-at sites are restricted to exercised
-    gates so the resulting faults are detectable by construction. *)
+    [core] supplies the boundary-observed register nets that make a
+    stuck-at detectable.  [toggles] are per-gate toggle counts from a
+    fault-free co-simulated run of the same netlist; stuck-at sites
+    are restricted to exercised gates so the resulting faults are
+    detectable by construction. *)

@@ -1,4 +1,4 @@
-module Lockstep = Bespoke_cpu.Lockstep
+module Lockstep = Bespoke_coreapi.Lockstep
 
 type repro = {
   seeds : int list;

@@ -13,7 +13,7 @@
       the reported [at_insn] is already the minimal diverging
       instruction index — a replay may stop there. *)
 
-module Lockstep := Bespoke_cpu.Lockstep
+module Lockstep := Bespoke_coreapi.Lockstep
 
 type repro = {
   seeds : int list;  (** minimal seed list, [<=] the original *)

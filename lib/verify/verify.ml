@@ -1,8 +1,9 @@
 module B = Bespoke_programs.Benchmark
 module Netlist = Bespoke_netlist.Netlist
 module Gate = Bespoke_netlist.Gate
-module Lockstep = Bespoke_cpu.Lockstep
-module System = Bespoke_cpu.System
+module Coredef = Bespoke_coreapi.Coredef
+module Lockstep = Bespoke_coreapi.Lockstep
+module System = Bespoke_coreapi.System
 module Activity = Bespoke_analysis.Activity
 module Runner = Bespoke_core.Runner
 module Cut = Bespoke_core.Cut
@@ -59,6 +60,7 @@ type guard_check = {
 
 type campaign = {
   benchmark : string;
+  core : string;
   gates_original : int;
   gates_bespoke : int;
   symbolic : symbolic;
@@ -120,8 +122,8 @@ let detectable_score_pct s = pct s.detectable_killed s.detectable
    netlist under test is always a tailored design (or a mutant of
    one), whose const-X ties on application-dead state are correct by
    construction; only the concrete bits must match the ISS. *)
-let cosim ?engine ~netlist b ~seed =
-  match Runner.co_simulate ?engine ~netlist ~x_dont_care:true b ~seed with
+let cosim ?engine ~core ~netlist b ~seed =
+  match Runner.co_simulate ?engine ~netlist ~x_dont_care:true ~core b ~seed with
   | r -> r
   | exception Failure m ->
     Error
@@ -129,13 +131,13 @@ let cosim ?engine ~netlist b ~seed =
 
 (* The symbolic layer: re-play the original design's execution tree on
    [shadow_net], comparing architectural state at every boundary. *)
-let symbolic_check ~original ~shadow_net b =
+let symbolic_check ~core ~original ~shadow_net b =
   Obs.Span.with_ ~name:"verify.symbolic" ~args:[ ("benchmark", b.B.name) ]
   @@ fun () ->
   let t0 = now () in
-  let img = B.image b in
-  let sys = System.create ~netlist:original img in
-  let sh = System.create ~netlist:shadow_net img in
+  let img = Runner.image ~core b in
+  let sys = System.create ~netlist:original ~core img in
+  let sh = System.create ~netlist:shadow_net ~core img in
   let config =
     {
       Activity.default_config with
@@ -171,29 +173,30 @@ let symbolic_check ~original ~shadow_net b =
 let real_gate (g : Gate.t) =
   match g.Gate.op with Gate.Input | Gate.Const _ -> false | _ -> true
 
-let check_benchmark ?engine ?(faults = 8) ?(seed = 1) ?explore_budget b =
-  Obs.Span.with_ ~name:"verify.campaign" ~args:[ ("benchmark", b.B.name) ]
+let check_benchmark ?engine ?(faults = 8) ?(seed = 1) ?explore_budget ~core b =
+  Obs.Span.with_ ~name:"verify.campaign"
+    ~args:[ ("benchmark", b.B.name); ("core", core.Coredef.name) ]
   @@ fun () ->
   Obs.Metrics.incr m_campaigns;
   let t0 = now () in
   (* tailor — through the flow cache, so a campaign that re-verifies a
      benchmark (or follows an analyze/tailor job for it) reuses the
      analysis *)
-  let (report, net), _cached = Runner.analyze_cached b in
+  let (report, net), _cached = Runner.analyze_cached ~core b in
   let bespoke, stats, prov =
     Cut.tailor_explained net
       ~possibly_toggled:report.Activity.possibly_toggled
       ~constants:report.Activity.constant_values
   in
   (* layer 1a: coverage-directed input-based co-simulation *)
-  let cov = Coverage.explore ?budget:explore_budget b in
+  let cov = Coverage.explore ?budget:explore_budget ~core b in
   let toggle_union = Array.make (Netlist.gate_count bespoke) 0 in
   let inputs =
     List.map
       (fun s ->
         Obs.Metrics.incr m_inputs;
         let t = now () in
-        let r = cosim ?engine ~netlist:bespoke b ~seed:s in
+        let r = cosim ?engine ~core ~netlist:bespoke b ~seed:s in
         (match r with
         | Ok lr ->
           Array.iteri
@@ -225,13 +228,13 @@ let check_benchmark ?engine ?(faults = 8) ?(seed = 1) ?explore_budget b =
     else
       Shrink.of_seeds
         ~check:(fun s ->
-          match cosim ?engine ~netlist:bespoke b ~seed:s with
+          match cosim ?engine ~core ~netlist:bespoke b ~seed:s with
           | Ok _ -> None
           | Error i -> Some i)
         cov.Coverage.kept_seeds
   in
   (* layer 1b: symbolic state-trace comparison *)
-  let symbolic = symbolic_check ~original:net ~shadow_net:bespoke b in
+  let symbolic = symbolic_check ~core ~original:net ~shadow_net:bespoke b in
   (* deployment-guard shadow check: replay the benchmark itself on the
      bespoke design with the cut-assumption watcher attached — on the
      application the design was tailored to, the guard must stay
@@ -244,7 +247,7 @@ let check_benchmark ?engine ?(faults = 8) ?(seed = 1) ?explore_budget b =
         ~constants:report.Activity.constant_values
     in
     let gw = Guard.watch_bespoke gplan in
-    let _ = Guard.replay ?engine gw ~netlist:bespoke b ~seed in
+    let _ = Guard.replay ?engine gw ~core ~netlist:bespoke b ~seed in
     {
       gc_assumptions = List.length gplan.Guard.p_assumptions;
       gc_monitors = List.length gplan.Guard.p_monitors;
@@ -258,7 +261,7 @@ let check_benchmark ?engine ?(faults = 8) ?(seed = 1) ?explore_budget b =
      input layer first and the symbolic layer as a fallback; layer 3
      shrinks every diverging case before it is recorded *)
   let fault_list =
-    Fault.generate ~seed ~n:faults ~toggles:toggle_union bespoke
+    Fault.generate ~seed ~core ~n:faults ~toggles:toggle_union bespoke
   in
   let fault_results =
     List.map
@@ -278,14 +281,16 @@ let check_benchmark ?engine ?(faults = 8) ?(seed = 1) ?explore_budget b =
           match
             Shrink.of_seeds
               ~check:(fun s ->
-                match cosim ?engine ~netlist:faulty b ~seed:s with
+                match cosim ?engine ~core ~netlist:faulty b ~seed:s with
                 | Ok _ -> None
                 | Error i -> Some i)
               cov.Coverage.kept_seeds
           with
           | Some repro -> Killed_input repro
           | None -> (
-            let sym = symbolic_check ~original:net ~shadow_net:faulty b in
+            let sym =
+              symbolic_check ~core ~original:net ~shadow_net:faulty b
+            in
             match sym.sym_detail with
             | Some m when not sym.sym_ok -> Killed_symbolic m
             | _ -> Survived)
@@ -298,6 +303,7 @@ let check_benchmark ?engine ?(faults = 8) ?(seed = 1) ?explore_budget b =
   let campaign =
     {
       benchmark = b.B.name;
+      core = core.Coredef.name;
       gates_original = stats.Cut.original_gates;
       gates_bespoke = stats.Cut.bespoke_gates;
       symbolic;
@@ -315,13 +321,14 @@ let check_benchmark ?engine ?(faults = 8) ?(seed = 1) ?explore_budget b =
     Obs.Metrics.set g_kill_score (kill_score_pct (kill_stats campaign));
   campaign
 
-let run_campaign ?engine ?faults ?seed ?explore_budget ?jobs benches =
-  (* the stock netlist and its hash are shared by every task: force
-     both before the domains fan out (stdlib Lazy is not domain-safe) *)
-  ignore (Runner.shared_netlist ());
-  ignore (Runner.shared_netlist_hash ());
+let run_campaign ?engine ?faults ?seed ?explore_budget ?jobs ~core benches =
+  (* the core's stock netlist and its hash are shared by every task:
+     force both before the domains fan out (the memo tables are not
+     domain-safe) *)
+  ignore (Runner.shared_netlist core);
+  ignore (Runner.shared_netlist_hash core);
   Pool.map ?jobs
-    (fun b -> check_benchmark ?engine ?faults ?seed ?explore_budget b)
+    (fun b -> check_benchmark ?engine ?faults ?seed ?explore_budget ~core b)
     benches
 
 (* ---- the bespoke-verify/v1 artifact ---- *)
@@ -399,6 +406,7 @@ let campaign_json c =
   let n_inputs = List.length c.inputs in
   obj
     (("name", str c.benchmark)
+     :: ("core", str c.core)
      :: ( "gates",
           obj
             [
@@ -462,10 +470,14 @@ let campaign_json c =
      | None -> []))
 
 let to_json campaigns =
+  let core_name =
+    match campaigns with c :: _ -> c.core | [] -> "unknown"
+  in
   obj
     [
       ("schema", str schema);
       ("generator", str "bespoke_cli verify");
+      ("core", str core_name);
       ("benchmarks", arr (List.map campaign_json campaigns));
     ]
   ^ "\n"
@@ -474,7 +486,7 @@ let pp_text ppf campaigns =
   List.iter
     (fun c ->
       let s = kill_stats c in
-      Format.fprintf ppf "%s: %s@." c.benchmark
+      Format.fprintf ppf "%s [%s]: %s@." c.benchmark c.core
         (if c.equivalent then "EQUIVALENT" else "DIVERGENT");
       Format.fprintf ppf
         "  gates %d -> %d; symbolic: %s (%d paths, %.3f s)@."

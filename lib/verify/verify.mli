@@ -23,7 +23,8 @@
     [verify.*] spans and metrics. *)
 
 module B := Bespoke_programs.Benchmark
-module Lockstep := Bespoke_cpu.Lockstep
+module Coredef := Bespoke_coreapi.Coredef
+module Lockstep := Bespoke_coreapi.Lockstep
 module Coverage := Bespoke_coverage.Coverage
 module Runner := Bespoke_core.Runner
 
@@ -70,6 +71,7 @@ type guard_check = {
 
 type campaign = {
   benchmark : string;
+  core : string;  (** descriptor name of the core the campaign ran on *)
   gates_original : int;
   gates_bespoke : int;
   symbolic : symbolic;
@@ -106,18 +108,19 @@ val detectable_score_pct : score -> float
 
 val check_benchmark :
   ?engine:Runner.engine -> ?faults:int -> ?seed:int -> ?explore_budget:int ->
-  B.t -> campaign
-(** Run the full three-layer campaign on one benchmark: tailor it,
-    check equivalence symbolically and on the explored input set, then
-    inject [faults] (default 8) netlist faults drawn with PRNG [seed]
-    (default 1) and require layer 1 to kill them.  [engine] (default
-    [Compiled]) selects the gate-level engine for the input-based
-    co-simulation layer; the symbolic layer always runs event-driven.
-    [explore_budget] is passed to {!Bespoke_coverage.Coverage.explore}. *)
+  core:Coredef.t -> B.t -> campaign
+(** Run the full three-layer campaign on one benchmark of [core]:
+    tailor it, check equivalence symbolically and on the explored
+    input set, then inject [faults] (default 8) netlist faults drawn
+    with PRNG [seed] (default 1) and require layer 1 to kill them.
+    [engine] (default [Compiled]) selects the gate-level engine for
+    the input-based co-simulation layer; the symbolic layer always
+    runs event-driven.  [explore_budget] is passed to
+    {!Bespoke_coverage.Coverage.explore}. *)
 
 val run_campaign :
   ?engine:Runner.engine -> ?faults:int -> ?seed:int -> ?explore_budget:int ->
-  ?jobs:int -> B.t list -> campaign list
+  ?jobs:int -> core:Coredef.t -> B.t list -> campaign list
 (** {!check_benchmark} over several benchmarks on the
     {!Bespoke_core.Pool} (jobs default [BESPOKE_JOBS]). *)
 

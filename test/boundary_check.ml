@@ -1,0 +1,77 @@
+(* Dependency-boundary check: the core-agnostic flow layers —
+   lib/core, lib/analysis, lib/verify, lib/guard — must depend on
+   {!Bespoke_coreapi.Coredef} alone, never on a concrete core.  Any
+   [Bespoke_cpu.]/[Bespoke_isa.] reference in their sources, or a
+   [bespoke_cpu]/[bespoke_isa] entry in their dune library lists,
+   fails the build: that is how a second core stays a drop-in and a
+   third one becomes possible. *)
+
+let layers = [ "core"; "analysis"; "verify"; "guard" ]
+let forbidden_src = [ "Bespoke_cpu."; "Bespoke_isa." ]
+let forbidden_dep = [ "bespoke_cpu"; "bespoke_isa" ]
+
+let lib_root =
+  if Sys.file_exists "lib" && Sys.is_directory "lib" then "lib"
+  else Filename.concat ".." "lib"
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let violations = ref []
+
+let scan_file ~patterns path =
+  let body = read_file path in
+  List.iter
+    (fun needle ->
+      String.split_on_char '\n' body
+      |> List.iteri (fun i line ->
+             if contains ~needle line then
+               violations :=
+                 Printf.sprintf "%s:%d references %s" path (i + 1) needle
+                 :: !violations))
+    patterns
+
+let () =
+  let files = ref 0 in
+  List.iter
+    (fun layer ->
+      let dir = Filename.concat lib_root layer in
+      if not (Sys.file_exists dir) then (
+        Printf.eprintf "boundary-check: missing layer directory %s\n" dir;
+        exit 1);
+      Array.iter
+        (fun f ->
+          let path = Filename.concat dir f in
+          if Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+          then begin
+            incr files;
+            scan_file ~patterns:forbidden_src path
+          end
+          else if f = "dune" then begin
+            incr files;
+            scan_file ~patterns:forbidden_dep path
+          end)
+        (Sys.readdir dir))
+    layers;
+  match !violations with
+  | [] ->
+    Printf.printf
+      "boundary-check: %d file(s) in lib/{%s} are core-agnostic (no \
+       Bespoke_cpu/Bespoke_isa references)\n"
+      !files
+      (String.concat "," layers)
+  | vs ->
+    List.iter (fun v -> Printf.eprintf "boundary-check: %s\n" v)
+      (List.rev vs);
+    Printf.eprintf
+      "boundary-check: the flow layers must target Coredef, not a \
+       concrete core\n";
+    exit 1

@@ -1,124 +1,21 @@
-(* Deterministic random-program generator, shared by the fuzz tests
-   and the verification campaign's fuzz driver.
+(* Core-generic deterministic random-program generator, shared by the
+   fuzz tests, the cross-ISA differential matrix and the verification
+   campaign's fuzz driver.
 
-   Generated programs exercise arbitrary mixes of the ISA (all
-   two-op/one-op instructions, byte/word, every addressing mode,
-   bounded loops, forward branches, stack traffic, multiplier and GPIO
-   access) and always terminate.  The same seed always yields the same
-   program, so any failure is reproducible from the seed alone. *)
+   Each core carries its own generator behind
+   {!Bespoke_coreapi.Coredef.t.fuzz_program} (the MSP430 one lives in
+   [Bespoke_cpu.Msp430.Fuzz], the RV32 one in [Bespoke_rv32.Fuzz]);
+   this module only dispatches, so a test that is parameterized over
+   cores fuzzes every ISA through one entry point.  Generated programs
+   exercise arbitrary mixes of the target ISA and always terminate.
+   The same (core, seed) pair always yields the same program, so any
+   failure is reproducible from the seed alone — set
+   [BESPOKE_FUZZ_SEED] to replay one. *)
 
-let scratch = 0x0300  (* 32-word scratch window the programs write *)
+module Coredef = Bespoke_coreapi.Coredef
 
-(* deterministic PRNG so failures are reproducible from the seed *)
-type rng = { mutable s : int }
+let program_for (core : Coredef.t) ~seed = core.Coredef.fuzz_program ~seed
 
-let next r =
-  r.s <- ((r.s * 1103515245) + 12345) land 0x3FFFFFFF;
-  (r.s lsr 7) land 0xFFFFFF
-
-let pick r l = List.nth l (next r mod List.length l)
-let chance r pct = next r mod 100 < pct
-
-let reg r = pick r [ "r4"; "r5"; "r6"; "r7"; "r8"; "r9"; "r10"; "r11" ]
-
-let imm r =
-  pick r [ "#0"; "#1"; "#2"; "#4"; "#8"; Printf.sprintf "#%d" (next r land 0xffff) ]
-
-let scratch_abs r = Printf.sprintf "&0x%04x" (scratch + (next r land 0x3e))
-let scratch_idx r = Printf.sprintf "%d(r14)" (next r land 0x3e)
-
-let src r =
-  match next r mod 6 with
-  | 0 -> reg r
-  | 1 | 2 -> imm r
-  | 3 -> scratch_abs r
-  | 4 -> scratch_idx r
-  | _ -> "@r14"
-
-let dst r =
-  match next r mod 4 with
-  | 0 | 1 -> reg r
-  | 2 -> scratch_abs r
-  | _ -> scratch_idx r
-
-let two_op r =
-  pick r
-    [ "mov"; "add"; "addc"; "sub"; "subc"; "cmp"; "dadd"; "bit"; "bic";
-      "bis"; "xor"; "and" ]
-
-let size_suffix r = if chance r 25 then ".b" else ""
-
-let gen_instr r buf label_counter =
-  match next r mod 12 with
-  | 0 | 1 | 2 | 3 | 4 ->
-    Buffer.add_string buf
-      (Printf.sprintf "        %s%s %s, %s\n" (two_op r) (size_suffix r)
-         (src r) (dst r))
-  | 5 ->
-    let op = pick r [ "rrc"; "rra" ] in
-    Buffer.add_string buf
-      (Printf.sprintf "        %s%s %s\n" op (size_suffix r) (reg r))
-  | 6 ->
-    let op = pick r [ "swpb"; "sxt" ] in
-    Buffer.add_string buf (Printf.sprintf "        %s %s\n" op (reg r))
-  | 7 ->
-    (* balanced stack traffic *)
-    Buffer.add_string buf
-      (Printf.sprintf "        push %s\n        pop %s\n" (src r) (reg r))
-  | 8 ->
-    (* forward conditional skip *)
-    incr label_counter;
-    let l = Printf.sprintf "fl%d" !label_counter in
-    let cond = pick r [ "jz"; "jnz"; "jc"; "jnc"; "jn"; "jge"; "jl" ] in
-    Buffer.add_string buf
-      (Printf.sprintf "        %s %s\n        %s %s, %s\n%s:\n" cond l
-         (two_op r) (src r) (dst r) l)
-  | 9 ->
-    (* bounded loop *)
-    incr label_counter;
-    let l = Printf.sprintf "lp%d" !label_counter in
-    let n = 1 + (next r mod 6) in
-    Buffer.add_string buf
-      (Printf.sprintf
-         "        mov #%d, r12\n%s:\n        %s %s, %s\n        dec r12\n        jnz %s\n"
-         n l (two_op r) (src r) (reg r) l)
-  | 10 ->
-    (* hardware multiplier *)
-    Buffer.add_string buf
-      (Printf.sprintf
-         "        mov %s, &0x0130\n        mov %s, &0x0138\n        mov &0x013a, %s\n"
-         (src r) (src r) (reg r))
-  | _ ->
-    (* GPIO *)
-    if chance r 50 then
-      Buffer.add_string buf
-        (Printf.sprintf "        mov &0x0010, %s\n" (reg r))
-    else
-      Buffer.add_string buf
-        (Printf.sprintf "        mov %s, &0x0012\n" (src r))
-
-let program ~seed =
-  let r = { s = (seed * 2654435761) lor 1 } in
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "start:  mov #0x0400, sp\n";
-  Buffer.add_string buf (Printf.sprintf "        mov #0x%04x, r14\n" scratch);
-  (* seed some registers and scratch *)
-  for i = 4 to 11 do
-    Buffer.add_string buf
-      (Printf.sprintf "        mov #0x%04x, r%d\n" (next r land 0xffff) i)
-  done;
-  for i = 0 to 7 do
-    Buffer.add_string buf
-      (Printf.sprintf "        mov #0x%04x, &0x%04x\n" (next r land 0xffff)
-         (scratch + (2 * i)))
-  done;
-  let label_counter = ref 0 in
-  let n = 12 + (next r mod 25) in
-  for _ = 1 to n do
-    gen_instr r buf label_counter
-  done;
-  (* publish a checksum so divergence is observable even in registers
-     we never compare *)
-  Buffer.add_string buf "        mov r4, &0x0380\n";
-  Buffer.add_string buf "        halt\n";
-  Buffer.contents buf
+(* Back-compat entry point: the MSP430 generator, as the original
+   single-core fuzz tiers use it. *)
+let program ~seed = program_for Bespoke_cpu.Msp430.core ~seed

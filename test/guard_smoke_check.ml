@@ -45,7 +45,7 @@ let contains ~needle hay =
 
 (* Returns (violation records, summary violations) so the caller can
    assert the clean/violated expectation. *)
-let check_stream ~label path =
+let check_stream ~label ~core path =
   let parsed =
     List.map
       (fun line ->
@@ -59,6 +59,8 @@ let check_stream ~label path =
   | header :: rest ->
     if str "schema" header <> "bespoke-guard/v1" then
       fail "%s: unexpected schema tag %S" label (str "schema" header);
+    if str "core" header <> core then
+      fail "%s: header core %S, want %S" label (str "core" header) core;
     if str "design" header = "" then fail "%s: empty design name" label;
     if str "workload" header = "" then fail "%s: empty workload name" label;
     let mode = str "mode" header in
@@ -106,18 +108,29 @@ let check_stream ~label path =
     (List.length violations, total)
 
 let () =
-  if Array.length Sys.argv <> 3 then
-    fail "usage: guard_smoke_check CLEAN.jsonl VIOLATED.jsonl";
-  let clean_records, clean_total = check_stream ~label:"clean" Sys.argv.(1) in
+  if Array.length Sys.argv <> 4 then
+    fail "usage: guard_smoke_check CLEAN.jsonl VIOLATED.jsonl RV32_CLEAN.jsonl";
+  let clean_records, clean_total =
+    check_stream ~label:"clean" ~core:"msp430" Sys.argv.(1)
+  in
   if clean_records <> 0 || clean_total <> 0 then
     fail "clean stream reports %d violation(s) — the design's own benchmark \
           must satisfy every cut assumption"
       clean_total;
-  let viol_records, viol_total = check_stream ~label:"violated" Sys.argv.(2) in
+  let viol_records, viol_total =
+    check_stream ~label:"violated" ~core:"msp430" Sys.argv.(2)
+  in
   if viol_records < 1 || viol_total < 1 then
     fail "violated stream is silent — the unsupported mutant must trip a \
           monitor";
+  let rv_records, rv_total =
+    check_stream ~label:"rv32-clean" ~core:"rv32" Sys.argv.(3)
+  in
+  if rv_records <> 0 || rv_total <> 0 then
+    fail "rv32 clean stream reports %d violation(s) — the tailored design \
+          must satisfy its own workload on every core"
+      rv_total;
   Printf.printf
-    "guard-smoke: clean stream silent; mutant stream carries %d violation(s) \
-     on %d gate(s) with cut provenance\n"
+    "guard-smoke: clean streams silent on both cores; mutant stream carries \
+     %d violation(s) on %d gate(s) with cut provenance\n"
     viol_total viol_records

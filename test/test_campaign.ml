@@ -66,7 +66,8 @@ let test_streaming_and_jsonl () =
     (List.length !lines);
   let header =
     Json.parse
-      (Campaign.header_jsonl ~jobs:2 ~total:summary.Campaign.total)
+      (Campaign.header_jsonl ~jobs:2 ~cores:[ "msp430" ]
+         ~total:summary.Campaign.total)
   in
   (match header with
   | Ok j ->

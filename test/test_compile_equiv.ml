@@ -32,6 +32,7 @@ module Runner = Bespoke_core.Runner
 module Cut = Bespoke_core.Cut
 module Fault = Bespoke_verify.Fault
 module B = Bespoke_programs.Benchmark
+let core = Bespoke_cpu.Msp430.core
 
 (* ------------------------------------------------------------------ *)
 (* Benchmarks: event vs compiled outcomes                              *)
@@ -52,18 +53,18 @@ let check_outcome_equal name tag (a : Runner.gate_outcome)
     (a.Runner.toggles = b.Runner.toggles)
 
 let test_benchmark (b : B.t) () =
-  let net = Runner.shared_netlist () in
+  let net = Runner.shared_netlist core in
   List.iter
     (fun seed ->
-      let ev = Runner.run_gate ~engine:Runner.Event ~netlist:net b ~seed in
-      let co = Runner.run_gate ~engine:Runner.Compiled ~netlist:net b ~seed in
+      let ev = Runner.run_gate ~core ~engine:Runner.Event ~netlist:net b ~seed in
+      let co = Runner.run_gate ~core ~engine:Runner.Compiled ~netlist:net b ~seed in
       check_outcome_equal b.B.name (Printf.sprintf "seed %d" seed) ev co)
     [ 1; 2 ]
 
 (* ------------------------------------------------------------------ *)
 (* Fuzzgen programs in lockstep under both engines                     *)
 
-let shared = lazy (Runner.shared_netlist ())
+let shared = lazy (Runner.shared_netlist core)
 
 let test_fuzz_programs () =
   let net = Lazy.force shared in
@@ -182,16 +183,16 @@ let test_random_netlists =
 
 let test_tailored () =
   let b = B.find "mult" in
-  let report, net = Runner.analyze b in
+  let report, net = Runner.analyze ~core b in
   let bespoke, _ =
     Cut.tailor net ~possibly_toggled:report.Activity.possibly_toggled
       ~constants:report.Activity.constant_values
   in
   List.iter
     (fun seed ->
-      let ev = Runner.run_gate ~engine:Runner.Event ~netlist:bespoke b ~seed in
+      let ev = Runner.run_gate ~core ~engine:Runner.Event ~netlist:bespoke b ~seed in
       let co =
-        Runner.run_gate ~engine:Runner.Compiled ~netlist:bespoke b ~seed
+        Runner.run_gate ~core ~engine:Runner.Compiled ~netlist:bespoke b ~seed
       in
       check_outcome_equal "mult-bespoke" (Printf.sprintf "seed %d" seed) ev co)
     [ 1; 2 ]
@@ -204,7 +205,7 @@ let test_cache () =
      this binary compile too), so assert on deltas from here *)
   Compile.clear_cache ();
   let h0 = Compile.cache_hits () and m0 = Compile.cache_misses () in
-  let net = Runner.shared_netlist () in
+  let net = Runner.shared_netlist core in
   let c0 = Compile.create net in
   Alcotest.(check int) "first create misses" (m0 + 1) (Compile.cache_misses ());
   Alcotest.(check int) "first create does not hit" h0 (Compile.cache_hits ());

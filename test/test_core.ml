@@ -15,6 +15,7 @@ module Usage = Bespoke_core.Usage
 module Multi = Bespoke_core.Multi
 module Module_prune = Bespoke_core.Module_prune
 module Profiling = Bespoke_core.Profiling
+let core = Bespoke_cpu.Msp430.core
 
 (* ---- Resynth ---- *)
 
@@ -82,7 +83,7 @@ start:  mov #0x0280, sp
 
 let test_cut_preserves_behaviour () =
   let img = Asm.assemble small_prog in
-  let net = Runner.shared_netlist () in
+  let net = Runner.shared_netlist core in
   let sys = System.create ~netlist:net img in
   let r = Activity.analyze sys in
   let bespoke, stats =
@@ -105,7 +106,7 @@ let test_cut_preserves_behaviour () =
 
 let test_cut_stats_consistent () =
   let img = Asm.assemble small_prog in
-  let net = Runner.shared_netlist () in
+  let net = Runner.shared_netlist core in
   let sys = System.create ~netlist:net img in
   let r = Activity.analyze sys in
   let stitched =
@@ -121,7 +122,7 @@ let test_cut_stats_consistent () =
 (* ---- Usage ---- *)
 
 let test_usage_rows_sum () =
-  let net = Runner.shared_netlist () in
+  let net = Runner.shared_netlist core in
   let toggled = Array.make (Netlist.gate_count net) true in
   let rows = Usage.per_module net toggled in
   let total_row = List.find (fun r -> r.Usage.module_name = "(total)") rows in
@@ -130,7 +131,7 @@ let test_usage_rows_sum () =
   Alcotest.(check int) "all active" total_row.Usage.total total_row.Usage.active
 
 let test_compare_unused () =
-  let net = Runner.shared_netlist () in
+  let net = Runner.shared_netlist core in
   let ng = Netlist.gate_count net in
   let ta = Array.make ng true and tb = Array.make ng true in
   (* make 10 real gates untoggled only in A, 5 only in B, 3 in both *)
@@ -170,8 +171,8 @@ let test_multi_union_and_support () =
 
 let test_multi_design_runs_both () =
   let b1 = B.find "div" and b2 = B.find "convEn" in
-  let net = Runner.shared_netlist () in
-  let r1, _ = Runner.analyze b1 and r2, _ = Runner.analyze b2 in
+  let net = Runner.shared_netlist core in
+  let r1, _ = Runner.analyze ~core b1 and r2, _ = Runner.analyze ~core b2 in
   let design, stats =
     Multi.tailor_multi net
       ~reports:
@@ -182,15 +183,15 @@ let test_multi_design_runs_both () =
   in
   Alcotest.(check bool) "still smaller than baseline" true
     (stats.Cut.bespoke_gates < stats.Cut.original_gates);
-  ignore (Runner.check_equivalence ~netlist:design b1 ~seed:3);
-  ignore (Runner.check_equivalence ~netlist:design b2 ~seed:3)
+  ignore (Runner.check_equivalence ~core ~netlist:design b1 ~seed:3);
+  ignore (Runner.check_equivalence ~core ~netlist:design b2 ~seed:3)
 
 (* ---- Module pruning baseline ---- *)
 
 let test_module_prune_coarser_than_fine () =
   let b = B.find "binSearch" in
-  let net = Runner.shared_netlist () in
-  let r, _ = Runner.analyze b in
+  let net = Runner.shared_netlist core in
+  let r, _ = Runner.analyze ~core b in
   let coarse, removed =
     Module_prune.prune net ~possibly_toggled:r.Activity.possibly_toggled
       ~constants:r.Activity.constant_values
@@ -206,7 +207,7 @@ let test_module_prune_coarser_than_fine () =
   Alcotest.(check bool) "coarse is smaller than baseline" true
     (Netlist.num_gates coarse < Netlist.num_gates net);
   (* and the coarse design still runs the program *)
-  ignore (Runner.check_equivalence ~netlist:coarse b ~seed:2)
+  ignore (Runner.check_equivalence ~core ~netlist:coarse b ~seed:2)
 
 (* ---- Profiling vs analysis ---- *)
 
@@ -214,9 +215,9 @@ let test_profiling_never_exceeds_analysis () =
   (* anything profiled as toggled must be in the analysis exercisable
      set (profiling is a subset of all-input behaviour) *)
   let b = B.find "div" in
-  let net = Runner.shared_netlist () in
-  let r, _ = Runner.analyze b in
-  let p = Profiling.profile ~netlist:net ~seeds:[ 1; 2; 3 ] b in
+  let net = Runner.shared_netlist core in
+  let r, _ = Runner.analyze ~core b in
+  let p = Profiling.profile ~core ~netlist:net ~seeds:[ 1; 2; 3 ] b in
   let ok = ref true in
   Array.iteri
     (fun i t -> if t && not r.Activity.possibly_toggled.(i) then ok := false)
@@ -227,7 +228,7 @@ let test_profiling_never_exceeds_analysis () =
 
 let test_power_gating_bounds () =
   let b = B.find "binSearch" in
-  let pg = Bespoke_core.Power_gating.evaluate ~netlist:(Runner.shared_netlist ()) b in
+  let pg = Bespoke_core.Power_gating.evaluate ~core ~netlist:(Runner.shared_netlist core) b in
   List.iter
     (fun (m, f) ->
       Alcotest.(check bool) (m ^ " idle fraction in range") true
@@ -247,7 +248,7 @@ let test_power_gating_bounds () =
 let test_power_gating_irq_benchmark () =
   (* regression: the evaluator must drive the IRQ schedule *)
   let b = B.find "irq" in
-  let pg = Bespoke_core.Power_gating.evaluate ~netlist:(Runner.shared_netlist ()) b in
+  let pg = Bespoke_core.Power_gating.evaluate ~core ~netlist:(Runner.shared_netlist core) b in
   Alcotest.(check bool) "completed" true
     (pg.Bespoke_core.Power_gating.power_saving_fraction >= 0.0)
 

@@ -1,16 +1,17 @@
 module B = Bespoke_programs.Benchmark
 module Coverage = Bespoke_coverage.Coverage
+let core = Bespoke_cpu.Msp430.core
 
 let test_straightline_full_coverage () =
   let b = B.find "mult" in
-  let s = Coverage.measure b ~seeds:[ 1 ] in
+  let s = Coverage.measure ~core b ~seeds:[ 1 ] in
   Alcotest.(check (float 0.01)) "all lines" 100.0 s.Coverage.line_pct;
   (* mult has no conditional branches at all *)
   Alcotest.(check int) "no branches" 0 s.Coverage.branches_total
 
 let test_branchy_program () =
   let b = B.find "binSearch" in
-  let s = Coverage.measure b ~seeds:[ 1; 2; 3; 4 ] in
+  let s = Coverage.measure ~core b ~seeds:[ 1; 2; 3; 4 ] in
   Alcotest.(check bool) "has branches" true (s.Coverage.branches_total > 2);
   Alcotest.(check bool) "some covered" true (s.Coverage.branch_pct > 0.0);
   Alcotest.(check bool) "lines sane" true
@@ -18,16 +19,16 @@ let test_branchy_program () =
 
 let test_explore_improves_or_matches () =
   let b = B.find "binSearch" in
-  let one = Coverage.measure b ~seeds:[ 1 ] in
-  let explored = Coverage.explore ~initial:1 ~budget:20 b in
+  let one = Coverage.measure ~core b ~seeds:[ 1 ] in
+  let explored = Coverage.explore ~core ~initial:1 ~budget:20 b in
   Alcotest.(check bool) "explore never worse" true
     (explored.Coverage.line_pct +. explored.Coverage.branch_dir_pct
     >= one.Coverage.line_pct +. one.Coverage.branch_dir_pct -. 1e-9)
 
 let test_more_seeds_monotone () =
   let b = B.find "tHold" in
-  let s1 = Coverage.measure b ~seeds:[ 1 ] in
-  let s2 = Coverage.measure b ~seeds:[ 1; 2; 3; 4; 5; 6 ] in
+  let s1 = Coverage.measure ~core b ~seeds:[ 1 ] in
+  let s2 = Coverage.measure ~core b ~seeds:[ 1; 2; 3; 4; 5; 6 ] in
   Alcotest.(check bool) "line coverage monotone" true
     (s2.Coverage.line_pct >= s1.Coverage.line_pct -. 1e-9);
   Alcotest.(check bool) "direction coverage monotone" true
@@ -35,8 +36,8 @@ let test_more_seeds_monotone () =
 
 let test_explore_deterministic () =
   let b = B.find "binSearch" in
-  let a = Coverage.explore ~initial:2 ~budget:15 b in
-  let b' = Coverage.explore ~initial:2 ~budget:15 b in
+  let a = Coverage.explore ~core ~initial:2 ~budget:15 b in
+  let b' = Coverage.explore ~core ~initial:2 ~budget:15 b in
   Alcotest.(check (list int)) "same kept seeds" a.Coverage.kept_seeds
     b'.Coverage.kept_seeds;
   Alcotest.(check (float 1e-9)) "same score" (Coverage.score a)
@@ -48,8 +49,8 @@ let test_explore_reproducible () =
   List.iter
     (fun name ->
       let b = B.find name in
-      let explored = Coverage.explore ~initial:2 ~budget:12 b in
-      let remeasured = Coverage.measure b ~seeds:explored.Coverage.kept_seeds in
+      let explored = Coverage.explore ~core ~initial:2 ~budget:12 b in
+      let remeasured = Coverage.measure ~core b ~seeds:explored.Coverage.kept_seeds in
       Alcotest.(check (float 1e-9)) (name ^ " line") explored.Coverage.line_pct
         remeasured.Coverage.line_pct;
       Alcotest.(check (float 1e-9)) (name ^ " branch")
@@ -63,7 +64,7 @@ let test_explore_reproducible () =
 let test_directions_bounded () =
   List.iter
     (fun name ->
-      let s = Coverage.measure (B.find name) ~seeds:[ 1; 2 ] in
+      let s = Coverage.measure ~core (B.find name) ~seeds:[ 1; 2 ] in
       Alcotest.(check bool) "pcts in range" true
         (s.Coverage.line_pct <= 100.0
         && s.Coverage.branch_pct <= 100.0

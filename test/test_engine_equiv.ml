@@ -22,6 +22,7 @@ module Engine = Bespoke_sim.Engine
 module Engine64 = Bespoke_sim.Engine64
 module Runner = Bespoke_core.Runner
 module B = Bespoke_programs.Benchmark
+let core = Bespoke_cpu.Msp430.core
 
 (* ------------------------------------------------------------------ *)
 (* Benchmarks under all three engines                                  *)
@@ -42,19 +43,19 @@ let check_outcome_equal name tag (a : Runner.gate_outcome)
     (a.Runner.toggles = b.Runner.toggles)
 
 let test_benchmark (b : B.t) () =
-  let net = Runner.shared_netlist () in
+  let net = Runner.shared_netlist core in
   let seeds = [ 1; 2 ] in
   let full =
     List.map
-      (fun s -> Runner.run_gate ~engine:Runner.Full ~netlist:net b ~seed:s)
+      (fun s -> Runner.run_gate ~core ~engine:Runner.Full ~netlist:net b ~seed:s)
       seeds
   in
   let event =
     List.map
-      (fun s -> Runner.run_gate ~engine:Runner.Event ~netlist:net b ~seed:s)
+      (fun s -> Runner.run_gate ~core ~engine:Runner.Event ~netlist:net b ~seed:s)
       seeds
   in
-  let packed = List.map snd (Runner.run_gate_packed ~netlist:net b ~seeds) in
+  let packed = List.map snd (Runner.run_gate_packed ~core ~netlist:net b ~seeds) in
   List.iter2 (check_outcome_equal b.B.name "event") full event;
   List.iter2 (check_outcome_equal b.B.name "packed") full packed
 

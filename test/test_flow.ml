@@ -12,9 +12,10 @@ module Cut = Bespoke_core.Cut
 module Sta = Bespoke_power.Sta
 module Voltage = Bespoke_power.Voltage
 module Report = Bespoke_power.Report
+let core = Bespoke_cpu.Msp430.core
 
 let flow_test (b : B.t) () =
-  let report, net = Runner.analyze b in
+  let report, net = Runner.analyze ~core b in
   let bespoke, stats =
     Cut.tailor net ~possibly_toggled:report.Activity.possibly_toggled
       ~constants:report.Activity.constant_values
@@ -46,7 +47,7 @@ let flow_test (b : B.t) () =
     (pw vmin <= pw 1.0 +. 1e-9);
   (* verification 1: input-based equivalence over several input sets *)
   List.iter
-    (fun seed -> ignore (Runner.check_equivalence ~netlist:bespoke b ~seed))
+    (fun seed -> ignore (Runner.check_equivalence ~core ~netlist:bespoke b ~seed))
     [ 1; 2; 3 ];
   (* verification 2: symbolic shadow through the same execution tree *)
   let sys = System.create (B.image b) in

@@ -19,8 +19,9 @@ module System = Bespoke_cpu.System
 module Activity = Bespoke_analysis.Activity
 module Runner = Bespoke_core.Runner
 module Cut = Bespoke_core.Cut
+let core = Bespoke_cpu.Msp430.core
 
-let shared = lazy (Runner.shared_netlist ())
+let shared = lazy (Runner.shared_netlist core)
 
 let report_divergence ~seed ~src what detail =
   QCheck.Test.fail_reportf

@@ -14,8 +14,9 @@ module Activity = Bespoke_analysis.Activity
 module Runner = Bespoke_core.Runner
 module Cut = Bespoke_core.Cut
 module Verify = Bespoke_verify.Verify
+let core = Bespoke_cpu.Msp430.core
 
-let shared = lazy (Runner.shared_netlist ())
+let shared = lazy (Runner.shared_netlist core)
 
 let report_divergence ~seed ~src what detail =
   QCheck.Test.fail_reportf
@@ -67,7 +68,7 @@ let test_flow_fuzz_deep =
    must declare every tailoring equivalent, and every detectable
    injected fault must be killed with a shrunk repro. *)
 let test_full_campaign () =
-  let campaigns = Verify.run_campaign ~faults:6 ~seed:1 B.all in
+  let campaigns = Verify.run_campaign ~core ~faults:6 ~seed:1 B.all in
   List.iter
     (fun (c : Verify.campaign) ->
       Alcotest.(check bool)

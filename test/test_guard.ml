@@ -11,6 +11,7 @@ module Guard = Bespoke_guard.Guard
 module Engine = Bespoke_sim.Engine
 module Vcd = Bespoke_sim.Vcd
 module Obs = Bespoke_obs.Obs
+let core = Bespoke_cpu.Msp430.core
 
 (* One tailoring, shared by every test: analyze + tailor_explained +
    plan are deterministic, so computing them once keeps the suite in
@@ -18,7 +19,7 @@ module Obs = Bespoke_obs.Obs
 let tailored =
   lazy
     (let base = B.find "mult" in
-     let r, net = Runner.analyze base in
+     let r, net = Runner.analyze ~core base in
      let possibly_toggled = r.Activity.possibly_toggled in
      let constants = r.Activity.constant_values in
      let bespoke, stats, prov =
@@ -94,7 +95,7 @@ let test_clean_on_own_benchmark () =
       let w = Guard.watch_bespoke plan in
       let eng = ref None in
       let (_ : Runner.iss_outcome) =
-        Runner.check_equivalence ~engine
+        Runner.check_equivalence ~core ~engine
           ~attach:(fun e ->
             eng := Some e;
             Guard.attach w e)
@@ -119,7 +120,7 @@ let test_clean_on_own_benchmark () =
 let test_original_shadow_clean () =
   let base, net, _, _, _, _, plan = Lazy.force tailored in
   let w = Guard.watch_original plan in
-  let r = Guard.replay w ~netlist:net base ~seed:2 in
+  let r = Guard.replay ~core w ~netlist:net base ~seed:2 in
   (match r.Guard.rp_result with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "base run failed: %s" e);
@@ -135,7 +136,7 @@ let test_original_shadow_clean () =
 let rle_hits =
   lazy
     (let base = B.find "rle" in
-     let r_base, net = Runner.analyze base in
+     let r_base, net = Runner.analyze ~core base in
      let possibly_toggled = r_base.Activity.possibly_toggled in
      let constants = r_base.Activity.constant_values in
      let bespoke, _, prov =
@@ -153,7 +154,7 @@ let rle_hits =
          if !shadow_hit = None || !hw_hit = None then begin
            let mb = Mutation.to_benchmark base m in
            let unsupported =
-             match Runner.analyze mb with
+             match Runner.analyze ~core mb with
              | r, _ ->
                not
                  (Multi.supported ~design_toggled:possibly_toggled
@@ -167,14 +168,14 @@ let rle_hits =
                  if !shadow_hit = None then begin
                    let w = Guard.watch_original plan in
                    let (_ : Guard.replay) =
-                     Guard.replay w ~netlist:net mb ~seed
+                     Guard.replay ~core w ~netlist:net mb ~seed
                    in
                    if not (Guard.clean w) then shadow_hit := Some (m, seed, w)
                  end;
                  if !hw_hit = None then begin
                    let w = Guard.watch_bespoke plan in
                    let r =
-                     Guard.replay w ~netlist:inst.Guard.i_design mb ~seed
+                     Guard.replay ~core w ~netlist:inst.Guard.i_design mb ~seed
                    in
                    match r.Guard.rp_hw_violation with
                    | Some Bit.One -> hw_hit := Some (m, seed, w)

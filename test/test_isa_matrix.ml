@@ -8,6 +8,7 @@
 module Asm = Bespoke_isa.Asm
 module Lockstep = Bespoke_cpu.Lockstep
 module Runner = Bespoke_core.Runner
+let core = Bespoke_cpu.Msp430.core
 
 let two_ops =
   [ "mov"; "add"; "addc"; "subc"; "sub"; "cmp"; "dadd"; "bit"; "bic"; "bis";
@@ -63,7 +64,7 @@ start:  mov #0x0400, sp
 
 let lockstep_src src =
   let img = Asm.assemble src in
-  ignore (Lockstep.run ~netlist:(Runner.shared_netlist ()) img)
+  ignore (Lockstep.run ~netlist:(Runner.shared_netlist core) img)
 
 let test_two_op_matrix () =
   List.iter

@@ -9,6 +9,7 @@ module Activity = Bespoke_analysis.Activity
 module Runner = Bespoke_core.Runner
 module Cut = Bespoke_core.Cut
 module Pool = Bespoke_core.Pool
+let core = Bespoke_cpu.Msp430.core
 
 (* Every test leaves the global collector disabled and empty so test
    order never matters. *)
@@ -22,7 +23,7 @@ let with_tracing f =
     f
 
 let run_tailor_mult () =
-  let report, net = Runner.analyze (B.find "mult") in
+  let report, net = Runner.analyze ~core (B.find "mult") in
   Cut.tailor net ~possibly_toggled:report.Activity.possibly_toggled
     ~constants:report.Activity.constant_values
 

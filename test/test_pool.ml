@@ -8,6 +8,7 @@ module Flowcache = Bespoke_core.Flowcache
 module Runner = Bespoke_core.Runner
 module Activity = Bespoke_analysis.Activity
 module B = Bespoke_programs.Benchmark
+let core = Bespoke_cpu.Msp430.core
 
 let test_map_matches_list_map () =
   let xs = List.init 200 (fun i -> i) in
@@ -146,8 +147,8 @@ let test_flowcache_digest_distinct () =
 
 let test_analyze_cached_config_change () =
   let b = B.find "mult" in
-  let (r1, _), hit1 = Runner.analyze_cached b in
-  let (r2, _), hit2 = Runner.analyze_cached b in
+  let (r1, _), hit1 = Runner.analyze_cached ~core b in
+  let (r2, _), hit2 = Runner.analyze_cached ~core b in
   Alcotest.(check bool) "second analysis hits" true ((not hit1) || hit2);
   Alcotest.(check bool) "repeat analysis is a hit" true hit2;
   Alcotest.(check int) "same report" r1.Activity.paths r2.Activity.paths;
@@ -155,9 +156,9 @@ let test_analyze_cached_config_change () =
   let config =
     { (Runner.resolve_analysis_config b) with Activity.max_total_cycles = 4_999 }
   in
-  let (r3, _), hit3 = Runner.analyze_cached ~config b in
+  let (r3, _), hit3 = Runner.analyze_cached ~core ~config b in
   Alcotest.(check bool) "changed config misses" false hit3;
-  let (_, _), hit4 = Runner.analyze_cached ~config b in
+  let (_, _), hit4 = Runner.analyze_cached ~core ~config b in
   Alcotest.(check bool) "changed config then hits" true hit4;
   Alcotest.(check int) "mult still fits the budget" r1.Activity.paths
     r3.Activity.paths

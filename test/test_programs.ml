@@ -4,6 +4,7 @@ module Subneg = Bespoke_programs.Subneg
 module Asm = Bespoke_isa.Asm
 module Iss = Bespoke_isa.Iss
 module Runner = Bespoke_core.Runner
+let core = Bespoke_cpu.Msp430.core
 
 let all_programs = B.all @ [ Rtos.kernel; Subneg.characterization ]
 
@@ -21,7 +22,7 @@ let test_all_halt_on_iss () =
     (fun (b : B.t) ->
       List.iter
         (fun seed ->
-          let o = Runner.run_iss b ~seed in
+          let o = Runner.run_iss ~core b ~seed in
           Alcotest.(check bool)
             (Printf.sprintf "%s seed %d ran" b.B.name seed)
             true
@@ -32,13 +33,13 @@ let test_all_halt_on_iss () =
 let test_gate_equivalence_each () =
   (* one seed through full ISS-vs-gate lockstep for every program *)
   List.iter
-    (fun (b : B.t) -> ignore (Runner.check_equivalence b ~seed:1))
+    (fun (b : B.t) -> ignore (Runner.check_equivalence ~core b ~seed:1))
     all_programs
 
 (* functional spot checks against independent OCaml models *)
 
 let results_of b seed =
-  let o = Runner.run_iss b ~seed in
+  let o = Runner.run_iss ~core b ~seed in
   o.Runner.results
 
 let test_div_matches_ocaml () =
@@ -225,7 +226,7 @@ let test_scrambled_is_same_function () =
     [ 1; 2; 3 ]
 
 let test_rtos_runs_both_tasks () =
-  let o = Runner.run_iss Rtos.kernel ~seed:1 in
+  let o = Runner.run_iss ~core Rtos.kernel ~seed:1 in
   let t0 = List.assoc 0x0380 o.Runner.results in
   let t1 = List.assoc 0x0382 o.Runner.results in
   Alcotest.(check bool) "task0 progressed" true (t0 > 0);

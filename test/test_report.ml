@@ -14,12 +14,13 @@ module Attribution = Bespoke_report.Attribution
 module Artifact = Bespoke_report.Artifact
 module B = Bespoke_programs.Benchmark
 module Obs = Bespoke_obs.Obs
+let core = Bespoke_cpu.Msp430.core
 
 (* One shared analyze+tailor of mult for all integration tests. *)
 let flow =
   lazy
     (let b = B.find "mult" in
-     let report, net = Runner.analyze b in
+     let report, net = Runner.analyze ~core b in
      let bespoke, stats, prov =
        Cut.tailor_explained net
          ~possibly_toggled:report.Activity.possibly_toggled

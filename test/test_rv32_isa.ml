@@ -1,0 +1,290 @@
+(* Directed ISS unit tests for the RV32 subset core, mirroring
+   test_isa.ml for the MSP430: encode/decode round trips over every
+   instruction shape, then per-instruction semantics through the
+   assembler and golden-model ISS — two's-complement arithmetic,
+   sign-extension of loads and immediates, branch offsets in both
+   directions, load/store byte-lane alignment, and the hard-wired
+   zero register. *)
+
+module Coredef = Bespoke_coreapi.Coredef
+module Isa = Bespoke_rv32.Isa
+module Defs = Bespoke_rv32.Defs
+
+let core = Bespoke_rv32.Rv32.core
+
+(* ---- encode/decode ---- *)
+
+let roundtrip i =
+  let w = Isa.encode i in
+  let i' = Isa.decode w in
+  Alcotest.(check string) "roundtrip" (Isa.to_string i) (Isa.to_string i')
+
+let all_aluops =
+  [ Isa.Add; Isa.Sub; Isa.Sll; Isa.Slt; Isa.Sltu; Isa.Xor; Isa.Srl;
+    Isa.Sra; Isa.Or; Isa.And ]
+
+let test_roundtrip () =
+  roundtrip (Isa.Lui { rd = 5; imm = 0x12345 lsl 12 });
+  roundtrip (Isa.Auipc { rd = 10; imm = 0xfffff lsl 12 });
+  roundtrip (Isa.Jal { rd = 1; off = -2048 });
+  roundtrip (Isa.Jal { rd = 0; off = 2044 });
+  roundtrip (Isa.Jalr { rd = 1; rs1 = 2; imm = -4 });
+  List.iter
+    (fun cond -> roundtrip (Isa.Branch { cond; rs1 = 3; rs2 = 4; off = -16 }))
+    [ Isa.Beq; Isa.Bne; Isa.Blt; Isa.Bge; Isa.Bltu; Isa.Bgeu ];
+  List.iter
+    (fun width -> roundtrip (Isa.Load { width; rd = 6; rs1 = 7; imm = -1 }))
+    [ Isa.Lb; Isa.Lh; Isa.Lw; Isa.Lbu; Isa.Lhu ];
+  List.iter
+    (fun width -> roundtrip (Isa.Store { width; rs1 = 8; rs2 = 9; imm = 2047 }))
+    [ Isa.Sb; Isa.Sh; Isa.Sw ];
+  List.iter
+    (fun op ->
+      (match op with
+      | Isa.Sub -> ()  (* no subi in RV32I *)
+      | _ -> roundtrip (Isa.Opimm { op; rd = 11; rs1 = 12; imm = 31 }));
+      roundtrip (Isa.Op { op; rd = 13; rs1 = 14; rs2 = 15 }))
+    all_aluops
+
+(* ---- semantics through the assembler and the ISS ---- *)
+
+let run src =
+  let img = core.Coredef.assemble src in
+  let iss = img.Coredef.mk_iss () in
+  iss.Coredef.reset ();
+  let n = ref 0 in
+  while (not (iss.Coredef.halted ())) && !n < 10_000 do
+    iss.Coredef.step ();
+    incr n
+  done;
+  if not (iss.Coredef.halted ()) then Alcotest.fail "program did not halt";
+  iss
+
+let reg (iss : Coredef.iss) r = iss.Coredef.reg r
+
+(* register indices used below: t0=x5 t1=x6 t2=x7 a0=x10 a1=x11 *)
+let t0 = 5 and t1 = 6 and t2 = 7 and a0 = 10 and a1 = 11
+
+let check_prog what src expected =
+  let iss = run src in
+  List.iter
+    (fun (r, v) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: x%d" what r)
+        (v land 0xFFFFFFFF) (reg iss r))
+    expected
+
+let test_x0_hardwired () =
+  check_prog "writes to x0 are discarded"
+    "        addi x0, x0, 5\n\
+    \        li t0, 7\n\
+    \        add x0, t0, t0\n\
+    \        lui x0, 0xfffff\n\
+    \        add a0, x0, x0\n\
+    \        halt\n"
+    [ (0, 0); (a0, 0) ]
+
+let test_arith () =
+  check_prog "add/sub wrap at 32 bits"
+    "        li t0, 0x7fffffff\n\
+    \        addi t1, t0, 1\n\
+    \        sub t2, x0, t0\n\
+    \        halt\n"
+    [ (t1, 0x80000000); (t2, 0x80000001) ];
+  check_prog "negative addi sign-extends"
+    "        li t0, 5\n\
+    \        addi t1, t0, -7\n\
+    \        halt\n"
+    [ (t1, -2) ]
+
+let test_logic () =
+  check_prog "xor/or/and and immediates"
+    "        li t0, 0xff00f0f0\n\
+    \        li t1, 0x0ff0ff00\n\
+    \        xor t2, t0, t1\n\
+    \        or a0, t0, t1\n\
+    \        and a1, t0, t1\n\
+    \        xori x28, t0, -1\n\
+    \        ori x29, t0, 0x0f\n\
+    \        andi x30, t0, 0xff\n\
+    \        halt\n"
+    [
+      (t2, 0xf0f00ff0); (a0, 0xfff0fff0); (a1, 0x0f00f000);
+      (28, 0x00ff0f0f); (29, 0xff00f0ff); (30, 0xf0);
+    ]
+
+let test_shifts () =
+  check_prog "sll/srl/sra, register and immediate"
+    "        li t0, 0x80000001\n\
+    \        slli t1, t0, 4\n\
+    \        srli t2, t0, 4\n\
+    \        srai a0, t0, 4\n\
+    \        li a1, 8\n\
+    \        sll x28, t0, a1\n\
+    \        srl x29, t0, a1\n\
+    \        sra x30, t0, a1\n\
+    \        halt\n"
+    [
+      (t1, 0x00000010); (t2, 0x08000000); (a0, 0xf8000000);
+      (28, 0x00000100); (29, 0x00800000); (30, 0xff800000);
+    ]
+
+let test_compare () =
+  check_prog "slt is signed, sltu unsigned"
+    "        li t0, -1\n\
+    \        li t1, 1\n\
+    \        slt t2, t0, t1\n\
+    \        sltu a0, t0, t1\n\
+    \        slti a1, t0, 0\n\
+    \        sltiu x28, t1, -1\n\
+    \        halt\n"
+    [ (t2, 1); (a0, 0); (a1, 1); (28, 1) ]
+
+let test_lui_auipc () =
+  (* the first instruction executes at rom_base *)
+  check_prog "lui loads the upper 20 bits, auipc adds the pc"
+    "        lui t0, 0x12345\n\
+    \        auipc t1, 1\n\
+    \        halt\n"
+    [ (t0, 0x12345000); (t1, (Defs.rom_base + 4 + 0x1000) land 0xFFFF) ]
+
+let test_loads_sign_extension () =
+  check_prog "lb/lh sign-extend, lbu/lhu zero-extend"
+    "        li t0, 0x8000\n\
+    \        li t1, 0x8091a2b3\n\
+    \        sw t1, 0(t0)\n\
+    \        lb t2, 3(t0)\n\
+    \        lbu a0, 3(t0)\n\
+    \        lh a1, 2(t0)\n\
+    \        lhu x28, 2(t0)\n\
+    \        lb x29, 0(t0)\n\
+    \        lw x30, 0(t0)\n\
+    \        halt\n"
+    [
+      (t2, 0xffffff80); (a0, 0x80); (a1, 0xffff8091); (28, 0x8091);
+      (29, 0xffffffb3); (30, 0x8091a2b3);
+    ]
+
+let test_store_lanes () =
+  check_prog "sb/sh merge into the addressed byte lanes"
+    "        li t0, 0x8000\n\
+    \        li t1, 0x11223344\n\
+    \        sw t1, 0(t0)\n\
+    \        li t2, 0xaa\n\
+    \        sb t2, 1(t0)\n\
+    \        li a0, 0xbbcc\n\
+    \        sh a0, 2(t0)\n\
+    \        lw a1, 0(t0)\n\
+    \        halt\n"
+    [ (a1, 0xbbccaa44) ]
+
+let test_branches () =
+  (* every taken branch adds a distinct bit to a0; every not-taken
+     branch aims at the poison label — a0 must collect exactly the
+     six bits *)
+  check_prog "all six branch conditions, signed and unsigned"
+    "        li t0, -1\n\
+    \        li t1, 1\n\
+    \        li a0, 0\n\
+    \        beq t0, t0, B1\n\
+    \        j fail\n\
+    B1:     addi a0, a0, 1\n\
+    \        bne t0, t1, B2\n\
+    \        j fail\n\
+    B2:     addi a0, a0, 2\n\
+    \        blt t0, t1, B3\n\
+    \        j fail\n\
+    B3:     addi a0, a0, 4\n\
+    \        bge t1, t0, B4\n\
+    \        j fail\n\
+    B4:     addi a0, a0, 8\n\
+    \        bltu t1, t0, B5\n\
+    \        j fail\n\
+    B5:     addi a0, a0, 16\n\
+    \        bgeu t0, t1, B6\n\
+    \        j fail\n\
+    B6:     addi a0, a0, 32\n\
+    \        beq t0, t1, fail\n\
+    \        bne t0, t0, fail\n\
+    \        blt t1, t0, fail\n\
+    \        bge t0, t1, fail\n\
+    \        bltu t0, t1, fail\n\
+    \        bgeu t1, t0, fail\n\
+    \        halt\n\
+    fail:   li a0, 999\n\
+    \        halt\n"
+    [ (a0, 63) ]
+
+let test_backward_branch () =
+  check_prog "backward branch offsets: a counted loop"
+    "        li t0, 5\n\
+    \        li t1, 0\n\
+    loop:   add t1, t1, t0\n\
+    \        addi t0, t0, -1\n\
+    \        bne t0, x0, loop\n\
+    \        halt\n"
+    [ (t0, 0); (t1, 15) ]
+
+let test_jal_jalr () =
+  (* jal links pc+4; jalr returns through the link register and
+     clears bit 0/1 of the target *)
+  check_prog "jal/jalr call and return"
+    "        li a0, 0\n\
+    \        jal ra, sub1\n\
+    \        addi a0, a0, 100\n\
+    \        halt\n\
+    sub1:   addi a0, a0, 5\n\
+    \        ret\n"
+    [ (a0, 105) ];
+  let iss =
+    run
+      "        jal ra, next\n\
+       next:   halt\n"
+  in
+  Alcotest.(check int) "jal links pc+4" ((Defs.rom_base + 4) land 0xFFFF)
+    (reg iss 1)
+
+let test_gpio_and_halt () =
+  let iss =
+    run
+      "        li t0, 0xC\n\
+      \        li t1, 0x5a5aa5a5\n\
+      \        sw t1, 0(t0)\n\
+      \        halt\n"
+  in
+  Alcotest.(check int) "gpio_out register" 0x5a5aa5a5 (iss.Coredef.gpio_out ());
+  Alcotest.(check bool) "halted" true (iss.Coredef.halted ())
+
+let test_timing_contract () =
+  let iss =
+    run "        nop\n        nop\n        nop\n        halt\n"
+  in
+  Alcotest.(check int) "retired" 4 (iss.Coredef.retired ());
+  Alcotest.(check int) "uniform cycles/insn" (4 * Defs.cycles_per_insn)
+    (iss.Coredef.cycles ())
+
+let () =
+  Alcotest.run "bespoke_rv32_isa"
+    [
+      ( "encode",
+        [ Alcotest.test_case "roundtrip all instruction shapes" `Quick
+            test_roundtrip ] );
+      ( "iss",
+        [
+          Alcotest.test_case "x0 hard-wired to zero" `Quick test_x0_hardwired;
+          Alcotest.test_case "add/sub/addi arithmetic" `Quick test_arith;
+          Alcotest.test_case "logic ops and immediates" `Quick test_logic;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "signed/unsigned compares" `Quick test_compare;
+          Alcotest.test_case "lui/auipc" `Quick test_lui_auipc;
+          Alcotest.test_case "load sign-extension" `Quick
+            test_loads_sign_extension;
+          Alcotest.test_case "store byte lanes" `Quick test_store_lanes;
+          Alcotest.test_case "branch conditions" `Quick test_branches;
+          Alcotest.test_case "backward branch offsets" `Quick
+            test_backward_branch;
+          Alcotest.test_case "jal/jalr linkage" `Quick test_jal_jalr;
+          Alcotest.test_case "gpio store and halt" `Quick test_gpio_and_halt;
+          Alcotest.test_case "timing contract" `Quick test_timing_contract;
+        ] );
+    ]

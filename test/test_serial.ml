@@ -11,6 +11,7 @@ module Runner = Bespoke_core.Runner
 module Cut = Bespoke_core.Cut
 module Activity = Bespoke_analysis.Activity
 module Fault = Bespoke_verify.Fault
+let core = Bespoke_cpu.Msp430.core
 
 let roundtrip what net =
   let s1 = Serial.to_string net in
@@ -23,14 +24,14 @@ let roundtrip what net =
     (Array.length net'.Netlist.gates)
 
 let bespoke_of b =
-  let report, net = Runner.analyze b in
+  let report, net = Runner.analyze ~core b in
   let bespoke, _ =
     Cut.tailor net ~possibly_toggled:report.Activity.possibly_toggled
       ~constants:report.Activity.constant_values
   in
   bespoke
 
-let test_stock () = roundtrip "stock CPU" (Runner.shared_netlist ())
+let test_stock () = roundtrip "stock CPU" (Runner.shared_netlist core)
 
 let test_bespoke () =
   List.iter
@@ -48,7 +49,7 @@ let test_mutants () =
         | _ -> 1)
       bespoke.Netlist.gates
   in
-  let faults = Fault.generate ~seed:7 ~n:10 ~toggles bespoke in
+  let faults = Fault.generate ~core ~seed:7 ~n:10 ~toggles bespoke in
   Alcotest.(check bool) "some faults drawn" true (List.length faults >= 5);
   List.iter
     (fun (f : Fault.t) ->

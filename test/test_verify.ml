@@ -14,6 +14,7 @@ module Obs = Bespoke_obs.Obs
 module Fault = Bespoke_verify.Fault
 module Shrink = Bespoke_verify.Shrink
 module Verify = Bespoke_verify.Verify
+let core = Bespoke_cpu.Msp430.core
 
 (* --- shrinking ------------------------------------------------------ *)
 
@@ -59,7 +60,7 @@ let test_of_seeds_clean () =
 
 let bespoke_mult =
   lazy
-    (let report, net = Runner.analyze (B.find "mult") in
+    (let report, net = Runner.analyze ~core (B.find "mult") in
      Cut.tailor net ~possibly_toggled:report.Activity.possibly_toggled
        ~constants:report.Activity.constant_values
      |> fst)
@@ -73,11 +74,11 @@ let all_exercised net =
 let test_generate_deterministic () =
   let net = Lazy.force bespoke_mult in
   let toggles = all_exercised net in
-  let a = Fault.generate ~seed:3 ~n:8 ~toggles net in
-  let b = Fault.generate ~seed:3 ~n:8 ~toggles net in
+  let a = Fault.generate ~core ~seed:3 ~n:8 ~toggles net in
+  let b = Fault.generate ~core ~seed:3 ~n:8 ~toggles net in
   Alcotest.(check int) "n faults" 8 (List.length a);
   Alcotest.(check bool) "same seed, same faults" true (a = b);
-  let c = Fault.generate ~seed:4 ~n:8 ~toggles net in
+  let c = Fault.generate ~core ~seed:4 ~n:8 ~toggles net in
   Alcotest.(check bool) "different seed, different draw" true (a <> c);
   (* distinct sites *)
   let sites = List.map (fun f -> f.Fault.gate) a in
@@ -105,11 +106,11 @@ let test_inject_one_gate () =
         Alcotest.(check bool) "stuck gate is a tie" true
           (mutant.Netlist.gates.(f.Fault.gate).Gate.op = Gate.Const v)
       | _ -> ())
-    (Fault.generate ~seed:1 ~n:10 ~toggles net)
+    (Fault.generate ~core ~seed:1 ~n:10 ~toggles net)
 
 (* --- a small fixed-seed campaign ------------------------------------ *)
 
-let campaign = lazy (Verify.check_benchmark ~faults:4 ~seed:1 (B.find "mult"))
+let campaign = lazy (Verify.check_benchmark ~core ~faults:4 ~seed:1 (B.find "mult"))
 
 let test_campaign_equivalent () =
   let c = Lazy.force campaign in

@@ -48,8 +48,10 @@ let check_fault name f =
   | k -> fail "%s: unknown kill class %S" name k);
   (kill, bool_ "detectable" f)
 
-let check_bench b =
+let check_bench ~core b =
   let name = str "name" b in
+  if str "core" b <> core then
+    fail "%s: benchmark core %S, header says %S" name (str "core" b) core;
   let gates = mem "gates" b in
   let go = num "original" gates and gb = num "bespoke" gates in
   if go <= 0.0 then fail "%s: no original gates" name;
@@ -97,16 +99,33 @@ let check_bench b =
     fail "%s: detectable kill score %g, want 100" name
       (num "detectable_score_pct" fi)
 
-let () =
-  if Array.length Sys.argv <> 2 then fail "usage: verify_smoke_check FILE.json";
-  match Obs.Json.parse (read_file Sys.argv.(1)) with
-  | Error m -> fail "artifact does not parse: %s" m
+let check_file path expected_core =
+  match Obs.Json.parse (read_file path) with
+  | Error m -> fail "%s does not parse: %s" path m
   | Ok j ->
     if str "schema" j <> "bespoke-verify/v1" then
-      fail "unexpected schema tag %S" (str "schema" j);
+      fail "%s: unexpected schema tag %S" path (str "schema" j);
     ignore (str "generator" j);
+    if str "core" j <> expected_core then
+      fail "%s: header core %S, want %S" path (str "core" j) expected_core;
     let benches = arr "benchmarks" j in
-    if benches = [] then fail "artifact lists no benchmarks";
-    List.iter check_bench benches;
-    Printf.printf "verify-smoke: %d benchmark campaign(s) validated\n"
-      (List.length benches)
+    if benches = [] then fail "%s lists no benchmarks" path;
+    List.iter (check_bench ~core:expected_core) benches;
+    List.length benches
+
+let () =
+  let rec pairs = function
+    | [] -> []
+    | file :: core :: rest -> (file, core) :: pairs rest
+    | [ _ ] -> fail "usage: verify_smoke_check FILE.json CORE ..."
+  in
+  match pairs (List.tl (Array.to_list Sys.argv)) with
+  | [] -> fail "usage: verify_smoke_check FILE.json CORE ..."
+  | ps ->
+    let n =
+      List.fold_left (fun acc (f, c) -> acc + check_file f c) 0 ps
+    in
+    Printf.printf
+      "verify-smoke: %d benchmark campaign(s) validated across core(s) %s\n"
+      n
+      (String.concat ", " (List.map snd ps))
